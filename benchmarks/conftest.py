@@ -1,0 +1,32 @@
+"""Benchmark harness configuration.
+
+Every bench runs its experiment exactly once under pytest-benchmark
+(``pedantic`` with one round — these are experiment regenerations, not
+micro-benchmarks), asserts the paper's qualitative claims on the rows,
+and writes the rendered table under ``results/`` for EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.runner import ExperimentResult, save_result
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment function once, timed, and persist its table."""
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        if isinstance(result, ExperimentResult):
+            save_result(result, RESULTS_DIR)
+        elif isinstance(result, list):
+            for item in result:
+                save_result(item, RESULTS_DIR)
+        return result
+
+    return runner

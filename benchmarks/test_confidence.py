@@ -1,0 +1,54 @@
+"""§8.3 methodology: five seeded runs of each randomized algorithm with
+two-tailed Student-t 95% confidence intervals."""
+
+import random
+
+from repro.bench.runner import ExperimentResult, repeat_with_ci
+from repro.core.distinct import DistinctPruner
+from repro.core.topn import TopNRandomized
+from repro.workloads.streams import random_order_stream
+
+
+def _confidence_experiment(stream_length=40_000, seeds=(0, 1, 2, 3, 4)):
+    """CI of the unpruned fraction for the two randomized algorithms."""
+
+    def distinct_metric(seed):
+        stream = random_order_stream(stream_length, 2000, seed)
+        pruner = DistinctPruner(rows=1024, width=2, seed=seed)
+        for value in stream:
+            pruner.offer(value)
+        return pruner.stats.unpruned_fraction
+
+    def topn_metric(seed):
+        rng = random.Random(seed)
+        pruner = TopNRandomized(n=100, rows=512, width=4, seed=seed)
+        for _ in range(stream_length):
+            pruner.offer(rng.random())
+        return pruner.stats.unpruned_fraction
+
+    rows = []
+    for name, metric in (("distinct", distinct_metric),
+                         ("topn_rand", topn_metric)):
+        interval = repeat_with_ci(metric, seeds=seeds)
+        rows.append({
+            "algorithm": name,
+            "mean_unpruned": interval.mean,
+            "ci_95_half_width": interval.half_width,
+            "relative_width": interval.half_width / interval.mean,
+            "runs": interval.runs,
+        })
+    return ExperimentResult(
+        "confidence_intervals",
+        "Randomized algorithms: 5-run 95% confidence intervals (§8.3)",
+        rows,
+    )
+
+
+def test_confidence_intervals(run_experiment):
+    result = run_experiment(_confidence_experiment)
+    for row in result.rows:
+        assert row["runs"] == 5
+        # The paper plots these without visible error bars: seeded runs
+        # concentrate tightly.  Require the interval within 20% of the
+        # mean.
+        assert row["relative_width"] < 0.20, row

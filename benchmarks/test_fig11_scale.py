@@ -1,0 +1,62 @@
+"""Figure 11: pruning rate vs data scale, all six panels.
+
+The paper's headline: DISTINCT / SKYLINE / TOP-N / GROUP-BY improve with
+scale; JOIN and HAVING degrade (filters and sketches saturate).
+"""
+
+from repro.bench import experiments as ex
+
+
+def _series(result, name):
+    rows = [r for r in result.rows if r["series"] == name]
+    return [r["unpruned"] for r in sorted(rows, key=lambda r: r["entries"])]
+
+
+def test_fig11_scale(run_experiment):
+    results = {r.experiment_id: r for r in run_experiment(ex.fig11_scale)}
+    assert set(results) == {
+        "fig11a", "fig11b", "fig11c", "fig11d", "fig11e", "fig11f",
+    }
+
+    # (a) DISTINCT improves with scale; larger d at least as good.
+    assert _series(results["fig11a"], "d=4096")[-1] < _series(
+        results["fig11a"], "d=4096")[0]
+    assert (_series(results["fig11a"], "d=4096")[-1]
+            <= _series(results["fig11a"], "d=64")[-1])
+
+    # (b) SKYLINE improves with scale.
+    sky = _series(results["fig11b"], "w=8")
+    assert sky[-1] < sky[0]
+
+    # (c) TOP-N improves with scale (logarithmic forwarded count).
+    top = _series(results["fig11c"], "w=4")
+    assert top[-1] < top[0]
+
+    # (d) GROUP BY improves with scale.
+    grp = _series(results["fig11d"], "w=6")
+    assert grp[-1] < grp[0]
+
+    # (e) JOIN degrades with scale: Bloom filters fill up.
+    join = _series(results["fig11e"], "64KB")
+    assert join[-1] > join[0]
+
+    # (f) HAVING degrades: CM over-estimates accumulate with mass (the
+    # mid-size sketch shows it cleanly; tiny sketches saturate early and
+    # large ones track OPT).
+    having = _series(results["fig11f"], "w=128")
+    assert having[-1] > having[0]
+    wide = _series(results["fig11f"], "w=512")
+    opt_f = _series(results["fig11f"], "opt")
+    assert wide[-1] <= opt_f[-1] * 3
+
+    # OPT is a lower bound everywhere it is defined.
+    for fig in ("fig11a", "fig11c", "fig11d", "fig11e"):
+        by_entries = {}
+        for row in results[fig].rows:
+            by_entries.setdefault(row["entries"], {})[row["series"]] = (
+                row["unpruned"]
+            )
+        for entries, series_map in by_entries.items():
+            opt = series_map.pop("opt")
+            for name, value in series_map.items():
+                assert value >= opt - 1e-9, (fig, entries, name)

@@ -1,0 +1,30 @@
+"""Figure 6: DISTINCT completion vs worker count and data scale."""
+
+from repro.bench import experiments as ex
+
+
+def test_fig6_scaling(run_experiment):
+    result = run_experiment(ex.fig6_scaling, scale=2e-4, seed=1)
+    worker_rows = [r for r in result.rows if r["sweep"] == "workers"]
+    entry_rows = [r for r in result.rows
+                  if r["sweep"] == "entries_millions"]
+
+    # (a) Cheetah wins at every worker count.
+    assert len(worker_rows) == 5
+    for row in worker_rows:
+        assert row["cheetah_s"] < row["spark_s"], row
+
+    # Spark improves with more workers (task parallelism); Cheetah's
+    # bottleneck is the shared network, so it is flatter.
+    assert worker_rows[0]["spark_s"] > worker_rows[-1]["spark_s"]
+    spark_gain = worker_rows[0]["spark_s"] / worker_rows[-1]["spark_s"]
+    cheetah_gain = (worker_rows[0]["cheetah_s"]
+                    / worker_rows[-1]["cheetah_s"])
+    assert spark_gain > cheetah_gain
+
+    # (b) Cheetah wins at every scale and the absolute gap widens.
+    gaps = []
+    for row in entry_rows:
+        assert row["cheetah_s"] < row["spark_s"], row
+        gaps.append(row["spark_s"] - row["cheetah_s"])
+    assert gaps == sorted(gaps)

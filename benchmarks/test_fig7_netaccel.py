@@ -1,0 +1,28 @@
+"""Figure 7 + Figures 12/13: the NetAccel comparison."""
+
+from repro.bench import experiments as ex
+
+
+def test_fig7_drain_overhead(run_experiment):
+    result = run_experiment(ex.fig7_netaccel)
+    rows = result.rows
+    # Drain grows linearly with result size; Cheetah stays far below.
+    drains = [row["netaccel_drain_s"] for row in rows]
+    assert drains == sorted(drains)
+    assert drains[-1] / drains[0] > 30        # 1% -> 40% of the input
+    for row in rows:
+        assert row["cheetah_overhead_s"] < row["netaccel_drain_s"]
+    # Paper magnitude: ~0.6s at 40% of the order-key join input.
+    at_40 = next(r for r in rows if r["result_pct"] == 40)
+    assert 0.3 <= at_40["netaccel_drain_s"] <= 1.2
+
+
+def test_fig12_13_switch_cpu(run_experiment):
+    result = run_experiment(ex.fig12_13_switchcpu)
+    for row in result.rows:
+        assert row["switch_cpu_s"] > row["server_s"]
+        assert row["slowdown"] >= 5
+    # Linearity in entries per op.
+    groupby = [r for r in result.rows if r["op"] == "groupby"]
+    ratio = groupby[-1]["switch_cpu_s"] / groupby[0]["switch_cpu_s"]
+    assert ratio == groupby[-1]["entries"] / groupby[0]["entries"]

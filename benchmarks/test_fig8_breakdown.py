@@ -1,0 +1,44 @@
+"""Figure 8: delay breakdown at 10G vs 20G NIC limits."""
+
+from repro.bench import experiments as ex
+
+
+def test_fig8_breakdown(run_experiment):
+    result = run_experiment(ex.fig8_breakdown, scale=2e-4, seed=1)
+    by_key = {(row["query"], row["system"]): row for row in result.rows}
+
+    for query in ("Distinct", "Group-By"):
+        spark = by_key[(query, "spark")]
+        at10 = by_key[(query, "cheetah_10G")]
+        at20 = by_key[(query, "cheetah_20G")]
+
+        # Spark is compute-bound: computation dominates network.
+        assert spark["computation_s"] > spark["network_s"]
+
+        # Cheetah at 10G is network-bound; 20G ~halves the network share.
+        assert at10["network_s"] > at10["computation_s"]
+        assert at20["network_s"] < at10["network_s"] * 0.65
+
+        # The 20G run is faster overall; Spark would gain nothing (its
+        # network share is already negligible).
+        assert at20["total_s"] < at10["total_s"]
+        assert spark["network_s"] < 0.2 * spark["total_s"]
+
+        # Cheetah moves work from workers to the wire + master: its
+        # computation share is below Spark's.
+        assert at10["computation_s"] < spark["computation_s"]
+
+
+def test_network_rate_sweep_extension(run_experiment):
+    """Fig. 8 extension: completion flattens once the wire stops binding."""
+    result = run_experiment(ex.network_rate_sweep, scale=2e-4, seed=1)
+    rows = sorted(result.rows, key=lambda r: r["nic_gbps"])
+    totals = [row["total_s"] for row in rows]
+    # Monotone non-increasing in the NIC rate.
+    assert all(a >= b - 1e-9 for a, b in zip(totals, totals[1:]))
+    # Early doublings pay off ~2x (network-bound regime)...
+    assert rows[0]["total_s"] / rows[1]["total_s"] > 1.3
+    # ...but the curve flattens onto the non-network floor at the end.
+    assert rows[-2]["total_s"] / rows[-1]["total_s"] < 1.25
+    floor = rows[-1]["computation_s"] + rows[-1]["other_s"]
+    assert rows[-1]["total_s"] < floor + rows[0]["network_s"] * 0.2

@@ -1,0 +1,24 @@
+"""Figure 9: master blocking latency vs unpruned fraction."""
+
+from repro.bench import experiments as ex
+
+
+def test_fig9_master_latency(run_experiment):
+    result = run_experiment(ex.fig9_master_latency)
+    rows = sorted(result.rows, key=lambda r: r["unpruned_pct"])
+
+    # Monotone growth in the unpruned fraction for every op.
+    for column in ("topn_s", "distinct_s", "max_groupby_s"):
+        series = [row[column] for row in rows]
+        assert series == sorted(series), column
+
+    # The paper's op ordering at 50% unpruned: TOP-N (N-heap) cheapest,
+    # max-GROUP-BY most expensive.
+    at50 = next(r for r in rows if r["unpruned_pct"] == 50)
+    assert at50["topn_s"] < at50["distinct_s"] < at50["max_groupby_s"]
+
+    # Super-linear shape: near-zero while the master absorbs the stream
+    # in flight, then growing once entries buffer up.
+    at5 = next(r for r in rows if r["unpruned_pct"] == 5)
+    assert at5["topn_s"] == 0.0
+    assert at50["max_groupby_s"] > 5.0

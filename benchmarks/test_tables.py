@@ -1,0 +1,48 @@
+"""Tables 2, 3 and 4: resource accounting, hardware comparison, algorithm
+summary."""
+
+from repro.bench import experiments as ex
+
+
+def test_table2_resources(run_experiment):
+    result = run_experiment(ex.table2_resources)
+    rows = {row["algorithm"]: row for row in result.rows}
+
+    # Table 2's structural facts.
+    assert rows["DISTINCT LRU"]["stages"] == 2          # w stages
+    assert rows["DISTINCT FIFO"]["stages"] == 1         # ceil(w/A)
+    assert rows["TOP N Det"]["stages"] == 5             # w + 1
+    assert rows["TOP N Rand"]["stages"] == 4            # w
+    assert rows["GROUP BY"]["stages"] == 8              # w
+    assert rows["JOIN RBF"]["stages"] == 1
+    assert rows["JOIN BF"]["stages"] == 2
+    # Only APH skyline consumes TCAM (64 * D).
+    assert rows["SKYLINE APH"]["tcam"] == 128
+    assert all(row["tcam"] == 0 for name, row in rows.items()
+               if name != "SKYLINE APH")
+    # JOIN dominates SRAM (two 4MB filters), matrices are d*w*64b.
+    assert rows["JOIN BF"]["sram_kib"] > rows["DISTINCT LRU"]["sram_kib"]
+    assert rows["DISTINCT LRU"]["sram_kib"] == 4096 * 2 * 64 / 8 / 1024
+
+
+def test_table3_hardware(run_experiment):
+    result = run_experiment(ex.table3_hardware)
+    rows = {row["platform"]: row for row in result.rows}
+    # The Tofino is orders of magnitude above every alternative.
+    for platform in ("server", "gpu", "fpga", "smartnic"):
+        assert (rows["tofino2"]["throughput_gbps"]
+                > 50 * rows[platform]["throughput_gbps"])
+        assert rows["tofino2"]["latency_us"] < rows[platform]["latency_us"]
+
+
+def test_table4_summary(run_experiment):
+    result = run_experiment(ex.table4_summary)
+    by_name = {row["algorithm"]: row["guarantee"] for row in result.rows}
+    assert by_name["distinct"] == "deterministic"
+    assert by_name["topn_det"] == "deterministic"
+    assert by_name["topn_rand"] == "probabilistic"
+    assert by_name["skyline"] == "deterministic"
+    assert by_name["join"] == "deterministic"
+    assert by_name["having"] == "deterministic"
+    assert by_name["groupby"] == "deterministic"
+    assert len(result.rows) >= 8

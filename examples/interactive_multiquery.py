@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Interactive multi-query packing (§6).
+
+Reprogramming a Tofino takes a minute; Cheetah instead pre-compiles the
+algorithms and packs several live queries onto one data plane, split by
+flow id, with per-query control-plane rules installed in under a
+millisecond.  This demo installs a filter + a DISTINCT + a HAVING query
+concurrently, streams interleaved data, then swaps a query at runtime —
+no recompilation, just rule churn.
+
+Run:  python examples/interactive_multiquery.py
+"""
+
+import random
+
+from repro.core.expr import Col
+from repro.switch.compiler import QuerySpec
+from repro.switch.controlplane import ControlPlane
+
+
+def main():
+    cp = ControlPlane()
+    rng = random.Random(11)
+
+    filt = cp.install_query(QuerySpec("filter", (
+        ("predicate", Col("value") > 700),
+    )))
+    distinct = cp.install_query(QuerySpec("distinct", (
+        ("d", 1024), ("w", 2),
+    )))
+    having = cp.install_query(QuerySpec("having", (
+        ("threshold", 50), ("w", 256), ("d", 3),
+    )))
+
+    print("installed queries (one data plane, no recompilation):")
+    for inst in cp.installed_queries():
+        print(f"  fid={inst.fid} {inst.compiled.describe()} "
+              f"installed in {inst.install_seconds * 1000:.2f} ms")
+    packed = cp.pack.packed_resources()
+    print(f"\npacked footprint: {packed.describe()}")
+
+    # Interleaved traffic, dispatched by flow id.
+    pruned = {inst.fid: 0 for inst in cp.installed_queries()}
+    offered = dict(pruned)
+    for _ in range(3000):
+        choice = rng.randrange(3)
+        if choice == 0:
+            fid, entry = filt.fid, {"value": rng.randrange(1000)}
+        elif choice == 1:
+            fid, entry = distinct.fid, rng.randrange(200)
+        else:
+            fid, entry = having.fid, (rng.randrange(50), rng.randrange(10))
+        offered[fid] += 1
+        if cp.offer(fid, entry):
+            pruned[fid] += 1
+
+    print("\nper-query pruning on interleaved traffic:")
+    for inst in cp.installed_queries():
+        fid = inst.fid
+        print(f"  fid={fid} ({inst.compiled.spec.query_type}): "
+              f"pruned {pruned[fid]}/{offered[fid]} "
+              f"({pruned[fid] / max(1, offered[fid]):.0%})")
+
+    # Swap the filter for a TOP-N at runtime.
+    cp.uninstall_query(filt.fid)
+    topn = cp.install_query(QuerySpec("topn", (("n", 100),)))
+    print(f"\nswapped filter -> TOP-N (fid={topn.fid}) in "
+          f"{topn.install_seconds * 1000:.2f} ms; "
+          f"{cp.total_rules_installed} rules now installed "
+          "(paper: any benchmark fits in <100 rules)")
+
+    for _ in range(1000):
+        cp.offer(topn.fid, rng.randrange(10_000))
+    pruner = cp.pruner_for(topn.fid)
+    print(f"TOP-N after 1000 entries: pruned "
+          f"{pruner.stats.pruned_fraction:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Cheetah: Accelerating Database Queries with Switch Pruning — reproduction.
+
+A full Python reproduction of the SIGCOMM 2019 paper (arXiv:2004.05076)
+by Tirmazi, Ben Basat, Gao and Yu: query **pruning** on programmable
+switches, with every substrate simulated — the PISA switch pipeline, the
+mini SQL engine, the CWorker/CMaster protocol, and the evaluation
+workloads.
+
+Package map
+-----------
+
+``repro.core``
+    The paper's contribution: pruning algorithms for filtering,
+    DISTINCT, TOP-N, GROUP BY, JOIN, HAVING and SKYLINE, their
+    theorem-driven configuration, and multi-query packing.
+``repro.switch``
+    PISA switch simulator: stages, ALUs, registers, tables, TCAM log
+    approximation, query compiler and control plane.
+``repro.sketches``
+    Bloom filters, Count-Min, the d x w cache matrix, fingerprints.
+``repro.db``
+    Columnar tables, expression AST, query objects, reference executor,
+    query planner, and a small SQL parser.
+``repro.net``
+    Cheetah packet formats and the switch-assisted reliability protocol.
+``repro.cluster``
+    Workers/master modules, the Spark baseline, and the calibrated
+    completion-time model.
+``repro.workloads``
+    Synthetic Big Data benchmark and TPC-H subset generators.
+``repro.baselines``
+    NetAccel lower-bound model and the OPT streaming pruner.
+``repro.bench``
+    One experiment per table/figure of the paper's evaluation.
+
+Quick start
+-----------
+
+>>> from repro.db import Table, parse_sql, execute, QueryPlanner
+>>> t = Table.from_rows("Products", [
+...     {"name": "Burger", "seller": "McCheetah", "price": 4},
+...     {"name": "Pizza", "seller": "Papizza", "price": 7},
+...     {"name": "Fries", "seller": "McCheetah", "price": 2},
+... ])
+>>> query = parse_sql("SELECT DISTINCT seller FROM Products")
+>>> run = QueryPlanner().plan(query).run(t)
+>>> run.result == execute(query, t)
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

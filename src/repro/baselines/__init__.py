@@ -1,0 +1,32 @@
+"""Comparison baselines.
+
+* :mod:`repro.baselines.netaccel` — the NetAccel lower-bound model the
+  paper evaluates against (§8.2.4, Figs 7/12/13): results stored on the
+  switch must be drained at the end, and overflow work runs on the weak
+  switch CPU.
+* :mod:`repro.baselines.streaming_opt` — OPT, the unconstrained
+  streaming algorithm that upper-bounds any switch algorithm's pruning
+  rate (the OPT lines of Figs 10/11).
+"""
+
+from repro.baselines.netaccel import NetAccelModel
+from repro.baselines.streaming_opt import (
+    opt_unpruned_distinct,
+    opt_unpruned_topn,
+    opt_unpruned_skyline,
+    opt_unpruned_groupby_max,
+    opt_unpruned_join,
+    opt_unpruned_having,
+    opt_unpruned_series,
+)
+
+__all__ = [
+    "NetAccelModel",
+    "opt_unpruned_distinct",
+    "opt_unpruned_topn",
+    "opt_unpruned_skyline",
+    "opt_unpruned_groupby_max",
+    "opt_unpruned_join",
+    "opt_unpruned_having",
+    "opt_unpruned_series",
+]

@@ -1,0 +1,74 @@
+"""NetAccel lower-bound model (§8.2.4, Appendix F).
+
+NetAccel offloads *entire* queries: results accumulate in switch
+registers and must be (a) drained to the master over the slow
+dataplane-to-control-plane path when the query completes, and (b)
+partially overflowed to the switch CPU when dataplane resources run out.
+The paper measures a lower bound — drain time only, assuming unlimited
+dataplane resources and Cheetah-equal pruning; Figures 12/13 additionally
+compare the switch CPU against a real server for the overflowed share.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+
+@dataclasses.dataclass
+class NetAccelModel:
+    """Calibrated NetAccel cost components.
+
+    Parameters
+    ----------
+    drain_rate:
+        Entries/second readable from dataplane registers through the
+        switch control plane (PCIe + driver path; ~1M/s reproduces
+        Figure 7's slope).
+    switch_cpu_rate:
+        Per-op service rates of the switch CPU, roughly 10x slower than
+        the master server (Figures 12/13).
+    server_rate:
+        The master-server rates for the same ops (shared with the main
+        cost model's master rates).
+    """
+
+    drain_rate: float = 1.0e6
+    switch_cpu_rate: Dict[str, float] = dataclasses.field(
+        default_factory=lambda: {"groupby": 0.1e6, "distinct": 0.2e6}
+    )
+    server_rate: Dict[str, float] = dataclasses.field(
+        default_factory=lambda: {"groupby": 1.0e6, "distinct": 2.0e6}
+    )
+
+    def drain_seconds(self, result_entries: int) -> float:
+        """Figure 7: time to move the stored result off the switch."""
+        if result_entries < 0:
+            raise ValueError(f"result_entries must be >= 0, got {result_entries}")
+        return result_entries / self.drain_rate
+
+    def completion_lower_bound(self, stream_seconds: float,
+                               result_entries: int) -> float:
+        """Query completion >= streaming time + final drain; the drain
+        cannot be pipelined into the next operation (§8.2.4)."""
+        return stream_seconds + self.drain_seconds(result_entries)
+
+    def switch_cpu_seconds(self, op: str, entries: int) -> float:
+        """Figures 12/13: processing ``entries`` on the switch CPU."""
+        try:
+            rate = self.switch_cpu_rate[op]
+        except KeyError:
+            raise KeyError(f"no switch-CPU rate for op {op!r}") from None
+        return entries / rate
+
+    def server_seconds(self, op: str, entries: int) -> float:
+        """Figures 12/13: the same work on the master server."""
+        try:
+            rate = self.server_rate[op]
+        except KeyError:
+            raise KeyError(f"no server rate for op {op!r}") from None
+        return entries / rate
+
+    def cpu_slowdown(self, op: str) -> float:
+        """How much slower the switch CPU is for ``op``."""
+        return self.server_rate[op] / self.switch_cpu_rate[op]

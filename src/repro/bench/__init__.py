@@ -1,0 +1,12 @@
+"""Experiment harness: one function per table/figure of the evaluation.
+
+Every experiment returns plain row data (lists of dicts) and can render
+itself as an aligned text table; ``benchmarks/`` wraps each in a
+pytest-benchmark target, and the rendered tables are written under
+``results/`` for EXPERIMENTS.md.
+"""
+
+from repro.bench.runner import ExperimentResult, format_table, save_result
+from repro.bench import experiments
+
+__all__ = ["ExperimentResult", "format_table", "save_result", "experiments"]

@@ -1,0 +1,780 @@
+"""One experiment per table/figure of the paper's evaluation (§8).
+
+Each function is pure given its parameters (all randomness is seeded)
+and returns an :class:`~repro.bench.runner.ExperimentResult` whose rows
+mirror the series the paper plots.  Absolute times come from the
+calibrated cost model; pruning rates are measured by actually running
+the pruners on synthetic streams.
+
+Scale conventions: timing experiments run the functional pipeline on a
+sampled workload and extrapolate to the paper's testbed sizes (31.7M
+UserVisits / 18M Rankings rows, TPC-H default scale); pruning-rate
+simulations use stream lengths that keep the full suite under a few
+minutes of pure Python.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.netaccel import NetAccelModel
+from repro.baselines import streaming_opt as opt
+from repro.bench.runner import ExperimentResult
+from repro.cluster import CheetahRuntime, CostModel, SparkBaseline
+from repro.cluster.spark import total_input_entries
+from repro.cluster.costmodel import HARDWARE_PROFILES
+from repro.core import (
+    DistinctPruner,
+    GroupByPruner,
+    HavingPruner,
+    JoinPruner,
+    SkylinePruner,
+    TopNDeterministic,
+    TopNRandomized,
+)
+from repro.core.base import ALGORITHM_REGISTRY
+from repro.core.join import FilterKind, JoinSide
+from repro.core.skyline import Projection
+from repro.sketches.cache_matrix import EvictionPolicy
+from repro.workloads import BigDataGenerator, TPCHGenerator
+from repro.workloads.bigdata import (
+    BENCHMARK_QUERIES,
+    SAMPLE_RANKINGS_ROWS,
+    SAMPLE_USERVISITS_ROWS,
+    q6_sampled_tables,
+)
+from repro.workloads.streams import (
+    join_key_streams,
+    keyed_value_stream,
+    random_order_stream,
+    random_points,
+    value_stream,
+)
+from repro.workloads.tpch import (
+    SF1_LINEITEMS,
+    SF1_ORDERS,
+    TPCHGenerator as _TPCH,
+    q3_filtered_inputs,
+)
+from repro.db.queries import JoinQuery
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+def table2_resources() -> ExperimentResult:
+    """Table 2: switch resource consumption at the paper defaults."""
+    configs = [
+        ("DISTINCT FIFO", DistinctPruner(rows=4096, width=2,
+                                         policy=EvictionPolicy.FIFO)),
+        ("DISTINCT LRU", DistinctPruner(rows=4096, width=2,
+                                        policy=EvictionPolicy.LRU)),
+        ("SKYLINE SUM", SkylinePruner(dimensions=2, width=10,
+                                      projection=Projection.SUM)),
+        ("SKYLINE APH", SkylinePruner(dimensions=2, width=10,
+                                      projection=Projection.APH)),
+        ("TOP N Det", TopNDeterministic(n=250, thresholds=4)),
+        ("TOP N Rand", TopNRandomized(n=250, rows=4096, width=4)),
+        ("GROUP BY", GroupByPruner(rows=4096, width=8)),
+        ("JOIN BF", JoinPruner(size_bits=4 * 2 ** 20 * 8, hashes=3,
+                               kind=FilterKind.BLOOM)),
+        ("JOIN RBF", JoinPruner(size_bits=4 * 2 ** 20 * 8, hashes=3,
+                                kind=FilterKind.REGISTER_BLOOM)),
+        ("HAVING", HavingPruner(threshold=1.0, width=1024, depth=3)),
+    ]
+    rows = []
+    for name, pruner in configs:
+        usage = pruner.resources()
+        rows.append({
+            "algorithm": name,
+            "stages": usage.stages,
+            "alus": usage.alus,
+            "sram_kib": usage.sram_kib,
+            "tcam": usage.tcam_entries,
+        })
+    return ExperimentResult(
+        "table2", "Switch resource consumption (paper defaults)", rows,
+        notes="stages are logical; SKYLINE/TOP-N widths fold onto a "
+              "physical pipeline as in §6",
+    )
+
+
+def table3_hardware() -> ExperimentResult:
+    """Table 3: hardware platform comparison."""
+    rows = [
+        {
+            "platform": name,
+            "throughput_gbps": profile["throughput_bps"] / 1e9,
+            "latency_us": profile["latency_s"] * 1e6,
+        }
+        for name, profile in HARDWARE_PROFILES.items()
+    ]
+    return ExperimentResult("table3", "Hardware choices", rows)
+
+
+def table4_summary() -> ExperimentResult:
+    """Table 4 (Appendix A): algorithm guarantees and parameters."""
+    rows = [
+        {
+            "algorithm": name,
+            "guarantee": cls.guarantee.value,
+            "summary": (cls.__doc__ or "").strip().splitlines()[0],
+        }
+        for name, cls in sorted(ALGORITHM_REGISTRY.items())
+    ]
+    return ExperimentResult("table4", "Algorithm summary", rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 + 6 + 8: completion times on the Big Data benchmark
+# ---------------------------------------------------------------------------
+
+_FIG5_QUERIES = [
+    ("BigData A", "bigdata_a"),
+    ("BigData B", "bigdata_b"),
+    ("BigData A+B", "bigdata_a_plus_b"),
+    ("Distinct", "q2"),
+    ("GroupBy(Max)", "q5"),
+    ("Skyline", "q3"),
+    ("Top-N", "q4"),
+    ("Join", "q6"),
+]
+
+
+def _bigdata_setup(scale: float, seed: int):
+    generator = BigDataGenerator(scale=scale, seed=seed)
+    tables = generator.tables()
+    ratio = SAMPLE_USERVISITS_ROWS / len(tables["UserVisits"])
+    return tables, ratio
+
+
+def fig5_completion(scale: float = 5e-4, seed: int = 1,
+                    network_bps: float = 10e9) -> ExperimentResult:
+    """Figure 5: Spark (1st / subsequent) vs Cheetah completion time."""
+    tables, ratio = _bigdata_setup(scale, seed)
+    runtime = CheetahRuntime(network_bps=network_bps)
+    spark = SparkBaseline()
+    rows = []
+    for label, key in _FIG5_QUERIES:
+        query = BENCHMARK_QUERIES[key]()
+        tabs = (q6_sampled_tables(tables, 0.1, seed=seed)
+                if key == "q6" else tables)
+        target = round(total_input_entries(query, tabs) * ratio)
+        cheetah = runtime.run(query, tabs, extrapolate_to_rows=target)
+        spark1 = spark.run(query, tabs, first_run=True,
+                           extrapolate_to_rows=target)
+        spark2 = spark.run(query, tabs, first_run=False,
+                           extrapolate_to_rows=target)
+        rows.append({
+            "query": label,
+            "spark_1st_s": spark1.completion_seconds,
+            "spark_s": spark2.completion_seconds,
+            "cheetah_s": cheetah.completion_seconds,
+            "vs_1st_pct": 100 * (1 - cheetah.completion_seconds
+                                 / spark1.completion_seconds),
+            "vs_sub_pct": 100 * (1 - cheetah.completion_seconds
+                                 / spark2.completion_seconds),
+            "unpruned": cheetah.unpruned_fraction,
+        })
+    q3_rows = tpch_q3_completion(seed=seed).rows
+    rows.extend(q3_rows)
+    return ExperimentResult(
+        "fig5", "Completion time: Spark vs Cheetah (extrapolated to the "
+        "testbed scale)", rows,
+        notes="paper: 64-75% vs 1st run / 47-58% vs subsequent on B, A+B, "
+              "TPC-H Q3; 40-72% on the other aggregations; no win on "
+              "plain filtering (BigData A)",
+    )
+
+
+def fig6_scaling(scale: float = 5e-4, seed: int = 1) -> ExperimentResult:
+    """Figure 6: DISTINCT completion vs worker count and data scale."""
+    tables, ratio = _bigdata_setup(scale, seed)
+    query = BENCHMARK_QUERIES["q2"]()
+    rows = []
+    # (a) fixed total entries, varying number of workers.
+    target = round(len(tables["UserVisits"]) * ratio)
+    for workers in (1, 2, 3, 4, 5):
+        runtime = CheetahRuntime(workers=workers)
+        spark = SparkBaseline(workers=workers)
+        cheetah = runtime.run(query, tables, extrapolate_to_rows=target)
+        baseline = spark.run(query, tables, extrapolate_to_rows=target)
+        rows.append({
+            "sweep": "workers",
+            "x": workers,
+            "cheetah_s": cheetah.completion_seconds,
+            "spark_s": baseline.completion_seconds,
+        })
+    # (b) five workers, varying total entries (10M / 20M / 30M).
+    runtime = CheetahRuntime(workers=5)
+    spark = SparkBaseline(workers=5)
+    for millions in (10, 20, 30):
+        target = millions * 1_000_000
+        cheetah = runtime.run(query, tables, extrapolate_to_rows=target)
+        baseline = spark.run(query, tables, extrapolate_to_rows=target)
+        rows.append({
+            "sweep": "entries_millions",
+            "x": millions,
+            "cheetah_s": cheetah.completion_seconds,
+            "spark_s": baseline.completion_seconds,
+        })
+    return ExperimentResult(
+        "fig6", "DISTINCT: varying workers (a) and data scale (b)", rows,
+        notes="paper: Cheetah wins at every setting and the gap widens "
+              "with data scale",
+    )
+
+
+def fig8_breakdown(scale: float = 5e-4, seed: int = 1) -> ExperimentResult:
+    """Figure 8: completion-time breakdown at 10G vs 20G NIC limits."""
+    tables, ratio = _bigdata_setup(scale, seed)
+    rows = []
+    for label, key in (("Distinct", "q2"), ("Group-By", "q5")):
+        query = BENCHMARK_QUERIES[key]()
+        target = round(total_input_entries(query, tables) * ratio)
+        spark = SparkBaseline().run(query, tables,
+                                    extrapolate_to_rows=target)
+        rows.append({
+            "query": label, "system": "spark",
+            "computation_s": spark.breakdown.computation,
+            "network_s": spark.breakdown.network,
+            "other_s": spark.breakdown.other,
+            "total_s": spark.breakdown.total,
+        })
+        for gbps in (10, 20):
+            runtime = CheetahRuntime(network_bps=gbps * 1e9)
+            cheetah = runtime.run(query, tables, extrapolate_to_rows=target)
+            rows.append({
+                "query": label, "system": f"cheetah_{gbps}G",
+                "computation_s": cheetah.breakdown.computation,
+                "network_s": cheetah.breakdown.network,
+                "other_s": cheetah.breakdown.other,
+                "total_s": cheetah.breakdown.total,
+            })
+    return ExperimentResult(
+        "fig8", "Delay breakdown: Spark vs Cheetah at 10G / 20G", rows,
+        notes="paper: Cheetah is network-bound (20G ~halves its network "
+              "share); Spark is compute-bound and gains nothing from 20G",
+    )
+
+
+def network_rate_sweep(scale: float = 5e-4, seed: int = 1,
+                       rates_gbps: Sequence[int] = (5, 10, 20, 40, 100),
+                       ) -> ExperimentResult:
+    """Extension of Figure 8: completion vs NIC rate.
+
+    The paper measures 10G and 20G; sweeping further shows where the
+    network stops being the bottleneck — completion flattens onto the
+    compute/setup floor (serialization + master service + job setup),
+    which is the regime where Cheetah's remaining costs live.
+    """
+    tables, ratio = _bigdata_setup(scale, seed)
+    query = BENCHMARK_QUERIES["q2"]()
+    target = round(total_input_entries(query, tables) * ratio)
+    rows = []
+    for gbps in rates_gbps:
+        runtime = CheetahRuntime(network_bps=gbps * 1e9)
+        report = runtime.run(query, tables, extrapolate_to_rows=target)
+        rows.append({
+            "nic_gbps": gbps,
+            "network_s": report.breakdown.network,
+            "computation_s": report.breakdown.computation,
+            "other_s": report.breakdown.other,
+            "total_s": report.completion_seconds,
+        })
+    return ExperimentResult(
+        "network_rate_sweep",
+        "Cheetah DISTINCT completion vs NIC rate (Fig. 8 extension)",
+        rows,
+        notes="beyond ~40G the CWorker serialization rate (5 x 10 Mpps) "
+              "binds instead of the wire, and completion flattens",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 + TPC-H Q3 + Figures 12/13: NetAccel comparison
+# ---------------------------------------------------------------------------
+
+def fig7_netaccel(seed: int = 0) -> ExperimentResult:
+    """Figure 7: result-drain overhead vs result size (TPC-H Q3 order-key
+    join, result size varied via the filter ranges)."""
+    model = NetAccelModel()
+    cost = CostModel()
+    input_entries = SF1_ORDERS  # the order-key join's input
+    rows = []
+    for pct in (1, 5, 10, 20, 30, 40):
+        result_entries = round(input_entries * pct / 100)
+        rows.append({
+            "result_pct": pct,
+            "netaccel_drain_s": model.drain_seconds(result_entries),
+            "cheetah_overhead_s": result_entries
+            / cost.spark_master_merge_rate,
+        })
+    return ExperimentResult(
+        "fig7", "NetAccel result-drain overhead vs Cheetah streaming", rows,
+        notes="paper: the drain grows linearly with result size and is a "
+              "lower bound; Cheetah streams results and stays near-flat",
+    )
+
+
+def tpch_q3_completion(scale: float = 2e-2, seed: int = 1) -> ExperimentResult:
+    """TPC-H Q3 (Figure 5's fourth group): Cheetah offloads the joins.
+
+    The paper reports the join part takes 67% of Q3's time and is what
+    Cheetah offloads; the remaining 33% (filters + group-by + top-N) is
+    unchanged.  One worker, one master (§8.2).
+    """
+    generator = _TPCH(scale=scale, seed=seed)
+    tables = generator.tables()
+    filtered = q3_filtered_inputs(tables)
+    runtime = CheetahRuntime(workers=1)
+    spark = SparkBaseline(workers=1)
+
+    join_ol = JoinQuery(left_table="lineitem", right_table="orders",
+                        left_key="l_orderkey", right_key="o_orderkey")
+    sample = len(filtered["lineitem"]) + len(filtered["orders"])
+    # Q3's filters keep ~54% of lineitem and ~48% of orders.
+    full = round(SF1_LINEITEMS * 0.54 + SF1_ORDERS * 0.48)
+    cheetah_join = runtime.run(join_ol, filtered, extrapolate_to_rows=full)
+    spark_join_1st = spark.run(join_ol, filtered, first_run=True,
+                               extrapolate_to_rows=full)
+    spark_join = spark.run(join_ol, filtered, extrapolate_to_rows=full)
+
+    def q3_total(join_seconds: float) -> float:
+        # join = 67% of Spark's Q3 time; the other 33% runs unchanged.
+        rest = spark_join.completion_seconds * 0.33 / 0.67
+        return join_seconds + rest
+
+    rows = [{
+        "query": "TPC-H Q3",
+        "spark_1st_s": q3_total(spark_join_1st.completion_seconds),
+        "spark_s": q3_total(spark_join.completion_seconds),
+        "cheetah_s": q3_total(cheetah_join.completion_seconds),
+        "vs_1st_pct": 100 * (1 - q3_total(cheetah_join.completion_seconds)
+                             / q3_total(spark_join_1st.completion_seconds)),
+        "vs_sub_pct": 100 * (1 - q3_total(cheetah_join.completion_seconds)
+                             / q3_total(spark_join.completion_seconds)),
+        "unpruned": cheetah_join.unpruned_fraction,
+    }]
+    return ExperimentResult("tpch_q3", "TPC-H Q3 completion", rows)
+
+
+def fig12_13_switchcpu(entry_counts: Sequence[int] = (
+        1_000_000, 5_000_000, 10_000_000, 20_000_000)) -> ExperimentResult:
+    """Figures 12/13: processing overflow work on the switch CPU vs the
+    master server (GROUP BY and DISTINCT)."""
+    model = NetAccelModel()
+    rows = []
+    for op in ("groupby", "distinct"):
+        for entries in entry_counts:
+            rows.append({
+                "op": op,
+                "entries": entries,
+                "server_s": model.server_seconds(op, entries),
+                "switch_cpu_s": model.switch_cpu_seconds(op, entries),
+                "slowdown": model.cpu_slowdown(op),
+            })
+    return ExperimentResult(
+        "fig12_13", "Server vs switch-CPU processing time", rows,
+        notes="paper: the switch CPU is ~10x slower, so NetAccel-style "
+              "overflow to the switch CPU does not scale",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: master blocking latency vs unpruned fraction
+# ---------------------------------------------------------------------------
+
+def fig9_master_latency(total_entries: int = SAMPLE_USERVISITS_ROWS,
+                        network_bps: float = 10e9) -> ExperimentResult:
+    """Figure 9: time for the master to finish once streaming ends."""
+    cost = CostModel()
+    stream = cost.cheetah_stream_seconds(total_entries, workers=5,
+                                         network_bps=network_bps)
+    rows = []
+    for unpruned_pct in (5, 10, 20, 30, 40, 50):
+        forwarded = round(total_entries * unpruned_pct / 100)
+        row = {"unpruned_pct": unpruned_pct}
+        for label, op in (("topn_s", "topn"), ("distinct_s", "distinct"),
+                          ("max_groupby_s", "groupby")):
+            row[label] = cost.master_blocking_seconds(
+                op, total_entries, forwarded, stream)
+        rows.append(row)
+    return ExperimentResult(
+        "fig9", "Master blocking latency vs unpruned fraction", rows,
+        notes="paper: super-linear growth once the master cannot absorb "
+              "the stream in flight; TOP-N (heap) is cheapest, "
+              "max-GROUP-BY the most expensive",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: pruning rate vs resources
+# ---------------------------------------------------------------------------
+
+def fig10a_distinct(stream_length: int = 120_000, distinct: int = 3_000,
+                    seed: int = 0) -> ExperimentResult:
+    """Fig 10a: DISTINCT unpruned fraction vs d (w=2), LRU vs FIFO.
+
+    Keys are Zipf-skewed, as real DISTINCT columns (userAgent) are; the
+    paper's headline setting d=4096 (8192 cached values > 3000 distinct
+    keys) prunes essentially all duplicates.
+    """
+    from repro.workloads.streams import zipf_keys
+
+    stream = zipf_keys(stream_length, distinct, skew=1.1, seed=seed)
+    opt_frac = opt.opt_unpruned_distinct(stream)
+    rows = []
+    for d in (64, 256, 1024, 4096, 16384):
+        row = {"d": d, "opt": opt_frac}
+        for policy in (EvictionPolicy.LRU, EvictionPolicy.FIFO):
+            pruner = DistinctPruner(rows=d, width=2, policy=policy,
+                                    seed=seed)
+            for value in stream:
+                pruner.offer(value)
+            row[policy.value] = pruner.stats.unpruned_fraction
+        rows.append(row)
+    return ExperimentResult(
+        "fig10a", "DISTINCT pruning vs d (w=2)", rows,
+        notes="paper: d=4096 prunes nearly all duplicates; FIFO slightly "
+              "worse than LRU; both near OPT at large d",
+    )
+
+
+def fig10b_skyline(stream_length: int = 60_000, seed: int = 0) -> ExperimentResult:
+    """Fig 10b: SKYLINE unpruned fraction vs stored points w.
+
+    Dimension ranges are deliberately imbalanced (0-255 vs 0-65535, the
+    §4.4 example) — a SUM score is dominated by the wide dimension,
+    which is exactly what the APH projection corrects.
+    """
+    points = random_points(stream_length, dimensions=2, seed=seed,
+                           value_ranges=[1 << 8, 1 << 16])
+    opt_frac = opt.opt_unpruned_skyline(points)
+    rows = []
+    for w in (2, 5, 7, 10, 15, 20):
+        row = {"w": w, "opt": opt_frac}
+        for label, projection in (("aph", Projection.APH),
+                                  ("sum", Projection.SUM),
+                                  ("baseline", Projection.FIRST_COORD)):
+            pruner = SkylinePruner(dimensions=2, width=w,
+                                   projection=projection)
+            for point in points:
+                pruner.offer(point)
+            row[label] = pruner.stats.unpruned_fraction
+        rows.append(row)
+    return ExperimentResult(
+        "fig10b", "SKYLINE pruning vs w (APH / SUM / baseline)", rows,
+        notes="paper: APH >= SUM >> baseline; APH prunes all non-skyline "
+              "points by w=20; both heuristics >99% by w<=7",
+    )
+
+
+def fig10c_topn(stream_length: int = 200_000, n: int = 250,
+                d: int = 4096, seed: int = 0) -> ExperimentResult:
+    """Fig 10c: TOP-N unpruned fraction vs matrix width w (d=4096).
+
+    Also reports correctness: the deterministic variant never loses a
+    top-N value; the randomized variant is only safe once w reaches the
+    Theorem 2 width for (d, N, delta) — below it, pruning is higher but
+    the output can lose entries.
+    """
+    from repro.core.config import topn_width
+
+    stream = value_stream(stream_length, seed=seed)
+    opt_frac = opt.opt_unpruned_topn(stream, n)
+    true_topn = sorted(stream, reverse=True)[:n]
+    threshold_value = true_topn[-1]
+    safe_width = topn_width(d, n, 1e-4)
+    rows = []
+    for w in (2, 4, 6, 8, 10, 12):
+        det = TopNDeterministic(n=n, thresholds=w)
+        rand = TopNRandomized(n=n, rows=d, width=w, seed=seed)
+        det_kept, rand_kept = [], []
+        for value in stream:
+            if not det.offer(value):
+                det_kept.append(value)
+            if not rand.offer(value):
+                rand_kept.append(value)
+        rows.append({
+            "w": w,
+            "opt": opt_frac,
+            "det": det.stats.unpruned_fraction,
+            "rand": rand.stats.unpruned_fraction,
+            "det_correct": sorted(det_kept, reverse=True)[:n] == true_topn,
+            "rand_correct": sorted(rand_kept, reverse=True)[:n] == true_topn,
+            "theorem2_w": safe_width,
+        })
+    return ExperimentResult(
+        "fig10c", "TOP-N pruning vs w (Det vs Rand, d=4096)", rows,
+        notes="paper: randomized approaches OPT within a small factor at "
+              "full scale (the forwarded count is w*d*ln(me/wd), so the "
+              "unpruned fraction shrinks with stream length — fig11c); "
+              "deterministic is far behind; w >= Theorem-2 width keeps "
+              "the 1-delta success guarantee",
+    )
+
+
+def fig10d_groupby(stream_length: int = 120_000, groups: int = 3_000,
+                   seed: int = 0) -> ExperimentResult:
+    """Fig 10d: GROUP BY (max) unpruned fraction vs matrix width w."""
+    stream = keyed_value_stream(stream_length, groups, seed=seed)
+    opt_frac = opt.opt_unpruned_groupby_max(stream)
+    rows = []
+    for w in (1, 2, 3, 5, 7, 9):
+        pruner = GroupByPruner(rows=4096, width=w, seed=seed)
+        for entry in stream:
+            pruner.offer(entry)
+        rows.append({
+            "w": w,
+            "opt": opt_frac,
+            "groupby": pruner.stats.unpruned_fraction,
+        })
+    return ExperimentResult(
+        "fig10d", "GROUP BY pruning vs w", rows,
+        notes="paper: 99% pruning with w=3, all unnecessary entries "
+              "discarded by w=9",
+    )
+
+
+def fig10e_join(left: int = 60_000, right: int = 60_000,
+                overlap: float = 0.25, seed: int = 0) -> ExperimentResult:
+    """Fig 10e: JOIN unpruned fraction vs Bloom filter size (BF vs RBF)."""
+    left_keys, right_keys = join_key_streams(left, right, overlap,
+                                             key_space=1 << 22, seed=seed)
+    opt_frac = opt.opt_unpruned_join(left_keys, right_keys)
+    rows = []
+    for size_kb in (64, 256, 1024, 4096, 16384):
+        row = {"bf_kb": size_kb, "opt": opt_frac}
+        for label, kind in (("bf", FilterKind.BLOOM),
+                            ("rbf", FilterKind.REGISTER_BLOOM)):
+            pruner = JoinPruner(size_bits=size_kb * 1024 * 8, hashes=3,
+                                kind=kind, seed=seed)
+            for key in left_keys:
+                pruner.offer((JoinSide.A, key))
+            for key in right_keys:
+                pruner.offer((JoinSide.B, key))
+            pruner.start_second_pass()
+            forwarded = 0
+            for key in left_keys:
+                if not pruner.offer((JoinSide.A, key)):
+                    forwarded += 1
+            for key in right_keys:
+                if not pruner.offer((JoinSide.B, key)):
+                    forwarded += 1
+            row[label] = forwarded / (left + right)
+        rows.append(row)
+    return ExperimentResult(
+        "fig10e", "JOIN pruning vs Bloom filter size", rows,
+        notes="paper: >=1MB needed for a good pruning rate; BF and RBF "
+              "are close and both near OPT at 16MB",
+    )
+
+
+def fig10f_having(stream_length: int = 120_000, groups: int = 5_000,
+                  seed: int = 0) -> ExperimentResult:
+    """Fig 10f: HAVING unpruned fraction vs counters per row (3 CM rows)."""
+    stream = keyed_value_stream(stream_length, groups, seed=seed)
+    total_mass = sum(v for _, v in stream)
+    threshold = total_mass * 0.002
+    opt_frac = opt.opt_unpruned_having(stream, threshold)
+    rows = []
+    for width in (32, 64, 128, 256, 512, 1024):
+        pruner = HavingPruner(threshold=threshold, width=width, depth=3,
+                              seed=seed)
+        for entry in stream:
+            pruner.offer(entry)
+        rows.append({
+            "counters_per_row": width,
+            "opt": opt_frac,
+            "having": pruner.stats.unpruned_fraction,
+        })
+    return ExperimentResult(
+        "fig10f", "HAVING pruning vs Count-Min width (3 rows)", rows,
+        notes="paper: near-perfect pruning at 512-1024 counters per row",
+    )
+
+
+def fig10_all(seed: int = 0) -> List[ExperimentResult]:
+    """All six Figure 10 panels."""
+    return [
+        fig10a_distinct(seed=seed),
+        fig10b_skyline(seed=seed),
+        fig10c_topn(seed=seed),
+        fig10d_groupby(seed=seed),
+        fig10e_join(seed=seed),
+        fig10f_having(seed=seed),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: pruning rate vs data scale
+# ---------------------------------------------------------------------------
+
+def _checkpoints(total: int, count: int = 6) -> List[int]:
+    return [round(total * (i + 1) / count) for i in range(count)]
+
+
+def fig11_scale(stream_length: int = 150_000,
+                seed: int = 0) -> List[ExperimentResult]:
+    """Figure 11: unpruned fraction at growing stream prefixes.
+
+    DISTINCT / SKYLINE / TOP-N / GROUP BY improve with scale; JOIN and
+    HAVING degrade (more Bloom/CM collisions as data accumulates).
+    """
+    checkpoints = _checkpoints(stream_length)
+    results = []
+
+    # (a) DISTINCT at several d.
+    stream = random_order_stream(stream_length, stream_length // 10, seed)
+    rows = []
+    for d in (64, 1024, 4096):
+        pruner = DistinctPruner(rows=d, width=2, seed=seed)
+        series = _series(pruner.offer, stream, checkpoints)
+        for checkpoint, frac in zip(checkpoints, series):
+            rows.append({"series": f"d={d}", "entries": checkpoint,
+                         "unpruned": frac})
+    for checkpoint, frac in zip(
+            checkpoints, opt.opt_unpruned_series("distinct", stream,
+                                                 checkpoints)):
+        rows.append({"series": "opt", "entries": checkpoint,
+                     "unpruned": frac})
+    results.append(ExperimentResult(
+        "fig11a", "DISTINCT pruning vs data scale (w=2)", rows,
+        notes="improves with scale: first occurrences amortise",
+    ))
+
+    # (b) SKYLINE (APH) at several w.
+    points = random_points(stream_length // 3, dimensions=2, seed=seed)
+    ckpt_sky = _checkpoints(len(points))
+    rows = []
+    for w in (2, 8, 16):
+        pruner = SkylinePruner(dimensions=2, width=w,
+                               projection=Projection.APH)
+        series = _series(pruner.offer, points, ckpt_sky)
+        for checkpoint, frac in zip(ckpt_sky, series):
+            rows.append({"series": f"w={w}", "entries": checkpoint,
+                         "unpruned": frac})
+    for checkpoint, frac in zip(
+            ckpt_sky, opt.opt_unpruned_series("skyline", points, ckpt_sky)):
+        rows.append({"series": "opt", "entries": checkpoint,
+                     "unpruned": frac})
+    results.append(ExperimentResult(
+        "fig11b", "SKYLINE (APH) pruning vs data scale", rows,
+        notes="improves with scale: the skyline is a shrinking fraction",
+    ))
+
+    # (c) TOP-N randomized at several w.
+    values = value_stream(stream_length, seed=seed)
+    rows = []
+    for w in (4, 8, 12):
+        pruner = TopNRandomized(n=250, rows=4096, width=w, seed=seed)
+        series = _series(pruner.offer, values, checkpoints)
+        for checkpoint, frac in zip(checkpoints, series):
+            rows.append({"series": f"w={w}", "entries": checkpoint,
+                         "unpruned": frac})
+    for checkpoint, frac in zip(
+            checkpoints, [opt.opt_unpruned_topn(values[:c], 250)
+                          for c in checkpoints]):
+        rows.append({"series": "opt", "entries": checkpoint,
+                     "unpruned": frac})
+    results.append(ExperimentResult(
+        "fig11c", "TOP-N pruning vs data scale", rows,
+        notes="improves with scale (logarithmic forwarded count)",
+    ))
+
+    # (d) GROUP BY at several w.
+    keyed = keyed_value_stream(stream_length, stream_length // 40,
+                               seed=seed)
+    rows = []
+    for w in (2, 6, 10):
+        pruner = GroupByPruner(rows=4096, width=w, seed=seed)
+        series = _series(pruner.offer, keyed, checkpoints)
+        for checkpoint, frac in zip(checkpoints, series):
+            rows.append({"series": f"w={w}", "entries": checkpoint,
+                         "unpruned": frac})
+    for checkpoint, frac in zip(
+            checkpoints, opt.opt_unpruned_series("groupby", keyed,
+                                                 checkpoints)):
+        rows.append({"series": "opt", "entries": checkpoint,
+                     "unpruned": frac})
+    results.append(ExperimentResult(
+        "fig11d", "GROUP BY pruning vs data scale", rows,
+        notes="improves with scale: output keys get cached",
+    ))
+
+    # (e) JOIN at several filter sizes (degrades with scale).
+    half = stream_length // 2
+    left_keys, right_keys = join_key_streams(half, half, overlap=0.25,
+                                             key_space=1 << 22, seed=seed)
+    rows = []
+    for size_kb in (64, 256, 1024):
+        pruner = JoinPruner(size_bits=size_kb * 1024 * 8, hashes=3,
+                            seed=seed)
+        ckpt_join = _checkpoints(half)
+        for checkpoint in ckpt_join:
+            pruner.reset()
+            lk, rk = left_keys[:checkpoint], right_keys[:checkpoint]
+            for key in lk:
+                pruner.offer((JoinSide.A, key))
+            for key in rk:
+                pruner.offer((JoinSide.B, key))
+            pruner.start_second_pass()
+            forwarded = sum(
+                0 if pruner.offer((JoinSide.A, key)) else 1 for key in lk
+            ) + sum(
+                0 if pruner.offer((JoinSide.B, key)) else 1 for key in rk
+            )
+            rows.append({"series": f"{size_kb}KB",
+                         "entries": 2 * checkpoint,
+                         "unpruned": forwarded / (2 * checkpoint)})
+    for checkpoint in _checkpoints(half):
+        rows.append({
+            "series": "opt", "entries": 2 * checkpoint,
+            "unpruned": opt.opt_unpruned_join(left_keys[:checkpoint],
+                                              right_keys[:checkpoint]),
+        })
+    results.append(ExperimentResult(
+        "fig11e", "JOIN pruning vs data scale", rows,
+        notes="degrades with scale: Bloom filters fill up",
+    ))
+
+    # (f) HAVING at several widths (degrades with scale).
+    rows = []
+    total_mass = sum(v for _, v in keyed)
+    threshold = total_mass * 0.002
+    for width in (32, 128, 512):
+        pruner = HavingPruner(threshold=threshold, width=width, depth=3,
+                              seed=seed)
+        series = _series(pruner.offer, keyed, checkpoints)
+        for checkpoint, frac in zip(checkpoints, series):
+            rows.append({"series": f"w={width}", "entries": checkpoint,
+                         "unpruned": frac})
+    for checkpoint in checkpoints:
+        rows.append({
+            "series": "opt", "entries": checkpoint,
+            "unpruned": opt.opt_unpruned_having(keyed[:checkpoint],
+                                                threshold),
+        })
+    results.append(ExperimentResult(
+        "fig11f", "HAVING pruning vs data scale", rows,
+        notes="degrades with scale: Count-Min over-estimates accumulate "
+              "(one-sided, so correctness is never affected)",
+    ))
+    return results
+
+
+def _series(offer, stream, checkpoints) -> List[float]:
+    """Unpruned fraction at each checkpoint while feeding ``stream``."""
+    fractions = []
+    forwarded = 0
+    next_idx = 0
+    for i, entry in enumerate(stream, start=1):
+        if not offer(entry):
+            forwarded += 1
+        if next_idx < len(checkpoints) and i == checkpoints[next_idx]:
+            fractions.append(forwarded / i)
+            next_idx += 1
+    return fractions

@@ -1,0 +1,107 @@
+"""Experiment result container and text-table rendering."""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Rows of one regenerated table/figure."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict]
+    notes: str = ""
+
+    def render(self) -> str:
+        """The experiment as an aligned text table."""
+        header = f"== {self.experiment_id}: {self.title} =="
+        body = format_table(self.rows)
+        parts = [header, body]
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)
+
+
+def format_table(rows: Sequence[Dict], float_digits: int = 4) -> str:
+    """Align a list of dicts as a text table (column order = first row)."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            if value != 0 and abs(value) < 10 ** -float_digits:
+                return f"{value:.2e}"
+            return f"{value:.{float_digits}f}"
+        return str(value)
+
+    rendered = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(col.ljust(w) for col, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class ConfidenceInterval:
+    """Mean with a two-tailed Student-t 95% interval (the paper's §8.3
+    methodology: five runs of each randomized algorithm)."""
+
+    mean: float
+    half_width: float
+    runs: int
+
+    @property
+    def low(self) -> float:
+        """Lower interval bound."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper interval bound."""
+        return self.mean + self.half_width
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def repeat_with_ci(metric_fn, seeds: Sequence[int] = (0, 1, 2, 3, 4),
+                   confidence: float = 0.95) -> ConfidenceInterval:
+    """Run ``metric_fn(seed)`` per seed; return mean ± t-interval.
+
+    Matches §8.3: "We ran each randomized algorithm five times and used
+    two-tailed Student t-test to determine the 95% confidence intervals."
+    """
+    from scipy import stats
+
+    values = [float(metric_fn(seed)) for seed in seeds]
+    n = len(values)
+    if n < 2:
+        raise ValueError("need at least two runs for an interval")
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    t_crit = float(stats.t.ppf((1 + confidence) / 2, df=n - 1))
+    half_width = t_crit * (variance / n) ** 0.5
+    return ConfidenceInterval(mean=mean, half_width=half_width, runs=n)
+
+
+def save_result(result: ExperimentResult,
+                directory: Optional[str] = None) -> str:
+    """Write the rendered experiment under ``results/`` and return the path."""
+    directory = directory or os.environ.get("REPRO_RESULTS_DIR", "results")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{result.experiment_id}.txt")
+    with open(path, "w") as f:
+        f.write(result.render() + "\n")
+    return path

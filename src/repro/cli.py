@@ -1,0 +1,167 @@
+"""Command-line entry point: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig10a fig10b
+    python -m repro run all --results-dir results
+    python -m repro sql "SELECT DISTINCT seller FROM Products" --demo-tables
+
+``run`` executes the named experiments and writes their text tables both
+to stdout and under ``--results-dir`` (default ``results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.bench import experiments as ex
+from repro.bench.runner import ExperimentResult, save_result
+
+#: Experiment registry: id -> zero-argument callable.
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "table2": ex.table2_resources,
+    "table3": ex.table3_hardware,
+    "table4": ex.table4_summary,
+    "fig5": ex.fig5_completion,
+    "fig6": ex.fig6_scaling,
+    "fig7": ex.fig7_netaccel,
+    "fig8": ex.fig8_breakdown,
+    "fig9": ex.fig9_master_latency,
+    "fig10a": ex.fig10a_distinct,
+    "fig10b": ex.fig10b_skyline,
+    "fig10c": ex.fig10c_topn,
+    "fig10d": ex.fig10d_groupby,
+    "fig10e": ex.fig10e_join,
+    "fig10f": ex.fig10f_having,
+    "fig11": ex.fig11_scale,
+    "fig12_13": ex.fig12_13_switchcpu,
+    "tpch_q3": ex.tpch_q3_completion,
+    "network_sweep": ex.network_rate_sweep,
+}
+
+
+def _run(names: List[str], results_dir: str) -> int:
+    if "all" in names:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(EXPERIMENTS))}",
+              file=sys.stderr)
+        return 2
+    for name in names:
+        outcome = EXPERIMENTS[name]()
+        results = outcome if isinstance(outcome, list) else [outcome]
+        for result in results:
+            print(result.render())
+            print()
+            path = save_result(result, results_dir)
+            print(f"  -> saved {path}\n")
+    return 0
+
+
+def _sql_demo(statement: str) -> int:
+    from repro.db import QueryPlanner, Table, execute, parse_sql
+
+    products = Table.from_rows("Products", [
+        {"name": "Burger", "seller": "McCheetah", "price": 4},
+        {"name": "Pizza", "seller": "Papizza", "price": 7},
+        {"name": "Fries", "seller": "McCheetah", "price": 2},
+        {"name": "Jello", "seller": "JellyFish", "price": 5},
+    ])
+    ratings = Table.from_rows("Ratings", [
+        {"name": "Pizza", "taste": 7, "texture": 5},
+        {"name": "Cheetos", "taste": 8, "texture": 6},
+        {"name": "Jello", "taste": 9, "texture": 4},
+        {"name": "Burger", "taste": 5, "texture": 7},
+        {"name": "Fries", "taste": 3, "texture": 3},
+    ])
+    tables = {"Products": products, "Ratings": ratings}
+    query = parse_sql(statement)
+    source = (tables if query.query_type == "join"
+              else tables["Ratings" if "Ratings" in statement
+                          else "Products"])
+    run = QueryPlanner().plan(query).run(source)
+    ground = execute(query, source)
+    print(f"query type : {query.query_type}")
+    print(f"forwarded  : {run.traffic.forwarded_entries}"
+          f"/{run.traffic.first_pass_entries}")
+    print(f"result     : {run.result.output}")
+    print(f"matches direct execution: {run.result == ground}")
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI dispatch."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cheetah reproduction: regenerate the paper's "
+                    "tables and figures, or run a demo query.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser.add_argument("names", nargs="+",
+                            help="experiment ids, or 'all'")
+    run_parser.add_argument("--results-dir", default="results")
+
+    sql_parser = sub.add_parser("sql", help="run a demo SQL query "
+                                "through the Cheetah flow")
+    sql_parser.add_argument("statement")
+    sql_parser.add_argument("--demo-tables", action="store_true",
+                            help="use the paper's Table 1 data")
+
+    p4_parser = sub.add_parser("p4", help="emit P4-style source for a "
+                               "query type at its Table 2 defaults")
+    p4_parser.add_argument("query_type",
+                           choices=["distinct", "topn_det", "topn_rand",
+                                    "groupby", "join", "having",
+                                    "skyline", "filter"])
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:10s} {doc}")
+        return 0
+    if args.command == "run":
+        return _run(args.names, args.results_dir)
+    if args.command == "sql":
+        return _sql_demo(args.statement)
+    if args.command == "p4":
+        return _p4_demo(args.query_type)
+    return 2  # pragma: no cover
+
+
+def _p4_demo(query_type: str) -> int:
+    from repro.core.distinct import DistinctPruner
+    from repro.core.expr import Col
+    from repro.core.filtering import FilterPruner
+    from repro.core.groupby import GroupByPruner
+    from repro.core.having import HavingPruner
+    from repro.core.join import JoinPruner
+    from repro.core.skyline import SkylinePruner
+    from repro.core.topn import TopNDeterministic, TopNRandomized
+    from repro.switch.p4gen import generate_p4
+
+    defaults = {
+        "distinct": lambda: DistinctPruner(rows=4096, width=2),
+        "topn_det": lambda: TopNDeterministic(n=250, thresholds=4),
+        "topn_rand": lambda: TopNRandomized(n=250, rows=4096, width=4),
+        "groupby": lambda: GroupByPruner(rows=4096, width=8),
+        "join": lambda: JoinPruner(),
+        "having": lambda: HavingPruner(threshold=1e6, width=1024, depth=3),
+        "skyline": lambda: SkylinePruner(dimensions=2, width=10),
+        "filter": lambda: FilterPruner(Col("c") > 0),
+    }
+    print(generate_p4(defaults[query_type]()))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

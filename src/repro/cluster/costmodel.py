@@ -1,0 +1,170 @@
+"""Calibrated cost model for completion-time experiments (Figs 5-9).
+
+Calibration sources, all from the paper:
+
+* CWorkers generate ~10-12 Mpps (§7.1) — ``worker_serialize_rate``;
+* one 64-byte frame per entry, so a 10G link carries ~19.5 Mpps but the
+  5-worker aggregate shares a restricted 10/20G budget (§8.2.3) —
+  ``bits_per_entry`` and the runtime's ``network_bps``;
+* Figure 9's master blocking latencies at given unpruned fractions pin
+  the master per-op service rates (``master_rate``);
+* Figure 5/6 Spark completion times at the benchmark scales pin the
+  Spark per-op worker task rates and the first-run penalty
+  (``spark_rate`` / ``spark_first_run_factor``);
+* Figure 8's breakdown shows Spark is compute-bound (no gain from 20G)
+  while Cheetah is network-bound at 10G.
+
+Table 3's hardware comparison is reproduced as :data:`HARDWARE_PROFILES`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingBreakdown:
+    """Figure 8's three bars."""
+
+    computation: float
+    network: float
+    other: float
+
+    @property
+    def total(self) -> float:
+        """Completion time in seconds."""
+        return self.computation + self.network + self.other
+
+    def scaled(self, factor: float) -> "TimingBreakdown":
+        """Uniformly scale all components (used for unit changes)."""
+        return TimingBreakdown(self.computation * factor,
+                               self.network * factor, self.other * factor)
+
+
+#: Table 3 — throughput / latency of hardware choices.  Throughput in
+#: bps (upper end of the paper's ranges), latency in seconds.
+HARDWARE_PROFILES: Dict[str, Dict[str, float]] = {
+    "server": {"throughput_bps": 100e9, "latency_s": 100e-6},
+    "gpu": {"throughput_bps": 120e9, "latency_s": 25e-6},
+    "fpga": {"throughput_bps": 100e9, "latency_s": 10e-6},
+    "smartnic": {"throughput_bps": 100e9, "latency_s": 10e-6},
+    "tofino2": {"throughput_bps": 12.8e12, "latency_s": 1e-6},
+}
+
+
+@dataclasses.dataclass
+class CostModel:
+    """All rates the timing experiments need.
+
+    Rates are entries/second unless stated otherwise.
+    """
+
+    # -- Cheetah path ----------------------------------------------------------
+    #: DPDK CWorker packet generation (per worker).
+    worker_serialize_rate: float = 10e6
+    #: Wire cost per entry: a minimum 64-byte Ethernet frame costs 84
+    #: bytes of line time (preamble + inter-frame gap included).
+    bits_per_entry: int = 84 * 8
+    #: Master (C, DPDK) per-op service rates — calibrated to Fig. 9.
+    master_rate: Dict[str, float] = dataclasses.field(default_factory=lambda: {
+        "filter": 12e6,
+        "distinct": 2e6,
+        "groupby": 1e6,
+        "topn": 5e6,
+        "skyline": 0.3e6,
+        "join": 1.5e6,
+        "having": 2e6,
+    })
+    #: Fixed Cheetah job overhead (control messages, rule install ACK).
+    cheetah_setup_seconds: float = 0.5
+
+    # -- Spark path --------------------------------------------------------------
+    #: Spark worker task rates (scan + task, per worker, subsequent runs).
+    #: Filtering is vectorized and nearly free (why BigData A shows no
+    #: Cheetah win); aggregations are the expensive tasks Cheetah removes.
+    spark_rate: Dict[str, float] = dataclasses.field(default_factory=lambda: {
+        "filter": 40e6,
+        "distinct": 2.0e6,
+        "groupby": 0.5e6,
+        "topn": 2.0e6,
+        "skyline": 1.0e6,
+        "join": 0.6e6,
+        "having": 0.5e6,
+    })
+    #: First-run slowdown (no cache/index, JIT warm-up) on the task rate.
+    spark_first_run_factor: float = 0.55
+    #: Extra fixed overhead of the first run (planning, compile).
+    spark_first_run_overhead: float = 4.0
+    #: Fixed Spark job overhead (scheduling) for subsequent runs.
+    spark_setup_seconds: float = 1.2
+    #: Master-side merge rate for workers' partial results (batched,
+    #: compressed rows — much cheaper than per-packet entry parsing).
+    spark_master_merge_rate: float = 10e6
+    #: Spark's wire cost per transferred result entry: compressed and
+    #: packed many-per-packet (§7.1), far below one frame per entry.
+    spark_bits_per_entry: int = 10 * 8
+    #: Spark network budget (it is compute-bound; this rarely binds).
+    spark_network_bps: float = 10e9
+
+    # -- shared --------------------------------------------------------------------
+    #: Per-packet switch forwarding latency (Table 3, Tofino).
+    switch_latency_seconds: float = 1e-6
+
+    def master_service_rate(self, op: str) -> float:
+        """Master per-entry service rate for ``op``."""
+        try:
+            return self.master_rate[op]
+        except KeyError:
+            raise KeyError(f"no master rate calibrated for op {op!r}") from None
+
+    def spark_task_rate(self, op: str, first_run: bool = False) -> float:
+        """Spark worker task rate for ``op``."""
+        try:
+            rate = self.spark_rate[op]
+        except KeyError:
+            raise KeyError(f"no Spark rate calibrated for op {op!r}") from None
+        return rate * self.spark_first_run_factor if first_run else rate
+
+    # -- composite formulas -----------------------------------------------------
+    def cheetah_stream_seconds(self, entries: int, workers: int,
+                               network_bps: float) -> float:
+        """Time to move ``entries`` from workers through the switch.
+
+        Serialization proceeds per worker in parallel; the shared network
+        budget caps the aggregate — the binding constraint at 10G
+        (§8.2.3).
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        serialize = entries / workers / self.worker_serialize_rate
+        network = entries * self.bits_per_entry / network_bps
+        return max(serialize, network)
+
+    def master_blocking_seconds(self, op: str, total_entries: int,
+                                forwarded_entries: int,
+                                stream_seconds: float) -> float:
+        """Figure 9's blocking latency: the backlog left when the stream
+        ends, drained at the master's service rate.
+
+        While the stream is live the master absorbs up to
+        ``rate * stream_seconds`` entries; anything beyond buffers up —
+        hence the super-linear growth once pruning is low.
+        """
+        rate = self.master_service_rate(op)
+        absorbed = rate * stream_seconds
+        backlog = max(0.0, forwarded_entries - absorbed)
+        return backlog / rate
+
+    def spark_completion(self, op: str, total_entries: int, workers: int,
+                         result_entries: int,
+                         first_run: bool = False) -> TimingBreakdown:
+        """Spark completion time (compute-dominated; Fig. 8 left bars)."""
+        task = total_entries / workers / self.spark_task_rate(op, first_run)
+        network = (result_entries * self.spark_bits_per_entry
+                   / self.spark_network_bps)
+        merge = result_entries / self.spark_master_merge_rate
+        overhead = (self.spark_first_run_overhead if first_run
+                    else 0.0) + self.spark_setup_seconds
+        return TimingBreakdown(computation=task + merge, network=network,
+                               other=overhead)

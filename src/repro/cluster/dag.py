@@ -1,0 +1,123 @@
+"""DAG-of-workers pruning (§9).
+
+Large deployments plan queries as a DAG of worker stages; Cheetah runs
+pruning on *every edge* where data moves between stages, each edge with
+its own flow id and its own slice of switch resources (packed with the
+§6 mechanism).  This module models such a plan: nodes transform entry
+streams, edges optionally carry a pruner, and execution walks the DAG in
+topological order while accounting per-edge traffic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.base import PruningAlgorithm
+
+#: A stage transform: list of input entry streams -> output entry stream.
+StageFn = Callable[[List[list]], list]
+
+
+@dataclasses.dataclass
+class DagNode:
+    """One worker stage."""
+
+    name: str
+    transform: StageFn
+
+
+@dataclasses.dataclass
+class DagEdge:
+    """Data movement between stages, optionally pruned in-network."""
+
+    src: str
+    dst: str
+    pruner: Optional[PruningAlgorithm] = None
+    sent: int = 0
+    delivered: int = 0
+
+    @property
+    def pruned(self) -> int:
+        """Entries removed on this edge."""
+        return self.sent - self.delivered
+
+
+class WorkerDag:
+    """A query plan as a DAG with per-edge in-network pruning."""
+
+    def __init__(self):
+        self._nodes: Dict[str, DagNode] = {}
+        self._edges: List[DagEdge] = []
+
+    def add_node(self, name: str, transform: StageFn = None) -> None:
+        """Add a stage; the default transform concatenates its inputs."""
+        if name in self._nodes:
+            raise ValueError(f"duplicate node {name!r}")
+        if transform is None:
+            def transform(inputs):
+                return [entry for stream in inputs for entry in stream]
+        self._nodes[name] = DagNode(name, transform)
+
+    def add_edge(self, src: str, dst: str,
+                 pruner: Optional[PruningAlgorithm] = None) -> DagEdge:
+        """Connect ``src -> dst``; a pruner makes the edge a Cheetah edge."""
+        for name in (src, dst):
+            if name not in self._nodes:
+                raise KeyError(f"unknown node {name!r}")
+        edge = DagEdge(src=src, dst=dst, pruner=pruner)
+        self._edges.append(edge)
+        return edge
+
+    def _topological_order(self) -> List[str]:
+        indegree = {name: 0 for name in self._nodes}
+        for edge in self._edges:
+            indegree[edge.dst] += 1
+        ready = [name for name, deg in indegree.items() if deg == 0]
+        order: List[str] = []
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            for edge in self._edges:
+                if edge.src == name:
+                    indegree[edge.dst] -= 1
+                    if indegree[edge.dst] == 0:
+                        ready.append(edge.dst)
+        if len(order) != len(self._nodes):
+            raise ValueError("the worker graph contains a cycle")
+        return order
+
+    def run(self, sources: Dict[str, list]) -> Dict[str, list]:
+        """Execute the DAG.
+
+        ``sources`` maps source-node names to their input streams.
+        Returns every node's output stream; per-edge traffic is recorded
+        on the :class:`DagEdge` objects.
+        """
+        outputs: Dict[str, list] = {}
+        for name in self._topological_order():
+            incoming = [e for e in self._edges if e.dst == name]
+            if not incoming:
+                inputs = [list(sources.get(name, []))]
+            else:
+                inputs = []
+                for edge in incoming:
+                    stream = list(outputs[edge.src])
+                    edge.sent += len(stream)
+                    if edge.pruner is not None:
+                        stream = [
+                            entry for entry in stream
+                            if not edge.pruner.offer(entry)
+                        ]
+                    edge.delivered += len(stream)
+                    inputs.append(stream)
+            outputs[name] = self._nodes[name].transform(inputs)
+        return outputs
+
+    def edges(self) -> Sequence[DagEdge]:
+        """All edges with their traffic counters."""
+        return tuple(self._edges)
+
+    def total_pruned(self) -> int:
+        """Entries removed across all Cheetah edges."""
+        return sum(edge.pruned for edge in self._edges)

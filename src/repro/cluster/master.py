@@ -1,0 +1,78 @@
+"""CMaster: collect forwarded packets and complete the query.
+
+The CMaster receives the pruned packet stream, converts packets back to
+row form, and hands the data to the unchanged query engine — "the Spark
+master works in the same way with and without Cheetah" (§3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.worker import decode_numeric
+from repro.db.executor import ExecutionResult, execute
+from repro.db.queries import Query
+from repro.db.table import Table
+from repro.net.packet import CheetahPacket
+
+
+class CMaster:
+    """The master's Cheetah module."""
+
+    def __init__(self):
+        self._by_flow: Dict[int, List[Tuple[int, ...]]] = {}
+        self._fins: set = set()
+
+    def receive(self, packet: CheetahPacket) -> None:
+        """Accept one forwarded packet."""
+        if packet.is_fin:
+            self._fins.add(packet.fid)
+            return
+        self._by_flow.setdefault(packet.fid, []).append(packet.values)
+
+    def all_fins(self, fids: Sequence[int]) -> bool:
+        """Whether every worker signalled end-of-stream."""
+        return all(fid in self._fins for fid in fids)
+
+    def received_entries(self, fid: int = None) -> List[Tuple[int, ...]]:
+        """Raw wire entries, one flow or all flows interleaved."""
+        if fid is not None:
+            return list(self._by_flow.get(fid, []))
+        merged: List[Tuple[int, ...]] = []
+        for flow in sorted(self._by_flow):
+            merged.extend(self._by_flow[flow])
+        return merged
+
+    def to_table(self, name: str, columns: Sequence[str],
+                 numeric: Sequence[bool] = None) -> Table:
+        """Rebuild a (numeric) metadata table from the received entries.
+
+        ``numeric[i]`` says whether column ``i`` was fixed-point encoded
+        (decode it) or a fingerprint (keep the raw word).
+        """
+        entries = self.received_entries()
+        if numeric is None:
+            numeric = [True] * len(columns)
+        rows = []
+        for values in entries:
+            if len(values) != len(columns):
+                raise ValueError(
+                    f"entry has {len(values)} values, expected "
+                    f"{len(columns)}"
+                )
+            row = {}
+            for col, value, is_num in zip(columns, values, numeric):
+                row[col] = decode_numeric(value) if is_num else value
+            rows.append(row)
+        if not rows:
+            raise ValueError("no entries received; cannot build a table")
+        return Table.from_rows(name, rows)
+
+    def complete(self, query: Query, table: Table) -> ExecutionResult:
+        """Run the unchanged query on the pruned data."""
+        return execute(query, table)
+
+    def reset(self) -> None:
+        """Clear per-query state."""
+        self._by_flow.clear()
+        self._fins.clear()

@@ -1,0 +1,191 @@
+"""End-to-end Cheetah runtime: functional pruning + calibrated timing.
+
+``CheetahRuntime.run`` executes the full flow — planner decomposition,
+control-plane rule install, per-entry switch pruning, master completion
+— on real data, then prices the run with the cost model:
+
+* **network**: serializing and streaming every pass's entries through
+  the shared link budget (the 10G/20G knob of Figure 8);
+* **computation**: the master's service time that the streaming window
+  could not hide (Figure 9's blocking effect) plus result merge;
+* **other**: job setup, control-plane install, switch latency.
+
+``extrapolate_to_rows`` re-prices the timing at paper scale using the
+pruning fractions measured on the (sampled) input — conservative for
+DISTINCT/TOP-N/GROUP BY, whose pruning *improves* with scale (Fig. 11).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Optional, Union
+
+from repro.cluster.costmodel import CostModel, TimingBreakdown
+from repro.cluster.spark import result_cardinality, total_input_entries
+from repro.db.executor import ExecutionResult
+from repro.db.planner import CheetahRun, QueryPlanner, TrafficStats
+from repro.db.queries import CompoundQuery, Query
+from repro.db.table import Table
+from repro.switch.controlplane import ControlPlane
+from repro.switch.resources import SwitchModel, TOFINO_MODEL
+
+TableSet = Union[Table, Mapping[str, Table]]
+
+#: Serialization overlap for compound queries (§8.2.1: A+B completes
+#: faster than A then B because column pre-processing is pipelined).
+COMPOUND_PIPELINE_FACTOR = 0.75
+
+
+@dataclasses.dataclass
+class CheetahReport:
+    """One Cheetah run: result + traffic + timing."""
+
+    result: ExecutionResult
+    traffic: TrafficStats
+    breakdown: TimingBreakdown
+
+    @property
+    def completion_seconds(self) -> float:
+        """Total completion time."""
+        return self.breakdown.total
+
+    @property
+    def unpruned_fraction(self) -> float:
+        """Fraction of the pruned pass forwarded to the master."""
+        return self.traffic.unpruned_fraction
+
+
+class CheetahRuntime:
+    """Prices a planned Cheetah execution."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None,
+                 workers: int = 5, network_bps: float = 10e9,
+                 switch: SwitchModel = TOFINO_MODEL, seed: int = 0):
+        self.cost_model = cost_model or CostModel()
+        self.workers = workers
+        self.network_bps = network_bps
+        self.switch = switch
+        self.planner = QueryPlanner(switch, seed=seed)
+
+    def run(self, query: Query, tables: TableSet,
+            extrapolate_to_rows: Optional[int] = None) -> CheetahReport:
+        """Execute ``query`` with pruning and report timing.
+
+        Extrapolation prices the run as if the input had
+        ``extrapolate_to_rows`` entries, using per-op scale laws on the
+        measured pruning (see :meth:`_extrapolate_forwarded`).  Switch
+        structures keep their real (full-scale) sizes; pass
+        ``structure_scale`` to the planner explicitly to study shrunken
+        structures (ablation benches do).
+        """
+        planner = self.planner
+        plan = planner.plan(query)
+        control_plane = ControlPlane(self.switch)
+        run = plan.run(tables, control_plane)
+        if isinstance(query, CompoundQuery):
+            return self._price_compound(query, run, tables,
+                                        extrapolate_to_rows)
+        breakdown = self._price(query.query_type, run.traffic,
+                                run.result, control_plane,
+                                extrapolate_to_rows)
+        return CheetahReport(result=run.result, traffic=run.traffic,
+                             breakdown=breakdown)
+
+    # -- pricing ---------------------------------------------------------------
+    @staticmethod
+    def _extrapolate_forwarded(op: str, traffic: TrafficStats,
+                               full_first: int) -> int:
+        """Forwarded entries at ``full_first`` input rows.
+
+        Scale behaviour differs per op (Figure 11):
+
+        * filter / join — selectivity is scale-invariant: scale the
+          measured fraction;
+        * DISTINCT / GROUP BY / HAVING — the structure converges, so the
+          extra rows forward at the *steady-state tail rate*, not the
+          warm-up-inflated average;
+        * TOP-N / SKYLINE — the forwarded count grows only
+          logarithmically (Theorem 3); scale it by the log ratio.
+        """
+        import math
+
+        sample_first = traffic.first_pass_entries
+        sample_fwd = traffic.forwarded_entries
+        if sample_first == 0 or full_first <= sample_first:
+            if sample_first == 0:
+                return 0
+            return round(sample_fwd * full_first / sample_first)
+        if op in ("topn", "skyline"):
+            growth = math.log(full_first) / math.log(max(2, sample_first))
+            return min(full_first, round(sample_fwd * growth))
+        if traffic.tail_unpruned_fraction is not None:
+            extra = full_first - sample_first
+            return min(full_first, round(
+                sample_fwd + extra * traffic.tail_unpruned_fraction))
+        return round(sample_fwd * full_first / sample_first)
+
+    def _price(self, op: str, traffic: TrafficStats,
+               result: ExecutionResult, control_plane: ControlPlane,
+               extrapolate_to_rows: Optional[int]) -> TimingBreakdown:
+        model = self.cost_model
+        scale = 1.0
+        first = traffic.first_pass_entries
+        if extrapolate_to_rows is not None and first > 0:
+            scale = extrapolate_to_rows / first
+        first = round(first * scale)
+        forwarded = self._extrapolate_forwarded(op, traffic, first)
+        second = round(traffic.second_pass_entries * scale)
+
+        stream = model.cheetah_stream_seconds(first, self.workers,
+                                              self.network_bps)
+        second_master = 0.0
+        if second:
+            if op == "join":
+                # JOIN's second pass re-streams switch-format packets
+                # (they are pruned in flight): full Cheetah wire cost;
+                # its master work is the forwarded entries, priced below.
+                stream += model.cheetah_stream_seconds(
+                    second, self.workers, self.network_bps)
+            else:
+                # HAVING / SUM-GROUP-BY partial second passes bypass the
+                # switch: batched + compressed like ordinary Spark
+                # traffic, merged at the batched rate.
+                stream += (second * model.spark_bits_per_entry
+                           / self.network_bps)
+                second_master = second / model.spark_master_merge_rate
+        blocking = model.master_blocking_seconds(op, first, forwarded,
+                                                 stream)
+        results = max(1, round(result_cardinality(result.output) * scale))
+        merge = second_master + results / model.spark_master_merge_rate
+        install = sum(
+            inst.install_seconds
+            for inst in control_plane.installed_queries()
+        )
+        other = (model.cheetah_setup_seconds + install
+                 + model.switch_latency_seconds)
+        return TimingBreakdown(computation=blocking + merge,
+                               network=stream, other=other)
+
+    def _price_compound(self, query: CompoundQuery, run: CheetahRun,
+                        tables: TableSet,
+                        extrapolate_to_rows: Optional[int]) -> CheetahReport:
+        computation = network = other = 0.0
+        for part_query, part_run in zip(query.parts, run.parts):
+            part_rows = None
+            if extrapolate_to_rows is not None:
+                share = (total_input_entries(part_query, tables)
+                         / total_input_entries(query, tables))
+                part_rows = round(extrapolate_to_rows * share)
+            part_breakdown = self._price(
+                part_query.query_type, part_run.traffic, part_run.result,
+                ControlPlane(self.switch), part_rows,
+            )
+            computation += part_breakdown.computation
+            network += part_breakdown.network
+            other = max(other, part_breakdown.other)  # one shared setup
+        network *= COMPOUND_PIPELINE_FACTOR
+        return CheetahReport(
+            result=run.result,
+            traffic=run.traffic,
+            breakdown=TimingBreakdown(computation, network, other),
+        )

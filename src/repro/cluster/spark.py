@@ -1,0 +1,123 @@
+"""Spark SQL baseline (no switch pruning).
+
+Functionally the baseline runs the reference executor on the full data;
+its completion time comes from the calibrated cost model: workers scan
+and run the task over their partitions, ship (compressed, packed)
+partial results, and the master merges.  First runs pay the paper's
+observed cache/index/JIT penalty (§8.2.1); subsequent runs are faster.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Mapping, Optional, Union
+
+from repro.cluster.costmodel import CostModel, TimingBreakdown
+from repro.db.executor import ExecutionResult, execute
+from repro.db.queries import CompoundQuery, JoinQuery, Query
+from repro.db.table import Table
+
+TableSet = Union[Table, Mapping[str, Table]]
+
+
+@dataclasses.dataclass
+class SparkReport:
+    """One Spark run: result + timing."""
+
+    result: ExecutionResult
+    breakdown: TimingBreakdown
+    first_run: bool
+
+    @property
+    def completion_seconds(self) -> float:
+        """Total completion time."""
+        return self.breakdown.total
+
+
+def result_cardinality(output) -> int:
+    """Number of result entries the master materialises/merges."""
+    if output is None:
+        return 0
+    if isinstance(output, (int, float)):
+        return 1
+    if isinstance(output, Counter):
+        return sum(output.values())
+    if isinstance(output, (frozenset, set, dict, list, tuple)):
+        return len(output)
+    return 1
+
+
+def total_input_entries(query: Query, tables: TableSet) -> int:
+    """Entries the workers scan for ``query``."""
+    if isinstance(query, JoinQuery):
+        return len(tables[query.left_table]) + len(tables[query.right_table])
+    if isinstance(tables, Table):
+        return len(tables)
+    if isinstance(query, CompoundQuery):
+        return sum(total_input_entries(part, tables) for part in query.parts)
+    name = getattr(query, "table", None)
+    if name is not None:
+        return len(tables[name])
+    if len(tables) == 1:
+        return len(next(iter(tables.values())))
+    raise ValueError("ambiguous table set for a single-table query")
+
+
+class SparkBaseline:
+    """The no-pruning comparison system."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None,
+                 workers: int = 5):
+        self.cost_model = cost_model or CostModel()
+        self.workers = workers
+
+    def run(self, query: Query, tables: TableSet, first_run: bool = False,
+            extrapolate_to_rows: Optional[int] = None) -> SparkReport:
+        """Execute and time ``query``.
+
+        ``extrapolate_to_rows`` reports the timing as if the input had
+        that many rows (functional execution still uses the given data —
+        the benches run sampled tables and extrapolate to paper scale).
+        """
+        if isinstance(query, CompoundQuery):
+            return self._run_compound(query, tables, first_run,
+                                      extrapolate_to_rows)
+        result = execute(query, tables)
+        actual = total_input_entries(query, tables)
+        entries = extrapolate_to_rows or actual
+        scale = entries / actual if actual else 1.0
+        results = max(1, round(result_cardinality(result.output) * scale))
+        breakdown = self.cost_model.spark_completion(
+            op=query.query_type,
+            total_entries=entries,
+            workers=self.workers,
+            result_entries=results,
+            first_run=first_run,
+        )
+        return SparkReport(result=result, breakdown=breakdown,
+                           first_run=first_run)
+
+    def _run_compound(self, query: CompoundQuery, tables: TableSet,
+                      first_run: bool,
+                      extrapolate_to_rows: Optional[int]) -> SparkReport:
+        """Sequential execution of the parts (Spark runs A then B)."""
+        computation = network = other = 0.0
+        outputs = []
+        for part in query.parts:
+            part_rows = None
+            if extrapolate_to_rows is not None:
+                share = (total_input_entries(part, tables)
+                         / total_input_entries(query, tables))
+                part_rows = round(extrapolate_to_rows * share)
+            report = self.run(part, tables, first_run, part_rows)
+            outputs.append(report.result.output)
+            computation += report.breakdown.computation
+            network += report.breakdown.network
+            other += report.breakdown.other
+        result = ExecutionResult(query=query, output=tuple(outputs))
+        return SparkReport(
+            result=result,
+            breakdown=TimingBreakdown(computation, network, other),
+            first_run=first_run,
+        )

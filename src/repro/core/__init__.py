@@ -1,0 +1,66 @@
+"""Cheetah's contribution: query pruning algorithms (§4-§5).
+
+Every pruner consumes a stream of entries and, per entry, decides
+**prune** (guaranteed not to affect the query output) or **forward**
+(send to the master).  The master then completes the query on the
+forwarded subset, producing exactly ``Q(D)``.
+
+Guarantee classes:
+
+* *deterministic* — ``Q(A_Q(D)) == Q(D)`` always (filtering, SKYLINE,
+  deterministic TOP-N, GROUP BY, JOIN, HAVING);
+* *probabilistic* — equality holds with probability ``>= 1 - delta``
+  (randomized TOP-N, fingerprinted DISTINCT).
+
+All pruners expose ``resources()`` returning the Table 2 accounting and
+satisfy the superset-safety invariant required by the reliability
+protocol: forwarding a superset of the non-pruned entries never changes
+the master's output.
+"""
+
+from repro.core.base import (
+    Guarantee,
+    PruningAlgorithm,
+    PruneStats,
+    ALGORITHM_REGISTRY,
+    register_algorithm,
+)
+from repro.core.filtering import (
+    FilterPruner,
+    decompose_predicate,
+    SWITCH_SUPPORTED,
+)
+from repro.core.distinct import DistinctPruner
+from repro.core.topn import TopNDeterministic, TopNRandomized
+from repro.core.groupby import GroupByPruner, GroupBySumAggregator, GroupAggregate
+from repro.core.join import JoinPruner, AsymmetricJoinPruner
+from repro.core.having import HavingPruner
+from repro.core.skyline import SkylinePruner, Projection
+from repro.core.multiquery import QueryPack
+from repro.core import config
+from repro.core import analysis
+
+__all__ = [
+    "Guarantee",
+    "PruningAlgorithm",
+    "PruneStats",
+    "ALGORITHM_REGISTRY",
+    "register_algorithm",
+    "FilterPruner",
+    "decompose_predicate",
+    "SWITCH_SUPPORTED",
+    "DistinctPruner",
+    "TopNDeterministic",
+    "TopNRandomized",
+    "GroupByPruner",
+    "GroupBySumAggregator",
+    "GroupAggregate",
+    "JoinPruner",
+    "AsymmetricJoinPruner",
+    "HavingPruner",
+    "SkylinePruner",
+    "Projection",
+    "QueryPack",
+    "config",
+    "analysis",
+]

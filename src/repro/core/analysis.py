@@ -1,0 +1,102 @@
+"""Closed-form bounds from the paper's theorems.
+
+These functions are the analysis companion of the pruners: benches plot
+them next to measured pruning rates, and property tests check that
+measurements respect the bounds (within sampling noise).
+
+Theorem numbering follows the arXiv full version:
+
+* Theorem 1/8  — DISTINCT expected pruning on random-order streams.
+* Theorem 2/9  — randomized TOP-N success probability (see
+  :mod:`repro.core.config`).
+* Theorem 3/10 — randomized TOP-N expected unpruned count.
+* Theorems 5-7 — fingerprint lengths (see
+  :mod:`repro.sketches.fingerprint`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sketches.fingerprint import (  # re-exported for convenience
+    fingerprint_length_distinct,
+    fingerprint_length_simple,
+    max_row_load_bound,
+)
+
+__all__ = [
+    "distinct_pruning_bound",
+    "topn_expected_unpruned",
+    "topn_expected_pruned_fraction",
+    "distinct_opt_unpruned",
+    "topn_opt_unpruned",
+    "harmonic",
+    "fingerprint_length_distinct",
+    "fingerprint_length_simple",
+    "max_row_load_bound",
+]
+
+
+def distinct_pruning_bound(distinct: int, rows: int, width: int) -> float:
+    """Theorem 1/8: expected pruned fraction of *duplicate* entries.
+
+    For a random-order stream with ``D > d ln(200 d)`` distinct values,
+    a d x w matrix prunes at least ``0.99 * min(w d / (D e), 1)`` of the
+    duplicates in expectation.  The paper's example: D=15000, d=1000,
+    w=24 -> >= 58%.
+    """
+    if distinct < 1 or rows < 1 or width < 1:
+        raise ValueError("distinct, rows and width must be positive")
+    return 0.99 * min(width * rows / (distinct * math.e), 1.0)
+
+
+def topn_expected_unpruned(stream_length: int, rows: int,
+                           width: int) -> float:
+    """Theorem 3/10: expected number of forwarded entries.
+
+    A random-order stream of ``m`` elements leaves at most
+    ``w d ln(m e / (w d))`` entries unpruned in expectation.  The paper's
+    example: d=600, w(=16) on m=8M prunes >= 99%.
+    """
+    if stream_length < 1 or rows < 1 or width < 1:
+        raise ValueError("stream_length, rows and width must be positive")
+    wd = width * rows
+    if stream_length <= wd:
+        return float(stream_length)
+    return wd * math.log(stream_length * math.e / wd)
+
+
+def topn_expected_pruned_fraction(stream_length: int, rows: int,
+                                  width: int) -> float:
+    """Theorem 3/10 as a fraction of the stream."""
+    unpruned = topn_expected_unpruned(stream_length, rows, width)
+    return max(0.0, 1.0 - unpruned / stream_length)
+
+
+def harmonic(n: int) -> float:
+    """The n-th harmonic number (exact below 64 terms, asymptotic above)."""
+    if n < 0:
+        raise ValueError(f"harmonic number undefined for n={n}")
+    if n < 64:
+        return sum(1.0 / k for k in range(1, n + 1))
+    gamma = 0.5772156649015329
+    return math.log(n) + gamma + 1 / (2 * n) - 1 / (12 * n * n)
+
+
+def distinct_opt_unpruned(distinct: int, stream_length: int) -> float:
+    """OPT for DISTINCT: an unconstrained streaming algorithm forwards
+    exactly the first occurrence of each key, i.e. ``D`` entries."""
+    if stream_length < 1:
+        raise ValueError("stream_length must be positive")
+    return min(distinct, stream_length) / stream_length
+
+
+def topn_opt_unpruned(n: int, stream_length: int) -> float:
+    """OPT for TOP-N on a random-order stream: the expected number of
+    prefix-top-N entries is ``sum_i min(N, i)/i ~ N (1 + ln(m/N))``."""
+    if stream_length < 1:
+        raise ValueError("stream_length must be positive")
+    if n >= stream_length:
+        return 1.0
+    expected = n + n * (harmonic(stream_length) - harmonic(n))
+    return min(1.0, expected / stream_length)

@@ -1,0 +1,111 @@
+"""DISTINCT pruning (Examples #2 and #8).
+
+The switch caches past values in a d x w matrix; a value found in its
+(hash-selected) row is a guaranteed duplicate and is pruned.  Cache
+evictions cause false *negatives* only — a duplicate may be forwarded —
+which the master removes, so correctness is unconditional when raw values
+are stored.
+
+For wide or multi-column keys the CWorker sends a **fingerprint**
+instead (Example #8).  Fingerprint collisions inside a row can prune a
+never-seen key; sizing per Theorems 5-7 bounds that probability by
+``delta``, making the pruner *probabilistic*.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import Guarantee, PruningAlgorithm, register_algorithm
+from repro.sketches.cache_matrix import CacheMatrix, EvictionPolicy
+from repro.sketches.fingerprint import fingerprint_length_distinct
+from repro.sketches.hashing import HashableValue, fingerprint_bits
+from repro.switch.resources import ResourceUsage
+
+
+@register_algorithm
+class DistinctPruner(PruningAlgorithm):
+    """DISTINCT via a d x w LRU/FIFO cache matrix (paper default d=4096, w=2).
+
+    Parameters
+    ----------
+    rows, width:
+        Matrix dimensions; one column per logical stage.
+    policy:
+        LRU (rolling replacement; paper default) or FIFO.
+    fingerprint_bits_:
+        If set, keys are hashed to this many bits at the CWorker before
+        reaching the switch; the guarantee becomes probabilistic.
+        ``None`` (default) stores exact values: deterministic.
+    alus_per_stage:
+        The accounting term ``A`` in Table 2 (FIFO can pack ``A``
+        comparisons per physical stage when same-stage ALUs share memory).
+    """
+
+    name = "distinct"
+    guarantee = Guarantee.DETERMINISTIC
+
+    def __init__(self, rows: int = 4096, width: int = 2,
+                 policy: EvictionPolicy = EvictionPolicy.LRU,
+                 fingerprint_bits_: Optional[int] = None,
+                 alus_per_stage: int = 10, seed: int = 0):
+        super().__init__()
+        self.matrix = CacheMatrix(rows, width, policy, seed)
+        self.fingerprint_bits_ = fingerprint_bits_
+        self.alus_per_stage = alus_per_stage
+        self.seed = seed
+        if fingerprint_bits_ is not None:
+            # Collisions can now prune fresh keys: probabilistic guarantee.
+            self.guarantee = Guarantee.PROBABILISTIC
+
+    def _key(self, entry: HashableValue) -> HashableValue:
+        if self.fingerprint_bits_ is None:
+            return entry
+        return fingerprint_bits(entry, self.fingerprint_bits_,
+                                seed=self.seed ^ 0xF1A6)
+
+    def _decide(self, entry: HashableValue) -> bool:
+        return self.matrix.contains_or_insert(self._key(entry))
+
+    def resources(self) -> ResourceUsage:
+        """Table 2, DISTINCT rows.
+
+        LRU needs one stage per column (the rolling chain is sequential);
+        FIFO with shared-memory ALUs packs ``A`` comparisons per stage,
+        i.e. ``ceil(w / A)`` stages.  Both use ``w`` ALUs and
+        ``d * w * 64`` bits of SRAM.
+        """
+        w, d = self.matrix.width, self.matrix.rows
+        if self.matrix.policy is EvictionPolicy.LRU:
+            stages = w
+        else:
+            stages = -(-w // self.alus_per_stage)  # ceil division
+        return ResourceUsage(
+            stages=stages,
+            alus=w,
+            sram_bits=d * w * 64,
+            tcam_entries=0,
+            metadata_bits=160,
+        )
+
+    def parameters(self) -> dict:
+        return {
+            "d": self.matrix.rows,
+            "w": self.matrix.width,
+            "policy": self.matrix.policy.value,
+            "fingerprint_bits": self.fingerprint_bits_,
+        }
+
+    def reset(self) -> None:
+        super().reset()
+        self.matrix.clear()
+
+    @classmethod
+    def with_fingerprints_for(cls, distinct_estimate: int, rows: int = 4096,
+                              width: int = 2, delta: float = 1e-4,
+                              seed: int = 0) -> "DistinctPruner":
+        """Build a fingerprinted pruner sized by Theorems 6/7 for an
+        expected ``distinct_estimate`` distinct keys at error ``delta``."""
+        bits = min(64, fingerprint_length_distinct(distinct_estimate, rows,
+                                                   delta))
+        return cls(rows=rows, width=width, fingerprint_bits_=bits, seed=seed)

@@ -1,0 +1,300 @@
+"""Predicate / expression AST shared by the filter pruner and the SQL layer.
+
+The AST is deliberately small — exactly the shapes the paper's queries
+use: column references, literals, comparisons, arithmetic, LIKE, and the
+boolean connectives.  Every node knows how to
+
+* evaluate itself against a row (``dict`` of column name -> value), and
+* report whether a **switch** could evaluate it (§2.2's function
+  constraints: comparisons and add/sub/shift on integers are fine;
+  string matching, multiplication, division are not).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import fnmatch
+import operator
+from typing import Any, Callable, Dict, Tuple, Union
+
+Row = Dict[str, Any]
+
+
+class Expr:
+    """Base expression node."""
+
+    def evaluate(self, row: Row) -> Any:
+        """Value of this expression on ``row``."""
+        raise NotImplementedError
+
+    def switch_supported(self) -> bool:
+        """Whether a PISA switch could evaluate this node (and children)."""
+        raise NotImplementedError
+
+    # Operator sugar so queries read naturally in examples/tests.
+    def __and__(self, other: "Expr") -> "And":
+        return And(self, _as_expr(other))
+
+    def __or__(self, other: "Expr") -> "Or":
+        return Or(self, _as_expr(other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __gt__(self, other) -> "Cmp":
+        return Cmp(">", self, _as_expr(other))
+
+    def __ge__(self, other) -> "Cmp":
+        return Cmp(">=", self, _as_expr(other))
+
+    def __lt__(self, other) -> "Cmp":
+        return Cmp("<", self, _as_expr(other))
+
+    def __le__(self, other) -> "Cmp":
+        return Cmp("<=", self, _as_expr(other))
+
+    def eq(self, other) -> "Cmp":
+        """Equality comparison (``==`` is kept as identity for hashing)."""
+        return Cmp("==", self, _as_expr(other))
+
+    def ne(self, other) -> "Cmp":
+        """Inequality comparison."""
+        return Cmp("!=", self, _as_expr(other))
+
+    def like(self, pattern: str) -> "Like":
+        """SQL LIKE (``%``/``_`` wildcards) — not switch-computable."""
+        return Like(self, pattern)
+
+    def __add__(self, other) -> "BinOp":
+        return BinOp("+", self, _as_expr(other))
+
+    def __sub__(self, other) -> "BinOp":
+        return BinOp("-", self, _as_expr(other))
+
+    def __mul__(self, other) -> "BinOp":
+        return BinOp("*", self, _as_expr(other))
+
+    def __truediv__(self, other) -> "BinOp":
+        return BinOp("/", self, _as_expr(other))
+
+
+def _as_expr(value: Union[Expr, int, float, str]) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    return Lit(value)
+
+
+@dataclasses.dataclass(frozen=True)
+class Col(Expr):
+    """Reference to a column by name."""
+
+    name: str
+
+    def evaluate(self, row: Row) -> Any:
+        if self.name not in row:
+            raise KeyError(f"row has no column {self.name!r}")
+        return row[self.name]
+
+    def switch_supported(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"Col({self.name})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Lit(Expr):
+    """Literal constant."""
+
+    value: Any
+
+    def evaluate(self, row: Row) -> Any:
+        return self.value
+
+    def switch_supported(self) -> bool:
+        # Strings can be matched for equality via fingerprints; arbitrary
+        # string values as comparison operands are fine, string *patterns*
+        # (LIKE) are not.
+        return True
+
+    def __repr__(self) -> str:
+        return f"Lit({self.value!r})"
+
+
+_CMP_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Cmp(Expr):
+    """Binary comparison producing a boolean."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _CMP_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Row) -> bool:
+        return _CMP_OPS[self.op](self.left.evaluate(row),
+                                 self.right.evaluate(row))
+
+    def switch_supported(self) -> bool:
+        # Ordered comparisons on strings need lexicographic logic the
+        # switch lacks; equality works via fingerprints.
+        if self.op in ("==", "!="):
+            return self.left.switch_supported() and self.right.switch_supported()
+        for side in (self.left, self.right):
+            if isinstance(side, Lit) and isinstance(side.value, str):
+                return False
+        return self.left.switch_supported() and self.right.switch_supported()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+_ARITH_OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+#: Arithmetic the switch ALU can perform (§2.2: no mul/div).
+_SWITCH_ARITH = frozenset({"+", "-"})
+
+
+@dataclasses.dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary arithmetic."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITH_OPS:
+            raise ValueError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, row: Row) -> Any:
+        return _ARITH_OPS[self.op](self.left.evaluate(row),
+                                   self.right.evaluate(row))
+
+    def switch_supported(self) -> bool:
+        return (self.op in _SWITCH_ARITH
+                and self.left.switch_supported()
+                and self.right.switch_supported())
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Like(Expr):
+    """SQL LIKE pattern match — never switch-computable."""
+
+    target: Expr
+    pattern: str
+
+    def evaluate(self, row: Row) -> bool:
+        value = self.target.evaluate(row)
+        if not isinstance(value, str):
+            raise TypeError(f"LIKE needs a string, got {type(value).__name__}")
+        glob = self.pattern.replace("%", "*").replace("_", "?")
+        return fnmatch.fnmatchcase(value, glob)
+
+    def switch_supported(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"Like({self.target!r}, {self.pattern!r})"
+
+
+@dataclasses.dataclass(frozen=True)
+class And(Expr):
+    """Logical conjunction."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, row: Row) -> bool:
+        return bool(self.left.evaluate(row)) and bool(self.right.evaluate(row))
+
+    def switch_supported(self) -> bool:
+        return self.left.switch_supported() and self.right.switch_supported()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} AND {self.right!r})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Or(Expr):
+    """Logical disjunction."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, row: Row) -> bool:
+        return bool(self.left.evaluate(row)) or bool(self.right.evaluate(row))
+
+    def switch_supported(self) -> bool:
+        return self.left.switch_supported() and self.right.switch_supported()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} OR {self.right!r})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Not(Expr):
+    """Logical negation."""
+
+    operand: Expr
+
+    def evaluate(self, row: Row) -> bool:
+        return not bool(self.operand.evaluate(row))
+
+    def switch_supported(self) -> bool:
+        return self.operand.switch_supported()
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.operand!r})"
+
+
+@dataclasses.dataclass(frozen=True)
+class TrueExpr(Expr):
+    """The tautology used when replacing unsupported predicates (§4.1)."""
+
+    def evaluate(self, row: Row) -> bool:
+        return True
+
+    def switch_supported(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+@dataclasses.dataclass(frozen=True)
+class FalseExpr(Expr):
+    """Logical constant false (appears when simplifying negations)."""
+
+    def evaluate(self, row: Row) -> bool:
+        return False
+
+    def switch_supported(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "FALSE"
+
+
+TRUE = TrueExpr()
+FALSE = FalseExpr()

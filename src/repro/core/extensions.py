@@ -1,0 +1,163 @@
+"""§9 extensions: multi-entry packets and multi-switch pruning trees.
+
+**Multi-entry packets.**  One entry per packet wastes line rate (64-byte
+minimum frames for 8-byte values).  Packing ``k`` entries per packet cuts
+wire cost ~``k``x, but the switch has limited ALUs per stage: entries of
+one packet that hash to the *same* matrix row would need sequential
+register accesses, which a single pipeline traversal cannot do.  The
+paper's resolution: process the first such entry and forward the rest
+unprocessed (never prune what you could not check) — sound for DISTINCT,
+TOP-N and GROUP BY because forwarding extra entries is always safe.
+
+**Multi-switch trees.**  A "master switch" partitions the stream over
+``k`` leaf switches, each pruning its share with its own memory; the
+master switch prunes the survivors again.  Aggregate state grows ~k-fold
+while each packet still traverses only two switches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.base import PruningAlgorithm
+from repro.sketches.hashing import HashableValue, hash64
+from repro.switch.resources import ResourceUsage
+
+
+class MultiEntryAdapter:
+    """Wraps a row-partitioned pruner to process multi-entry packets.
+
+    Parameters
+    ----------
+    pruner:
+        The underlying pruner (DISTINCT / randomized TOP-N / GROUP BY).
+    row_of_entry:
+        Maps an entry to its matrix row; entries of one packet sharing a
+        row are forwarded unprocessed (the ALU constraint).
+    entries_per_packet:
+        The packing factor ``k``; bounded by per-stage ALUs in hardware.
+    """
+
+    def __init__(self, pruner: PruningAlgorithm,
+                 row_of_entry: Callable[[HashableValue], int],
+                 entries_per_packet: int = 4):
+        if entries_per_packet < 1:
+            raise ValueError(
+                f"entries_per_packet must be >= 1, got {entries_per_packet}"
+            )
+        self.pruner = pruner
+        self.row_of_entry = row_of_entry
+        self.entries_per_packet = entries_per_packet
+        self.unprocessed_forwards = 0
+
+    def offer_packet(self, entries: Sequence[HashableValue]) -> List[bool]:
+        """Prune decisions for one packet's entries (True = prune).
+
+        Entries whose row was already touched by an earlier entry of the
+        same packet are forwarded without processing.
+        """
+        if len(entries) > self.entries_per_packet:
+            raise ValueError(
+                f"packet carries {len(entries)} entries, adapter is "
+                f"configured for {self.entries_per_packet}"
+            )
+        touched_rows = set()
+        decisions = []
+        for entry in entries:
+            row = self.row_of_entry(entry)
+            if row in touched_rows:
+                # Same-row conflict: cannot process in this traversal.
+                self.unprocessed_forwards += 1
+                decisions.append(False)
+                continue
+            touched_rows.add(row)
+            decisions.append(self.pruner.offer(entry))
+        return decisions
+
+    def offer_stream(self, entries: Sequence[HashableValue]) -> List[bool]:
+        """Feed a whole stream packed ``k`` entries per packet."""
+        decisions: List[bool] = []
+        k = self.entries_per_packet
+        for start in range(0, len(entries), k):
+            decisions.extend(self.offer_packet(entries[start:start + k]))
+        return decisions
+
+    def resources(self) -> ResourceUsage:
+        """Per-packet ALU use scales with the packing factor (each entry
+        needs its own ALU per logical stage)."""
+        base = self.pruner.resources()
+        return ResourceUsage(
+            stages=base.stages,
+            alus=base.alus * self.entries_per_packet,
+            sram_bits=base.sram_bits,
+            tcam_entries=base.tcam_entries,
+            metadata_bits=base.metadata_bits * self.entries_per_packet,
+        )
+
+
+class MultiSwitchTree:
+    """Two-level pruning: ``k`` leaf pruners plus a root pruner (§9).
+
+    Entries are partitioned over the leaves (hash or round-robin); a leaf
+    survivor is offered to the root, which prunes it again with its own
+    state.  Soundness is inherited: both levels only prune entries their
+    algorithm guarantees are redundant.
+    """
+
+    def __init__(self, leaves: Sequence[PruningAlgorithm],
+                 root: Optional[PruningAlgorithm] = None,
+                 partition: str = "hash", seed: int = 0):
+        if not leaves:
+            raise ValueError("need at least one leaf pruner")
+        if partition not in ("hash", "round_robin"):
+            raise ValueError(f"unknown partition scheme {partition!r}")
+        self.leaves = list(leaves)
+        self.root = root
+        self.partition = partition
+        self.seed = seed
+        self._arrivals = 0
+        self.leaf_pruned = 0
+        self.root_pruned = 0
+
+    def _leaf_for(self, entry: HashableValue) -> PruningAlgorithm:
+        if self.partition == "round_robin":
+            index = self._arrivals % len(self.leaves)
+        else:
+            index = hash64(entry, self.seed ^ 0x1EAF) % len(self.leaves)
+        return self.leaves[index]
+
+    def offer(self, entry: HashableValue) -> bool:
+        """Prune decision through the tree (True = pruned somewhere)."""
+        self._arrivals += 1
+        if self._leaf_for(entry).offer(entry):
+            self.leaf_pruned += 1
+            return True
+        if self.root is not None and self.root.offer(entry):
+            self.root_pruned += 1
+            return True
+        return False
+
+    def filter_stream(self, entries) -> list:
+        """The forwarded subset after both levels."""
+        return [e for e in entries if not self.offer(e)]
+
+    @property
+    def offered(self) -> int:
+        """Entries seen by the tree."""
+        return self._arrivals
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Combined pruning rate of both levels."""
+        if self._arrivals == 0:
+            return 0.0
+        return (self.leaf_pruned + self.root_pruned) / self._arrivals
+
+    def total_resources(self) -> ResourceUsage:
+        """Aggregate hardware across all switches in the tree."""
+        total = ResourceUsage()
+        for leaf in self.leaves:
+            total = total + leaf.resources()
+        if self.root is not None:
+            total = total + self.root.resources()
+        return total

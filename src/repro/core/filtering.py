@@ -1,0 +1,228 @@
+"""Filtering-query pruning via predicate decomposition (Example #1).
+
+Given a WHERE predicate mixing switch-computable and uncomputable parts,
+Cheetah:
+
+1. pushes negations to the leaves (negation normal form), making the
+   formula **monotone** in its literals;
+2. replaces every literal the switch cannot evaluate with the tautology
+   ``(T OR F) = TRUE``;
+3. simplifies.
+
+The result is implied by the original predicate, so rows failing it are
+provably outside the output and may be pruned; the master re-applies the
+full predicate to the forwarded rows.  The paper's example::
+
+    (taste > 5) OR (texture > 4 AND name LIKE 'e%s')
+    ->  (taste > 5) OR (texture > 4)
+
+Alternatively, the **CWorker** pre-computes the unsupported predicates
+and ships their truth values as extra bit fields, letting the switch
+evaluate the complete formula via a truth table (``worker_assist=True``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.core.base import Guarantee, PruningAlgorithm, register_algorithm
+from repro.core.expr import (
+    And,
+    Cmp,
+    Expr,
+    FALSE,
+    FalseExpr,
+    Like,
+    Not,
+    Or,
+    Row,
+    TRUE,
+    TrueExpr,
+)
+from repro.switch.resources import ResourceUsage
+
+
+def SWITCH_SUPPORTED(expr: Expr) -> bool:
+    """Whether a leaf predicate is evaluable in the data plane."""
+    return expr.switch_supported()
+
+
+def to_nnf(expr: Expr, negated: bool = False) -> Expr:
+    """Negation normal form: NOT appears only directly above leaves.
+
+    Leaf negations are folded into the comparison where possible
+    (``NOT (a > b)`` becomes ``a <= b``) so the result is a monotone
+    formula over (possibly flipped) literals.
+    """
+    if isinstance(expr, And):
+        left = to_nnf(expr.left, negated)
+        right = to_nnf(expr.right, negated)
+        return Or(left, right) if negated else And(left, right)
+    if isinstance(expr, Or):
+        left = to_nnf(expr.left, negated)
+        right = to_nnf(expr.right, negated)
+        return And(left, right) if negated else Or(left, right)
+    if isinstance(expr, Not):
+        return to_nnf(expr.operand, not negated)
+    if isinstance(expr, TrueExpr):
+        return FALSE if negated else TRUE
+    if isinstance(expr, FalseExpr):
+        return TRUE if negated else FALSE
+    if not negated:
+        return expr
+    if isinstance(expr, Cmp):
+        flipped = {">": "<=", ">=": "<", "<": ">=", "<=": ">",
+                   "==": "!=", "!=": "=="}
+        return Cmp(flipped[expr.op], expr.left, expr.right)
+    return Not(expr)
+
+
+def simplify(expr: Expr) -> Expr:
+    """Constant-fold TRUE/FALSE through AND/OR/NOT."""
+    if isinstance(expr, And):
+        left, right = simplify(expr.left), simplify(expr.right)
+        if isinstance(left, FalseExpr) or isinstance(right, FalseExpr):
+            return FALSE
+        if isinstance(left, TrueExpr):
+            return right
+        if isinstance(right, TrueExpr):
+            return left
+        return And(left, right)
+    if isinstance(expr, Or):
+        left, right = simplify(expr.left), simplify(expr.right)
+        if isinstance(left, TrueExpr) or isinstance(right, TrueExpr):
+            return TRUE
+        if isinstance(left, FalseExpr):
+            return right
+        if isinstance(right, FalseExpr):
+            return left
+        return Or(left, right)
+    if isinstance(expr, Not):
+        inner = simplify(expr.operand)
+        if isinstance(inner, TrueExpr):
+            return FALSE
+        if isinstance(inner, FalseExpr):
+            return TRUE
+        return Not(inner)
+    return expr
+
+
+def _replace_unsupported(expr: Expr) -> Expr:
+    """Replace switch-unsupported literals with the tautology (§4.1)."""
+    if isinstance(expr, And):
+        return And(_replace_unsupported(expr.left),
+                   _replace_unsupported(expr.right))
+    if isinstance(expr, Or):
+        return Or(_replace_unsupported(expr.left),
+                  _replace_unsupported(expr.right))
+    if isinstance(expr, Not):
+        # NNF guarantees the operand is a leaf; if it is unsupported the
+        # whole literal is unsupported.
+        if not expr.operand.switch_supported():
+            return TRUE
+        return expr
+    if not expr.switch_supported():
+        return TRUE
+    return expr
+
+
+def _collect_unsupported(expr: Expr, out: List[Expr]) -> None:
+    if isinstance(expr, (And, Or)):
+        _collect_unsupported(expr.left, out)
+        _collect_unsupported(expr.right, out)
+        return
+    if isinstance(expr, Not):
+        _collect_unsupported(expr.operand, out)
+        return
+    if not expr.switch_supported():
+        out.append(expr)
+
+
+@dataclasses.dataclass
+class DecomposedPredicate:
+    """Result of predicate decomposition.
+
+    Attributes
+    ----------
+    switch_expr:
+        The weakened predicate the switch evaluates; rows failing it are
+        pruned.  ``TRUE`` means the switch cannot prune at all.
+    full_expr:
+        The original predicate (NNF) the master re-applies.
+    residual_leaves:
+        The unsupported leaf predicates — with ``worker_assist`` the
+        CWorker evaluates these and ships the bits.
+    """
+
+    switch_expr: Expr
+    full_expr: Expr
+    residual_leaves: List[Expr]
+
+    @property
+    def fully_offloaded(self) -> bool:
+        """True when the switch evaluates the complete predicate."""
+        return not self.residual_leaves
+
+
+def decompose_predicate(expr: Expr) -> DecomposedPredicate:
+    """§4.1 decomposition: NNF -> tautology substitution -> simplify."""
+    nnf = to_nnf(expr)
+    unsupported: List[Expr] = []
+    _collect_unsupported(nnf, unsupported)
+    switch_expr = simplify(_replace_unsupported(nnf))
+    return DecomposedPredicate(switch_expr=switch_expr, full_expr=nnf,
+                               residual_leaves=unsupported)
+
+
+def _count_leaves(expr: Expr) -> int:
+    if isinstance(expr, (And, Or)):
+        return _count_leaves(expr.left) + _count_leaves(expr.right)
+    if isinstance(expr, Not):
+        return _count_leaves(expr.operand)
+    return 1
+
+
+@register_algorithm
+class FilterPruner(PruningAlgorithm):
+    """Filtering-query pruner over decomposed predicates.
+
+    Entries are rows (dicts).  With ``worker_assist=True`` the pruner
+    evaluates the *full* predicate, modelling the CWorker shipping the
+    residual predicate bits so the switch's truth table can complete the
+    filter; otherwise it evaluates only the weakened switch predicate.
+    """
+
+    name = "filter"
+    guarantee = Guarantee.DETERMINISTIC
+
+    def __init__(self, predicate: Expr, worker_assist: bool = False):
+        super().__init__()
+        self.decomposition = decompose_predicate(predicate)
+        self.worker_assist = worker_assist
+
+    def _decide(self, row: Row) -> bool:
+        expr = (self.decomposition.full_expr if self.worker_assist
+                else self.decomposition.switch_expr)
+        return not bool(expr.evaluate(row))
+
+    def resources(self) -> ResourceUsage:
+        """One ALU per basic predicate plus a truth-table lookup; one
+        32-bit register per runtime-configurable constant (Appendix A.2)."""
+        leaves = _count_leaves(self.decomposition.switch_expr)
+        if self.worker_assist:
+            leaves += len(self.decomposition.residual_leaves)
+        return ResourceUsage(
+            stages=1,
+            alus=max(1, leaves),
+            sram_bits=32 * max(1, leaves),
+            tcam_entries=0,
+            metadata_bits=64 + leaves,  # value + predicate bit-vector
+        )
+
+    def parameters(self) -> dict:
+        return {
+            "switch_expr": repr(self.decomposition.switch_expr),
+            "residual": len(self.decomposition.residual_leaves),
+            "worker_assist": self.worker_assist,
+        }

@@ -1,0 +1,137 @@
+"""HAVING pruning (Example #5): sketch-guarded aggregate thresholds.
+
+``SELECT key ... GROUP BY key HAVING f(value) > c``:
+
+* For **MAX** (and symmetrically MIN with ``<``), a single entry decides:
+  the first entry of a key whose value satisfies the predicate makes the
+  key part of the output, so the switch forwards one witness per key (via
+  the DISTINCT structure) and prunes everything else.
+* For **SUM / COUNT**, no single entry decides.  The switch feeds a
+  Count-Min sketch; its one-sided error (``estimate >= truth``) means a
+  key is pruned only when even the over-estimate is ``<= c`` — keys truly
+  above ``c`` always survive.  The master receives a superset of the
+  output keys, requests their full data in a partial second pass, and
+  discards false positives.
+
+``SUM/COUNT < c`` is deferred to future work by the paper (the sketch
+error points the wrong way); we raise for it explicitly.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Set, Tuple
+
+from repro.core.base import Guarantee, PruningAlgorithm, register_algorithm
+from repro.sketches.cache_matrix import CacheMatrix
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.hashing import HashableValue
+from repro.switch.resources import ResourceUsage
+
+
+class HavingAggregate(enum.Enum):
+    """Aggregate functions supported under HAVING."""
+
+    SUM = "sum"
+    COUNT = "count"
+    MAX = "max"
+    MIN = "min"
+
+
+@register_algorithm
+class HavingPruner(PruningAlgorithm):
+    """HAVING via Count-Min (SUM/COUNT) or witness-forwarding (MAX/MIN).
+
+    Entries are ``(key, value)`` pairs.  Paper defaults (Table 2):
+    w=1024 counters per row, d=3 rows.
+
+    Parameters
+    ----------
+    threshold:
+        The constant ``c`` in ``HAVING f(x) > c``.
+    aggregate:
+        One of :class:`HavingAggregate`.
+    width, depth:
+        Count-Min dimensions (ignored for MAX/MIN).
+    """
+
+    name = "having"
+    guarantee = Guarantee.DETERMINISTIC
+
+    def __init__(self, threshold: float,
+                 aggregate: HavingAggregate = HavingAggregate.SUM,
+                 width: int = 1024, depth: int = 3, seed: int = 0):
+        super().__init__()
+        self.threshold = threshold
+        self.aggregate = aggregate
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        if aggregate in (HavingAggregate.SUM, HavingAggregate.COUNT):
+            self.sketch = CountMinSketch(width, depth, seed)
+            self._witnesses = None
+        else:
+            self.sketch = None
+            # Witness cache: one forwarded entry per satisfying key.
+            self._witnesses = CacheMatrix(rows=width, width=depth, seed=seed)
+        self._forwarded_keys: Set[HashableValue] = set()
+
+    def _decide(self, entry: Tuple[HashableValue, float]) -> bool:
+        key, value = entry
+        if self.aggregate is HavingAggregate.MAX:
+            if value > self.threshold:
+                # Witness: forward the first satisfying entry per key.
+                return self._witnesses.contains_or_insert(key)
+            return True
+        if self.aggregate is HavingAggregate.MIN:
+            if value < self.threshold:
+                return self._witnesses.contains_or_insert(key)
+            return True
+        amount = 1 if self.aggregate is HavingAggregate.COUNT else int(value)
+        if amount < 0:
+            raise ValueError(
+                "HAVING SUM pruning requires non-negative values (the "
+                "Count-Min one-sided error argument needs them); got "
+                f"{amount}"
+            )
+        estimate = self.sketch.update_and_estimate(key, amount)
+        if estimate <= self.threshold:
+            # Even the over-estimate is below c: provably not an output key.
+            return True
+        # Candidate key: forward one representative, prune the rest; the
+        # master's partial second pass fetches the key's full data (§4.3).
+        if key in self._forwarded_keys:
+            return True
+        self._forwarded_keys.add(key)
+        return False
+
+    def resources(self) -> ResourceUsage:
+        """Table 2 HAVING row: ceil(d/A) stages, d ALUs, d x w x 64b SRAM
+        (the paper's (w, d) naming swaps ours: w counters in each of d
+        rows)."""
+        alus_per_stage = 10
+        stages = -(-self.depth // alus_per_stage)
+        return ResourceUsage(
+            stages=max(1, stages),
+            alus=self.depth,
+            sram_bits=self.width * self.depth * 64,
+            tcam_entries=0,
+            metadata_bits=224,
+        )
+
+    def parameters(self) -> dict:
+        return {"c": self.threshold, "agg": self.aggregate.value,
+                "w": self.width, "d": self.depth}
+
+    def reset(self) -> None:
+        super().reset()
+        if self.sketch is not None:
+            self.sketch.clear()
+        if self._witnesses is not None:
+            self._witnesses.clear()
+        self._forwarded_keys.clear()
+
+    def candidate_keys(self) -> Set[HashableValue]:
+        """Keys forwarded to the master (superset of the true output for
+        SUM/COUNT; used by the partial-second-pass machinery)."""
+        return set(self._forwarded_keys)

@@ -1,0 +1,183 @@
+"""JOIN pruning (Example #4): two-pass Bloom-filter membership.
+
+Pass 1 streams the join columns of both tables through the switch, which
+inserts each key into its table's Bloom filter (``F_A`` / ``F_B``) and
+forwards nothing.  Pass 2 re-streams both tables; a key from A is pruned
+iff ``F_B`` reports no match (and symmetrically).  Bloom filters have no
+false negatives, so no matching entry is ever pruned — false positives
+only cost pruning rate.
+
+:class:`AsymmetricJoinPruner` implements the §4.3 optimization for
+lopsided joins: stream the small table *unpruned* while building a
+low-FP filter for it, then stream and prune the large table in one pass
+(halving the large table's passes and tightening its filter).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple, Union
+
+from repro.core.base import Guarantee, PruningAlgorithm, register_algorithm
+from repro.sketches.bloom import BloomFilter, RegisterBloomFilter, sized_for_fp_rate
+from repro.sketches.hashing import HashableValue
+from repro.switch.resources import ResourceUsage
+
+
+class JoinSide(enum.Enum):
+    """Which table an entry belongs to."""
+
+    A = "A"
+    B = "B"
+
+
+class FilterKind(enum.Enum):
+    """Bloom filter flavour (Table 2: BF vs RBF)."""
+
+    BLOOM = "bf"
+    REGISTER_BLOOM = "rbf"
+
+
+@register_algorithm
+class JoinPruner(PruningAlgorithm):
+    """Symmetric two-pass JOIN pruner.
+
+    Entries are ``(side, key)`` pairs.  Call :meth:`start_second_pass`
+    between the passes; pass-1 entries are never pruned (they build the
+    filters), pass-2 entries are pruned when absent from the *other*
+    table's filter.
+
+    Parameters
+    ----------
+    size_bits:
+        Per-filter size M in bits (Table 2 default: 4 MB total -> 2 MB
+        per side; we parameterise per filter).
+    hashes:
+        Hash count H (default 3).
+    kind:
+        Classic BF (H stages in the strict accounting, 2 when same-stage
+        ALUs share memory) or single-stage register BF.
+    """
+
+    name = "join"
+    guarantee = Guarantee.DETERMINISTIC
+
+    def __init__(self, size_bits: int = 4 * 2 ** 20 * 8, hashes: int = 3,
+                 kind: FilterKind = FilterKind.BLOOM, seed: int = 0):
+        super().__init__()
+        self.size_bits = size_bits
+        self.hashes = hashes
+        self.kind = kind
+        self.seed = seed
+        self.filters = {
+            JoinSide.A: self._make_filter(seed),
+            JoinSide.B: self._make_filter(seed ^ 0xB0B),
+        }
+        self.second_pass = False
+
+    def _make_filter(self, seed: int):
+        if self.kind is FilterKind.REGISTER_BLOOM:
+            return RegisterBloomFilter(self.size_bits, self.hashes, seed)
+        return BloomFilter(self.size_bits, self.hashes, seed)
+
+    def start_second_pass(self) -> None:
+        """Switch from filter building (pass 1) to pruning (pass 2)."""
+        self.second_pass = True
+
+    def _decide(self, entry: Tuple[Union[JoinSide, str], HashableValue]) -> bool:
+        side, key = entry
+        side = JoinSide(side) if not isinstance(side, JoinSide) else side
+        if not self.second_pass:
+            self.filters[side].add(key)
+            return False
+        other = JoinSide.B if side is JoinSide.A else JoinSide.A
+        return key not in self.filters[other]
+
+    def resources(self) -> ResourceUsage:
+        """Table 2 JOIN rows: BF = 2 stages (shared-memory ALUs), H ALUs,
+        M bits; RBF = 1 stage, 1 ALU, M + (64/H) x 64 bits of side state."""
+        total_bits = 2 * self.size_bits  # F_A and F_B
+        if self.kind is FilterKind.REGISTER_BLOOM:
+            return ResourceUsage(
+                stages=1,
+                alus=1,
+                sram_bits=total_bits + (64 // self.hashes) * 64,
+                tcam_entries=0,
+                metadata_bits=192,
+            )
+        return ResourceUsage(
+            stages=2,
+            alus=self.hashes,
+            sram_bits=total_bits,
+            tcam_entries=0,
+            metadata_bits=192,
+        )
+
+    def parameters(self) -> dict:
+        return {"M_bits": self.size_bits, "H": self.hashes,
+                "kind": self.kind.value}
+
+    def reset(self) -> None:
+        super().reset()
+        self.filters = {
+            JoinSide.A: self._make_filter(self.seed),
+            JoinSide.B: self._make_filter(self.seed ^ 0xB0B),
+        }
+        self.second_pass = False
+
+
+@register_algorithm
+class AsymmetricJoinPruner(PruningAlgorithm):
+    """Lopsided-join optimization (§4.3).
+
+    Phase 1: offer every small-table key — all are *forwarded* (the small
+    table is cheap to send whole) while a low-false-positive filter is
+    built for it.  Phase 2 (:meth:`start_large_table`): offer large-table
+    keys — pruned unless present in the small-table filter.
+    """
+
+    name = "join_asymmetric"
+    guarantee = Guarantee.DETERMINISTIC
+
+    def __init__(self, small_table_size: int, fp_rate: float = 1e-3,
+                 seed: int = 0):
+        super().__init__()
+        if small_table_size < 1:
+            raise ValueError(
+                f"small_table_size must be positive, got {small_table_size}"
+            )
+        self.small_table_size = small_table_size
+        self.fp_rate = fp_rate
+        self.filter = sized_for_fp_rate(small_table_size, fp_rate, seed=seed)
+        self.large_phase = False
+
+    def start_large_table(self) -> None:
+        """Finish the small-table pass; begin pruning the large table."""
+        self.large_phase = True
+
+    def _decide(self, key: HashableValue) -> bool:
+        if not self.large_phase:
+            self.filter.add(key)
+            return False
+        return key not in self.filter
+
+    def resources(self) -> ResourceUsage:
+        """One filter, sized for the small table at the target FP rate."""
+        return ResourceUsage(
+            stages=2,
+            alus=self.filter.hashes,
+            sram_bits=self.filter.size_bits,
+            tcam_entries=0,
+            metadata_bits=192,
+        )
+
+    def parameters(self) -> dict:
+        return {"small_table": self.small_table_size,
+                "fp_rate": self.fp_rate,
+                "M_bits": self.filter.size_bits,
+                "H": self.filter.hashes}
+
+    def reset(self) -> None:
+        super().reset()
+        self.filter.clear()
+        self.large_phase = False

@@ -1,0 +1,98 @@
+"""Multi-query packing (§6).
+
+Reprogramming a Tofino takes upwards of a minute, so Cheetah pre-compiles
+a *set* of query algorithms into the data plane and splits ALU / memory
+resources between them.  Every packet is evaluated by all packed queries
+(each produces a prune/no-prune bit); one final stage selects the bit for
+the packet's flow (``fid``).
+
+:class:`QueryPack` models this: it holds named pruners, validates the
+packed resource footprint against a switch budget (stage-sharing model),
+and dispatches entries to the pruner selected by flow id.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.base import PruningAlgorithm
+from repro.switch.resources import ResourceUsage, SwitchModel
+
+
+class QueryPack:
+    """A set of concurrently installed pruners sharing one data plane.
+
+    Parameters
+    ----------
+    switch:
+        The budget to validate against (None skips validation — used by
+        unit tests of dispatch logic alone).
+    """
+
+    #: The final bit-selection stage every pack needs (§6).
+    SELECT_STAGE = ResourceUsage(stages=1, alus=1, sram_bits=64,
+                                 metadata_bits=8)
+
+    def __init__(self, switch: Optional[SwitchModel] = None):
+        self.switch = switch
+        self._pruners: Dict[int, Tuple[str, PruningAlgorithm]] = {}
+
+    def add(self, fid: int, name: str, pruner: PruningAlgorithm) -> None:
+        """Install ``pruner`` for flow ``fid``; validates the new footprint.
+
+        Raises ``ResourceExhausted`` (via the switch model) if the packed
+        set no longer fits — the caller must drop a query or shrink one.
+        """
+        if fid in self._pruners:
+            raise ValueError(f"flow id {fid} already has a query installed")
+        self._pruners[fid] = (name, pruner)
+        if self.switch is not None:
+            try:
+                self.switch.require_fits(self.packed_resources())
+            except Exception:
+                del self._pruners[fid]
+                raise
+
+    def remove(self, fid: int) -> None:
+        """Uninstall the query for ``fid`` (control-plane teardown)."""
+        self._pruners.pop(fid, None)
+
+    def offer(self, fid: int, entry: Any) -> bool:
+        """Prune decision for ``entry`` on flow ``fid``.
+
+        In hardware every packed query computes its bit and the select
+        stage picks one; behaviourally that equals dispatching to the
+        flow's pruner, except that *stateful* queries must not observe
+        other flows' packets — which holds because CWorkers tag each
+        dataset with its own fid.
+        """
+        try:
+            _, pruner = self._pruners[fid]
+        except KeyError:
+            raise KeyError(f"no query installed for flow id {fid}") from None
+        return pruner.offer(entry)
+
+    def packed_resources(self) -> ResourceUsage:
+        """Footprint under the §6 stage-sharing model: stages max-combine
+        across queries, ALU/SRAM/TCAM/metadata add, plus the select stage."""
+        packed = ResourceUsage()
+        for _, pruner in self._pruners.values():
+            packed = packed.packed_with(pruner.resources())
+        return packed + self.SELECT_STAGE
+
+    def worst_case_resources(self) -> ResourceUsage:
+        """Footprint without stage sharing (sequential layout)."""
+        total = ResourceUsage()
+        for _, pruner in self._pruners.values():
+            total = total + pruner.resources()
+        return total + self.SELECT_STAGE
+
+    def installed(self) -> List[Tuple[int, str]]:
+        """(fid, name) of every installed query."""
+        return [(fid, name) for fid, (name, _) in sorted(self._pruners.items())]
+
+    def __len__(self) -> int:
+        return len(self._pruners)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"QueryPack(queries={self.installed()})"

@@ -1,0 +1,151 @@
+"""SKYLINE pruning (Example #6): stored points + monotone projection.
+
+The switch stores ``w`` points.  For an arriving point ``x`` it walks the
+stored points in score order: if ``x``'s score beats a stored point's, the
+two swap (rolling minimum over scores, so the switch retains the ``w``
+highest-scoring points seen); otherwise, if a stored point **dominates**
+``x`` in every dimension, ``x`` is marked for pruning (the drop happens at
+the end of the pipeline).  Because dominance is only ever checked against
+retained points, and a dominated point can never be in the skyline,
+pruning is always sound — the projection only affects *which* points are
+retained, i.e. the pruning rate.
+
+Projections (all monotone in every dimension, as required):
+
+* ``SUM`` — sum of coordinates; biased toward large-range dimensions.
+* ``APH`` — Approximate Product Heuristic: sum of TCAM-approximated
+  logarithms (Appendix D), a product stand-in robust to range imbalance.
+* ``FIRST_COORD`` — the "Baseline" of Fig. 10b: an arbitrary monotone
+  score (first coordinate), included to show why projection choice
+  matters.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.base import Guarantee, PruningAlgorithm, register_algorithm
+from repro.switch.resources import ResourceUsage
+from repro.switch.tcam_log import ApproxLog
+
+
+class Projection(enum.Enum):
+    """Monotone score functions h: R^D -> R (§4.4)."""
+
+    SUM = "sum"
+    APH = "aph"
+    FIRST_COORD = "first_coord"
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True iff ``a`` dominates ``b``: >= everywhere and > somewhere."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"dimension mismatch: {len(a)} vs {len(b)}"
+        )
+    return all(x >= y for x, y in zip(a, b)) and any(
+        x > y for x, y in zip(a, b)
+    )
+
+
+@register_algorithm
+class SkylinePruner(PruningAlgorithm):
+    """SKYLINE over D dimensions with ``w`` stored points (default w=10).
+
+    Entries are coordinate tuples; all dimensions are maximised (the
+    paper's convention — minimisation is a sign flip at the CWorker).
+    """
+
+    name = "skyline"
+    guarantee = Guarantee.DETERMINISTIC
+
+    def __init__(self, dimensions: int = 2, width: int = 10,
+                 projection: Projection = Projection.APH,
+                 beta_bits: int = 20):
+        super().__init__()
+        if dimensions < 1:
+            raise ValueError(f"dimensions must be positive, got {dimensions}")
+        if width < 1:
+            raise ValueError(f"width must be positive, got {width}")
+        self.dimensions = dimensions
+        self.width = width
+        self.projection = projection
+        self._aph: Optional[ApproxLog] = (
+            ApproxLog(beta_bits) if projection is Projection.APH else None
+        )
+        # Stored (score, point), kept sorted descending by score.
+        self._points: List[Tuple[float, Tuple[float, ...]]] = []
+
+    def score(self, point: Sequence[float]) -> float:
+        """The projection h(point); monotone in every dimension."""
+        if self.projection is Projection.SUM:
+            return float(sum(point))
+        if self.projection is Projection.FIRST_COORD:
+            return float(point[0])
+        return float(self._aph.score([int(max(0, x)) for x in point]))
+
+    def _decide(self, entry: Sequence[float]) -> bool:
+        point = tuple(float(x) for x in entry)
+        if len(point) != self.dimensions:
+            raise ValueError(
+                f"expected {self.dimensions}-dimensional point, got "
+                f"{len(point)} dimensions"
+            )
+        carry_score = self.score(point)
+        carry_point = point
+        prune = False
+        for i in range(len(self._points)):
+            stored_score, stored_point = self._points[i]
+            if carry_score > stored_score:
+                # Swap: retain the higher-scoring point, push the evicted
+                # one down the pipeline (it competes with later slots).
+                self._points[i] = (carry_score, carry_point)
+                carry_score, carry_point = stored_score, stored_point
+            elif carry_point is point and dominates(stored_point, point):
+                # Dominance is only checked for the *original* packet
+                # point, and the drop happens at the end of the pipeline.
+                prune = True
+        if len(self._points) < self.width:
+            self._points.append((carry_score, carry_point))
+            self._points.sort(key=lambda sp: -sp[0])
+        return prune
+
+    def stored_points(self) -> List[Tuple[float, ...]]:
+        """Currently retained points, highest score first (test hook)."""
+        return [p for _, p in self._points]
+
+    def resources(self) -> ResourceUsage:
+        """Table 2 SKYLINE rows.
+
+        Each stored point takes two stages (score + coordinates); plus
+        ``log2 D`` stages to compute the projection.  APH additionally
+        needs the 2^16 x 32b log table and 64 x D TCAM entries.
+        """
+        import math
+
+        log_d = max(1, math.ceil(math.log2(max(2, self.dimensions))))
+        w, dims = self.width, self.dimensions
+        if self.projection is Projection.APH:
+            return ResourceUsage(
+                stages=log_d + 2 * (w + 1),
+                alus=2 * log_d - 1 + w * (dims + 1),
+                sram_bits=w * (dims + 1) * 64 + (1 << 16) * 32,
+                tcam_entries=64 * dims,
+                metadata_bits=64 * (dims + 2),
+            )
+        return ResourceUsage(
+            stages=log_d + 2 * w,
+            alus=2 * log_d - 1 + w * (dims + 1),
+            sram_bits=w * (dims + 1) * 64,
+            tcam_entries=0,
+            metadata_bits=64 * (dims + 2),
+        )
+
+    def parameters(self) -> dict:
+        return {"D": self.dimensions, "w": self.width,
+                "projection": self.projection.value}
+
+    def reset(self) -> None:
+        super().reset()
+        self._points = []

@@ -1,0 +1,152 @@
+"""TOP-N pruning (Examples #3 and #7).
+
+Two variants, matching Table 2's two TOP N rows:
+
+* :class:`TopNDeterministic` — power-of-two threshold counters.  The
+  switch learns ``t0`` (the minimum of the first N entries) and maintains
+  counters for ``t_i = t0 * 2^i``; once ``N`` entries ``>= t_i`` have been
+  seen, anything below ``t_i`` is provably outside the top N and is
+  pruned.  Always correct.
+* :class:`TopNRandomized` — a d x w rolling-minimum matrix with uniform
+  random row placement.  An entry smaller than all ``w`` values stored in
+  its row is pruned; the (d, w) sizing of Theorem 2 makes the probability
+  that any true top-N entry is pruned at most ``delta``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.base import Guarantee, PruningAlgorithm, register_algorithm
+from repro.core.config import TopNConfig, feasible_topn_config
+from repro.sketches.cache_matrix import RollingMinMatrix
+from repro.switch.resources import ResourceUsage
+
+
+@register_algorithm
+class TopNDeterministic(PruningAlgorithm):
+    """Deterministic TOP-N with ``w`` power-of-two thresholds (default w=4).
+
+    Entries are compared against the highest threshold whose counter has
+    reached ``n``; thresholds double (``t_i = t0 << i``) so a handful of
+    stages covers a wide value range even when the first N entries are
+    unrepresentative.
+    """
+
+    name = "topn_det"
+    guarantee = Guarantee.DETERMINISTIC
+
+    def __init__(self, n: int = 250, thresholds: int = 4):
+        super().__init__()
+        if n < 1:
+            raise ValueError(f"n must be positive, got {n}")
+        if thresholds < 1:
+            raise ValueError(f"thresholds must be positive, got {thresholds}")
+        self.n = n
+        self.w = thresholds
+        self._warmup_seen = 0
+        self._t0: Optional[int] = None
+        self._warmup_min: Optional[int] = None
+        self._counters = [0] * thresholds
+
+    def _threshold(self, i: int) -> int:
+        # Stage i guards t0 * 2^i; a zero t0 still allows growth via max(,1).
+        return max(self._t0, 1) << i
+
+    def _decide(self, entry) -> bool:
+        value = int(entry)
+        if self._t0 is None:
+            self._warmup_seen += 1
+            if self._warmup_min is None or value < self._warmup_min:
+                self._warmup_min = value
+            if self._warmup_seen >= self.n:
+                self._t0 = self._warmup_min
+            return False
+        prune = False
+        for i in range(self.w):
+            t_i = self._threshold(i)
+            if value >= t_i:
+                self._counters[i] += 1
+            elif self._counters[i] >= self.n:
+                prune = True
+        return prune
+
+    def resources(self) -> ResourceUsage:
+        """Table 2: w+1 stages, w+1 ALUs, (w+1) x 64b SRAM."""
+        return ResourceUsage(
+            stages=self.w + 1,
+            alus=self.w + 1,
+            sram_bits=(self.w + 1) * 64,
+            tcam_entries=0,
+            metadata_bits=160,
+        )
+
+    def parameters(self) -> dict:
+        return {"N": self.n, "w": self.w}
+
+    def reset(self) -> None:
+        super().reset()
+        self._warmup_seen = 0
+        self._t0 = None
+        self._warmup_min = None
+        self._counters = [0] * self.w
+
+
+@register_algorithm
+class TopNRandomized(PruningAlgorithm):
+    """Randomized TOP-N via a d x w rolling-minimum matrix (Fig. 2).
+
+    Fails (prunes a top-N entry) with probability at most ``delta`` when
+    (d, w) satisfy Theorem 2 — use :meth:`configured` to size the matrix
+    from (n, delta) directly.
+    """
+
+    name = "topn_rand"
+    guarantee = Guarantee.PROBABILISTIC
+
+    def __init__(self, n: int = 250, rows: int = 4096, width: int = 4,
+                 seed: int = 0):
+        super().__init__()
+        if n < 1:
+            raise ValueError(f"n must be positive, got {n}")
+        self.n = n
+        self.matrix = RollingMinMatrix(rows, width, seed)
+
+    @classmethod
+    def configured(cls, n: int, delta: float = 1e-4,
+                   max_rows: Optional[int] = None,
+                   max_width: Optional[int] = None,
+                   seed: int = 0) -> "TopNRandomized":
+        """Size (d, w) by Theorem 2 / the Lambert-W optimum (§5)."""
+        cfg: TopNConfig = feasible_topn_config(n, delta, max_rows, max_width)
+        return cls(n=n, rows=cfg.rows, width=cfg.width, seed=seed)
+
+    def _decide(self, entry) -> bool:
+        return self.matrix.offer(float(entry))
+
+    def resources(self) -> ResourceUsage:
+        """Table 2: w stages, w ALUs, d x w x 64b SRAM."""
+        w, d = self.matrix.width, self.matrix.rows
+        return ResourceUsage(
+            stages=w,
+            alus=w,
+            sram_bits=d * w * 64,
+            tcam_entries=0,
+            metadata_bits=160,
+        )
+
+    def parameters(self) -> dict:
+        return {"N": self.n, "d": self.matrix.rows, "w": self.matrix.width}
+
+    def reset(self) -> None:
+        super().reset()
+        self.matrix.clear()
+
+    def failure_probability_bound(self) -> float:
+        """Upper bound on Pr[some top-N entry pruned] for the current
+        (d, w): the union bound ``d * (N e / ((w+1) d))^(w+1)`` from the
+        Theorem 9 proof."""
+        d, w = self.matrix.rows, self.matrix.width
+        per_row = (self.n * math.e / ((w + 1) * d)) ** (w + 1)
+        return min(1.0, d * per_row)

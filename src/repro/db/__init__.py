@@ -1,0 +1,55 @@
+"""Mini columnar SQL engine — the "Spark SQL" substrate.
+
+The paper runs against Spark SQL; we substitute a small engine with the
+pieces Cheetah touches:
+
+* columnar :class:`~repro.db.table.Table` storage,
+* the expression AST (re-exported from :mod:`repro.core.expr`),
+* query descriptions (:mod:`repro.db.queries`),
+* a reference executor producing ground-truth ``Q(D)``
+  (:mod:`repro.db.executor`),
+* a query planner that decomposes queries into a switch part and a
+  master part (:mod:`repro.db.planner`), and
+* a tiny SQL parser for the paper's dialect (:mod:`repro.db.sql`).
+"""
+
+from repro.core.expr import (
+    And,
+    BinOp,
+    Cmp,
+    Col,
+    Expr,
+    FALSE,
+    Like,
+    Lit,
+    Not,
+    Or,
+    TRUE,
+)
+from repro.db.column import Column, ColumnType
+from repro.db.table import Table
+from repro.db.queries import (
+    DistinctQuery,
+    FilterQuery,
+    GroupByQuery,
+    HavingQuery,
+    JoinQuery,
+    Query,
+    SkylineQuery,
+    TopNQuery,
+    CompoundQuery,
+)
+from repro.db.executor import execute, ExecutionResult
+from repro.db.planner import QueryPlanner, QueryPlan
+from repro.db.sql import parse_sql
+
+__all__ = [
+    "And", "BinOp", "Cmp", "Col", "Expr", "FALSE", "Like", "Lit", "Not",
+    "Or", "TRUE",
+    "Column", "ColumnType", "Table",
+    "Query", "FilterQuery", "DistinctQuery", "TopNQuery", "GroupByQuery",
+    "JoinQuery", "HavingQuery", "SkylineQuery", "CompoundQuery",
+    "execute", "ExecutionResult",
+    "QueryPlanner", "QueryPlan",
+    "parse_sql",
+]

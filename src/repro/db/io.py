@@ -1,0 +1,100 @@
+"""CSV import/export for tables.
+
+A small, dependency-free loader so the examples and downstream users can
+run Cheetah on their own data: types are inferred per column (INT if all
+values parse as ints, FLOAT if all parse as floats, else STR), matching
+the engine's three column types.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Optional, Sequence, TextIO, Union
+
+from repro.db.column import ColumnType
+from repro.db.table import Table
+
+
+def _infer_column_type(values: Sequence[str]) -> ColumnType:
+    def all_parse(parser) -> bool:
+        for value in values:
+            try:
+                parser(value)
+            except ValueError:
+                return False
+        return True
+
+    if values and all_parse(int):
+        return ColumnType.INT
+    if values and all_parse(float):
+        return ColumnType.FLOAT
+    return ColumnType.STR
+
+
+def read_csv(source: Union[str, TextIO], name: Optional[str] = None,
+             limit: Optional[int] = None) -> Table:
+    """Load a CSV file (path or file object) into a :class:`Table`.
+
+    The first row is the header; column types are inferred from the
+    data.  ``limit`` caps the row count (sampling large files).
+    """
+    if isinstance(source, str):
+        with open(source, newline="") as handle:
+            return read_csv(handle, name=name or source, limit=limit)
+    reader = csv.reader(source)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("CSV input is empty (no header row)") from None
+    if not header or any(not column for column in header):
+        raise ValueError(f"malformed CSV header: {header!r}")
+    raw_rows: List[List[str]] = []
+    for row in reader:
+        if len(row) != len(header):
+            raise ValueError(
+                f"row {len(raw_rows) + 2} has {len(row)} fields, "
+                f"header has {len(header)}"
+            )
+        raw_rows.append(row)
+        if limit is not None and len(raw_rows) >= limit:
+            break
+    if not raw_rows:
+        raise ValueError("CSV input has a header but no data rows")
+    types = [
+        _infer_column_type([row[i] for row in raw_rows])
+        for i in range(len(header))
+    ]
+    table = Table(name or "csv", list(zip(header, types)))
+    casters = {ColumnType.INT: int, ColumnType.FLOAT: float,
+               ColumnType.STR: str}
+    for row in raw_rows:
+        table.append({
+            column: casters[ctype](value)
+            for column, ctype, value in zip(header, types, row)
+        })
+    return table
+
+
+def write_csv(table: Table, destination: Union[str, TextIO]) -> None:
+    """Write a table as CSV (header + rows, in schema order)."""
+    if isinstance(destination, str):
+        with open(destination, "w", newline="") as handle:
+            write_csv(table, handle)
+            return
+    writer = csv.writer(destination, lineterminator="\n")
+    writer.writerow(table.column_names)
+    for row in table.rows():
+        writer.writerow([row[c] for c in table.column_names])
+
+
+def to_csv_string(table: Table) -> str:
+    """The table as a CSV string (tests / small exports)."""
+    buffer = io.StringIO()
+    write_csv(table, buffer)
+    return buffer.getvalue()
+
+
+def from_records(name: str, records: Iterable[dict]) -> Table:
+    """Alias for :meth:`Table.from_rows` accepting any iterable."""
+    return Table.from_rows(name, list(records))

@@ -1,0 +1,476 @@
+"""Query planner: decompose queries into a switch part and a master part.
+
+``QueryPlanner.plan`` maps a :class:`~repro.db.queries.Query` to a
+:class:`QueryPlan` carrying (1) the :class:`QuerySpec` sent to the switch
+control plane, (2) how worker rows become switch entries, and (3) how the
+master completes the query from the forwarded data.
+
+``plan.run(tables)`` executes the whole Cheetah flow *functionally* (no
+timing — the cluster layer adds the cost model) and returns the result
+plus traffic accounting:
+
+* JOIN runs its two passes (§4.3), with the asymmetric optimization when
+  the tables are lopsided;
+* HAVING SUM/COUNT and SUM/COUNT GROUP BY run the sketch / partial-
+  aggregation path with the partial second pass (§4.3, §6);
+* everything else is single-pass: prune, then execute the unchanged
+  query on the forwarded subset.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.core.base import PruningAlgorithm
+from repro.core.groupby import GroupBySumAggregator
+from repro.db.column import ColumnType
+from repro.db.executor import ExecutionResult, execute
+from repro.db.queries import (
+    CompoundQuery,
+    DistinctQuery,
+    FilterQuery,
+    GroupByQuery,
+    HavingQuery,
+    JoinQuery,
+    Query,
+    SkylineQuery,
+    SortOrder,
+    TopNQuery,
+)
+from repro.db.table import Table
+from repro.sketches.fingerprint import fingerprint_length_distinct
+from repro.switch.compiler import QuerySpec
+from repro.switch.controlplane import ControlPlane
+from repro.switch.resources import SwitchModel, TOFINO_MODEL
+
+TableSet = Union[Table, Mapping[str, Table]]
+
+
+@dataclasses.dataclass
+class TrafficStats:
+    """Entry counts for the cost model (per run)."""
+
+    first_pass_entries: int = 0
+    forwarded_entries: int = 0
+    second_pass_entries: int = 0
+    #: Unpruned fraction over the final 20% of the stream — the
+    #: steady-state miss rate, used to extrapolate cache-style pruners
+    #: (DISTINCT / GROUP BY / HAVING) to larger data scales.
+    tail_unpruned_fraction: Optional[float] = None
+
+    @property
+    def unpruned_fraction(self) -> float:
+        """Forwarded / offered on the pruned pass."""
+        if self.first_pass_entries == 0:
+            return 0.0
+        return self.forwarded_entries / self.first_pass_entries
+
+
+class _TailTracker:
+    """Tracks the unpruned rate over the last 20% of a known-length pass."""
+
+    def __init__(self, total: int):
+        self.start = int(total * 0.8)
+        self.offered = 0
+        self.forwarded = 0
+
+    def record(self, index: int, forwarded: bool) -> None:
+        if index < self.start:
+            return
+        self.offered += 1
+        if forwarded:
+            self.forwarded += 1
+
+    @property
+    def fraction(self) -> Optional[float]:
+        if self.offered == 0:
+            return None
+        return self.forwarded / self.offered
+
+
+@dataclasses.dataclass
+class CheetahRun:
+    """Outcome of one end-to-end pruned execution."""
+
+    result: ExecutionResult
+    traffic: TrafficStats
+    pruner: Optional[PruningAlgorithm] = None
+    parts: Optional[List["CheetahRun"]] = None
+
+
+@dataclasses.dataclass
+class QueryPlan:
+    """A planned query: switch spec + runner."""
+
+    query: Query
+    spec: Optional[QuerySpec]
+    runner: Callable[[TableSet, ControlPlane], CheetahRun]
+
+    def run(self, tables: TableSet,
+            control_plane: Optional[ControlPlane] = None) -> CheetahRun:
+        """Execute the Cheetah flow; a fresh control plane by default."""
+        if control_plane is None:
+            control_plane = ControlPlane()
+        return self.runner(tables, control_plane)
+
+
+def _single(tables: TableSet, name: str = None) -> Table:
+    if isinstance(tables, Table):
+        return tables
+    if name is not None:
+        return tables[name]
+    if len(tables) != 1:
+        raise ValueError("query needs exactly one table")
+    return next(iter(tables.values()))
+
+
+class QueryPlanner:
+    """Plans queries for a given switch budget."""
+
+    def __init__(self, switch: SwitchModel = TOFINO_MODEL, seed: int = 0,
+                 delta: float = 1e-4, structure_scale: float = 1.0):
+        if structure_scale <= 0:
+            raise ValueError(
+                f"structure_scale must be positive, got {structure_scale}"
+            )
+        self.switch = switch
+        self.seed = seed
+        self.delta = delta
+        #: Shrinks the switch data structures proportionally when running
+        #: on sampled data, so measured pruning fractions transfer to the
+        #: full-scale structure-to-data ratio (used by CheetahRuntime's
+        #: extrapolation).
+        self.structure_scale = structure_scale
+
+    def _scaled(self, size: int, floor: int = 4) -> int:
+        """A structure dimension under the sampling scale."""
+        return max(floor, round(size * self.structure_scale))
+
+    def plan(self, query: Query) -> QueryPlan:
+        """Build the :class:`QueryPlan` for ``query``."""
+        planner = _PLANNERS.get(type(query))
+        if planner is None:
+            raise TypeError(f"no plan for {type(query).__name__}")
+        return planner(self, query)
+
+    # -- single-pass plans --------------------------------------------------
+    def _plan_filter(self, query: FilterQuery) -> QueryPlan:
+        spec = QuerySpec("filter", (("predicate", query.predicate),))
+
+        def run(tables: TableSet, cp: ControlPlane) -> CheetahRun:
+            table = _single(tables, getattr(query, "table", None))
+            installation = cp.install_query(spec)
+            keep = []
+            for i, row in enumerate(table.rows()):
+                if not cp.offer(installation.fid, row):
+                    keep.append(i)
+            pruned_table = table.take(keep)
+            result = execute(query, pruned_table)
+            return CheetahRun(
+                result=result,
+                traffic=TrafficStats(len(table), len(keep)),
+                pruner=installation.compiled.pruner,
+            )
+
+        return QueryPlan(query, spec, run)
+
+    def _plan_distinct(self, query: DistinctQuery) -> QueryPlan:
+        params: List[Tuple[str, Any]] = [("d", self._scaled(4096)), ("w", 2)]
+        spec = QuerySpec("distinct", tuple(params))
+
+        def run(tables: TableSet, cp: ControlPlane) -> CheetahRun:
+            table = _single(tables, getattr(query, "table", None))
+            use_fp = query.multi_column or any(
+                table.column(c).ctype is ColumnType.STR
+                for c in query.key_columns
+            )
+            run_params = list(params)
+            if use_fp:
+                # Wide/multi-column keys exceed the parseable bits:
+                # fingerprint at the CWorker (Example #8), sized by
+                # Theorems 6/7 from a distinct-count estimate.
+                estimate = max(2, len(table) // 4)
+                bits = min(64, fingerprint_length_distinct(
+                    estimate, self._scaled(4096), self.delta))
+                run_params.append(("fingerprint_bits", bits))
+            installation = cp.install_query(QuerySpec("distinct",
+                                                      tuple(run_params)))
+            keep = []
+            tail = _TailTracker(len(table))
+            for i, row in enumerate(table.rows()):
+                key = tuple(row[c] for c in query.key_columns)
+                if len(key) == 1:
+                    key = key[0]
+                forwarded = not cp.offer(installation.fid, key)
+                tail.record(i, forwarded)
+                if forwarded:
+                    keep.append(i)
+            result = execute(query, table.take(keep))
+            return CheetahRun(
+                result=result,
+                traffic=TrafficStats(len(table), len(keep),
+                                     tail_unpruned_fraction=tail.fraction),
+                pruner=installation.compiled.pruner,
+            )
+
+        return QueryPlan(query, spec, run)
+
+    def _plan_topn(self, query: TopNQuery) -> QueryPlan:
+        spec = QuerySpec("topn", (
+            ("n", query.n),
+            ("randomized", query.randomized),
+            ("delta", query.delta),
+        ))
+
+        def run(tables: TableSet, cp: ControlPlane) -> CheetahRun:
+            table = _single(tables, getattr(query, "table", None))
+            installation = cp.install_query(spec)
+            sign = 1 if query.order is SortOrder.DESC else -1
+            keep = []
+            for i, row in enumerate(table.rows()):
+                value = sign * row[query.order_column]
+                if not cp.offer(installation.fid, value):
+                    keep.append(i)
+            result = execute(query, table.take(keep))
+            return CheetahRun(
+                result=result,
+                traffic=TrafficStats(len(table), len(keep)),
+                pruner=installation.compiled.pruner,
+            )
+
+        return QueryPlan(query, spec, run)
+
+    def _plan_skyline(self, query: SkylineQuery) -> QueryPlan:
+        # Table 2's default w=10 counts *logical* stages; fold the point
+        # store into the physical pipeline: D-dim points take 2 stages
+        # each plus log2(D) + 2 overhead stages (projection + prune bit).
+        import math
+
+        dims = len(query.dimensions)
+        log_d = max(1, math.ceil(math.log2(max(2, dims))))
+        width = max(1, (self.switch.stages - log_d) // 2 - 1)
+        spec = QuerySpec("skyline", (("D", dims), ("w", width)))
+
+        def run(tables: TableSet, cp: ControlPlane) -> CheetahRun:
+            table = _single(tables, getattr(query, "table", None))
+            installation = cp.install_query(spec)
+            keep = []
+            for i, row in enumerate(table.rows()):
+                point = tuple(row[d] for d in query.dimensions)
+                if not cp.offer(installation.fid, point):
+                    keep.append(i)
+            result = execute(query, table.take(keep))
+            return CheetahRun(
+                result=result,
+                traffic=TrafficStats(len(table), len(keep)),
+                pruner=installation.compiled.pruner,
+            )
+
+        return QueryPlan(query, spec, run)
+
+    # -- group by ------------------------------------------------------------
+    def _plan_groupby(self, query: GroupByQuery) -> QueryPlan:
+        if query.switch_offloadable:
+            spec = QuerySpec("groupby", (
+                ("aggregate", query.aggregate),
+                ("d", self._scaled(4096)),
+            ))
+
+            def run(tables: TableSet, cp: ControlPlane) -> CheetahRun:
+                table = _single(tables, getattr(query, "table", None))
+                installation = cp.install_query(spec)
+                keep = []
+                tail = _TailTracker(len(table))
+                for i, row in enumerate(table.rows()):
+                    entry = (row[query.key_column], row[query.value_column])
+                    forwarded = not cp.offer(installation.fid, entry)
+                    tail.record(i, forwarded)
+                    if forwarded:
+                        keep.append(i)
+                result = execute(query, table.take(keep))
+                return CheetahRun(
+                    result=result,
+                    traffic=TrafficStats(len(table), len(keep),
+                                         tail_unpruned_fraction=tail.fraction),
+                    pruner=installation.compiled.pruner,
+                )
+
+            return QueryPlan(query, spec, run)
+
+        # SUM/COUNT group-by: in-switch partial aggregation (§6) — the
+        # matrix absorbs entries into per-group partial sums; evicted and
+        # drained partials are forwarded and merged at the master.
+        def run_sum(tables: TableSet, cp: ControlPlane) -> CheetahRun:
+            table = _single(tables, getattr(query, "table", None))
+            aggregator = GroupBySumAggregator(
+                rows=self._scaled(4096, floor=1), width=8,
+                count_mode=(query.aggregate == "count"), seed=self.seed,
+            )
+            partials: Dict[Any, float] = {}
+            forwarded = 0
+            total = 0
+            tail = _TailTracker(len(table))
+            for i, row in enumerate(table.rows()):
+                total += 1
+                amount = (1 if query.aggregate == "count"
+                          else row[query.value_column])
+                evicted = aggregator.offer(row[query.key_column], amount)
+                tail.record(i, evicted is not None)
+                if evicted is not None:
+                    key, value = evicted
+                    partials[key] = partials.get(key, 0) + value
+                    forwarded += 1
+            for key, value in aggregator.drain():
+                partials[key] = partials.get(key, 0) + value
+                forwarded += 1
+            ground_shape = {k: (int(v) if query.aggregate == "count" else v)
+                            for k, v in partials.items()}
+            result = ExecutionResult(query=query, output=ground_shape)
+            return CheetahRun(
+                result=result,
+                traffic=TrafficStats(total, forwarded,
+                                     tail_unpruned_fraction=tail.fraction),
+            )
+
+        return QueryPlan(query, None, run_sum)
+
+    # -- join ------------------------------------------------------------------
+    def _plan_join(self, query: JoinQuery) -> QueryPlan:
+        spec = QuerySpec("join", (
+            ("M_bits", max(1024 * 8,
+                           round(4 * 2 ** 20 * 8 * self.structure_scale))),
+        ))
+
+        def run(tables: TableSet, cp: ControlPlane) -> CheetahRun:
+            if isinstance(tables, Table):
+                raise ValueError("JOIN needs a mapping of table name -> Table")
+            left = tables[query.left_table]
+            right = tables[query.right_table]
+            installation = cp.install_query(spec)
+            pruner = installation.compiled.pruner
+            # Pass 1: stream the key columns of both tables to build the
+            # Bloom filters; nothing is forwarded.
+            for row in left.rows():
+                cp.offer(installation.fid, ("A", row[query.left_key]))
+            for row in right.rows():
+                cp.offer(installation.fid, ("B", row[query.right_key]))
+            pruner.start_second_pass()
+            # Pass 2: prune each table against the other's filter — but
+            # only the *prunable* sides (an OUTER side's unmatched rows
+            # are part of the output and must reach the master whole).
+            prunable = query.prunable_sides
+            if query.left_table in prunable:
+                keep_left = [
+                    i for i, row in enumerate(left.rows())
+                    if not cp.offer(installation.fid,
+                                    ("A", row[query.left_key]))
+                ]
+            else:
+                keep_left = list(range(len(left)))
+            if query.right_table in prunable:
+                keep_right = [
+                    i for i, row in enumerate(right.rows())
+                    if not cp.offer(installation.fid,
+                                    ("B", row[query.right_key]))
+                ]
+            else:
+                keep_right = list(range(len(right)))
+            pruned = {
+                query.left_table: left.take(keep_left),
+                query.right_table: right.take(keep_right),
+            }
+            result = execute(query, pruned)
+            total = len(left) + len(right)
+            return CheetahRun(
+                result=result,
+                traffic=TrafficStats(
+                    first_pass_entries=total,
+                    forwarded_entries=len(keep_left) + len(keep_right),
+                    second_pass_entries=total,
+                ),
+                pruner=pruner,
+            )
+
+        return QueryPlan(query, spec, run)
+
+    # -- having -----------------------------------------------------------------
+    def _plan_having(self, query: HavingQuery) -> QueryPlan:
+        spec = QuerySpec("having", (
+            ("threshold", query.threshold),
+            ("aggregate", query.aggregate),
+        ))
+
+        def run(tables: TableSet, cp: ControlPlane) -> CheetahRun:
+            table = _single(tables, getattr(query, "table", None))
+            installation = cp.install_query(spec)
+            pruner = installation.compiled.pruner
+            keep = []
+            tail = _TailTracker(len(table))
+            for i, row in enumerate(table.rows()):
+                entry = (row[query.key_column], row[query.value_column])
+                forwarded = not cp.offer(installation.fid, entry)
+                tail.record(i, forwarded)
+                if forwarded:
+                    keep.append(i)
+            if query.aggregate in ("max", "min"):
+                # Witness forwarding is exact: complete on forwarded rows.
+                result = execute(query, table.take(keep))
+                return CheetahRun(
+                    result=result,
+                    traffic=TrafficStats(len(table), len(keep)),
+                    pruner=pruner,
+                )
+            # SUM/COUNT: the master got a superset of candidate keys; the
+            # partial second pass streams only those keys' entries and
+            # computes the exact aggregates (§4.3).
+            candidates = pruner.candidate_keys()
+            second_pass_rows = [
+                i for i, row in enumerate(table.rows())
+                if row[query.key_column] in candidates
+            ]
+            result = execute(query, table.take(second_pass_rows))
+            return CheetahRun(
+                result=result,
+                traffic=TrafficStats(
+                    first_pass_entries=len(table),
+                    forwarded_entries=len(keep),
+                    second_pass_entries=len(second_pass_rows),
+                    tail_unpruned_fraction=tail.fraction,
+                ),
+                pruner=pruner,
+            )
+
+        return QueryPlan(query, spec, run)
+
+    # -- compound -----------------------------------------------------------------
+    def _plan_compound(self, query: CompoundQuery) -> QueryPlan:
+        def run(tables: TableSet, cp: ControlPlane) -> CheetahRun:
+            runs = [self.plan(part).run(tables, ControlPlane(self.switch))
+                    for part in query.parts]
+            combined = TrafficStats(
+                first_pass_entries=sum(r.traffic.first_pass_entries
+                                       for r in runs),
+                forwarded_entries=sum(r.traffic.forwarded_entries
+                                      for r in runs),
+                second_pass_entries=sum(r.traffic.second_pass_entries
+                                        for r in runs),
+            )
+            result = ExecutionResult(
+                query=query, output=tuple(r.result.output for r in runs)
+            )
+            return CheetahRun(result=result, traffic=combined, parts=runs)
+
+        return QueryPlan(query, None, run)
+
+
+_PLANNERS = {
+    FilterQuery: QueryPlanner._plan_filter,
+    DistinctQuery: QueryPlanner._plan_distinct,
+    TopNQuery: QueryPlanner._plan_topn,
+    SkylineQuery: QueryPlanner._plan_skyline,
+    GroupByQuery: QueryPlanner._plan_groupby,
+    JoinQuery: QueryPlanner._plan_join,
+    HavingQuery: QueryPlanner._plan_having,
+    CompoundQuery: QueryPlanner._plan_compound,
+}

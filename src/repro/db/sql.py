@@ -1,0 +1,349 @@
+"""A tiny SQL parser for the paper's query dialect.
+
+Supports exactly the shapes used throughout the paper and its Appendix B
+benchmark list::
+
+    SELECT COUNT() FROM Rankings WHERE avgDuration < 10
+    SELECT DISTINCT userAgent FROM UserVisits
+    SELECT * FROM Ratings SKYLINE OF pageRank, avgDuration
+    SELECT TOP 250 * FROM UserVisits ORDER BY adRevenue
+    SELECT userAgent, MAX(adRevenue) FROM UserVisits GROUP BY userAgent
+    SELECT * FROM UserVisits JOIN Ratings ON UserVisits.destURL = Ratings.pageURL
+    SELECT languageCode FROM UserVisits GROUP BY languageCode
+        HAVING SUM(adRevenue) > 1000000
+    SELECT * FROM Ratings WHERE (taste > 5)
+        OR (texture > 4 AND name LIKE 'e%s')
+
+The parser produces the :mod:`repro.db.queries` dataclasses; it is a
+plain recursive-descent parser over a regex tokenizer — no dependencies.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Tuple
+
+from repro.core.expr import And, Cmp, Col, Expr, Like, Lit, Not, Or
+from repro.db.queries import (
+    DistinctQuery,
+    FilterQuery,
+    GroupByQuery,
+    HavingQuery,
+    JoinQuery,
+    JoinType,
+    Query,
+    SkylineQuery,
+    SortOrder,
+    TopNQuery,
+)
+
+
+class SQLSyntaxError(ValueError):
+    """The input is not in the supported dialect."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'(?:[^'])*')
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<punct>[(),.*])
+  | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "DISTINCT", "TOP", "ORDER", "BY", "GROUP",
+    "HAVING", "JOIN", "ON", "SKYLINE", "OF", "AND", "OR", "NOT", "LIKE",
+    "LEFT", "RIGHT", "OUTER", "INNER",
+    "COUNT", "SUM", "MAX", "MIN", "ASC", "DESC",
+}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SQLSyntaxError(
+                f"unexpected character {text[pos]!r} at offset {pos}"
+            )
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "word" and value.upper() in _KEYWORDS:
+            tokens.append(("kw", value.upper()))
+        else:
+            tokens.append((kind, value))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------------
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Tuple[str, str]:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def accept_kw(self, *words: str) -> Optional[str]:
+        kind, value = self.peek()
+        if kind == "kw" and value in words:
+            self.advance()
+            return value
+        return None
+
+    def expect_kw(self, word: str) -> None:
+        if not self.accept_kw(word):
+            kind, value = self.peek()
+            raise SQLSyntaxError(f"expected {word}, got {value!r}")
+
+    def accept_punct(self, char: str) -> bool:
+        kind, value = self.peek()
+        if kind == "punct" and value == char:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, char: str) -> None:
+        if not self.accept_punct(char):
+            kind, value = self.peek()
+            raise SQLSyntaxError(f"expected {char!r}, got {value!r}")
+
+    def expect_word(self) -> str:
+        kind, value = self.advance()
+        if kind != "word":
+            raise SQLSyntaxError(f"expected an identifier, got {value!r}")
+        return value
+
+    def qualified_name(self) -> str:
+        """``table.column`` or plain ``column``; the table part is kept
+        for JOIN key resolution and dropped elsewhere."""
+        name = self.expect_word()
+        if self.accept_punct("."):
+            return f"{name}.{self.expect_word()}"
+        return name
+
+    # -- grammar ---------------------------------------------------------------
+    def parse(self) -> Query:
+        self.expect_kw("SELECT")
+        top_n = None
+        if self.accept_kw("TOP"):
+            kind, value = self.advance()
+            if kind != "number":
+                raise SQLSyntaxError(f"TOP needs a number, got {value!r}")
+            top_n = int(value)
+        if self.accept_kw("DISTINCT"):
+            columns = self._column_list()
+            self.expect_kw("FROM")
+            self.expect_word()
+            self._expect_eof()
+            return DistinctQuery(key_columns=columns)
+        select_items = self._select_items()
+        self.expect_kw("FROM")
+        table = self.expect_word()
+        query = self._tail(table, select_items, top_n)
+        self._expect_eof()
+        return query
+
+    def _expect_eof(self) -> None:
+        kind, value = self.peek()
+        if kind != "eof":
+            raise SQLSyntaxError(f"unexpected trailing input: {value!r}")
+
+    def _column_list(self) -> List[str]:
+        columns = [self.qualified_name()]
+        while self.accept_punct(","):
+            columns.append(self.qualified_name())
+        return columns
+
+    def _select_items(self) -> List[Tuple[str, Optional[str]]]:
+        """(name, aggregate) pairs; ``*`` becomes ("*", None)."""
+        items: List[Tuple[str, Optional[str]]] = []
+        while True:
+            if self.accept_punct("*"):
+                items.append(("*", None))
+            else:
+                agg = self.accept_kw("COUNT", "SUM", "MAX", "MIN")
+                if agg:
+                    self.expect_punct("(")
+                    if self.accept_punct(")"):
+                        items.append(("*", agg.lower()))
+                    else:
+                        inner = self.qualified_name()
+                        self.expect_punct(")")
+                        items.append((inner, agg.lower()))
+                else:
+                    items.append((self.qualified_name(), None))
+            if not self.accept_punct(","):
+                return items
+
+    def _tail(self, table: str,
+              select_items: List[Tuple[str, Optional[str]]],
+              top_n: Optional[int]) -> Query:
+        plain = [name for name, agg in select_items if agg is None]
+        aggregated = [(name, agg) for name, agg in select_items
+                      if agg is not None]
+
+        join_type = JoinType.INNER
+        side = self.accept_kw("LEFT", "RIGHT", "INNER")
+        if side:
+            self.accept_kw("OUTER")
+            if side == "LEFT":
+                join_type = JoinType.LEFT_OUTER
+            elif side == "RIGHT":
+                join_type = JoinType.RIGHT_OUTER
+            self.expect_kw("JOIN")
+        if side or self.accept_kw("JOIN"):
+            right = self.expect_word()
+            self.expect_kw("ON")
+            left_key = self.qualified_name()
+            kind, op = self.advance()
+            if (kind, op) != ("op", "="):
+                raise SQLSyntaxError(f"JOIN ... ON needs '=', got {op!r}")
+            right_key = self.qualified_name()
+            return JoinQuery(
+                left_table=table,
+                right_table=right,
+                left_key=_strip_table(left_key, table),
+                right_key=_strip_table(right_key, right),
+                join_type=join_type,
+            )
+
+        if self.accept_kw("SKYLINE"):
+            self.expect_kw("OF")
+            dims = self._column_list()
+            return SkylineQuery(dimensions=dims, columns=tuple(plain) or ("*",))
+
+        predicate = None
+        if self.accept_kw("WHERE"):
+            predicate = self._or_expr()
+
+        if self.accept_kw("GROUP"):
+            self.expect_kw("BY")
+            key = self.qualified_name()
+            if self.accept_kw("HAVING"):
+                agg_kw = self.accept_kw("SUM", "COUNT", "MAX", "MIN")
+                if not agg_kw:
+                    raise SQLSyntaxError("HAVING needs SUM/COUNT/MAX/MIN(...)")
+                self.expect_punct("(")
+                value_col = ("*" if self.accept_punct(")")
+                             else self.qualified_name())
+                if value_col != "*":
+                    self.expect_punct(")")
+                kind, op = self.advance()
+                if (kind, op) != ("op", ">"):
+                    raise SQLSyntaxError(
+                        "only HAVING agg(...) > c is supported (the paper "
+                        "defers '< c' to future work)"
+                    )
+                threshold = self._literal()
+                return HavingQuery(
+                    key_column=key,
+                    value_column=value_col if value_col != "*" else key,
+                    threshold=threshold,
+                    aggregate=agg_kw.lower(),
+                )
+            if not aggregated:
+                raise SQLSyntaxError(
+                    "GROUP BY without HAVING needs an aggregated select item"
+                )
+            value_col, agg = aggregated[0]
+            return GroupByQuery(key_column=key,
+                                value_column=value_col if value_col != "*" else key,
+                                aggregate=agg)
+
+        if self.accept_kw("ORDER"):
+            self.expect_kw("BY")
+            order_col = self.qualified_name()
+            order = SortOrder.DESC
+            if self.accept_kw("ASC"):
+                order = SortOrder.ASC
+            else:
+                self.accept_kw("DESC")
+            if top_n is None:
+                raise SQLSyntaxError("ORDER BY is only supported with TOP n")
+            return TopNQuery(n=top_n, order_column=order_col,
+                             columns=tuple(plain) or ("*",), order=order)
+
+        if top_n is not None:
+            raise SQLSyntaxError("TOP n needs an ORDER BY clause")
+
+        count_only = any(agg == "count" for _, agg in aggregated)
+        if predicate is None:
+            raise SQLSyntaxError(
+                "plain SELECT needs WHERE / GROUP BY / ORDER BY / SKYLINE / "
+                "JOIN (full scans are not a Cheetah query)"
+            )
+        return FilterQuery(predicate=predicate,
+                           columns=tuple(plain) or ("*",),
+                           count_only=count_only)
+
+    # -- boolean / comparison expressions ----------------------------------------
+    def _or_expr(self) -> Expr:
+        expr = self._and_expr()
+        while self.accept_kw("OR"):
+            expr = Or(expr, self._and_expr())
+        return expr
+
+    def _and_expr(self) -> Expr:
+        expr = self._not_expr()
+        while self.accept_kw("AND"):
+            expr = And(expr, self._not_expr())
+        return expr
+
+    def _not_expr(self) -> Expr:
+        if self.accept_kw("NOT"):
+            return Not(self._not_expr())
+        if self.accept_punct("("):
+            expr = self._or_expr()
+            self.expect_punct(")")
+            return expr
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        column = Col(self.qualified_name())
+        if self.accept_kw("LIKE"):
+            kind, value = self.advance()
+            if kind != "string":
+                raise SQLSyntaxError("LIKE needs a quoted pattern")
+            return Like(column, value[1:-1])
+        kind, op = self.advance()
+        if kind != "op":
+            raise SQLSyntaxError(f"expected a comparison operator, got {op!r}")
+        op = {"=": "==", "<>": "!="}.get(op, op)
+        return Cmp(op, column, Lit(self._literal()))
+
+    def _literal(self) -> Any:
+        kind, value = self.advance()
+        if kind == "number":
+            return float(value) if "." in value else int(value)
+        if kind == "string":
+            return value[1:-1]
+        raise SQLSyntaxError(f"expected a literal, got {value!r}")
+
+
+def _strip_table(name: str, table: str) -> str:
+    prefix = f"{table}."
+    if name.startswith(prefix):
+        return name[len(prefix):]
+    return name
+
+
+def parse_sql(text: str) -> Query:
+    """Parse one statement of the supported dialect into a Query."""
+    return _Parser(text).parse()

@@ -1,0 +1,40 @@
+"""Network substrate: Cheetah's packet formats and reliability protocol.
+
+The paper runs a UDP-based protocol between CWorkers and the CMaster,
+with the switch as an active participant: pruned packets are ACKed *by
+the switch* so workers can distinguish pruning from loss (§7.2).  We
+model:
+
+* the packet and ACK formats of Figure 4 (:mod:`repro.net.packet`),
+* byte-level encoding/decoding with variable-length value lists
+  (:mod:`repro.net.wire`),
+* a lossy, reordering channel (:mod:`repro.net.channel`), and
+* the full reliability protocol with worker retransmission timers and
+  the switch's per-flow sequence tracking (:mod:`repro.net.reliability`).
+"""
+
+from repro.net.packet import Ack, AckKind, CheetahPacket, FIN_FLAG
+from repro.net.wire import decode_packet, encode_packet, decode_ack, encode_ack
+from repro.net.channel import LossyChannel
+from repro.net.reliability import (
+    MasterEndpoint,
+    ReliableWorker,
+    SwitchForwarder,
+    run_transfer,
+)
+
+__all__ = [
+    "Ack",
+    "AckKind",
+    "CheetahPacket",
+    "FIN_FLAG",
+    "decode_packet",
+    "encode_packet",
+    "decode_ack",
+    "encode_ack",
+    "LossyChannel",
+    "MasterEndpoint",
+    "ReliableWorker",
+    "SwitchForwarder",
+    "run_transfer",
+]

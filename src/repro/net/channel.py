@@ -1,0 +1,70 @@
+"""Lossy channel simulation.
+
+A :class:`LossyChannel` drops each message independently with a fixed
+probability and can delay-reorder deliveries.  The reliability tests run
+the §7.2 protocol over two of these (worker->switch->master and the ACK
+return path) and assert exact query-stream delivery.
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+from typing import Deque, List, Optional
+
+
+class LossyChannel:
+    """FIFO channel with i.i.d. loss and optional bounded reordering."""
+
+    def __init__(self, loss_rate: float = 0.0, reorder_window: int = 0,
+                 seed: int = 0, name: str = "channel"):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if reorder_window < 0:
+            raise ValueError(
+                f"reorder_window must be >= 0, got {reorder_window}"
+            )
+        self.loss_rate = loss_rate
+        self.reorder_window = reorder_window
+        self.name = name
+        self._rng = random.Random(seed)
+        self._queue: Deque = collections.deque()
+        self.sent = 0
+        self.dropped = 0
+
+    def send(self, message) -> None:
+        """Offer ``message`` to the channel (may be silently dropped)."""
+        self.sent += 1
+        if self._rng.random() < self.loss_rate:
+            self.dropped += 1
+            return
+        if self.reorder_window and self._queue and (
+                self._rng.random() < 0.5):
+            # Swap with a random in-flight message within the window.
+            window = min(self.reorder_window, len(self._queue))
+            pos = len(self._queue) - self._rng.randint(1, window)
+            self._queue.insert(pos, message)
+        else:
+            self._queue.append(message)
+
+    def receive(self) -> Optional[object]:
+        """Next delivered message, or None if the channel is idle."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def drain(self) -> List[object]:
+        """All currently deliverable messages."""
+        out = list(self._queue)
+        self._queue.clear()
+        return out
+
+    def pending(self) -> int:
+        """Messages in flight."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"LossyChannel({self.name!r}, loss={self.loss_rate}, "
+            f"sent={self.sent}, dropped={self.dropped})"
+        )

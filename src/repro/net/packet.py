@@ -1,0 +1,105 @@
+"""Cheetah packet and ACK formats (Figure 4).
+
+A data packet carries:
+
+* ``fid`` — flow identifier, distinguishing concurrent datasets/queries;
+* ``seq`` — the entry identifier, doubling as the sequence number;
+* ``values`` — the relevant column values (or hashes/fingerprints); the
+  count is an 8-bit field, so up to 255 values;
+* ``flags`` — FIN marks the end of a worker's stream.
+
+ACKs carry the flow, the acknowledged sequence number, and who produced
+them: the master (packet delivered) or the switch (packet pruned).  Both
+cases mean "stop retransmitting"; the distinction is kept for
+observability and tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Sequence, Tuple
+
+#: flags bit marking the last packet of a worker's stream.
+FIN_FLAG = 0x1
+
+#: Values are 64-bit on the wire (column values, hashes, fingerprints).
+VALUE_BITS = 64
+MAX_VALUES = 255
+
+
+@dataclasses.dataclass(frozen=True)
+class CheetahPacket:
+    """One data packet: one entry (or several, §9) of relevant columns."""
+
+    fid: int
+    seq: int
+    values: Tuple[int, ...] = ()
+    flags: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.fid < 1 << 16:
+            raise ValueError(f"fid must fit 16 bits, got {self.fid}")
+        if not 0 <= self.seq < 1 << 32:
+            raise ValueError(f"seq must fit 32 bits, got {self.seq}")
+        if len(self.values) > MAX_VALUES:
+            raise ValueError(
+                f"at most {MAX_VALUES} values per packet, got "
+                f"{len(self.values)}"
+            )
+        for v in self.values:
+            if not 0 <= v < 1 << VALUE_BITS:
+                raise ValueError(f"value {v} does not fit {VALUE_BITS} bits")
+
+    @property
+    def is_fin(self) -> bool:
+        """End-of-stream marker."""
+        return bool(self.flags & FIN_FLAG)
+
+    def wire_bytes(self) -> int:
+        """Serialized size: header (fid 2B, seq 4B, n 1B, flags 1B) +
+        values; compare with the 64B minimum Ethernet frame."""
+        return 8 + 8 * len(self.values)
+
+
+class AckKind(enum.Enum):
+    """Who acknowledged the packet."""
+
+    MASTER = "master"     # delivered to the master
+    SWITCH = "switch"     # pruned at the switch (§7.2)
+
+
+@dataclasses.dataclass(frozen=True)
+class Ack:
+    """Acknowledgement for one sequence number of one flow."""
+
+    fid: int
+    seq: int
+    kind: AckKind = AckKind.MASTER
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.fid < 1 << 16:
+            raise ValueError(f"fid must fit 16 bits, got {self.fid}")
+        if not 0 <= self.seq < 1 << 32:
+            raise ValueError(f"seq must fit 32 bits, got {self.seq}")
+
+
+def packets_for_entries(fid: int, entries: Sequence[Tuple[int, ...]],
+                        per_packet: int = 1) -> list:
+    """Pack ``entries`` (tuples of 64-bit values) into packets.
+
+    ``per_packet > 1`` models the §9 multi-entry extension: values of
+    several entries are concatenated; the last packet carries FIN.
+    """
+    if per_packet < 1:
+        raise ValueError(f"per_packet must be >= 1, got {per_packet}")
+    packets = []
+    seq = 0
+    for start in range(0, len(entries), per_packet):
+        group = entries[start:start + per_packet]
+        values = tuple(v for entry in group for v in entry)
+        packets.append(CheetahPacket(fid=fid, seq=seq, values=values))
+        seq += 1
+    fin = CheetahPacket(fid=fid, seq=seq, values=(), flags=FIN_FLAG)
+    packets.append(fin)
+    return packets

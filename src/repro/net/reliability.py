@@ -1,0 +1,274 @@
+"""The §7.2 reliability protocol over UDP-like lossy channels.
+
+Key difficulty: the master cannot detect loss from sequence gaps because
+the switch legitimately prunes packets.  Cheetah therefore makes the
+switch a protocol participant:
+
+* every worker numbers entries with ``seq`` and retransmits unACKed
+  packets on timeout;
+* the switch tracks, per flow, the last processed sequence ``X``:
+
+  - ``Y == X + 1``: process normally; if pruned, the **switch** sends
+    ``ACK(Y)``; otherwise the master will;
+  - ``Y <= X``: a retransmission of an already-processed packet —
+    forward *without* reprocessing (so switch state is not corrupted);
+  - ``Y > X + 1``: an earlier packet is missing — drop and wait for it;
+
+* the master ACKs every packet it receives.
+
+Correctness relies on the superset-safety of all pruning algorithms: if
+a pruned packet's retransmission slips through to the master (the
+``Y <= X`` path), the master's result is unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.net.channel import LossyChannel
+from repro.net.packet import Ack, AckKind, CheetahPacket, FIN_FLAG
+from repro.net.wire import decode_ack, decode_packet, encode_ack, encode_packet
+
+PruneFn = Callable[[Tuple[int, ...]], bool]
+
+
+class ReliableWorker:
+    """CWorker side: send entries, retransmit on timeout."""
+
+    def __init__(self, fid: int, entries: Sequence[Tuple[int, ...]],
+                 timeout_ticks: int = 8, window: int = 32,
+                 per_packet: int = 1):
+        if timeout_ticks < 1:
+            raise ValueError(f"timeout must be >= 1 tick, got {timeout_ticks}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if per_packet < 1:
+            raise ValueError(f"per_packet must be >= 1, got {per_packet}")
+        self.fid = fid
+        self.timeout_ticks = timeout_ticks
+        self.window = window
+        self._packets: List[CheetahPacket] = []
+        for seq, start in enumerate(range(0, len(entries), per_packet)):
+            group = entries[start:start + per_packet]
+            values = tuple(v for entry in group for v in entry)
+            self._packets.append(
+                CheetahPacket(fid=fid, seq=seq, values=values)
+            )
+        self._packets.append(
+            CheetahPacket(fid=fid, seq=len(self._packets), flags=FIN_FLAG)
+        )
+        self._next_new = 0
+        self._unacked: Dict[int, int] = {}   # seq -> last send tick
+        self._acked: set = set()
+        self.retransmissions = 0
+
+    @property
+    def done(self) -> bool:
+        """All packets (including FIN) are acknowledged."""
+        return len(self._acked) == len(self._packets)
+
+    def on_ack(self, ack: Ack) -> None:
+        """Process an ACK from master or switch."""
+        if ack.fid != self.fid:
+            return
+        self._acked.add(ack.seq)
+        self._unacked.pop(ack.seq, None)
+
+    def tick(self, now: int, channel: LossyChannel) -> None:
+        """Retransmit timed-out packets; send new ones up to the window."""
+        for seq, sent_at in sorted(self._unacked.items()):
+            if now - sent_at >= self.timeout_ticks:
+                channel.send(encode_packet(self._packets[seq]))
+                self._unacked[seq] = now
+                self.retransmissions += 1
+        while (self._next_new < len(self._packets)
+               and len(self._unacked) < self.window):
+            packet = self._packets[self._next_new]
+            channel.send(encode_packet(packet))
+            self._unacked[packet.seq] = now
+            self._next_new += 1
+
+
+class SwitchForwarder:
+    """Switch side: per-flow sequence tracking + prune ACKs.
+
+    ``entries_per_packet > 1`` enables the §9 multi-entry mode: the
+    packet's values are split into fixed-width entries, each gets its
+    own prune decision, and pruned entries are *popped* from the packet
+    (P4 header popping) — the packet itself is only dropped (and
+    switch-ACKed) when every entry was pruned.
+    """
+
+    def __init__(self, prune_fn: PruneFn, entries_per_packet: int = 1,
+                 values_per_entry: int = 1):
+        if entries_per_packet < 1 or values_per_entry < 1:
+            raise ValueError(
+                "entries_per_packet and values_per_entry must be >= 1"
+            )
+        self.prune_fn = prune_fn
+        self.entries_per_packet = entries_per_packet
+        self.values_per_entry = values_per_entry
+        self._last_seq: Dict[int, int] = {}
+        self.pruned = 0
+        self.forwarded = 0
+        self.entries_popped = 0
+        self.dropped_out_of_order = 0
+        self.forwarded_retransmissions = 0
+
+    def _split_entries(self, values: Tuple[int, ...]) -> List[Tuple[int, ...]]:
+        step = self.values_per_entry
+        if len(values) % step:
+            raise ValueError(
+                f"packet carries {len(values)} values, not a multiple of "
+                f"{step} per entry"
+            )
+        return [values[i:i + step] for i in range(0, len(values), step)]
+
+    def process(self, data: bytes, to_master: LossyChannel,
+                to_worker: LossyChannel) -> None:
+        """Handle one wire packet from a worker."""
+        packet = decode_packet(data)
+        last = self._last_seq.get(packet.fid, -1)
+        if packet.seq == last + 1:
+            self._last_seq[packet.fid] = packet.seq
+            if packet.is_fin:
+                self.forwarded += 1
+                to_master.send(data)
+                return
+            surviving: List[int] = []
+            for entry in self._split_entries(packet.values):
+                if self.prune_fn(entry):
+                    self.entries_popped += 1
+                else:
+                    surviving.extend(entry)
+            if not surviving:
+                self.pruned += 1
+                to_worker.send(encode_ack(
+                    Ack(fid=packet.fid, seq=packet.seq, kind=AckKind.SWITCH)
+                ))
+                return
+            self.forwarded += 1
+            if len(surviving) == len(packet.values):
+                to_master.send(data)
+            else:
+                popped = CheetahPacket(fid=packet.fid, seq=packet.seq,
+                                       values=tuple(surviving),
+                                       flags=packet.flags)
+                to_master.send(encode_packet(popped))
+            return
+        if packet.seq <= last:
+            # Retransmission of a processed packet: forward unprocessed.
+            # The master deduplicates; pruning state must not be touched.
+            self.forwarded_retransmissions += 1
+            to_master.send(data)
+            return
+        # A gap: an earlier packet is still missing; drop and wait.
+        self.dropped_out_of_order += 1
+
+
+class MasterEndpoint:
+    """CMaster side: ACK everything, deduplicate, collect entries."""
+
+    def __init__(self):
+        self._entries: Dict[int, Dict[int, Tuple[int, ...]]] = {}
+        self._fins: set = set()
+        self._seen: Dict[int, set] = {}
+        self.duplicates = 0
+
+    def process(self, data: bytes, to_worker: LossyChannel) -> None:
+        """Handle one wire packet from the switch."""
+        packet = decode_packet(data)
+        to_worker.send(encode_ack(
+            Ack(fid=packet.fid, seq=packet.seq, kind=AckKind.MASTER)
+        ))
+        seen = self._seen.setdefault(packet.fid, set())
+        if packet.seq in seen:
+            self.duplicates += 1
+            return
+        seen.add(packet.seq)
+        if packet.is_fin:
+            self._fins.add(packet.fid)
+            return
+        self._entries.setdefault(packet.fid, {})[packet.seq] = packet.values
+
+    def received(self, fid: int) -> List[Tuple[int, ...]]:
+        """Entries received for ``fid``, in sequence order."""
+        entries = self._entries.get(fid, {})
+        return [entries[seq] for seq in sorted(entries)]
+
+    def fin_received(self, fid: int) -> bool:
+        """Whether the worker's end-of-stream marker arrived."""
+        return fid in self._fins
+
+
+@dataclasses.dataclass
+class TransferReport:
+    """Outcome of :func:`run_transfer`."""
+
+    delivered: Dict[int, List[Tuple[int, ...]]]
+    ticks: int
+    retransmissions: int
+    switch_pruned: int
+    switch_forwarded: int
+    master_duplicates: int
+
+
+def run_transfer(workers_entries: Dict[int, Sequence[Tuple[int, ...]]],
+                 prune_fn: PruneFn,
+                 loss_rate: float = 0.0,
+                 seed: int = 0,
+                 timeout_ticks: int = 8,
+                 max_ticks: int = 1_000_000,
+                 per_packet: int = 1,
+                 values_per_entry: int = 1) -> TransferReport:
+    """Run the full protocol until every worker completes.
+
+    ``workers_entries`` maps fid -> entry tuples; all flows share one
+    switch running ``prune_fn``.  Loss applies independently on the
+    worker->switch, switch->master, and ACK return channels.
+    ``per_packet > 1`` packs several entries per packet (§9) — the
+    switch then pops pruned entries instead of dropping whole packets.
+    """
+    up = LossyChannel(loss_rate, seed=seed * 7 + 1, name="worker->switch")
+    down = LossyChannel(loss_rate, seed=seed * 7 + 2, name="switch->master")
+    acks = LossyChannel(loss_rate, seed=seed * 7 + 3, name="acks")
+
+    workers = {
+        fid: ReliableWorker(fid, entries, timeout_ticks=timeout_ticks,
+                            per_packet=per_packet)
+        for fid, entries in workers_entries.items()
+    }
+    switch = SwitchForwarder(prune_fn, entries_per_packet=per_packet,
+                             values_per_entry=values_per_entry)
+    master = MasterEndpoint()
+
+    tick = 0
+    while not all(w.done for w in workers.values()):
+        tick += 1
+        if tick > max_ticks:
+            raise RuntimeError(
+                f"transfer did not complete within {max_ticks} ticks "
+                "(protocol livelock?)"
+            )
+        for worker in workers.values():
+            worker.tick(tick, up)
+        for data in up.drain():
+            switch.process(data, down, acks)
+        for data in down.drain():
+            master.process(data, acks)
+        for data in acks.drain():
+            ack = decode_ack(data)
+            worker = workers.get(ack.fid)
+            if worker is not None:
+                worker.on_ack(ack)
+
+    delivered = {fid: master.received(fid) for fid in workers}
+    return TransferReport(
+        delivered=delivered,
+        ticks=tick,
+        retransmissions=sum(w.retransmissions for w in workers.values()),
+        switch_pruned=switch.pruned,
+        switch_forwarded=switch.forwarded,
+        master_duplicates=master.duplicates,
+    )

@@ -1,0 +1,85 @@
+"""Byte-level wire encoding of Cheetah packets and ACKs.
+
+Layout (big-endian, matching Figure 4's variable-length header):
+
+Data packet::
+
+    0        2        6      7      8                8 + 8n
+    +--------+--------+------+------+----------------+
+    |  fid   |  seq   |  n   |flags | values (n x 8B)|
+    +--------+--------+------+------+----------------+
+
+ACK::
+
+    0        2        6      7
+    +--------+--------+------+
+    |  fid   |  seq   | kind |
+    +--------+--------+------+
+
+These functions are exercised by the reliability tests to ensure the
+protocol survives a real serialize/deserialize round trip, not just
+in-memory object passing.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.net.packet import Ack, AckKind, CheetahPacket
+
+_HEADER = struct.Struct(">HIBB")
+_ACK = struct.Struct(">HIB")
+
+_ACK_KIND_CODE = {AckKind.MASTER: 0, AckKind.SWITCH: 1}
+_ACK_KIND_FROM = {code: kind for kind, code in _ACK_KIND_CODE.items()}
+
+
+class WireFormatError(ValueError):
+    """Malformed bytes on the wire."""
+
+
+def encode_packet(packet: CheetahPacket) -> bytes:
+    """Serialize a data packet."""
+    header = _HEADER.pack(packet.fid, packet.seq, len(packet.values),
+                          packet.flags)
+    body = b"".join(struct.pack(">Q", v) for v in packet.values)
+    return header + body
+
+
+def decode_packet(data: bytes) -> CheetahPacket:
+    """Parse a data packet; raises :class:`WireFormatError` on junk."""
+    if len(data) < _HEADER.size:
+        raise WireFormatError(
+            f"packet too short: {len(data)} bytes < header {_HEADER.size}"
+        )
+    fid, seq, n, flags = _HEADER.unpack_from(data)
+    expected = _HEADER.size + 8 * n
+    if len(data) != expected:
+        raise WireFormatError(
+            f"length mismatch: header says {n} values ({expected} bytes), "
+            f"got {len(data)} bytes"
+        )
+    values = tuple(
+        struct.unpack_from(">Q", data, _HEADER.size + 8 * i)[0]
+        for i in range(n)
+    )
+    return CheetahPacket(fid=fid, seq=seq, values=values, flags=flags)
+
+
+def encode_ack(ack: Ack) -> bytes:
+    """Serialize an ACK."""
+    return _ACK.pack(ack.fid, ack.seq, _ACK_KIND_CODE[ack.kind])
+
+
+def decode_ack(data: bytes) -> Ack:
+    """Parse an ACK."""
+    if len(data) != _ACK.size:
+        raise WireFormatError(
+            f"ACK must be {_ACK.size} bytes, got {len(data)}"
+        )
+    fid, seq, kind_code = _ACK.unpack(data)
+    try:
+        kind = _ACK_KIND_FROM[kind_code]
+    except KeyError:
+        raise WireFormatError(f"unknown ACK kind code {kind_code}") from None
+    return Ack(fid=fid, seq=seq, kind=kind)

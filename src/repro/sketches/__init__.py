@@ -1,0 +1,45 @@
+"""Probabilistic data-structure substrate used by the Cheetah pruners.
+
+The paper's switch algorithms are built from a small set of stateful
+primitives that a PISA pipeline can express:
+
+* seeded 64-bit hash functions (:mod:`repro.sketches.hashing`),
+* Bloom filters and register Bloom filters (:mod:`repro.sketches.bloom`),
+* Count-Min sketches with one-sided error (:mod:`repro.sketches.countmin`),
+* the d x w cache matrix with LRU / FIFO / rolling-minimum row policies
+  (:mod:`repro.sketches.cache_matrix`), and
+* fingerprint sizing per Theorems 5-7 (:mod:`repro.sketches.fingerprint`).
+
+These classes are plain Python (no switch semantics); the switch simulator
+in :mod:`repro.switch` enforces that the pruners only use them in ways a
+real pipeline could.
+"""
+
+from repro.sketches.hashing import HashFamily, hash64, fingerprint_bits
+from repro.sketches.bloom import BloomFilter, RegisterBloomFilter
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.cache_matrix import (
+    CacheMatrix,
+    EvictionPolicy,
+    RollingMinMatrix,
+)
+from repro.sketches.fingerprint import (
+    fingerprint_length_simple,
+    fingerprint_length_distinct,
+    max_row_load_bound,
+)
+
+__all__ = [
+    "HashFamily",
+    "hash64",
+    "fingerprint_bits",
+    "BloomFilter",
+    "RegisterBloomFilter",
+    "CountMinSketch",
+    "CacheMatrix",
+    "EvictionPolicy",
+    "RollingMinMatrix",
+    "fingerprint_length_simple",
+    "fingerprint_length_distinct",
+    "max_row_load_bound",
+]

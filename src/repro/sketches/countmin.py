@@ -1,0 +1,116 @@
+"""Count-Min sketch — the HAVING pruner's aggregate store (Example #5).
+
+The paper picks Count-Min over Count sketch because it is switch-friendly
+(per-row: one hash, one register increment, one min) and its error is
+**one-sided**: the estimate ``g(x)`` always satisfies ``g(x) >= f(x)``.
+For ``HAVING f(x) > c`` the switch prunes only when ``g(x) <= c``, so a
+key whose true aggregate exceeds ``c`` can never be pruned — estimation
+error only costs pruning rate, never correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.sketches.hashing import HashFamily, HashableValue
+
+
+class CountMinSketch:
+    """Count-Min sketch with ``depth`` rows of ``width`` counters.
+
+    Parameters
+    ----------
+    width:
+        Counters per row (``w`` in Figure 10f; powers of two on switches).
+    depth:
+        Number of rows (paper uses 3 for HAVING).
+    seed:
+        Base hash seed.
+    conservative:
+        Enable conservative update (increment only the minimal counters).
+        Tofino can express it with a read-compare-write ALU program; it
+        tightens estimates and is exposed for the ablation bench.
+    """
+
+    def __init__(self, width: int, depth: int = 3, seed: int = 0,
+                 conservative: bool = False):
+        if width < 1:
+            raise ValueError(f"width must be positive, got {width}")
+        if depth < 1:
+            raise ValueError(f"depth must be positive, got {depth}")
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        self.conservative = conservative
+        self._family = HashFamily(depth, width, seed)
+        self._rows = [[0] * width for _ in range(depth)]
+        self._total = 0
+
+    def update(self, key: HashableValue, amount: int = 1) -> None:
+        """Add ``amount`` to ``key``'s aggregate (SUM uses the value,
+        COUNT uses 1)."""
+        if amount < 0:
+            raise ValueError(
+                "Count-Min one-sided error requires non-negative updates; "
+                f"got {amount} (the paper defers SUM/COUNT < c to future work)"
+            )
+        self._total += amount
+        idxs = self._family.all(key)
+        if self.conservative:
+            current = self.estimate(key)
+            target = current + amount
+            for row, idx in zip(self._rows, idxs):
+                if row[idx] < target:
+                    row[idx] = target
+        else:
+            for row, idx in zip(self._rows, idxs):
+                row[idx] += amount
+
+    def estimate(self, key: HashableValue) -> int:
+        """One-sided estimate: ``estimate(key) >= true_aggregate(key)``."""
+        return min(
+            row[idx] for row, idx in zip(self._rows, self._family.all(key))
+        )
+
+    def update_and_estimate(self, key: HashableValue, amount: int = 1) -> int:
+        """Single-pass update-then-read, as the switch pipeline does it."""
+        self.update(key, amount)
+        return self.estimate(key)
+
+    @property
+    def total(self) -> int:
+        """Sum of all updates (L1 mass)."""
+        return self._total
+
+    def error_bound(self, delta_rows: float = None) -> float:
+        """Classic CM guarantee: error <= e/width * total with prob
+        ``1 - e^-depth`` per query."""
+        import math
+
+        return math.e / self.width * self._total
+
+    def memory_counters(self) -> int:
+        """Total counters (width x depth), for resource accounting."""
+        return self.width * self.depth
+
+    def clear(self) -> None:
+        """Reset all counters."""
+        for row in self._rows:
+            for i in range(len(row)):
+                row[i] = 0
+        self._total = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"CountMinSketch(width={self.width}, depth={self.depth}, "
+            f"total={self._total}, conservative={self.conservative})"
+        )
+
+
+def bulk_load(pairs: Iterable[Tuple[HashableValue, int]], width: int,
+              depth: int = 3, seed: int = 0) -> CountMinSketch:
+    """Build a sketch from ``(key, amount)`` pairs (test/bench helper)."""
+    sketch = CountMinSketch(width, depth, seed)
+    for key, amount in pairs:
+        sketch.update(key, amount)
+    return sketch

@@ -1,0 +1,80 @@
+"""PISA programmable-switch simulator.
+
+The paper's prototype runs on a Barefoot Tofino; we have no Tofino, so this
+package substitutes a behavioural simulator that enforces the same
+constraints the paper designs around (§2.2):
+
+* a pipeline of match-action **stages** with disjoint memory
+  (:mod:`repro.switch.pipeline`, :mod:`repro.switch.registers`),
+* a restricted **ALU op set** per stage — no multiplication, division or
+  logarithms (:mod:`repro.switch.alu`),
+* bounded **SRAM / TCAM / metadata bits** per stage
+  (:mod:`repro.switch.resources`),
+* TCAM-based most-significant-bit lookup and a 2^16-entry log table used
+  by the Approximate Product Heuristic (:mod:`repro.switch.tcam_log`),
+* a **compiler** from query specs to pipeline programs with Table 2
+  resource accounting (:mod:`repro.switch.compiler`), and
+* a **control plane** that installs per-query rules and ACKs readiness to
+  the master (:mod:`repro.switch.controlplane`).
+
+Pipeline-level reference programs for DISTINCT and deterministic TOP-N
+live in :mod:`repro.switch.programs`; tests cross-validate them against
+the fast pruner implementations in :mod:`repro.core`.
+"""
+
+from repro.switch.resources import (
+    ResourceUsage,
+    SwitchModel,
+    TOFINO_MODEL,
+    TOFINO2_MODEL,
+    SMALL_SWITCH_MODEL,
+)
+from repro.switch.alu import ALU, ALUOp, UnsupportedOperation
+from repro.switch.registers import RegisterArray, RegisterAccessError
+from repro.switch.tables import MatchActionTable, TernaryTable, TableEntry
+from repro.switch.tcam_log import ApproxLog, msb_index
+from repro.switch.pipeline import Pipeline, Stage, PacketContext
+
+# compiler / controlplane import repro.core (which imports this package),
+# so they are loaded lazily to break the cycle.
+_LAZY = {
+    "QueryCompiler": ("repro.switch.compiler", "QueryCompiler"),
+    "CompiledQuery": ("repro.switch.compiler", "CompiledQuery"),
+    "ControlPlane": ("repro.switch.controlplane", "ControlPlane"),
+    "RuleInstallation": ("repro.switch.controlplane", "RuleInstallation"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+__all__ = [
+    "ResourceUsage",
+    "SwitchModel",
+    "TOFINO_MODEL",
+    "TOFINO2_MODEL",
+    "SMALL_SWITCH_MODEL",
+    "ALU",
+    "ALUOp",
+    "UnsupportedOperation",
+    "RegisterArray",
+    "RegisterAccessError",
+    "MatchActionTable",
+    "TernaryTable",
+    "TableEntry",
+    "ApproxLog",
+    "msb_index",
+    "Pipeline",
+    "Stage",
+    "PacketContext",
+    "QueryCompiler",
+    "CompiledQuery",
+    "ControlPlane",
+    "RuleInstallation",
+]

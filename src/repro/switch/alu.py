@@ -1,0 +1,114 @@
+"""The restricted ALU op set (§2.2 "function constraints").
+
+PISA stateful ALUs can add, subtract, compare, shift and do bitwise logic
+on header/register operands — but **not** multiply, divide, or take
+logarithms, and not operate on strings.  Cheetah's algorithms are designed
+around exactly this op set; the simulator enforces it so that an algorithm
+that "cheats" (e.g. computing a product for the skyline score) fails
+loudly instead of silently simulating impossible hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict
+
+from repro.sketches.hashing import hash64
+
+_MASK64 = (1 << 64) - 1
+
+
+class UnsupportedOperation(Exception):
+    """Raised when a program asks the ALU for an op the hardware lacks."""
+
+
+class ALUOp(enum.Enum):
+    """Operations a Tofino-class stateful ALU supports."""
+
+    ADD = "add"
+    SUB = "sub"
+    MIN = "min"
+    MAX = "max"
+    EQ = "eq"
+    NEQ = "neq"
+    GT = "gt"
+    GE = "ge"
+    LT = "lt"
+    LE = "le"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    HASH = "hash"
+    PASS_A = "pass_a"
+    PASS_B = "pass_b"
+
+
+#: Operations the paper calls out as *missing* — kept here so tests can
+#: assert they are rejected rather than silently absent.
+FORBIDDEN_OPS = frozenset({"mul", "div", "mod", "log", "exp", "sqrt",
+                           "strcmp", "like"})
+
+_IMPLS: Dict[ALUOp, Callable[[int, int], int]] = {
+    ALUOp.ADD: lambda a, b: (a + b) & _MASK64,
+    ALUOp.SUB: lambda a, b: (a - b) & _MASK64,
+    ALUOp.MIN: lambda a, b: min(a, b),
+    ALUOp.MAX: lambda a, b: max(a, b),
+    ALUOp.EQ: lambda a, b: int(a == b),
+    ALUOp.NEQ: lambda a, b: int(a != b),
+    ALUOp.GT: lambda a, b: int(a > b),
+    ALUOp.GE: lambda a, b: int(a >= b),
+    ALUOp.LT: lambda a, b: int(a < b),
+    ALUOp.LE: lambda a, b: int(a <= b),
+    ALUOp.AND: lambda a, b: a & b,
+    ALUOp.OR: lambda a, b: a | b,
+    ALUOp.XOR: lambda a, b: a ^ b,
+    ALUOp.SHL: lambda a, b: (a << (b & 63)) & _MASK64,
+    ALUOp.SHR: lambda a, b: a >> (b & 63),
+    ALUOp.HASH: lambda a, b: hash64(a, b),
+    ALUOp.PASS_A: lambda a, b: a,
+    ALUOp.PASS_B: lambda a, b: b,
+}
+
+
+def evaluate(op: ALUOp, a: int, b: int = 0) -> int:
+    """Evaluate a single ALU operation on 64-bit operands."""
+    if not isinstance(op, ALUOp):
+        name = str(op)
+        if name in FORBIDDEN_OPS:
+            raise UnsupportedOperation(
+                f"op '{name}' is not implementable on a PISA ALU; "
+                "Cheetah works around this via pruning-friendly primitives "
+                "(e.g. APH instead of products, power-of-two thresholds)"
+            )
+        raise UnsupportedOperation(f"unknown ALU op: {name!r}")
+    return _IMPLS[op](a & _MASK64, b & _MASK64)
+
+
+class ALU:
+    """A stateful ALU slot; counts invocations for resource accounting.
+
+    A stage owns ``alus_per_stage`` of these; each may fire at most once
+    per packet, which :class:`repro.switch.pipeline.Stage` enforces.
+    """
+
+    def __init__(self, stage_index: int, slot: int):
+        self.stage_index = stage_index
+        self.slot = slot
+        self.invocations = 0
+        self._fired_packet: int = -1
+
+    def fire(self, op: ALUOp, a: int, b: int, packet_epoch: int) -> int:
+        """Execute ``op``; at most one firing per packet per ALU."""
+        if self._fired_packet == packet_epoch:
+            raise UnsupportedOperation(
+                f"ALU (stage {self.stage_index}, slot {self.slot}) fired "
+                "twice for one packet; a hardware ALU executes once per packet"
+            )
+        self._fired_packet = packet_epoch
+        self.invocations += 1
+        return evaluate(op, a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ALU(stage={self.stage_index}, slot={self.slot})"

@@ -1,0 +1,256 @@
+"""The stage pipeline and packet header vector (PHV).
+
+A :class:`Pipeline` is an ordered list of :class:`Stage` objects.  Each
+packet carries a :class:`PacketContext` (its parsed fields plus metadata
+written by earlier stages, including the ``prune`` bit).  Stages host
+register arrays and ALUs and run small "primitive programs" — Python
+callables restricted to the stage's own resources, with the simulator
+enforcing:
+
+* ALU budget and once-per-packet firing,
+* register locality (a stage only touches its own arrays) and
+  once-per-packet register access,
+* metadata width limits, and
+* the end-of-pipeline prune decision (§4.4: packets are only dropped at
+  the end, never mid-stage).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.switch.alu import ALU, ALUOp, UnsupportedOperation
+from repro.switch.registers import RegisterArray
+from repro.switch.tables import MatchActionTable, TernaryTable
+
+
+@dataclasses.dataclass
+class PacketContext:
+    """The PHV: parsed fields plus inter-stage metadata for one packet."""
+
+    fields: Dict[str, int]
+    metadata: Dict[str, int] = dataclasses.field(default_factory=dict)
+    prune: bool = False
+    epoch: int = 0
+
+    def get(self, name: str, default: int = 0) -> int:
+        """Read a field or metadata slot (fields shadow metadata)."""
+        if name in self.fields:
+            return self.fields[name]
+        return self.metadata.get(name, default)
+
+    def set_meta(self, name: str, value: int) -> None:
+        """Write a metadata slot for later stages."""
+        self.metadata[name] = int(value)
+
+    def metadata_bits(self) -> int:
+        """Rough PHV metadata footprint (64b per live slot)."""
+        return 64 * len(self.metadata)
+
+
+class Stage:
+    """One pipeline stage: register arrays, tables, and an ALU budget."""
+
+    def __init__(self, index: int, alu_budget: int = 10):
+        self.index = index
+        self.alu_budget = alu_budget
+        self._alus: List[ALU] = [ALU(index, slot) for slot in range(alu_budget)]
+        self._next_alu = 0
+        self._registers: Dict[str, RegisterArray] = {}
+        self._tables: Dict[str, MatchActionTable] = {}
+        self._tcams: Dict[str, TernaryTable] = {}
+        self._program: Optional[Callable[["Stage", PacketContext], None]] = None
+        self._current_epoch = -1
+
+    # -- resource declaration (compile time) --------------------------------
+    def add_register(self, name: str, size: int,
+                     width_bits: int = 64) -> RegisterArray:
+        """Declare a register array owned by this stage."""
+        if name in self._registers:
+            raise ValueError(f"stage {self.index} already has register {name!r}")
+        array = RegisterArray(name, size, width_bits, stage_index=self.index)
+        self._registers[name] = array
+        return array
+
+    def add_table(self, table: MatchActionTable) -> MatchActionTable:
+        """Attach a match-action table to this stage."""
+        self._tables[table.name] = table
+        return table
+
+    def add_tcam(self, tcam: TernaryTable) -> TernaryTable:
+        """Attach a ternary table to this stage."""
+        self._tcams[tcam.name] = tcam
+        return tcam
+
+    def set_program(self,
+                    program: Callable[["Stage", PacketContext], None]) -> None:
+        """Install the per-packet primitive program for this stage."""
+        self._program = program
+
+    # -- data-plane primitives (run time) ------------------------------------
+    def alu(self, op: ALUOp, a: int, b: int = 0) -> int:
+        """Fire the next free ALU in this stage for the current packet."""
+        if self._next_alu >= self.alu_budget:
+            raise UnsupportedOperation(
+                f"stage {self.index} exceeded its ALU budget "
+                f"({self.alu_budget}) for one packet"
+            )
+        alu = self._alus[self._next_alu]
+        self._next_alu += 1
+        return alu.fire(op, a, b, self._current_epoch)
+
+    def register(self, name: str) -> RegisterArray:
+        """Access a register array owned by this stage."""
+        try:
+            return self._registers[name]
+        except KeyError:
+            raise UnsupportedOperation(
+                f"stage {self.index} has no register {name!r}; cross-stage "
+                "register access is not possible on PISA hardware"
+            ) from None
+
+    def table(self, name: str) -> MatchActionTable:
+        """Access a match-action table attached to this stage."""
+        return self._tables[name]
+
+    def tcam(self, name: str) -> TernaryTable:
+        """Access a ternary table attached to this stage."""
+        return self._tcams[name]
+
+    # -- execution ------------------------------------------------------------
+    def process(self, packet: PacketContext) -> None:
+        """Run this stage's program on ``packet``."""
+        self._current_epoch = packet.epoch
+        self._next_alu = 0
+        if self._program is not None:
+            self._program(self, packet)
+
+    @property
+    def sram_bits(self) -> int:
+        """SRAM consumed by register arrays in this stage."""
+        return sum(r.sram_bits for r in self._registers.values())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Stage({self.index}, registers={list(self._registers)}, "
+            f"alus<={self.alu_budget})"
+        )
+
+
+class Pipeline:
+    """An ordered sequence of stages plus the end-of-pipeline drop.
+
+    ``process`` runs one packet through every stage and returns False if
+    the packet was pruned (the caller — the switch dataplane — then drops
+    it and, per the reliability protocol, emits an ACK to the worker).
+    """
+
+    def __init__(self, num_stages: int, alus_per_stage: int = 10,
+                 metadata_limit_bits: int = 2048):
+        if num_stages < 1:
+            raise ValueError(f"pipeline needs >= 1 stage, got {num_stages}")
+        self.stages = [Stage(i, alus_per_stage) for i in range(num_stages)]
+        self.metadata_limit_bits = metadata_limit_bits
+        self._epoch = 0
+        self.packets_seen = 0
+        self.packets_pruned = 0
+
+    def stage(self, index: int) -> Stage:
+        """Stage by position."""
+        return self.stages[index]
+
+    def process(self, packet: PacketContext) -> bool:
+        """Run ``packet`` through all stages.
+
+        Returns True if the packet survives (forward to master), False if
+        it is pruned at the end of the pipeline.
+        """
+        self._epoch += 1
+        packet.epoch = self._epoch
+        self.packets_seen += 1
+        for stage in self.stages:
+            stage.process(packet)
+            if packet.metadata_bits() > self.metadata_limit_bits:
+                raise UnsupportedOperation(
+                    f"packet metadata ({packet.metadata_bits()} bits) "
+                    f"exceeds the PHV limit ({self.metadata_limit_bits})"
+                )
+        if packet.prune:
+            self.packets_pruned += 1
+            return False
+        return True
+
+    @property
+    def prune_fraction(self) -> float:
+        """Fraction of processed packets pruned so far."""
+        if self.packets_seen == 0:
+            return 0.0
+        return self.packets_pruned / self.packets_seen
+
+    @property
+    def sram_bits(self) -> int:
+        """Total register SRAM across stages."""
+        return sum(stage.sram_bits for stage in self.stages)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Pipeline(stages={len(self.stages)}, "
+            f"seen={self.packets_seen}, pruned={self.packets_pruned})"
+        )
+
+
+class RecirculatingPipeline:
+    """Maps a *logical* pipeline onto fewer physical stages (Table 2).
+
+    Several algorithms (SKYLINE at w=10 needs 2w+3 logical stages) exceed
+    one physical traversal.  Hardware handles this by **recirculating**
+    the packet: each pass executes one window of logical stages, and the
+    packet re-enters until all are done.  The cost is throughput — a
+    packet recirculated ``r`` times occupies ``r+1`` slots of line rate —
+    which :attr:`throughput_factor` exposes for the cost model.
+    """
+
+    def __init__(self, logical: Pipeline, physical_stages: int):
+        if physical_stages < 1:
+            raise ValueError(
+                f"physical_stages must be >= 1, got {physical_stages}"
+            )
+        self.logical = logical
+        self.physical_stages = physical_stages
+        total = len(logical.stages)
+        self.passes = -(-total // physical_stages)  # ceil division
+        self.packets_seen = 0
+        self.packets_pruned = 0
+
+    @property
+    def recirculations(self) -> int:
+        """Extra traversals per packet beyond the first."""
+        return self.passes - 1
+
+    @property
+    def throughput_factor(self) -> float:
+        """Fraction of line rate available (1/passes)."""
+        return 1.0 / self.passes
+
+    def process(self, packet: PacketContext) -> bool:
+        """Run ``packet`` through all logical stages across passes.
+
+        The prune decision is still taken only at the end of the *last*
+        pass (a recirculated packet is never dropped mid-flight).
+        """
+        self.packets_seen += 1
+        self.logical._epoch += 1
+        packet.epoch = self.logical._epoch
+        for index, stage in enumerate(self.logical.stages):
+            stage.process(packet)
+            if packet.metadata_bits() > self.logical.metadata_limit_bits:
+                raise UnsupportedOperation(
+                    f"packet metadata ({packet.metadata_bits()} bits) "
+                    "exceeds the PHV limit during pass "
+                    f"{index // self.physical_stages + 1}"
+                )
+        if packet.prune:
+            self.packets_pruned += 1
+            return False
+        return True

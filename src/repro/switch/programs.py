@@ -1,0 +1,439 @@
+"""Pipeline-level reference programs.
+
+The fast pruners in :mod:`repro.core` model the algorithms with ordinary
+Python data structures.  To demonstrate that those algorithms really fit
+the hardware, this module implements two of them — DISTINCT (LRU cache
+matrix) and deterministic TOP-N — as *stage programs* running on the
+constrained :class:`repro.switch.pipeline.Pipeline`: every state access
+goes through register arrays with once-per-packet semantics, every
+computation through a budgeted ALU.
+
+Tests cross-validate these against the :mod:`repro.core` pruners packet
+by packet; they must make identical prune decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sketches.hashing import hash64
+from repro.switch.alu import ALUOp
+from repro.switch.pipeline import PacketContext, Pipeline
+
+#: Register cells are 64-bit; we reserve the all-ones value as "empty"
+#: so that a legitimate 0 value is storable.
+EMPTY = (1 << 64) - 1
+
+
+class DistinctProgram:
+    """DISTINCT with an LRU d x w matrix, one column per stage.
+
+    Stage 0 hashes the value to its row and seeds the ``carry`` metadata;
+    stage ``i`` exchanges its row register with the carry (the rolling
+    replacement) and flags a hit when the evicted value equals the packet
+    value.  A hit terminates the rolling chain, which is exactly
+    move-to-front LRU.
+    """
+
+    def __init__(self, rows: int, width: int, seed: int = 0,
+                 alus_per_stage: int = 10):
+        if width < 1 or rows < 1:
+            raise ValueError("DistinctProgram needs rows >= 1 and width >= 1")
+        self.rows = rows
+        self.width = width
+        self.seed = seed
+        self.pipeline = Pipeline(width, alus_per_stage)
+        for i in range(width):
+            stage = self.pipeline.stage(i)
+            array = stage.add_register(f"col{i}", rows, 64)
+            for cell in range(rows):
+                array.poke(cell, EMPTY)
+            stage.set_program(self._make_stage_program(i))
+
+    def _make_stage_program(self, column: int):
+        def program(stage, packet: PacketContext) -> None:
+            if column == 0:
+                row = hash64(packet.get("value"), self.seed) % self.rows
+                packet.set_meta("row", row)
+                packet.set_meta("carry", packet.get("value"))
+                packet.set_meta("seen", 0)
+            if packet.get("seen"):
+                return
+            row = packet.get("row")
+            carry = packet.get("carry")
+            array = stage.register(f"col{column}")
+            evicted = array.read_modify_write(row, carry, packet.epoch)
+            is_hit = stage.alu(ALUOp.EQ, evicted, packet.get("value"))
+            if is_hit and evicted != EMPTY:
+                packet.set_meta("seen", 1)
+            else:
+                packet.set_meta("carry", evicted)
+            if column == self.width - 1 and packet.get("seen"):
+                packet.prune = True
+
+        return program
+
+    def offer(self, value: int) -> bool:
+        """Process one entry; return True iff it is pruned (duplicate)."""
+        packet = PacketContext(fields={"value": int(value)})
+        survived = self.pipeline.process(packet)
+        if packet.get("seen") and not packet.prune:
+            # Hit detected before the last stage: the last stage sets the
+            # prune bit only when it runs; mirror the end-of-pipe drop.
+            packet.prune = True
+            survived = False
+        return not survived
+
+
+class DeterministicTopNProgram:
+    """Deterministic TOP-N with power-of-two thresholds (Example #3).
+
+    Stage 0 learns ``t0``: it counts the first ``n`` entries and keeps a
+    rolling minimum.  Stages ``1..w`` maintain threshold ``t_i = t0 << i``
+    with a counter of entries ``>= t_i``; once a counter reaches ``n``,
+    entries below that threshold are pruned.
+    """
+
+    def __init__(self, n: int, thresholds: int = 4,
+                 alus_per_stage: int = 10):
+        if n < 1:
+            raise ValueError(f"TOP N needs n >= 1, got {n}")
+        if thresholds < 1:
+            raise ValueError(f"need >= 1 threshold, got {thresholds}")
+        self.n = n
+        self.w = thresholds
+        self.pipeline = Pipeline(1 + thresholds, alus_per_stage)
+
+        stage0 = self.pipeline.stage(0)
+        self._count0 = stage0.add_register("count0", 1, 64)
+        self._min0 = stage0.add_register("min0", 1, 64)
+        self._min0.poke(0, EMPTY)
+        stage0.set_program(self._stage0_program)
+
+        for i in range(1, thresholds + 1):
+            stage = self.pipeline.stage(i)
+            stage.add_register(f"cnt{i}", 1, 64)
+            stage.set_program(self._make_threshold_program(i))
+
+    def _stage0_program(self, stage, packet: PacketContext) -> None:
+        value = packet.get("value")
+        count = self._count0.increment(0, 1, packet.epoch)
+        if count <= self.n:
+            # count0 and min0 are distinct arrays, so both may be touched
+            # by one packet (one access each).
+            self._min0.conditional_min_write(0, value, packet.epoch)
+            packet.set_meta("t0_ready", 0)
+            packet.set_meta("t0", 0)
+        else:
+            t0 = self._min0.read(0, packet.epoch)
+            packet.set_meta("t0_ready", 1)
+            packet.set_meta("t0", 0 if t0 == EMPTY else t0)
+        packet.set_meta("prune_flag", 0)
+
+    def _make_threshold_program(self, i: int):
+        def program(stage, packet: PacketContext) -> None:
+            if not packet.get("t0_ready"):
+                return
+            value = packet.get("value")
+            # t_i = t0 << (i - 1): stage 1 guards t0 itself, stage 2 guards
+            # 2*t0, etc.  A zero t0 still admits threshold growth via
+            # max(t0, 1) so pruning is possible on all-positive streams.
+            base = stage.alu(ALUOp.MAX, packet.get("t0"), 1)
+            t_i = stage.alu(ALUOp.SHL, base, i - 1)
+            counter = stage.register(f"cnt{i}")
+            above = stage.alu(ALUOp.GE, value, t_i)
+            if above:
+                counter.increment(0, 1, packet.epoch)
+                reached = False
+            else:
+                reached = counter.read(0, packet.epoch) >= self.n
+            if reached and value < t_i:
+                packet.set_meta("prune_flag", 1)
+            if i == self.w and packet.get("prune_flag"):
+                packet.prune = True
+
+        return program
+
+    def offer(self, value: int) -> bool:
+        """Process one entry; return True iff it is pruned."""
+        packet = PacketContext(fields={"value": int(value)})
+        survived = self.pipeline.process(packet)
+        return not survived
+
+
+class RandomizedTopNProgram:
+    """Randomized TOP-N as a register-level pipeline (Example #7).
+
+    One stage per matrix column; each stage holds one d-cell register
+    array storing that column of the rolling-minimum matrix.  The packet
+    carries a ``carry`` value down the pipeline: at each stage, if the
+    carry exceeds the stored cell, they swap (conditional exchange — one
+    register access, one comparison).  A packet whose original value
+    never won a swap and is below the last cell is pruned at the end.
+
+    Row selection is uniform per arrival, derived from a hash of the
+    arrival counter kept in a stage-0 register (reproducible, and
+    hardware-expressible as a per-port packet counter).
+    """
+
+    def __init__(self, rows: int, width: int, seed: int = 0,
+                 alus_per_stage: int = 10):
+        if rows < 1 or width < 1:
+            raise ValueError("RandomizedTopNProgram needs rows, width >= 1")
+        self.rows = rows
+        self.width = width
+        self.seed = seed
+        # Stage 0 hosts the arrival counter; stages 1..w the columns.
+        self.pipeline = Pipeline(width + 1, alus_per_stage)
+        counter_stage = self.pipeline.stage(0)
+        self._counter = counter_stage.add_register("arrivals", 1, 64)
+        counter_stage.set_program(self._stage0)
+        for i in range(1, width + 1):
+            stage = self.pipeline.stage(i)
+            array = stage.add_register(f"col{i}", rows, 64)
+            for cell in range(rows):
+                array.poke(cell, 0)     # 0 = "empty" (values are >= 1)
+            stage.set_program(self._make_column_program(i))
+
+    def _stage0(self, stage, packet: PacketContext) -> None:
+        arrival = self._counter.increment(0, 1, packet.epoch)
+        row = hash64((self.seed, arrival - 1), 0x70F1) % self.rows
+        packet.set_meta("row", row)
+        packet.set_meta("carry", packet.get("value"))
+        packet.set_meta("stored", 0)
+
+    def _make_column_program(self, column: int):
+        def program(stage, packet: PacketContext) -> None:
+            row = packet.get("row")
+            carry = packet.get("carry")
+            array = stage.register(f"col{column}")
+            cell = array.peek(row)
+            if carry > cell:
+                array.read_modify_write(row, carry, packet.epoch)
+                if cell == 0:
+                    # Filled an empty slot; nothing to push onward.
+                    packet.set_meta("carry", 0)
+                else:
+                    packet.set_meta("carry", cell)
+                packet.set_meta("stored", 1)
+            if column == self.width:
+                # Prune iff the original value lost every comparison in a
+                # fully-populated row (no empty slot absorbed anything).
+                if not packet.get("stored") and packet.get("carry") != 0:
+                    packet.prune = True
+
+        return program
+
+    def offer(self, value: int) -> bool:
+        """Process one entry (positive int); True iff pruned."""
+        if value < 1:
+            raise ValueError(
+                f"values must be >= 1 on the wire (0 is the empty "
+                f"sentinel), got {value}"
+            )
+        packet = PacketContext(fields={"value": int(value)})
+        return not self.pipeline.process(packet)
+
+
+class GroupByMaxProgram:
+    """MAX GROUP BY as a register-level pipeline (§4.2 / Table 2).
+
+    One stage per matrix column; each stage's register array holds
+    (group fingerprint, best value) packed into one 64-bit word —
+    32 bits of key fingerprint, 32 bits of value — so a single
+    read-modify-write per stage both matches and updates, exactly the
+    packing Table 2's accounting assumes.
+    """
+
+    KEY_BITS = 32
+    VALUE_MASK = (1 << 32) - 1
+
+    def __init__(self, rows: int, width: int, seed: int = 0,
+                 alus_per_stage: int = 10):
+        if rows < 1 or width < 1:
+            raise ValueError("GroupByMaxProgram needs rows, width >= 1")
+        self.rows = rows
+        self.width = width
+        self.seed = seed
+        self.pipeline = Pipeline(width, alus_per_stage)
+        for i in range(width):
+            stage = self.pipeline.stage(i)
+            stage.add_register(f"slot{i}", rows, 64)
+            stage.set_program(self._make_stage_program(i))
+
+    def _pack(self, fingerprint: int, value: int) -> int:
+        return (fingerprint << self.KEY_BITS) | (value & self.VALUE_MASK)
+
+    def _make_stage_program(self, column: int):
+        def program(stage, packet: PacketContext) -> None:
+            if column == 0:
+                key = packet.get("key")
+                packet.set_meta("row", hash64(key, self.seed) % self.rows)
+                packet.set_meta(
+                    "fp", hash64(key, self.seed ^ 0xF9) & self.VALUE_MASK
+                )
+                packet.set_meta("done", 0)
+            if packet.get("done"):
+                return
+            row = packet.get("row")
+            fp = packet.get("fp")
+            value = packet.get("value")
+            array = stage.register(f"slot{column}")
+            word = array.peek(row)
+            stored_fp = word >> self.KEY_BITS
+            stored_value = word & self.VALUE_MASK
+            if word == 0:
+                # Empty slot: claim it for this group.
+                array.read_modify_write(row, self._pack(fp, value),
+                                        packet.epoch)
+                packet.set_meta("done", 1)
+            elif stored_fp == fp:
+                packet.set_meta("done", 1)
+                if value > stored_value:
+                    array.read_modify_write(row, self._pack(fp, value),
+                                            packet.epoch)
+                else:
+                    packet.prune = True
+            # Different group: fall through to the next stage's slot.
+
+        return program
+
+    def offer(self, key, value: int) -> bool:
+        """Process one (key, value); True iff pruned (cannot change the
+        group's max)."""
+        if not 0 <= value <= self.VALUE_MASK:
+            raise ValueError(f"value must fit 32 bits, got {value}")
+        packet = PacketContext(fields={"value": int(value)})
+        packet.set_meta("key", hash64(key, 0x6B))
+        return not self.pipeline.process(packet)
+
+
+class CountMinProgram:
+    """Count-Min update-and-estimate as pipeline stages (Example #5).
+
+    Row ``i`` of the sketch lives in stage ``i`` as one register array of
+    ``width`` counters; the packet hashes to one counter per stage, adds
+    its amount (a single RMW), and carries the running minimum in
+    metadata — after the last stage the metadata holds the one-sided
+    estimate, which a final comparison turns into the HAVING prune bit.
+    """
+
+    def __init__(self, width: int, depth: int = 3, threshold: int = 0,
+                 seed: int = 0, alus_per_stage: int = 10):
+        if width < 1 or depth < 1:
+            raise ValueError("CountMinProgram needs width, depth >= 1")
+        self.width = width
+        self.depth = depth
+        self.threshold = threshold
+        self.seed = seed
+        from repro.sketches.hashing import HashFamily
+
+        self._family = HashFamily(depth, width, seed)
+        self.pipeline = Pipeline(depth, alus_per_stage)
+        for i in range(depth):
+            stage = self.pipeline.stage(i)
+            stage.add_register(f"cm_row{i}", width, 64)
+            stage.set_program(self._make_row_program(i))
+
+    def _make_row_program(self, row: int):
+        def program(stage, packet: PacketContext) -> None:
+            if row == 0:
+                packet.set_meta("estimate", (1 << 64) - 1)
+            index = packet.get(f"idx{row}")
+            array = stage.register(f"cm_row{row}")
+            new_value = array.increment(index, packet.get("amount"),
+                                        packet.epoch)
+            running = stage.alu(ALUOp.MIN, packet.get("estimate"),
+                                new_value)
+            packet.set_meta("estimate", running)
+            if row == self.depth - 1:
+                below = stage.alu(ALUOp.LE, running, self.threshold)
+                if below:
+                    packet.prune = True
+
+        return program
+
+    def offer(self, key: int, amount: int) -> "Tuple[bool, int]":
+        """Process one (key, amount); returns (pruned, estimate)."""
+        if amount < 0:
+            raise ValueError(
+                f"Count-Min updates must be non-negative, got {amount}"
+            )
+        packet = PacketContext(fields={"amount": int(amount)})
+        # The parser's hash units derive the per-row counter indices
+        # from the key before the stages run.
+        for row in range(self.depth):
+            packet.set_meta(f"idx{row}", self._family(key, row))
+        survived = self.pipeline.process(packet)
+        return (not survived), packet.get("estimate")
+
+
+class RegisterBloomProgram:
+    """Single-stage register Bloom filter (Table 2's JOIN RBF row).
+
+    One register array of 64-bit words; a key derives one word index and
+    an in-word bit mask, so a single RMW both tests and inserts —
+    exactly why the RBF fits one pipeline stage.
+    """
+
+    def __init__(self, size_bits: int, hashes: int = 3, seed: int = 0):
+        from repro.sketches.bloom import RegisterBloomFilter
+
+        # Reuse the reference position derivation so the program is
+        # bit-identical with the sketch class.
+        self._reference = RegisterBloomFilter(size_bits, hashes, seed)
+        self.pipeline = Pipeline(1)
+        stage = self.pipeline.stage(0)
+        self._words = stage.add_register(
+            "rbf", self._reference.num_words, 64
+        )
+        stage.set_program(self._program)
+        self._mode_insert = True
+
+    def set_mode(self, insert: bool) -> None:
+        """Pass 1 inserts; pass 2 queries (§4.3's two-pass JOIN)."""
+        self._mode_insert = insert
+
+    def _program(self, stage, packet: PacketContext) -> None:
+        word_index = packet.get("word")
+        mask = packet.get("mask")
+        if self._mode_insert:
+            old = self._words.read_modify_write(
+                word_index, self._words.peek(word_index) | mask,
+                packet.epoch,
+            )
+            packet.set_meta("hit", int((old & mask) == mask))
+        else:
+            old = self._words.read(word_index, packet.epoch)
+            hit = stage.alu(ALUOp.EQ, old & mask, mask)
+            packet.set_meta("hit", hit)
+            if not hit:
+                packet.prune = True
+
+    def offer(self, key) -> bool:
+        """Insert (pass 1) or membership-prune (pass 2) one key.
+
+        Returns True when the packet is pruned (pass-2 miss)."""
+        word, mask = self._reference._positions(key)
+        packet = PacketContext(fields={})
+        packet.set_meta("word", word)
+        packet.set_meta("mask", mask)
+        survived = self.pipeline.process(packet)
+        return not survived
+
+    def contains(self, key) -> bool:
+        """Query without pruning semantics (test hook)."""
+        word, mask = self._reference._positions(key)
+        return (self._words.peek(word) & mask) == mask
+
+
+def run_stream(program, values) -> float:
+    """Feed ``values`` through ``program.offer``; return the pruned
+    fraction (bench helper shared by fig10/fig11)."""
+    pruned = 0
+    total = 0
+    for value in values:
+        total += 1
+        if program.offer(value):
+            pruned += 1
+    return pruned / total if total else 0.0

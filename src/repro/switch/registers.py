@@ -1,0 +1,141 @@
+"""Per-stage register arrays with hardware access semantics.
+
+PISA registers live inside a single stage and support exactly one
+read-modify-write per packet traversal; a later stage cannot touch an
+earlier stage's registers.  These two constraints shape every Cheetah
+algorithm (e.g. the d x w matrix stores one column per stage), so the
+simulator enforces them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class RegisterAccessError(Exception):
+    """A program violated register access semantics (double access in one
+    packet, out-of-range index, or oversized value)."""
+
+
+class RegisterArray:
+    """An array of ``size`` registers of ``width_bits`` each, bound to one
+    pipeline stage.
+
+    Access is through :meth:`read_modify_write`, the only primitive the
+    hardware offers: read the cell, compute a new value (restricted to
+    what the stage's ALU can do — enforced by the caller), write it back,
+    and carry the old value forward in packet metadata.
+    """
+
+    def __init__(self, name: str, size: int, width_bits: int = 64,
+                 stage_index: int = 0):
+        if size < 1:
+            raise ValueError(f"register array needs size >= 1, got {size}")
+        if not 1 <= width_bits <= 64:
+            raise ValueError(f"width must be in [1, 64], got {width_bits}")
+        self.name = name
+        self.size = size
+        self.width_bits = width_bits
+        self.stage_index = stage_index
+        self._mask = (1 << width_bits) - 1
+        self._cells: List[int] = [0] * size
+        self._last_epoch: int = -1
+        self.accesses = 0
+
+    @property
+    def sram_bits(self) -> int:
+        """SRAM footprint in bits."""
+        return self.size * self.width_bits
+
+    def _check(self, index: int, packet_epoch: int) -> None:
+        if not 0 <= index < self.size:
+            raise RegisterAccessError(
+                f"register '{self.name}' index {index} out of range "
+                f"[0, {self.size})"
+            )
+        if packet_epoch == self._last_epoch:
+            raise RegisterAccessError(
+                f"register '{self.name}' accessed twice by one packet; "
+                "PISA registers allow one read-modify-write per traversal"
+            )
+        self._last_epoch = packet_epoch
+        self.accesses += 1
+
+    def read_modify_write(self, index: int, new_value: int,
+                          packet_epoch: int) -> int:
+        """Atomically write ``new_value`` at ``index``; return the old value."""
+        self._check(index, packet_epoch)
+        if new_value & ~self._mask:
+            raise RegisterAccessError(
+                f"value {new_value} exceeds register width "
+                f"{self.width_bits} bits"
+            )
+        old = self._cells[index]
+        self._cells[index] = new_value
+        return old
+
+    def read(self, index: int, packet_epoch: int) -> int:
+        """Read-only access (still consumes the packet's single access)."""
+        self._check(index, packet_epoch)
+        return self._cells[index]
+
+    def conditional_max_write(self, index: int, value: int,
+                              packet_epoch: int) -> int:
+        """RMW that keeps ``max(old, value)`` — a single-ALU pattern used
+        by rolling-minimum and threshold counters.  Returns the old value."""
+        self._check(index, packet_epoch)
+        old = self._cells[index]
+        if value & ~self._mask:
+            raise RegisterAccessError(
+                f"value {value} exceeds register width {self.width_bits} bits"
+            )
+        if value > old:
+            self._cells[index] = value
+        return old
+
+    def conditional_min_write(self, index: int, value: int,
+                              packet_epoch: int) -> int:
+        """RMW that keeps ``min(old, value)``, treating an untouched cell
+        (0) as "empty" only when the caller pre-seeds with a sentinel via
+        :meth:`poke`.  Returns the old value."""
+        self._check(index, packet_epoch)
+        old = self._cells[index]
+        if value & ~self._mask:
+            raise RegisterAccessError(
+                f"value {value} exceeds register width {self.width_bits} bits"
+            )
+        if value < old:
+            self._cells[index] = value
+        return old
+
+    def increment(self, index: int, amount: int,
+                  packet_epoch: int) -> int:
+        """RMW add (saturating at the register width).  Returns the
+        *new* value, as Tofino's register actions can."""
+        self._check(index, packet_epoch)
+        new = min(self._cells[index] + amount, self._mask)
+        self._cells[index] = new
+        return new
+
+    def peek(self, index: int) -> int:
+        """Control-plane read (no data-plane access constraints)."""
+        return self._cells[index]
+
+    def poke(self, index: int, value: int) -> None:
+        """Control-plane write (rule installation / reset path)."""
+        if not 0 <= index < self.size:
+            raise RegisterAccessError(
+                f"register '{self.name}' index {index} out of range"
+            )
+        self._cells[index] = value & self._mask
+
+    def clear(self) -> None:
+        """Control-plane wipe."""
+        self._cells = [0] * self.size
+        self._last_epoch = -1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"RegisterArray({self.name!r}, size={self.size}, "
+            f"width={self.width_bits}b, stage={self.stage_index})"
+        )

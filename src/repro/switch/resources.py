@@ -1,0 +1,214 @@
+"""Switch resource model — the budget every pruner must fit (§2.2, Table 2).
+
+A PISA switch exposes, per pipeline:
+
+* a fixed number of stages (12-60 across generations; Tofino ~12 per pipe),
+* a handful of stateful ALUs per stage,
+* a few MB of SRAM per stage (registers + exact-match tables),
+* a TCAM budget (ternary entries), and
+* a cap on the metadata (PHV) bits carried between stages.
+
+:class:`ResourceUsage` is the closed-form accounting of Table 2;
+:class:`SwitchModel` is a concrete budget that usages are checked against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceUsage:
+    """Resources consumed by one compiled query (one row of Table 2).
+
+    Attributes
+    ----------
+    stages:
+        Pipeline stages occupied.
+    alus:
+        Stateful ALUs used, summed across stages.
+    sram_bits:
+        Register/table SRAM in bits.
+    tcam_entries:
+        Ternary entries (only APH skyline uses them: 64*D for MSB lookup).
+    metadata_bits:
+        Packet header vector bits carried between stages; the paper caps
+        any single query at ~255 bits.
+    """
+
+    stages: int = 0
+    alus: int = 0
+    sram_bits: int = 0
+    tcam_entries: int = 0
+    metadata_bits: int = 0
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value < 0:
+                raise ValueError(f"{field.name} must be >= 0, got {value}")
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        """Combine usages of co-located queries (§6 multi-query packing).
+
+        Stages add in the worst case; packing may overlap them, which
+        :meth:`packed_with` models.
+        """
+        return ResourceUsage(
+            stages=self.stages + other.stages,
+            alus=self.alus + other.alus,
+            sram_bits=self.sram_bits + other.sram_bits,
+            tcam_entries=self.tcam_entries + other.tcam_entries,
+            metadata_bits=self.metadata_bits + other.metadata_bits,
+        )
+
+    def packed_with(self, other: "ResourceUsage") -> "ResourceUsage":
+        """Optimistic packing: queries share stages (stage count is the max)
+        while ALU/SRAM/TCAM/metadata add — the §6 co-location model."""
+        return ResourceUsage(
+            stages=max(self.stages, other.stages),
+            alus=self.alus + other.alus,
+            sram_bits=self.sram_bits + other.sram_bits,
+            tcam_entries=self.tcam_entries + other.tcam_entries,
+            metadata_bits=self.metadata_bits + other.metadata_bits,
+        )
+
+    @property
+    def sram_kib(self) -> float:
+        """SRAM in KiB (Figure 10e's x-axis unit)."""
+        return self.sram_bits / 8 / 1024
+
+    def describe(self) -> str:
+        """One-line human-readable summary (Table 2 row format)."""
+        return (
+            f"stages={self.stages} alus={self.alus} "
+            f"sram={self.sram_kib:.1f}KiB tcam={self.tcam_entries} "
+            f"meta={self.metadata_bits}b"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class SwitchModel:
+    """A concrete switch budget that compiled queries are validated against.
+
+    Defaults below approximate the paper's Tofino: 12 stages/pipeline,
+    ~10 comparisons per stage, a few MB of SRAM per stage, 100K-300K TCAM
+    entries, and a PHV comparable to a few hundred bytes.
+    """
+
+    name: str
+    stages: int
+    alus_per_stage: int
+    sram_per_stage_bits: int
+    tcam_entries: int
+    metadata_limit_bits: int
+
+    def __post_init__(self) -> None:
+        if self.stages < 1 or self.alus_per_stage < 1:
+            raise ValueError("switch must have >= 1 stage and >= 1 ALU/stage")
+
+    @property
+    def total_alus(self) -> int:
+        """ALUs across the whole pipeline."""
+        return self.stages * self.alus_per_stage
+
+    @property
+    def total_sram_bits(self) -> int:
+        """SRAM across the whole pipeline."""
+        return self.stages * self.sram_per_stage_bits
+
+    def fits(self, usage: ResourceUsage) -> bool:
+        """Whether ``usage`` fits this switch."""
+        return not self.violations(usage)
+
+    def violations(self, usage: ResourceUsage) -> list:
+        """List of human-readable constraint violations (empty = fits).
+
+        ALUs and SRAM are checked both in aggregate and per-stage on
+        average; the compiler's stage layout guarantees per-stage limits
+        whenever the averages hold, because it never packs more than
+        ``alus_per_stage`` ALUs into one stage.
+        """
+        problems = []
+        if usage.stages > self.stages:
+            problems.append(
+                f"needs {usage.stages} stages, switch has {self.stages}"
+            )
+        if usage.alus > self.total_alus:
+            problems.append(
+                f"needs {usage.alus} ALUs, switch has {self.total_alus}"
+            )
+        if usage.sram_bits > self.total_sram_bits:
+            problems.append(
+                f"needs {usage.sram_bits} SRAM bits, switch has "
+                f"{self.total_sram_bits}"
+            )
+        if usage.tcam_entries > self.tcam_entries:
+            problems.append(
+                f"needs {usage.tcam_entries} TCAM entries, switch has "
+                f"{self.tcam_entries}"
+            )
+        if usage.metadata_bits > self.metadata_limit_bits:
+            problems.append(
+                f"needs {usage.metadata_bits} metadata bits, limit is "
+                f"{self.metadata_limit_bits}"
+            )
+        return problems
+
+    def require_fits(self, usage: ResourceUsage) -> None:
+        """Raise :class:`ResourceExhausted` if ``usage`` does not fit."""
+        problems = self.violations(usage)
+        if problems:
+            raise ResourceExhausted(
+                f"query does not fit switch '{self.name}': "
+                + "; ".join(problems)
+            )
+
+    def max_packable(self, usages: Iterable[ResourceUsage]) -> int:
+        """How many of ``usages`` (in order) can be packed concurrently
+        under the §6 stage-sharing model before the budget is exhausted."""
+        packed = ResourceUsage()
+        count = 0
+        for usage in usages:
+            candidate = packed.packed_with(usage)
+            if not self.fits(candidate):
+                break
+            packed = candidate
+            count += 1
+        return count
+
+
+class ResourceExhausted(Exception):
+    """A compiled query exceeds the target switch's budget."""
+
+
+#: Barefoot Tofino (the paper's testbed switch): 12 stages per pipeline.
+TOFINO_MODEL = SwitchModel(
+    name="tofino",
+    stages=12,
+    alus_per_stage=10,
+    sram_per_stage_bits=8 * 1024 * 1024 * 8,   # ~8 MiB/stage
+    tcam_entries=300_000,
+    metadata_limit_bits=2048,
+)
+
+#: Tofino 2 (Table 3's 12.8 Tbps entry): deeper pipeline, more SRAM.
+TOFINO2_MODEL = SwitchModel(
+    name="tofino2",
+    stages=20,
+    alus_per_stage=12,
+    sram_per_stage_bits=10 * 1024 * 1024 * 8,
+    tcam_entries=300_000,
+    metadata_limit_bits=4096,
+)
+
+#: A deliberately tight budget used in tests to exercise rejection paths.
+SMALL_SWITCH_MODEL = SwitchModel(
+    name="small",
+    stages=6,
+    alus_per_stage=4,
+    sram_per_stage_bits=64 * 1024 * 8,         # 64 KiB/stage
+    tcam_entries=1024,
+    metadata_limit_bits=512,
+)

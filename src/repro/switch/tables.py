@@ -1,0 +1,131 @@
+"""Match-action and ternary (TCAM) tables.
+
+Cheetah installs 10-20 control-plane rules per query into pre-compiled
+tables (§3).  We model two table kinds:
+
+* :class:`MatchActionTable`: exact match on a key -> named action with
+  parameters (used for query dispatch, predicate truth tables, and the
+  2^16 log lookup of the APH).
+* :class:`TernaryTable`: priority-ordered value/mask entries (TCAM), used
+  for most-significant-bit extraction in the APH and for range filters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclasses.dataclass
+class TableEntry:
+    """One installed rule: key (exact) or value/mask (ternary) -> action."""
+
+    key: int
+    action: str
+    params: Tuple = ()
+    mask: Optional[int] = None      # None = exact entry
+    priority: int = 0
+
+
+class MatchActionTable:
+    """Exact-match table with a default action.
+
+    ``lookup`` returns ``(action, params)``; misses return the default.
+    Entry counts feed the per-query rule accounting (§7.1: 10-20 rules
+    per query, <100 for a whole benchmark).
+    """
+
+    def __init__(self, name: str, default_action: str = "no_op",
+                 max_entries: int = 1 << 20):
+        self.name = name
+        self.default_action = default_action
+        self.max_entries = max_entries
+        self._entries: Dict[int, TableEntry] = {}
+
+    def install(self, key: int, action: str, params: Tuple = ()) -> None:
+        """Install (or overwrite) an exact-match rule."""
+        if len(self._entries) >= self.max_entries and key not in self._entries:
+            raise OverflowError(
+                f"table '{self.name}' is full ({self.max_entries} entries)"
+            )
+        self._entries[key] = TableEntry(key=key, action=action, params=params)
+
+    def remove(self, key: int) -> None:
+        """Remove a rule; missing keys are ignored (idempotent teardown)."""
+        self._entries.pop(key, None)
+
+    def lookup(self, key: int) -> Tuple[str, Tuple]:
+        """Exact lookup; default action on miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return self.default_action, ()
+        return entry.action, entry.params
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Remove all rules."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MatchActionTable({self.name!r}, entries={len(self)})"
+
+
+class TernaryTable:
+    """Priority-ordered ternary table (TCAM).
+
+    Entries match when ``key & mask == value & mask``; the highest-priority
+    (then first-installed) match wins, as in hardware TCAMs.
+    """
+
+    def __init__(self, name: str, width_bits: int = 64,
+                 max_entries: int = 4096):
+        self.name = name
+        self.width_bits = width_bits
+        self.max_entries = max_entries
+        self._entries: List[TableEntry] = []
+
+    def install(self, value: int, mask: int, action: str,
+                params: Tuple = (), priority: int = 0) -> None:
+        """Install a ternary rule."""
+        if len(self._entries) >= self.max_entries:
+            raise OverflowError(
+                f"TCAM '{self.name}' is full ({self.max_entries} entries)"
+            )
+        self._entries.append(
+            TableEntry(key=value, mask=mask, action=action, params=params,
+                       priority=priority)
+        )
+        # Highest priority first; stable sort keeps install order for ties.
+        self._entries.sort(key=lambda e: -e.priority)
+
+    def lookup(self, key: int) -> Optional[TableEntry]:
+        """First matching entry by priority, or None."""
+        for entry in self._entries:
+            if (key & entry.mask) == (entry.key & entry.mask):
+                return entry
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Remove all rules."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TernaryTable({self.name!r}, entries={len(self)})"
+
+
+def prefix_rules_for_msb(width_bits: int) -> List[Tuple[int, int, int]]:
+    """Generate the ``width_bits`` ternary rules that classify a value by
+    its most significant set bit (Appendix D: 32/64 rules for 32/64-bit
+    integers).  Returns ``(value, mask, msb_index)`` triples, highest bit
+    first so priority order equals list order."""
+    rules = []
+    for bit in range(width_bits - 1, -1, -1):
+        value = 1 << bit
+        mask = ((1 << width_bits) - 1) ^ ((1 << bit) - 1)
+        rules.append((value, mask, bit))
+    return rules

@@ -1,0 +1,32 @@
+"""Workload generators: synthetic Big Data benchmark and TPC-H subset.
+
+The paper's datasets (AMPLab Big Data benchmark at 90M/775M rows, TPC-H
+at default scale) are replaced by schema- and distribution-faithful
+generators at configurable scale; pruning rates depend on distinct
+counts, skew, and ordering, which the generators preserve.
+"""
+
+from repro.workloads.streams import (
+    random_order_stream,
+    zipf_keys,
+    distinct_stream,
+    random_points,
+)
+from repro.workloads.bigdata import (
+    BigDataGenerator,
+    BENCHMARK_QUERIES,
+    benchmark_query,
+)
+from repro.workloads.tpch import TPCHGenerator, tpch_q3_queries
+
+__all__ = [
+    "random_order_stream",
+    "zipf_keys",
+    "distinct_stream",
+    "random_points",
+    "BigDataGenerator",
+    "BENCHMARK_QUERIES",
+    "benchmark_query",
+    "TPCHGenerator",
+    "tpch_q3_queries",
+]

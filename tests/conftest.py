@@ -1,0 +1,33 @@
+"""Shared fixtures: the paper's Table 1 running example and small streams."""
+
+import pytest
+
+from repro.db.table import Table
+
+
+@pytest.fixture
+def products_table():
+    """Table 1a: Products."""
+    return Table.from_rows("Products", [
+        {"name": "Burger", "seller": "McCheetah", "price": 4},
+        {"name": "Pizza", "seller": "Papizza", "price": 7},
+        {"name": "Fries", "seller": "McCheetah", "price": 2},
+        {"name": "Jello", "seller": "JellyFish", "price": 5},
+    ])
+
+
+@pytest.fixture
+def ratings_table():
+    """Table 1b: Ratings."""
+    return Table.from_rows("Ratings", [
+        {"name": "Pizza", "taste": 7, "texture": 5},
+        {"name": "Cheetos", "taste": 8, "texture": 6},
+        {"name": "Jello", "taste": 9, "texture": 4},
+        {"name": "Burger", "taste": 5, "texture": 7},
+        {"name": "Fries", "taste": 3, "texture": 3},
+    ])
+
+
+@pytest.fixture
+def both_tables(products_table, ratings_table):
+    return {"Products": products_table, "Ratings": ratings_table}

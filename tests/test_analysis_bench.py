@@ -1,0 +1,131 @@
+"""Tests for the closed-form analysis module and the bench harness."""
+
+import math
+import os
+
+import pytest
+
+from repro.bench.runner import ExperimentResult, format_table, save_result
+from repro.core import analysis
+
+
+class TestAnalysis:
+    def test_distinct_bound_paper_example(self):
+        """§4.2: D=15000, d=1000, w=24 -> expected pruning >= 58%."""
+        bound = analysis.distinct_pruning_bound(15_000, 1000, 24)
+        assert bound == pytest.approx(0.58, abs=0.01)
+
+    def test_distinct_bound_caps_at_099(self):
+        assert analysis.distinct_pruning_bound(10, 1000, 24) == pytest.approx(
+            0.99
+        )
+
+    def test_topn_expected_unpruned_paper_examples(self):
+        """§5: d=600 (w~16) on m=8M prunes >= 99%; m=100M >= 99.9%."""
+        m8 = analysis.topn_expected_unpruned(8_000_000, 600, 16)
+        assert m8 / 8_000_000 < 0.01
+        m100 = analysis.topn_expected_unpruned(100_000_000, 600, 16)
+        assert m100 / 100_000_000 < 0.001
+
+    def test_topn_unpruned_formula(self):
+        m, d, w = 1_000_000, 100, 4
+        expected = w * d * math.log(m * math.e / (w * d))
+        assert analysis.topn_expected_unpruned(m, d, w) == pytest.approx(
+            expected
+        )
+
+    def test_topn_small_stream_clamped(self):
+        assert analysis.topn_expected_unpruned(10, 100, 4) == 10.0
+
+    def test_topn_pruned_fraction_improves_with_scale(self):
+        fractions = [
+            analysis.topn_expected_pruned_fraction(m, 600, 16)
+            for m in (1_000_000, 10_000_000, 100_000_000)
+        ]
+        assert fractions == sorted(fractions)
+
+    def test_harmonic(self):
+        assert analysis.harmonic(1) == 1.0
+        assert analysis.harmonic(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+        # Asymptotic branch agrees with the exact sum.
+        exact = sum(1.0 / k for k in range(1, 200))
+        assert analysis.harmonic(199) == pytest.approx(exact, rel=1e-6)
+
+    def test_opt_formulas(self):
+        assert analysis.distinct_opt_unpruned(100, 1000) == 0.1
+        assert analysis.topn_opt_unpruned(10, 10) == 1.0
+        small = analysis.topn_opt_unpruned(10, 1_000_000)
+        assert small < 0.001
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analysis.distinct_pruning_bound(0, 1, 1)
+        with pytest.raises(ValueError):
+            analysis.topn_expected_unpruned(0, 1, 1)
+        with pytest.raises(ValueError):
+            analysis.harmonic(-1)
+
+
+class TestBenchRunner:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 0.123456}, {"a": 22, "b": 7.0}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        assert "0.1235" in text
+
+    def test_format_table_small_floats_scientific(self):
+        text = format_table([{"x": 1.5e-7}])
+        assert "e-07" in text
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_render_includes_notes(self):
+        result = ExperimentResult("x1", "demo", [{"a": 1}], notes="hello")
+        text = result.render()
+        assert "x1" in text and "hello" in text
+
+    def test_save_result(self, tmp_path):
+        result = ExperimentResult("exp_test", "demo", [{"a": 1}])
+        path = save_result(result, str(tmp_path))
+        assert os.path.exists(path)
+        with open(path) as f:
+            assert "exp_test" in f.read()
+
+
+class TestExperimentsSmoke:
+    """Cheap experiments run end to end and produce sane rows."""
+
+    def test_table2(self):
+        from repro.bench.experiments import table2_resources
+
+        result = table2_resources()
+        assert len(result.rows) == 10
+        assert all(row["stages"] >= 1 for row in result.rows)
+
+    def test_fig9_rows(self):
+        from repro.bench.experiments import fig9_master_latency
+
+        result = fig9_master_latency()
+        assert {row["unpruned_pct"] for row in result.rows} == {
+            5, 10, 20, 30, 40, 50,
+        }
+
+    def test_fig7_rows(self):
+        from repro.bench.experiments import fig7_netaccel
+
+        result = fig7_netaccel()
+        assert all(
+            row["netaccel_drain_s"] > row["cheetah_overhead_s"]
+            for row in result.rows
+        )
+
+    def test_tpch_q3_band(self):
+        from repro.bench.experiments import tpch_q3_completion
+
+        result = tpch_q3_completion(scale=1e-2, seed=1)
+        row = result.rows[0]
+        assert row["cheetah_s"] < row["spark_s"] < row["spark_1st_s"]
+        assert 30 <= row["vs_sub_pct"] <= 75

@@ -1,0 +1,127 @@
+"""Tests for Bloom filters (JOIN's membership substrate)."""
+
+import pytest
+
+from repro.sketches.bloom import (
+    BloomFilter,
+    RegisterBloomFilter,
+    sized_for_fp_rate,
+)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(size_bits=8192, hashes=3)
+        keys = [f"key-{i}" for i in range(500)]
+        bf.update(keys)
+        for key in keys:
+            assert key in bf
+
+    def test_empty_filter_rejects(self):
+        bf = BloomFilter(size_bits=1024)
+        assert "anything" not in bf
+
+    def test_false_positive_rate_reasonable(self):
+        bf = BloomFilter(size_bits=64 * 1024, hashes=3, seed=1)
+        bf.update(range(2000))
+        false_positives = sum(
+            1 for i in range(100_000, 110_000) if i in bf
+        )
+        expected = BloomFilter.expected_fp_rate(64 * 1024, 3, 2000)
+        assert false_positives / 10_000 < max(0.02, 3 * expected)
+
+    def test_fill_ratio_grows(self):
+        bf = BloomFilter(size_bits=4096)
+        assert bf.fill_ratio() == 0.0
+        bf.update(range(100))
+        assert 0 < bf.fill_ratio() < 1
+
+    def test_clear(self):
+        bf = BloomFilter(size_bits=1024)
+        bf.add("x")
+        bf.clear()
+        assert "x" not in bf
+        assert bf.inserted == 0
+
+    def test_expected_fp_rate_monotone_in_items(self):
+        low = BloomFilter.expected_fp_rate(8192, 3, 100)
+        high = BloomFilter.expected_fp_rate(8192, 3, 5000)
+        assert low < high
+
+    def test_optimal_hashes(self):
+        assert BloomFilter.optimal_hashes(8 * 1000, 1000) == round(
+            8 * 0.693
+        )
+        assert BloomFilter.optimal_hashes(100, 100_000) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(size_bits=4)
+        with pytest.raises(ValueError):
+            BloomFilter(size_bits=1024, hashes=0)
+
+
+class TestRegisterBloomFilter:
+    def test_no_false_negatives(self):
+        rbf = RegisterBloomFilter(size_bits=8192, hashes=3)
+        keys = [f"key-{i}" for i in range(500)]
+        rbf.update(keys)
+        for key in keys:
+            assert key in rbf
+
+    def test_empty_rejects(self):
+        rbf = RegisterBloomFilter(size_bits=1024)
+        assert 123 not in rbf
+
+    def test_single_word_per_key(self):
+        # The defining property: all bits of a key live in one 64b word.
+        rbf = RegisterBloomFilter(size_bits=64 * 100, hashes=5, seed=2)
+        word, mask = rbf._positions("some-key")
+        assert 0 <= word < 100
+        assert mask < 1 << 64
+        assert bin(mask).count("1") <= 5
+
+    def test_fp_rate_worse_than_classic_bf(self):
+        # Clustering bits in one word costs accuracy (Fig. 10e's BF/RBF
+        # gap); with equal size, RBF has at least as many FPs.
+        size, hashes, n = 32 * 1024, 3, 2500
+        bf = BloomFilter(size, hashes, seed=3)
+        rbf = RegisterBloomFilter(size, hashes, seed=3)
+        for i in range(n):
+            bf.add(i)
+            rbf.add(i)
+        probe = range(1_000_000, 1_030_000)
+        bf_fp = sum(1 for i in probe if i in bf)
+        rbf_fp = sum(1 for i in probe if i in rbf)
+        assert rbf_fp >= bf_fp * 0.8  # allow noise; RBF should not be better
+
+    def test_clear(self):
+        rbf = RegisterBloomFilter(size_bits=1024)
+        rbf.add("x")
+        rbf.clear()
+        assert "x" not in rbf
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RegisterBloomFilter(size_bits=32)
+        with pytest.raises(ValueError):
+            RegisterBloomFilter(size_bits=1024, hashes=65)
+
+
+class TestSizedForFpRate:
+    def test_meets_target_rate(self):
+        bf = sized_for_fp_rate(items=1000, fp_rate=0.01, seed=5)
+        bf.update(range(1000))
+        fps = sum(1 for i in range(50_000, 70_000) if i in bf)
+        assert fps / 20_000 < 0.03
+
+    def test_lower_rate_needs_more_bits(self):
+        loose = sized_for_fp_rate(1000, 0.1)
+        tight = sized_for_fp_rate(1000, 0.001)
+        assert tight.size_bits > loose.size_bits
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            sized_for_fp_rate(0, 0.01)
+        with pytest.raises(ValueError):
+            sized_for_fp_rate(10, 1.5)

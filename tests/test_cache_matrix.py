@@ -1,0 +1,155 @@
+"""Tests for the d x w cache matrix (DISTINCT / TOP-N substrate)."""
+
+import random
+
+import pytest
+
+from repro.sketches.cache_matrix import (
+    CacheMatrix,
+    EvictionPolicy,
+    RollingMinMatrix,
+)
+
+
+class TestCacheMatrix:
+    def test_miss_then_hit(self):
+        matrix = CacheMatrix(rows=8, width=2)
+        assert matrix.contains_or_insert("a") is False
+        assert matrix.contains_or_insert("a") is True
+
+    def test_no_false_positives(self):
+        """A hit implies the value truly appeared — DISTINCT soundness."""
+        matrix = CacheMatrix(rows=16, width=4, seed=3)
+        seen = set()
+        rng = random.Random(1)
+        for _ in range(5000):
+            value = rng.randrange(200)
+            hit = matrix.contains_or_insert(value)
+            if hit:
+                assert value in seen
+            seen.add(value)
+
+    def test_eviction_causes_false_negative_only(self):
+        matrix = CacheMatrix(rows=1, width=1)
+        matrix.contains_or_insert("a")
+        matrix.contains_or_insert("b")  # evicts "a"
+        assert matrix.contains_or_insert("a") is False  # forgotten: safe
+
+    def test_same_value_same_row(self):
+        matrix = CacheMatrix(rows=64, width=2)
+        assert matrix.row_index("key") == matrix.row_index("key")
+
+    def test_lru_moves_hit_to_front(self):
+        matrix = CacheMatrix(rows=1, width=2, policy=EvictionPolicy.LRU)
+        matrix.contains_or_insert("a")
+        matrix.contains_or_insert("b")
+        matrix.contains_or_insert("a")      # hit: refresh "a"
+        matrix.contains_or_insert("c")      # evicts LRU = "b"
+        assert "a" in matrix
+        assert "b" not in matrix
+
+    def test_fifo_ignores_recency(self):
+        matrix = CacheMatrix(rows=1, width=2, policy=EvictionPolicy.FIFO)
+        matrix.contains_or_insert("a")
+        matrix.contains_or_insert("b")
+        matrix.contains_or_insert("a")      # hit, but no refresh
+        matrix.contains_or_insert("c")      # evicts oldest = "a"
+        assert "a" not in matrix
+        assert "b" in matrix
+
+    def test_width_respected(self):
+        matrix = CacheMatrix(rows=1, width=3)
+        for v in range(10):
+            matrix.contains_or_insert(v)
+        assert matrix.occupancy() == 3
+
+    def test_stats(self):
+        matrix = CacheMatrix(rows=4, width=2)
+        matrix.contains_or_insert(1)
+        matrix.contains_or_insert(1)
+        matrix.contains_or_insert(2)
+        assert matrix.hits == 1
+        assert matrix.misses == 2
+
+    def test_memory_words(self):
+        assert CacheMatrix(rows=100, width=4).memory_words() == 400
+
+    def test_clear(self):
+        matrix = CacheMatrix(rows=4, width=2)
+        matrix.contains_or_insert("x")
+        matrix.clear()
+        assert "x" not in matrix
+        assert matrix.occupancy() == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CacheMatrix(rows=0, width=1)
+        with pytest.raises(ValueError):
+            CacheMatrix(rows=1, width=0)
+
+
+class TestRollingMinMatrix:
+    def test_never_prunes_until_row_full(self):
+        matrix = RollingMinMatrix(rows=1, width=3)
+        assert matrix.offer(5.0) is False
+        assert matrix.offer(1.0) is False
+        assert matrix.offer(3.0) is False
+
+    def test_prunes_below_row_minimum(self):
+        matrix = RollingMinMatrix(rows=1, width=2)
+        matrix.offer(10.0)
+        matrix.offer(20.0)
+        assert matrix.offer(5.0) is True     # below both stored
+        assert matrix.offer(30.0) is False   # enters the top-2
+
+    def test_row_keeps_largest_sorted(self):
+        matrix = RollingMinMatrix(rows=1, width=3)
+        for v in (5.0, 1.0, 9.0, 7.0, 3.0):
+            matrix.offer(v)
+        assert matrix.row_contents(0) == [9.0, 7.0, 5.0]
+
+    def test_paper_figure2_example(self):
+        """Figure 2's stream (7,4,7,5,3,2): a small value mapped to a full
+        row of larger values is pruned; others are not."""
+        matrix = RollingMinMatrix(rows=1, width=2)
+        decisions = [matrix.offer(v) for v in (7, 4, 7, 5, 3, 2)]
+        # First two fill the row; everything <= the running minimum of
+        # the top-2 is pruned.
+        assert decisions[0] is False and decisions[1] is False
+        assert decisions[3] is True    # 5 < min(7,7)=7
+        assert decisions[4] is True    # 3 < min
+        assert decisions[5] is True    # 2 < min
+
+    def test_topn_safety(self):
+        """No value that belongs to the global top-w of its row is pruned."""
+        rng = random.Random(4)
+        matrix = RollingMinMatrix(rows=4, width=5, seed=2)
+        values = [rng.random() for _ in range(2000)]
+        kept = [v for v in values if not matrix.offer(v)]
+        # The overall top-5 values must all survive: each is within the
+        # top-5 of whatever row it landed in.
+        for v in sorted(values, reverse=True)[:5]:
+            assert v in kept
+
+    def test_row_choice_deterministic_by_sequence(self):
+        matrix = RollingMinMatrix(rows=8, width=2, seed=9)
+        assert matrix.row_for_arrival(0) == matrix.row_for_arrival(0)
+
+    def test_equal_values_fill_then_prune(self):
+        matrix = RollingMinMatrix(rows=1, width=2)
+        matrix.offer(5.0)
+        matrix.offer(5.0)
+        # A third equal value: w entries >= it exist, prunable.
+        assert matrix.offer(5.0) is True
+
+    def test_clear(self):
+        matrix = RollingMinMatrix(rows=2, width=2)
+        matrix.offer(1.0)
+        matrix.clear()
+        assert matrix.row_contents(0) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RollingMinMatrix(rows=0, width=1)
+        with pytest.raises(ValueError):
+            RollingMinMatrix(rows=1, width=0)

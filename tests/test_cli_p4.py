@@ -1,0 +1,23 @@
+"""CLI p4 subcommand tests."""
+
+import pytest
+
+
+@pytest.mark.parametrize("query_type", [
+    "distinct", "topn_det", "topn_rand", "groupby", "join", "having",
+    "skyline", "filter",
+])
+def test_p4_subcommand(query_type, capsys):
+    from repro.cli import main
+
+    assert main(["p4", query_type]) == 0
+    out = capsys.readouterr().out
+    assert "header_type cheetah_t" in out
+    assert "prune_decision" in out
+
+
+def test_p4_rejects_unknown(capsys):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["p4", "cartesian"])

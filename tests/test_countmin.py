@@ -1,0 +1,92 @@
+"""Tests for the Count-Min sketch (HAVING's aggregate store)."""
+
+import random
+
+import pytest
+
+from repro.sketches.countmin import CountMinSketch, bulk_load
+
+
+class TestCountMin:
+    def test_one_sided_error(self):
+        """The defining property: estimate >= truth, always."""
+        sketch = CountMinSketch(width=64, depth=3, seed=1)
+        rng = random.Random(0)
+        truth = {}
+        for _ in range(5000):
+            key = rng.randrange(500)
+            amount = rng.randrange(1, 10)
+            truth[key] = truth.get(key, 0) + amount
+            sketch.update(key, amount)
+        for key, true_value in truth.items():
+            assert sketch.estimate(key) >= true_value
+
+    def test_exact_when_no_collisions(self):
+        sketch = CountMinSketch(width=1024, depth=4)
+        sketch.update("a", 5)
+        sketch.update("b", 7)
+        assert sketch.estimate("a") == 5
+        assert sketch.estimate("b") == 7
+
+    def test_unseen_key_estimate_bounded(self):
+        sketch = CountMinSketch(width=256, depth=3)
+        for i in range(100):
+            sketch.update(i, 1)
+        # Unseen keys may collide but the estimate is bounded by e/width * total.
+        assert sketch.estimate("never-seen") <= sketch.error_bound() + 1
+
+    def test_negative_update_rejected(self):
+        """SUM/COUNT < c is deferred to future work; negatives break the
+        one-sided argument."""
+        sketch = CountMinSketch(width=16, depth=2)
+        with pytest.raises(ValueError):
+            sketch.update("k", -1)
+
+    def test_conservative_update_tighter(self):
+        rng = random.Random(2)
+        plain = CountMinSketch(width=32, depth=3, seed=7)
+        conservative = CountMinSketch(width=32, depth=3, seed=7,
+                                      conservative=True)
+        truth = {}
+        for _ in range(3000):
+            key = rng.randrange(300)
+            truth[key] = truth.get(key, 0) + 1
+            plain.update(key)
+            conservative.update(key)
+        plain_err = sum(plain.estimate(k) - v for k, v in truth.items())
+        cons_err = sum(conservative.estimate(k) - v for k, v in truth.items())
+        assert cons_err <= plain_err
+        for key, value in truth.items():
+            assert conservative.estimate(key) >= value
+
+    def test_update_and_estimate_single_pass(self):
+        sketch = CountMinSketch(width=64, depth=3)
+        assert sketch.update_and_estimate("x", 3) >= 3
+        assert sketch.update_and_estimate("x", 2) >= 5
+
+    def test_total_tracks_mass(self):
+        sketch = CountMinSketch(width=16, depth=2)
+        sketch.update("a", 10)
+        sketch.update("b", 5)
+        assert sketch.total == 15
+
+    def test_memory_counters(self):
+        assert CountMinSketch(width=1024, depth=3).memory_counters() == 3072
+
+    def test_clear(self):
+        sketch = CountMinSketch(width=16, depth=2)
+        sketch.update("a", 3)
+        sketch.clear()
+        assert sketch.estimate("a") == 0
+        assert sketch.total == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(width=4, depth=0)
+
+    def test_bulk_load(self):
+        sketch = bulk_load([("a", 1), ("a", 2), ("b", 4)], width=64)
+        assert sketch.estimate("a") >= 3
+        assert sketch.estimate("b") >= 4

@@ -1,0 +1,150 @@
+"""Tests for the DISTINCT pruner (Examples #2 and #8)."""
+
+import random
+
+import pytest
+
+from repro.core.analysis import distinct_pruning_bound
+from repro.core.base import Guarantee
+from repro.core.distinct import DistinctPruner
+from repro.sketches.cache_matrix import EvictionPolicy
+
+
+class TestDistinctSoundness:
+    def test_first_occurrence_never_pruned(self):
+        pruner = DistinctPruner(rows=64, width=2)
+        rng = random.Random(0)
+        stream = [rng.randrange(500) for _ in range(5000)]
+        seen = set()
+        for value in stream:
+            pruned = pruner.offer(value)
+            if value not in seen:
+                assert not pruned, "a first occurrence was pruned"
+            seen.add(value)
+
+    def test_distinct_set_preserved(self):
+        pruner = DistinctPruner(rows=16, width=2)
+        rng = random.Random(1)
+        stream = [rng.randrange(100) for _ in range(2000)]
+        forwarded = pruner.filter_stream(stream)
+        assert set(forwarded) == set(stream)
+
+    def test_superset_safety(self):
+        """Forwarding extra duplicates never changes the DISTINCT result
+        (the reliability protocol relies on this)."""
+        pruner = DistinctPruner(rows=16, width=2)
+        stream = [i % 20 for i in range(500)]
+        forwarded = pruner.filter_stream(stream)
+        superset = forwarded + stream[:50]
+        assert set(superset) == set(stream)
+
+    def test_exact_values_deterministic_guarantee(self):
+        assert DistinctPruner().guarantee is Guarantee.DETERMINISTIC
+
+    def test_fingerprinted_is_probabilistic(self):
+        pruner = DistinctPruner(fingerprint_bits_=32)
+        assert pruner.guarantee is Guarantee.PROBABILISTIC
+
+
+class TestDistinctPruningRate:
+    def test_nearly_all_duplicates_pruned_when_cache_covers_keys(self):
+        """Paper headline: w=2, d=4096 prunes (essentially) all
+        non-distinct entries when the cache exceeds the key count; the
+        residue is rows that happen to hold 3+ of the keys."""
+        pruner = DistinctPruner(rows=4096, width=2)
+        rng = random.Random(2)
+        stream = [rng.randrange(3000) for _ in range(50_000)]
+        forwarded = pruner.filter_stream(stream)
+        duplicates = len(stream) - len(set(stream))
+        forwarded_duplicates = len(forwarded) - len(set(stream))
+        assert forwarded_duplicates / duplicates < 0.10
+
+    def test_theorem1_bound_respected(self):
+        """Random-order stream: measured duplicate pruning should meet
+        the Theorem 1 expectation within sampling slack."""
+        from repro.workloads.streams import random_order_stream
+
+        d, w, distinct, m = 256, 2, 5000, 60_000
+        stream = random_order_stream(m, distinct, seed=3)
+        pruner = DistinctPruner(rows=d, width=w, seed=3)
+        pruned = sum(1 for v in stream if pruner.offer(v))
+        duplicates = m - len(set(stream))
+        bound = distinct_pruning_bound(distinct, d, w)
+        assert pruned / duplicates >= bound * 0.8
+
+    def test_lru_at_least_as_good_as_fifo_on_skew(self):
+        from repro.workloads.streams import zipf_keys
+
+        stream = zipf_keys(30_000, 2000, skew=1.1, seed=4)
+        rates = {}
+        for policy in (EvictionPolicy.LRU, EvictionPolicy.FIFO):
+            pruner = DistinctPruner(rows=128, width=2, policy=policy,
+                                    seed=4)
+            for value in stream:
+                pruner.offer(value)
+            rates[policy] = pruner.stats.pruned_fraction
+        assert rates[EvictionPolicy.LRU] >= rates[EvictionPolicy.FIFO] - 0.01
+
+    def test_more_rows_more_pruning(self):
+        rng = random.Random(5)
+        stream = [rng.randrange(4000) for _ in range(40_000)]
+        fractions = []
+        for d in (64, 512, 4096):
+            pruner = DistinctPruner(rows=d, width=2, seed=5)
+            for value in stream:
+                pruner.offer(value)
+            fractions.append(pruner.stats.pruned_fraction)
+        assert fractions == sorted(fractions)
+
+
+class TestDistinctFingerprints:
+    def test_sized_constructor(self):
+        pruner = DistinctPruner.with_fingerprints_for(
+            distinct_estimate=100_000, rows=1024, delta=1e-4
+        )
+        assert pruner.fingerprint_bits_ is not None
+        assert 1 <= pruner.fingerprint_bits_ <= 64
+
+    def test_wide_keys_work(self):
+        pruner = DistinctPruner(rows=64, width=2, fingerprint_bits_=48)
+        keys = [("user-agent-string-" + str(i), i) for i in range(200)]
+        stream = keys * 3
+        forwarded = pruner.filter_stream(stream)
+        # All 200 distinct keys must survive at 48-bit fingerprints
+        # (collision probability is negligible at this scale).
+        assert set(forwarded) == set(keys)
+
+    def test_tiny_fingerprints_cause_losses(self):
+        """With absurdly short fingerprints, distinct keys do collide —
+        demonstrating why Theorem 7 sizing matters."""
+        pruner = DistinctPruner(rows=2, width=8, fingerprint_bits_=4)
+        stream = list(range(1000))
+        forwarded = pruner.filter_stream(stream)
+        assert len(set(forwarded)) < 1000
+
+
+class TestDistinctHousekeeping:
+    def test_resources_lru(self):
+        usage = DistinctPruner(rows=4096, width=2).resources()
+        assert usage.stages == 2
+        assert usage.alus == 2
+        assert usage.sram_bits == 4096 * 2 * 64
+
+    def test_resources_fifo_packs_stages(self):
+        usage = DistinctPruner(rows=4096, width=8,
+                               policy=EvictionPolicy.FIFO,
+                               alus_per_stage=10).resources()
+        assert usage.stages == 1
+        assert usage.alus == 8
+
+    def test_reset(self):
+        pruner = DistinctPruner(rows=8, width=2)
+        pruner.offer(1)
+        pruner.offer(1)
+        pruner.reset()
+        assert pruner.stats.offered == 0
+        assert pruner.offer(1) is False
+
+    def test_parameters(self):
+        params = DistinctPruner(rows=8, width=2).parameters()
+        assert params["d"] == 8 and params["w"] == 2

@@ -1,0 +1,159 @@
+"""Edge-case tests: tiny tables, ties, degenerate parameters, and the
+pruned path on each of them."""
+
+import pytest
+
+from repro.core.expr import Col
+from repro.db import (
+    DistinctQuery,
+    FilterQuery,
+    GroupByQuery,
+    HavingQuery,
+    QueryPlanner,
+    SkylineQuery,
+    Table,
+    TopNQuery,
+    execute,
+)
+from repro.db.queries import JoinQuery, SortOrder
+
+
+def single_row_table():
+    return Table.from_rows("T", [{"k": 1, "v": 10}])
+
+
+class TestSingleRow:
+    @pytest.mark.parametrize("query", [
+        DistinctQuery(key_columns=("k",)),
+        TopNQuery(n=5, order_column="v"),
+        GroupByQuery(key_column="k", value_column="v"),
+        SkylineQuery(dimensions=("k", "v")),
+        FilterQuery(predicate=Col("v") > 5),
+        HavingQuery(key_column="k", value_column="v", threshold=5),
+    ])
+    def test_pruned_equals_direct(self, query):
+        table = single_row_table()
+        run = QueryPlanner().plan(query).run(table)
+        assert run.result == execute(query, table)
+
+    def test_nothing_pruned_from_single_row(self):
+        table = single_row_table()
+        run = QueryPlanner().plan(
+            DistinctQuery(key_columns=("k",))
+        ).run(table)
+        assert run.traffic.forwarded_entries == 1
+
+
+class TestTies:
+    def test_topn_with_all_equal_values(self):
+        table = Table.from_rows("T", [{"v": 7} for _ in range(100)])
+        query = TopNQuery(n=10, order_column="v")
+        run = QueryPlanner().plan(query).run(table)
+        assert run.result.output == tuple([7] * 10)
+        assert run.result == execute(query, table)
+
+    def test_topn_n_larger_than_table(self):
+        table = Table.from_rows("T", [{"v": i} for i in range(5)])
+        query = TopNQuery(n=50, order_column="v")
+        run = QueryPlanner().plan(query).run(table)
+        assert run.result == execute(query, table)
+        assert len(run.result.output) == 5
+
+    def test_skyline_duplicate_points(self):
+        table = Table.from_rows("T", [
+            {"x": 5, "y": 5}, {"x": 5, "y": 5}, {"x": 1, "y": 1},
+        ])
+        query = SkylineQuery(dimensions=("x", "y"))
+        run = QueryPlanner().plan(query).run(table)
+        assert run.result.output == frozenset({(5, 5)})
+
+    def test_groupby_tie_values(self):
+        table = Table.from_rows("T", [
+            {"k": "a", "v": 3}, {"k": "a", "v": 3}, {"k": "a", "v": 3},
+        ])
+        query = GroupByQuery(key_column="k", value_column="v")
+        run = QueryPlanner().plan(query).run(table)
+        assert run.result.output == {"a": 3}
+
+    def test_having_exact_threshold_excluded(self):
+        """HAVING uses strict '>': a key summing exactly to c is out."""
+        table = Table.from_rows("T", [
+            {"k": "edge", "v": 5}, {"k": "over", "v": 6},
+        ])
+        query = HavingQuery(key_column="k", value_column="v", threshold=5)
+        run = QueryPlanner().plan(query).run(table)
+        assert run.result.output == frozenset({"over"})
+
+
+class TestDegenerateJoins:
+    def test_empty_intersection(self):
+        tables = {
+            "L": Table.from_rows("L", [{"k": i} for i in range(20)]),
+            "R": Table.from_rows("R", [{"k": i + 100} for i in range(20)]),
+        }
+        query = JoinQuery("L", "R", "k", "k")
+        run = QueryPlanner().plan(query).run(tables)
+        assert sum(run.result.output.values()) == 0
+        assert run.result == execute(query, tables)
+
+    def test_self_join_shape(self):
+        table = Table.from_rows("L", [{"k": 1}, {"k": 1}, {"k": 2}])
+        tables = {"L": table,
+                  "R": Table.from_rows("R", [{"k": 1}, {"k": 2}])}
+        query = JoinQuery("L", "R", "k", "k")
+        result = execute(query, tables)
+        assert sum(result.output.values()) == 3
+
+    def test_many_to_many_multiplicity(self):
+        tables = {
+            "L": Table.from_rows("L", [{"k": 1}, {"k": 1}]),
+            "R": Table.from_rows("R", [{"k": 1}, {"k": 1}, {"k": 1}]),
+        }
+        query = JoinQuery("L", "R", "k", "k")
+        run = QueryPlanner().plan(query).run(tables)
+        assert sum(run.result.output.values()) == 6
+        assert run.result == execute(query, tables)
+
+
+class TestFilterEdges:
+    def test_always_false_predicate_prunes_everything(self):
+        table = Table.from_rows("T", [{"v": i} for i in range(50)])
+        query = FilterQuery(predicate=Col("v") > 1000)
+        run = QueryPlanner().plan(query).run(table)
+        assert run.traffic.forwarded_entries == 0
+        assert sum(run.result.output.values()) == 0
+
+    def test_always_true_predicate_forwards_everything(self):
+        table = Table.from_rows("T", [{"v": i} for i in range(50)])
+        query = FilterQuery(predicate=Col("v") >= 0)
+        run = QueryPlanner().plan(query).run(table)
+        assert run.traffic.forwarded_entries == 50
+
+    def test_count_only_on_pruned_path(self):
+        table = Table.from_rows("T", [{"v": i} for i in range(100)])
+        query = FilterQuery(predicate=Col("v") < 30, count_only=True)
+        run = QueryPlanner().plan(query).run(table)
+        assert run.result.output == 30
+
+    def test_negative_values_ascending_topn(self):
+        table = Table.from_rows("T", [{"v": v} for v in
+                                      (-50, -1, -100, 0, -7)])
+        query = TopNQuery(n=2, order_column="v", order=SortOrder.ASC,
+                          randomized=False)
+        run = QueryPlanner().plan(query).run(table)
+        assert run.result.output == (-100, -50)
+        assert run.result == execute(query, table)
+
+
+class TestStatsConsistency:
+    def test_traffic_adds_up(self):
+        table = Table.from_rows("T", [{"k": i % 9, "v": i}
+                                      for i in range(500)])
+        query = DistinctQuery(key_columns=("k",))
+        run = QueryPlanner().plan(query).run(table)
+        pruner = run.pruner
+        assert pruner.stats.offered == 500
+        assert (pruner.stats.forwarded
+                == run.traffic.forwarded_entries)
+        assert (pruner.stats.pruned_fraction
+                == pytest.approx(1 - run.traffic.unpruned_fraction))

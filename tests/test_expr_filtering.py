@@ -1,0 +1,219 @@
+"""Tests for the expression AST and predicate decomposition (§4.1)."""
+
+import pytest
+
+from repro.core.expr import (
+    And,
+    BinOp,
+    Cmp,
+    Col,
+    FALSE,
+    Like,
+    Lit,
+    Not,
+    Or,
+    TRUE,
+)
+from repro.core.filtering import (
+    FilterPruner,
+    decompose_predicate,
+    simplify,
+    to_nnf,
+)
+
+
+class TestExprEvaluation:
+    def test_comparison(self):
+        expr = Col("x") > 5
+        assert expr.evaluate({"x": 6}) is True
+        assert expr.evaluate({"x": 5}) is False
+
+    def test_eq_ne(self):
+        assert Col("x").eq(3).evaluate({"x": 3})
+        assert Col("x").ne(3).evaluate({"x": 4})
+
+    def test_boolean_connectives(self):
+        expr = (Col("a") > 1) & (Col("b") < 5) | ~(Col("c").eq(0))
+        assert expr.evaluate({"a": 2, "b": 3, "c": 0}) is True
+        assert expr.evaluate({"a": 0, "b": 9, "c": 0}) is False
+
+    def test_arithmetic(self):
+        expr = (Col("x") + 2) * Lit(3)
+        assert expr.evaluate({"x": 4}) == 18
+
+    def test_like(self):
+        expr = Col("name").like("e%s")
+        assert expr.evaluate({"name": "eggs"}) is True
+        assert expr.evaluate({"name": "spam"}) is False
+        assert Col("name").like("_am").evaluate({"name": "ham"}) is True
+
+    def test_like_non_string_raises(self):
+        with pytest.raises(TypeError):
+            Col("x").like("a%").evaluate({"x": 5})
+
+    def test_missing_column_raises(self):
+        with pytest.raises(KeyError):
+            Col("nope").evaluate({"x": 1})
+
+    def test_constants(self):
+        assert TRUE.evaluate({}) is True
+        assert FALSE.evaluate({}) is False
+
+    def test_invalid_operators_rejected(self):
+        with pytest.raises(ValueError):
+            Cmp("><", Col("x"), Lit(1))
+        with pytest.raises(ValueError):
+            BinOp("%", Col("x"), Lit(1))
+
+
+class TestSwitchSupport:
+    def test_numeric_comparison_supported(self):
+        assert (Col("x") > 5).switch_supported()
+
+    def test_like_unsupported(self):
+        assert not Col("s").like("a%").switch_supported()
+
+    def test_multiplication_unsupported(self):
+        assert not (Col("x") * 2 > 5).switch_supported()
+
+    def test_addition_supported(self):
+        assert (Col("x") + 2 > 5).switch_supported()
+
+    def test_string_ordering_unsupported(self):
+        assert not (Col("s") > Lit("abc")).switch_supported()
+
+    def test_string_equality_supported(self):
+        # Via fingerprints.
+        assert Col("s").eq("abc").switch_supported()
+
+
+class TestNNF:
+    def test_demorgan_and(self):
+        expr = ~((Col("a") > 1) & (Col("b") > 2))
+        nnf = to_nnf(expr)
+        assert isinstance(nnf, Or)
+        assert repr(nnf.left) == repr(Col("a") <= 1)
+
+    def test_demorgan_or(self):
+        expr = ~((Col("a") > 1) | (Col("b") > 2))
+        nnf = to_nnf(expr)
+        assert isinstance(nnf, And)
+
+    def test_double_negation(self):
+        expr = ~~(Col("a") > 1)
+        assert repr(to_nnf(expr)) == repr(Col("a") > 1)
+
+    def test_comparison_flip(self):
+        assert repr(to_nnf(~(Col("a") >= 3))) == repr(Col("a") < 3)
+        assert repr(to_nnf(~Col("a").eq(3))) == repr(Col("a").ne(3))
+
+    def test_negated_like_stays_wrapped(self):
+        nnf = to_nnf(~Col("s").like("a%"))
+        assert isinstance(nnf, Not)
+        assert isinstance(nnf.operand, Like)
+
+    def test_nnf_preserves_semantics(self):
+        expr = ~(((Col("a") > 1) & ~(Col("b") > 2)) | Col("c").eq(5))
+        nnf = to_nnf(expr)
+        for row in ({"a": 0, "b": 0, "c": 5}, {"a": 2, "b": 1, "c": 0},
+                    {"a": 2, "b": 3, "c": 0}, {"a": 0, "b": 3, "c": 1}):
+            assert expr.evaluate(row) == nnf.evaluate(row)
+
+
+class TestSimplify:
+    def test_true_absorbs_or(self):
+        assert simplify(Or(TRUE, Col("x") > 1)) is TRUE
+
+    def test_false_absorbs_and(self):
+        assert simplify(And(FALSE, Col("x") > 1)) is FALSE
+
+    def test_identity_elements(self):
+        inner = Col("x") > 1
+        assert simplify(And(TRUE, inner)) is inner
+        assert simplify(Or(FALSE, inner)) is inner
+
+    def test_not_constants(self):
+        assert simplify(Not(TRUE)) is FALSE
+        assert simplify(Not(FALSE)) is TRUE
+
+
+class TestDecomposition:
+    def test_paper_example(self):
+        """(taste > 5) OR (texture > 4 AND name LIKE 'e%s')
+        -> (taste > 5) OR (texture > 4)."""
+        predicate = (Col("taste") > 5) | (
+            (Col("texture") > 4) & Col("name").like("e%s")
+        )
+        decomposed = decompose_predicate(predicate)
+        expected = (Col("taste") > 5) | (Col("texture") > 4)
+        assert repr(decomposed.switch_expr) == repr(expected)
+        assert len(decomposed.residual_leaves) == 1
+
+    def test_switch_expr_is_weaker(self):
+        """Rows satisfying the original predicate always satisfy the
+        switch predicate — the soundness of tautology substitution."""
+        predicate = (Col("a") > 3) & (
+            Col("s").like("x%") | (Col("b") < 7)
+        )
+        decomposed = decompose_predicate(predicate)
+        rows = [
+            {"a": a, "b": b, "s": s}
+            for a in (1, 5) for b in (2, 9) for s in ("xy", "zz")
+        ]
+        for row in rows:
+            if predicate.evaluate(row):
+                assert decomposed.switch_expr.evaluate(row)
+
+    def test_fully_supported_predicate(self):
+        decomposed = decompose_predicate((Col("a") > 1) & (Col("b") < 2))
+        assert decomposed.fully_offloaded
+        assert not decomposed.residual_leaves
+
+    def test_fully_unsupported_becomes_true(self):
+        decomposed = decompose_predicate(Col("s").like("a%"))
+        assert repr(decomposed.switch_expr) == "TRUE"
+        assert not decomposed.fully_offloaded
+
+    def test_negated_unsupported_leaf(self):
+        decomposed = decompose_predicate(~Col("s").like("a%"))
+        assert repr(decomposed.switch_expr) == "TRUE"
+
+
+class TestFilterPruner:
+    def test_prunes_only_guaranteed_non_matches(self, ratings_table):
+        predicate = (Col("taste") > 5) | (
+            (Col("texture") > 4) & Col("name").like("e%s")
+        )
+        pruner = FilterPruner(predicate)
+        kept = [row for row in ratings_table.rows()
+                if not pruner.offer(row)]
+        full_matches = [row for row in ratings_table.rows()
+                        if predicate.evaluate(row)]
+        for row in full_matches:
+            assert row in kept
+
+    def test_worker_assist_completes_filter(self, ratings_table):
+        predicate = (Col("taste") > 5) | (
+            (Col("texture") > 4) & Col("name").like("e%s")
+        )
+        pruner = FilterPruner(predicate, worker_assist=True)
+        kept = [row for row in ratings_table.rows()
+                if not pruner.offer(row)]
+        assert kept == [row for row in ratings_table.rows()
+                        if predicate.evaluate(row)]
+
+    def test_worker_assist_at_least_as_selective(self, ratings_table):
+        predicate = (Col("texture") > 4) & Col("name").like("%s")
+        plain = FilterPruner(predicate)
+        assisted = FilterPruner(predicate, worker_assist=True)
+        plain_kept = sum(1 for r in ratings_table.rows()
+                         if not plain.offer(r))
+        assisted_kept = sum(1 for r in ratings_table.rows()
+                            if not assisted.offer(r))
+        assert assisted_kept <= plain_kept
+
+    def test_resources_scale_with_leaves(self):
+        small = FilterPruner(Col("a") > 1).resources()
+        big = FilterPruner((Col("a") > 1) & (Col("b") > 2)
+                           & (Col("c") > 3)).resources()
+        assert big.alus > small.alus

@@ -1,0 +1,155 @@
+"""Tests for the §9 extensions: multi-entry packets and multi-switch trees."""
+
+import random
+
+import pytest
+
+from repro.core.distinct import DistinctPruner
+from repro.core.extensions import MultiEntryAdapter, MultiSwitchTree
+from repro.core.groupby import GroupByPruner
+
+
+def distinct_adapter(rows=32, width=2, k=4, seed=0):
+    pruner = DistinctPruner(rows=rows, width=width, seed=seed)
+    return MultiEntryAdapter(
+        pruner, row_of_entry=pruner.matrix.row_index, entries_per_packet=k
+    ), pruner
+
+
+class TestMultiEntryAdapter:
+    def test_decisions_per_entry(self):
+        adapter, _ = distinct_adapter()
+        decisions = adapter.offer_packet([1, 2, 3, 1])
+        assert len(decisions) == 4
+
+    def test_same_row_conflict_forwarded_unprocessed(self):
+        adapter, pruner = distinct_adapter(rows=1, width=4, k=4)
+        # rows=1: every entry shares the row; only the first is processed.
+        decisions = adapter.offer_packet([7, 7, 7, 7])
+        assert decisions == [False, False, False, False]
+        assert adapter.unprocessed_forwards == 3
+        # The duplicate IS caught on the next packet.
+        assert adapter.offer_packet([7])[0] is True
+
+    def test_soundness_distinct_set_preserved(self):
+        adapter, _ = distinct_adapter(rows=16, width=2, k=4, seed=1)
+        rng = random.Random(1)
+        stream = [rng.randrange(50) for _ in range(2000)]
+        decisions = adapter.offer_stream(stream)
+        forwarded = [e for e, pruned in zip(stream, decisions) if not pruned]
+        assert set(forwarded) == set(stream)
+
+    def test_packing_reduces_pruning_but_not_much(self):
+        rng = random.Random(2)
+        # Many distinct keys relative to the packing factor: same-row
+        # conflicts inside one packet are then rare (~C(4,2)/d).
+        stream = [rng.randrange(2000) for _ in range(10_000)]
+        single, _ = distinct_adapter(rows=512, width=2, k=1, seed=2)
+        packed, _ = distinct_adapter(rows=512, width=2, k=4, seed=2)
+        single_fwd = sum(1 for d in single.offer_stream(stream) if not d)
+        packed_fwd = sum(1 for d in packed.offer_stream(stream) if not d)
+        assert packed_fwd >= single_fwd
+        assert packed_fwd < single_fwd * 1.3
+
+    def test_oversized_packet_rejected(self):
+        adapter, _ = distinct_adapter(k=2)
+        with pytest.raises(ValueError):
+            adapter.offer_packet([1, 2, 3])
+
+    def test_resources_scale_with_packing(self):
+        single, _ = distinct_adapter(k=1)
+        packed, _ = distinct_adapter(k=4)
+        assert packed.resources().alus == 4 * single.resources().alus
+        assert packed.resources().sram_bits == single.resources().sram_bits
+
+    def test_invalid_packing(self):
+        pruner = DistinctPruner(rows=4, width=1)
+        with pytest.raises(ValueError):
+            MultiEntryAdapter(pruner, pruner.matrix.row_index, 0)
+
+
+class TestMultiSwitchTree:
+    def test_soundness_distinct(self):
+        rng = random.Random(3)
+        stream = [rng.randrange(200) for _ in range(5000)]
+        tree = MultiSwitchTree(
+            leaves=[DistinctPruner(rows=16, width=2, seed=i)
+                    for i in range(4)],
+            root=DistinctPruner(rows=16, width=2, seed=99),
+        )
+        forwarded = tree.filter_stream(stream)
+        assert set(forwarded) == set(stream)
+
+    def test_more_switches_more_pruning(self):
+        rng = random.Random(4)
+        stream = [rng.randrange(2000) for _ in range(30_000)]
+
+        def run(num_leaves):
+            tree = MultiSwitchTree(
+                leaves=[DistinctPruner(rows=64, width=2, seed=i)
+                        for i in range(num_leaves)],
+                root=DistinctPruner(rows=64, width=2, seed=99),
+            )
+            tree.filter_stream(list(stream))
+            return tree.pruned_fraction
+
+        assert run(8) > run(1)
+
+    def test_root_catches_cross_leaf_duplicates(self):
+        """Round-robin partitioning sends duplicates to different leaves;
+        the root still prunes them."""
+        tree = MultiSwitchTree(
+            leaves=[DistinctPruner(rows=8, width=2, seed=i)
+                    for i in range(2)],
+            root=DistinctPruner(rows=8, width=2, seed=5),
+            partition="round_robin",
+        )
+        stream = [42, 42, 42, 42]
+        forwarded = tree.filter_stream(stream)
+        # Leaf 0 prunes arrivals 3 (42 again), root prunes arrival 2.
+        assert forwarded.count(42) <= 2
+        assert 42 in forwarded
+
+    def test_hash_partition_keeps_key_on_one_leaf(self):
+        tree = MultiSwitchTree(
+            leaves=[DistinctPruner(rows=8, width=2, seed=i)
+                    for i in range(4)],
+        )
+        assert tree._leaf_for("key") is tree._leaf_for("key")
+
+    def test_works_without_root(self):
+        tree = MultiSwitchTree(
+            leaves=[DistinctPruner(rows=8, width=2)],
+        )
+        assert tree.offer(1) is False
+        assert tree.offer(1) is True
+
+    def test_groupby_tree_sound(self):
+        rng = random.Random(5)
+        stream = [(rng.randrange(30), rng.randrange(1000))
+                  for _ in range(3000)]
+        tree = MultiSwitchTree(
+            leaves=[GroupByPruner(rows=16, width=2, seed=i)
+                    for i in range(3)],
+            root=GroupByPruner(rows=16, width=2, seed=9),
+        )
+        forwarded = tree.filter_stream(stream)
+        exact, got = {}, {}
+        for k, v in stream:
+            exact[k] = max(exact.get(k, v), v)
+        for k, v in forwarded:
+            got[k] = max(got.get(k, v), v)
+        assert got == exact
+
+    def test_total_resources_aggregate(self):
+        leaves = [DistinctPruner(rows=16, width=2) for _ in range(3)]
+        tree = MultiSwitchTree(leaves=leaves,
+                               root=DistinctPruner(rows=16, width=2))
+        assert tree.total_resources().sram_bits == 4 * 16 * 2 * 64
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MultiSwitchTree(leaves=[])
+        with pytest.raises(ValueError):
+            MultiSwitchTree(leaves=[DistinctPruner(rows=4, width=1)],
+                            partition="random")

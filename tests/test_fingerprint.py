@@ -1,0 +1,120 @@
+"""Tests for fingerprint sizing (Theorems 5-7)."""
+
+import pytest
+
+from repro.sketches.fingerprint import (
+    collision_probability,
+    fingerprint_length_distinct,
+    fingerprint_length_simple,
+    max_row_load_bound,
+    supported_distinct_at,
+)
+
+
+class TestSimpleLength:
+    def test_grows_with_stream(self):
+        short = fingerprint_length_simple(10_000, 2, 1e-4)
+        long = fingerprint_length_simple(100_000_000, 2, 1e-4)
+        assert long > short
+
+    def test_formula(self):
+        import math
+
+        m, w, delta = 1_000_000, 2, 1e-4
+        assert fingerprint_length_simple(m, w, delta) == math.ceil(
+            math.log2(w * m / delta)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fingerprint_length_simple(0, 2, 0.1)
+        with pytest.raises(ValueError):
+            fingerprint_length_simple(10, 2, 1.5)
+        with pytest.raises(ValueError):
+            fingerprint_length_simple(10, 0, 0.1)
+
+
+class TestMaxRowLoad:
+    def test_heavy_load_regime(self):
+        import math
+
+        d, delta = 1000, 1e-4
+        big_d = int(d * math.log(2 * d / delta) * 2)  # clearly heavy
+        assert max_row_load_bound(big_d, d, delta) == pytest.approx(
+            math.e * big_d / d
+        )
+
+    def test_medium_regime_constant_in_d_big(self):
+        import math
+
+        d, delta = 1000, 1e-4
+        mid = int(d * math.log(1 / delta) / math.e * 1.5)
+        assert max_row_load_bound(mid, d, delta) == pytest.approx(
+            math.e * math.log(2 * d / delta)
+        )
+
+    def test_light_regime_smaller_than_medium(self):
+        d, delta = 10_000, 1e-4
+        light = max_row_load_bound(50, d, delta)
+        medium = 2.718281828 * __import__("math").log(2 * d / delta)
+        assert light <= medium * 1.01
+
+    def test_monotone_in_distinct_at_heavy(self):
+        d, delta = 256, 1e-3
+        loads = [max_row_load_bound(n, d, delta)
+                 for n in (100_000, 1_000_000, 10_000_000)]
+        assert loads == sorted(loads)
+
+
+class TestDistinctLength:
+    def test_paper_example_500m_at_64_bits(self):
+        """§5: d=1000, delta=0.01% supports ~500M distinct at 64 bits.
+
+        The exact boundary sits just below 500M (the paper rounds);
+        check the supported count is in the hundreds of millions.
+        """
+        bits = fingerprint_length_distinct(450_000_000, 1000, 1e-4)
+        assert bits <= 64
+        assert supported_distinct_at(64, 1000, 1e-4) >= 300_000_000
+
+    def test_independent_of_stream_length(self):
+        # Only the number of distinct items matters.
+        a = fingerprint_length_distinct(10_000, 1000, 1e-4)
+        assert 1 <= a <= 64
+
+    def test_saves_log_d_bits_vs_all_distinct_bound(self):
+        # Appendix C: requiring all fingerprints distinct needs
+        # ~log2(D^2/delta) bits; row-locality saves ~log2(d) of them.
+        import math
+
+        distinct, d, delta = 1_000_000, 1024, 1e-4
+        all_distinct = math.ceil(math.log2(distinct**2 / delta))
+        local = fingerprint_length_distinct(distinct, d, delta)
+        assert local <= all_distinct - math.log2(d) / 2
+
+    def test_supported_distinct_inverts(self):
+        d, delta = 1000, 1e-4
+        supported = supported_distinct_at(64, d, delta)
+        assert fingerprint_length_distinct(supported, d, delta) <= 64
+        assert fingerprint_length_distinct(supported * 4, d, delta) > 64
+
+    def test_supported_distinct_paper_magnitude(self):
+        supported = supported_distinct_at(64, 1000, 1e-4)
+        assert supported >= 100_000_000  # paper: ~500M
+
+
+class TestCollisionProbability:
+    def test_bounds(self):
+        assert collision_probability(16, 0) == 0.0
+        assert collision_probability(1, 10**9) == 1.0
+
+    def test_union_bound(self):
+        assert collision_probability(20, 1024) == pytest.approx(
+            1024 / 2**20
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            collision_probability(0, 5)
+        with pytest.raises(ValueError):
+            collision_probability(8, -1)

@@ -1,0 +1,151 @@
+"""Tests for GROUP BY pruning (MAX/MIN matrix + SUM partial aggregation)."""
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.core.groupby import (
+    GroupAggregate,
+    GroupByPruner,
+    GroupBySumAggregator,
+)
+
+
+def exact_group_max(stream):
+    best = {}
+    for key, value in stream:
+        if key not in best or value > best[key]:
+            best[key] = value
+    return best
+
+
+class TestGroupByMax:
+    def test_soundness_max_preserved(self):
+        rng = random.Random(0)
+        stream = [(rng.randrange(50), rng.randrange(10_000))
+                  for _ in range(5000)]
+        pruner = GroupByPruner(rows=64, width=4)
+        kept = [e for e in stream if not pruner.offer(e)]
+        assert exact_group_max(kept) == exact_group_max(stream)
+
+    def test_all_groups_survive(self):
+        rng = random.Random(1)
+        stream = [(rng.randrange(200), rng.random()) for _ in range(3000)]
+        pruner = GroupByPruner(rows=32, width=2)
+        kept = [e for e in stream if not pruner.offer(e)]
+        assert {k for k, _ in kept} == {k for k, _ in stream}
+
+    def test_min_aggregate(self):
+        rng = random.Random(2)
+        stream = [(rng.randrange(30), rng.randrange(1000))
+                  for _ in range(2000)]
+        pruner = GroupByPruner(rows=64, width=4,
+                               aggregate=GroupAggregate.MIN)
+        kept = [e for e in stream if not pruner.offer(e)]
+        exact = defaultdict(lambda: float("inf"))
+        for k, v in stream:
+            exact[k] = min(exact[k], v)
+        got = defaultdict(lambda: float("inf"))
+        for k, v in kept:
+            got[k] = min(got[k], v)
+        assert dict(got) == dict(exact)
+
+    def test_non_improving_entry_pruned(self):
+        pruner = GroupByPruner(rows=4, width=2)
+        assert pruner.offer(("a", 10)) is False
+        assert pruner.offer(("a", 5)) is True      # cannot raise the max
+        assert pruner.offer(("a", 15)) is False    # improves
+
+    def test_equal_value_pruned(self):
+        pruner = GroupByPruner(rows=4, width=2)
+        pruner.offer(("a", 10))
+        assert pruner.offer(("a", 10)) is True
+
+    def test_full_row_forwards_new_groups(self):
+        """When a row is full of other groups, further groups pass
+        through unpruned — safe, just less pruning."""
+        pruner = GroupByPruner(rows=1, width=2)
+        pruner.offer(("a", 1))
+        pruner.offer(("b", 1))
+        assert pruner.offer(("c", 1)) is False
+        assert pruner.offer(("c", 0)) is False   # still untracked
+
+    def test_resources_table2(self):
+        usage = GroupByPruner(rows=4096, width=8).resources()
+        assert usage.stages == 8
+        assert usage.alus == 8
+        assert usage.sram_bits == 4096 * 8 * 64
+
+    def test_tracked_groups(self):
+        pruner = GroupByPruner(rows=16, width=2)
+        pruner.offer(("a", 1))
+        pruner.offer(("b", 2))
+        assert pruner.tracked_groups() == 2
+        assert pruner.current_best() == {"a": 1, "b": 2}
+
+    def test_reset(self):
+        pruner = GroupByPruner(rows=4, width=2)
+        pruner.offer(("a", 10))
+        pruner.reset()
+        assert pruner.offer(("a", 5)) is False
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GroupByPruner(rows=0)
+        with pytest.raises(ValueError):
+            GroupByPruner(width=0)
+
+
+class TestGroupBySumAggregator:
+    def test_mass_conservation(self):
+        """Every unit of mass reaches the master exactly once: absorbed
+        partials + evictions + drain reconstruct the exact sums."""
+        rng = random.Random(3)
+        stream = [(rng.randrange(100), rng.randrange(1, 50))
+                  for _ in range(5000)]
+        aggregator = GroupBySumAggregator(rows=8, width=2)
+        merged = defaultdict(float)
+        for key, amount in stream:
+            evicted = aggregator.offer(key, amount)
+            if evicted is not None:
+                merged[evicted[0]] += evicted[1]
+        for key, partial in aggregator.drain():
+            merged[key] += partial
+        exact = defaultdict(float)
+        for key, amount in stream:
+            exact[key] += amount
+        assert dict(merged) == dict(exact)
+
+    def test_count_mode(self):
+        aggregator = GroupBySumAggregator(rows=4, width=2, count_mode=True)
+        for _ in range(5):
+            aggregator.offer("k", 999)   # amount ignored in count mode
+        drained = dict(aggregator.drain())
+        assert drained["k"] == 5
+
+    def test_absorption_reduces_traffic(self):
+        rng = random.Random(4)
+        stream = [(rng.randrange(10), 1) for _ in range(1000)]
+        aggregator = GroupBySumAggregator(rows=16, width=2)
+        evictions = sum(
+            1 for k, v in stream if aggregator.offer(k, v) is not None
+        )
+        assert evictions == 0          # 10 groups fit in 32 slots
+        assert aggregator.absorbed == 1000
+
+    def test_eviction_under_pressure(self):
+        aggregator = GroupBySumAggregator(rows=1, width=1)
+        assert aggregator.offer("a", 1) is None
+        evicted = aggregator.offer("b", 2)
+        assert evicted == ("a", 1)
+
+    def test_drain_clears(self):
+        aggregator = GroupBySumAggregator(rows=2, width=2)
+        aggregator.offer("a", 1)
+        assert aggregator.drain() == [("a", 1)]
+        assert aggregator.drain() == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GroupBySumAggregator(rows=0)

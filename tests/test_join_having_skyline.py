@@ -1,0 +1,277 @@
+"""Tests for JOIN, HAVING and SKYLINE pruners."""
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.core.having import HavingAggregate, HavingPruner
+from repro.core.join import (
+    AsymmetricJoinPruner,
+    FilterKind,
+    JoinPruner,
+    JoinSide,
+)
+from repro.core.skyline import Projection, SkylinePruner, dominates
+
+
+class TestJoinPruner:
+    def _run(self, pruner, left, right):
+        for key in left:
+            pruner.offer((JoinSide.A, key))
+        for key in right:
+            pruner.offer((JoinSide.B, key))
+        pruner.start_second_pass()
+        kept_left = [k for k in left if not pruner.offer((JoinSide.A, k))]
+        kept_right = [k for k in right if not pruner.offer((JoinSide.B, k))]
+        return kept_left, kept_right
+
+    def test_no_matching_entry_pruned(self):
+        """Bloom filters have no false negatives: soundness."""
+        rng = random.Random(0)
+        left = [rng.randrange(2000) for _ in range(1500)]
+        right = [rng.randrange(1000, 3000) for _ in range(1500)]
+        pruner = JoinPruner(size_bits=64 * 1024, hashes=3, seed=0)
+        kept_left, kept_right = self._run(pruner, left, right)
+        right_set, left_set = set(right), set(left)
+        for key in left:
+            if key in right_set:
+                assert key in kept_left
+        for key in right:
+            if key in left_set:
+                assert key in kept_right
+
+    def test_disjoint_tables_mostly_pruned(self):
+        left = list(range(0, 1000))
+        right = list(range(10_000, 11_000))
+        pruner = JoinPruner(size_bits=256 * 1024, hashes=3, seed=1)
+        kept_left, kept_right = self._run(pruner, left, right)
+        # Only Bloom false positives survive.
+        assert len(kept_left) + len(kept_right) < 100
+
+    def test_first_pass_forwards_nothing_is_not_pruning(self):
+        pruner = JoinPruner(size_bits=8 * 1024)
+        assert pruner.offer((JoinSide.A, 1)) is False
+        assert pruner.stats.pruned == 0
+
+    def test_string_sides_accepted(self):
+        pruner = JoinPruner(size_bits=8 * 1024)
+        pruner.offer(("A", "key"))
+        pruner.start_second_pass()
+        assert pruner.offer(("B", "key")) is False
+
+    def test_rbf_variant_sound(self):
+        rng = random.Random(2)
+        left = [rng.randrange(500) for _ in range(800)]
+        right = [rng.randrange(250, 750) for _ in range(800)]
+        pruner = JoinPruner(size_bits=64 * 1024, hashes=3,
+                            kind=FilterKind.REGISTER_BLOOM, seed=2)
+        kept_left, _ = self._run(pruner, left, right)
+        right_set = set(right)
+        for key in left:
+            if key in right_set:
+                assert key in kept_left
+
+    def test_resources_bf_vs_rbf(self):
+        bf = JoinPruner(kind=FilterKind.BLOOM).resources()
+        rbf = JoinPruner(kind=FilterKind.REGISTER_BLOOM).resources()
+        assert bf.stages == 2 and rbf.stages == 1
+        assert rbf.alus < bf.alus
+
+    def test_reset(self):
+        pruner = JoinPruner(size_bits=8 * 1024)
+        pruner.offer((JoinSide.A, 1))
+        pruner.start_second_pass()
+        pruner.reset()
+        assert pruner.second_pass is False
+
+
+class TestAsymmetricJoin:
+    def test_small_table_never_pruned(self):
+        pruner = AsymmetricJoinPruner(small_table_size=100, seed=3)
+        for key in range(100):
+            assert pruner.offer(key) is False
+
+    def test_large_table_pruned_against_small(self):
+        pruner = AsymmetricJoinPruner(small_table_size=100,
+                                      fp_rate=1e-3, seed=3)
+        for key in range(100):
+            pruner.offer(key)
+        pruner.start_large_table()
+        matched = [k for k in range(50, 150) if not pruner.offer(k)]
+        # Keys 50-99 match; 100-149 should be pruned modulo the low FP rate.
+        assert set(range(50, 100)) <= set(matched)
+        assert len(matched) <= 55
+
+    def test_low_fp_rate_sizing(self):
+        tight = AsymmetricJoinPruner(1000, fp_rate=1e-4)
+        loose = AsymmetricJoinPruner(1000, fp_rate=0.1)
+        assert tight.filter.size_bits > loose.filter.size_bits
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            AsymmetricJoinPruner(small_table_size=0)
+
+
+class TestHavingSum:
+    def test_no_output_key_lost(self):
+        """One-sided Count-Min error: keys with SUM > c always survive."""
+        rng = random.Random(4)
+        stream = [(rng.randrange(100), rng.randrange(1, 20))
+                  for _ in range(5000)]
+        totals = defaultdict(int)
+        for key, value in stream:
+            totals[key] += value
+        threshold = sorted(totals.values())[-10]  # ~10 winners
+        pruner = HavingPruner(threshold=threshold, width=256, depth=3)
+        for entry in stream:
+            pruner.offer(entry)
+        winners = {k for k, t in totals.items() if t > threshold}
+        assert winners <= pruner.candidate_keys()
+
+    def test_candidates_are_superset_not_exact(self):
+        stream = [(k, 1) for k in range(50)] * 3
+        pruner = HavingPruner(threshold=2, width=8, depth=2,
+                              aggregate=HavingAggregate.COUNT)
+        for entry in stream:
+            pruner.offer(entry)
+        true_winners = set(range(50))  # every key has count 3 > 2
+        assert true_winners <= pruner.candidate_keys()
+
+    def test_below_threshold_keys_pruned_with_wide_sketch(self):
+        stream = [("hot", 100)] * 50 + [(f"cold-{i}", 1) for i in range(100)]
+        pruner = HavingPruner(threshold=500, width=2048, depth=3)
+        kept = [e for e in stream if not pruner.offer(e)]
+        # Only the hot key's witness survives with an accurate sketch.
+        assert {k for k, _ in kept} == {"hot"}
+
+    def test_one_witness_per_candidate(self):
+        stream = [("k", 10)] * 100
+        pruner = HavingPruner(threshold=15, width=64, depth=2)
+        kept = [e for e in stream if not pruner.offer(e)]
+        assert len(kept) == 1
+
+    def test_negative_value_rejected(self):
+        pruner = HavingPruner(threshold=5)
+        with pytest.raises(ValueError):
+            pruner.offer(("k", -3))
+
+    def test_count_aggregate(self):
+        stream = [("a", 999)] * 10 + [("b", 999)] * 2
+        pruner = HavingPruner(threshold=5, width=256, depth=3,
+                              aggregate=HavingAggregate.COUNT)
+        for entry in stream:
+            pruner.offer(entry)
+        assert "a" in pruner.candidate_keys()
+        assert "b" not in pruner.candidate_keys()
+
+
+class TestHavingMax:
+    def test_max_witness_semantics(self):
+        pruner = HavingPruner(threshold=10,
+                              aggregate=HavingAggregate.MAX)
+        assert pruner.offer(("k", 5)) is True      # fails predicate
+        assert pruner.offer(("k", 20)) is False    # first witness
+        assert pruner.offer(("k", 30)) is True     # already witnessed
+
+    def test_min_witness_semantics(self):
+        pruner = HavingPruner(threshold=10,
+                              aggregate=HavingAggregate.MIN)
+        assert pruner.offer(("k", 50)) is True
+        assert pruner.offer(("k", 3)) is False
+
+    def test_exact_key_set(self):
+        rng = random.Random(5)
+        stream = [(rng.randrange(30), rng.randrange(100))
+                  for _ in range(2000)]
+        pruner = HavingPruner(threshold=90,
+                              aggregate=HavingAggregate.MAX,
+                              width=1024, depth=4)
+        kept = [e for e in stream if not pruner.offer(e)]
+        expected = {k for k, v in stream if v > 90}
+        assert {k for k, _ in kept} == expected
+
+    def test_resources(self):
+        usage = HavingPruner(threshold=1.0, width=1024, depth=3).resources()
+        assert usage.sram_bits == 1024 * 3 * 64
+        assert usage.alus == 3
+
+
+class TestSkyline:
+    def test_dominates(self):
+        assert dominates((3, 3), (2, 2))
+        assert dominates((3, 2), (2, 2))
+        assert not dominates((2, 2), (2, 2))
+        assert not dominates((3, 1), (2, 2))
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+    def _exact_skyline(self, points):
+        pts = set(points)
+        return {
+            p for p in pts
+            if not any(dominates(q, p) for q in pts if q != p)
+        }
+
+    @pytest.mark.parametrize("projection", list(Projection))
+    def test_soundness_all_projections(self, projection):
+        """No skyline point is ever pruned, whatever the projection."""
+        rng = random.Random(6)
+        points = [(rng.randrange(1, 1 << 10), rng.randrange(1, 1 << 10))
+                  for _ in range(2000)]
+        pruner = SkylinePruner(dimensions=2, width=6, projection=projection)
+        kept = [p for p in points if not pruner.offer(p)]
+        assert self._exact_skyline(points) <= self._exact_skyline(kept) | set(kept)
+        # Stronger: skyline of kept equals skyline of all points.
+        assert self._exact_skyline(kept) == self._exact_skyline(points)
+
+    def test_paper_example(self, ratings_table):
+        """Table 1: SKYLINE OF taste, texture -> Cheetos, Jello, Burger."""
+        points = {
+            row["name"]: (row["taste"], row["texture"])
+            for row in ratings_table.rows()
+        }
+        skyline = self._exact_skyline(points.values())
+        names = {name for name, p in points.items() if p in skyline}
+        assert names == {"Cheetos", "Jello", "Burger"}
+
+    def test_aph_beats_baseline_on_imbalanced_dims(self):
+        from repro.workloads.streams import random_points
+
+        points = random_points(8000, dimensions=2, seed=7,
+                               value_ranges=[1 << 8, 1 << 16])
+        rates = {}
+        for projection in (Projection.APH, Projection.FIRST_COORD):
+            pruner = SkylinePruner(dimensions=2, width=6,
+                                   projection=projection)
+            for p in points:
+                pruner.offer(p)
+            rates[projection] = pruner.stats.pruned_fraction
+        assert rates[Projection.APH] > rates[Projection.FIRST_COORD]
+
+    def test_wrong_dimension_count_rejected(self):
+        pruner = SkylinePruner(dimensions=2)
+        with pytest.raises(ValueError):
+            pruner.offer((1, 2, 3))
+
+    def test_stored_points_are_highest_scoring(self):
+        pruner = SkylinePruner(dimensions=2, width=2,
+                               projection=Projection.SUM)
+        for p in [(1, 1), (10, 10), (5, 5), (20, 20)]:
+            pruner.offer(p)
+        stored = pruner.stored_points()
+        assert (20, 20) in stored and (10, 10) in stored
+
+    def test_resources_aph_uses_tcam(self):
+        usage = SkylinePruner(dimensions=2, width=10,
+                              projection=Projection.APH).resources()
+        assert usage.tcam_entries == 128
+        no_tcam = SkylinePruner(dimensions=2, width=10,
+                                projection=Projection.SUM).resources()
+        assert no_tcam.tcam_entries == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SkylinePruner(dimensions=0)
+        with pytest.raises(ValueError):
+            SkylinePruner(width=0)

@@ -1,0 +1,106 @@
+"""Tests for §9 multi-entry packets in the reliability protocol:
+the switch pops pruned entries rather than dropping whole packets."""
+
+import random
+
+import pytest
+
+from repro.core.distinct import DistinctPruner
+from repro.net.channel import LossyChannel
+from repro.net.packet import CheetahPacket
+from repro.net.reliability import SwitchForwarder, run_transfer
+from repro.net.wire import decode_packet, encode_packet
+
+
+class TestEntryPopping:
+    def _forward_one(self, forwarder, packet):
+        down = LossyChannel()
+        acks = LossyChannel()
+        forwarder.process(encode_packet(packet), down, acks)
+        delivered = down.drain()
+        acked = acks.drain()
+        return ([decode_packet(d) for d in delivered], acked)
+
+    def test_partial_popping(self):
+        pruner = DistinctPruner(rows=8, width=2)
+        pruner.offer(5)     # pre-seed: 5 is now a duplicate
+        forwarder = SwitchForwarder(lambda v: pruner.offer(v[0]),
+                                    entries_per_packet=3)
+        packet = CheetahPacket(fid=1, seq=0, values=(5, 6, 7))
+        delivered, acked = self._forward_one(forwarder, packet)
+        assert len(delivered) == 1
+        assert delivered[0].values == (6, 7)     # 5 popped
+        assert forwarder.entries_popped == 1
+        assert not acked                          # master will ACK
+
+    def test_fully_pruned_packet_acked(self):
+        pruner = DistinctPruner(rows=8, width=2)
+        pruner.offer(5)
+        pruner.offer(6)
+        forwarder = SwitchForwarder(lambda v: pruner.offer(v[0]),
+                                    entries_per_packet=2)
+        packet = CheetahPacket(fid=1, seq=0, values=(5, 6))
+        delivered, acked = self._forward_one(forwarder, packet)
+        assert delivered == []
+        assert len(acked) == 1                    # switch ACK
+        assert forwarder.pruned == 1
+
+    def test_untouched_packet_forwarded_verbatim(self):
+        forwarder = SwitchForwarder(lambda v: False, entries_per_packet=2)
+        packet = CheetahPacket(fid=1, seq=0, values=(1, 2))
+        delivered, _ = self._forward_one(forwarder, packet)
+        assert delivered[0] == packet
+
+    def test_multivalue_entries_split_correctly(self):
+        seen = []
+        forwarder = SwitchForwarder(
+            lambda v: seen.append(v) or False,
+            entries_per_packet=2, values_per_entry=2,
+        )
+        packet = CheetahPacket(fid=1, seq=0, values=(1, 2, 3, 4))
+        self._forward_one(forwarder, packet)
+        assert seen == [(1, 2), (3, 4)]
+
+    def test_ragged_values_rejected(self):
+        forwarder = SwitchForwarder(lambda v: False, values_per_entry=2)
+        packet = CheetahPacket(fid=1, seq=0, values=(1, 2, 3))
+        with pytest.raises(ValueError):
+            self._forward_one(forwarder, packet)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SwitchForwarder(lambda v: False, entries_per_packet=0)
+
+
+class TestMultiEntryTransfer:
+    def test_distinct_correct_with_packing_and_loss(self):
+        rng = random.Random(6)
+        stream = [(rng.randrange(25),) for _ in range(400)]
+        pruner = DistinctPruner(rows=8, width=2, seed=6)
+        report = run_transfer(
+            {1: stream}, lambda v: pruner.offer(v[0]),
+            loss_rate=0.2, seed=4, per_packet=4,
+        )
+        delivered_keys = set()
+        for values in report.delivered[1]:
+            delivered_keys.update(values)
+        assert delivered_keys == {v[0] for v in stream}
+
+    def test_packing_reduces_packet_count(self):
+        stream = [(i,) for i in range(100)]
+        single = run_transfer({1: list(stream)}, lambda v: False,
+                              per_packet=1)
+        packed = run_transfer({1: list(stream)}, lambda v: False,
+                              per_packet=4)
+        assert (packed.switch_forwarded
+                < single.switch_forwarded)         # 26 vs 101 packets
+
+    def test_popping_counts_reported(self):
+        stream = [(7,)] * 40
+        pruner = DistinctPruner(rows=4, width=2)
+        report = run_transfer({1: list(stream)},
+                              lambda v: pruner.offer(v[0]),
+                              per_packet=4)
+        # 39 duplicates popped or pruned across packets.
+        total_delivered = sum(len(v) for v in report.delivered[1])
+        assert total_delivered < 5

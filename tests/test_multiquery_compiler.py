@@ -1,0 +1,170 @@
+"""Tests for multi-query packing (§6), the compiler, and the control plane."""
+
+import pytest
+
+from repro.core.distinct import DistinctPruner
+from repro.core.expr import Col
+from repro.core.having import HavingPruner
+from repro.core.multiquery import QueryPack
+from repro.core.skyline import SkylinePruner
+from repro.switch.compiler import CompilationError, QueryCompiler, QuerySpec
+from repro.switch.controlplane import ControlPlane
+from repro.switch.resources import (
+    ResourceExhausted,
+    SMALL_SWITCH_MODEL,
+    TOFINO_MODEL,
+)
+
+
+class TestQueryPack:
+    def test_dispatch_by_fid(self):
+        pack = QueryPack()
+        pack.add(1, "distinct", DistinctPruner(rows=8, width=2))
+        pack.add(2, "having", HavingPruner(threshold=5, width=16, depth=2))
+        assert pack.offer(1, "value") is False
+        assert pack.offer(1, "value") is True       # duplicate on flow 1
+        assert pack.offer(2, ("k", 1)) is True      # below threshold
+
+    def test_unknown_fid_raises(self):
+        pack = QueryPack()
+        with pytest.raises(KeyError):
+            pack.offer(9, "x")
+
+    def test_duplicate_fid_rejected(self):
+        pack = QueryPack()
+        pack.add(1, "a", DistinctPruner(rows=4, width=2))
+        with pytest.raises(ValueError):
+            pack.add(1, "b", DistinctPruner(rows=4, width=2))
+
+    def test_packed_resources_share_stages(self):
+        pack = QueryPack()
+        pack.add(1, "d", DistinctPruner(rows=8, width=2))
+        pack.add(2, "h", HavingPruner(threshold=1, width=16, depth=2))
+        packed = pack.packed_resources()
+        worst = pack.worst_case_resources()
+        assert packed.stages <= worst.stages
+        assert packed.alus == worst.alus
+
+    def test_budget_validation_rolls_back(self):
+        pack = QueryPack(switch=SMALL_SWITCH_MODEL)
+        pack.add(1, "d", DistinctPruner(rows=64, width=2))
+        huge = SkylinePruner(dimensions=2, width=20)
+        with pytest.raises(ResourceExhausted):
+            pack.add(2, "sky", huge)
+        assert len(pack) == 1       # the failed install left no residue
+
+    def test_remove(self):
+        pack = QueryPack()
+        pack.add(1, "d", DistinctPruner(rows=4, width=2))
+        pack.remove(1)
+        assert len(pack) == 0
+
+    def test_installed_listing(self):
+        pack = QueryPack()
+        pack.add(3, "x", DistinctPruner(rows=4, width=2))
+        pack.add(1, "y", DistinctPruner(rows=4, width=2))
+        assert pack.installed() == [(1, "y"), (3, "x")]
+
+
+class TestCompiler:
+    def test_supported_types(self):
+        compiler = QueryCompiler()
+        assert set(compiler.supported_types()) == {
+            "filter", "distinct", "topn", "groupby", "join", "having",
+            "skyline",
+        }
+
+    def test_unknown_type_rejected(self):
+        compiler = QueryCompiler()
+        with pytest.raises(CompilationError):
+            compiler.compile(QuerySpec("cartesian_product"))
+
+    def test_distinct_compilation(self):
+        compiled = QueryCompiler().compile(
+            QuerySpec("distinct", (("d", 128), ("w", 2)))
+        )
+        assert compiled.pruner.matrix.rows == 128
+        assert 10 <= compiled.control_rules <= 30
+
+    def test_filter_requires_predicate(self):
+        with pytest.raises(CompilationError):
+            QueryCompiler().compile(QuerySpec("filter"))
+
+    def test_filter_with_predicate(self):
+        compiled = QueryCompiler().compile(
+            QuerySpec("filter", (("predicate", Col("x") > 5),))
+        )
+        assert compiled.pruner.offer({"x": 3}) is True
+
+    def test_having_requires_threshold(self):
+        with pytest.raises(CompilationError):
+            QueryCompiler().compile(QuerySpec("having"))
+
+    def test_budget_enforced(self):
+        compiler = QueryCompiler(SMALL_SWITCH_MODEL)
+        with pytest.raises(CompilationError):
+            compiler.compile(QuerySpec("join", ()))  # 8MB of filters
+
+    def test_topn_auto_configuration(self):
+        compiled = QueryCompiler().compile(
+            QuerySpec("topn", (("n", 100), ("delta", 1e-4)))
+        )
+        assert compiled.pruner.matrix.width <= TOFINO_MODEL.stages
+
+    def test_rule_count_within_paper_range(self):
+        """§7.1: each query needs 10-20 control-plane rules (excluding
+        routing); a whole benchmark fits under 100."""
+        compiler = QueryCompiler()
+        specs = [
+            QuerySpec("distinct", (("d", 128), ("w", 2))),
+            QuerySpec("topn", (("n", 100),)),
+            QuerySpec("having", (("threshold", 5),)),
+            QuerySpec("groupby", ()),
+        ]
+        total = 0
+        for spec in specs:
+            rules = compiler.compile(spec).control_rules
+            assert 10 <= rules <= 20
+            total += rules
+        assert total < 100
+
+
+class TestControlPlane:
+    def test_install_returns_ack(self):
+        cp = ControlPlane()
+        installation = cp.install_query(
+            QuerySpec("distinct", (("d", 64), ("w", 2)))
+        )
+        assert installation.acked
+        assert installation.install_seconds < 0.001  # < 1 ms (§3)
+
+    def test_offer_routes_to_installed_query(self):
+        cp = ControlPlane()
+        inst = cp.install_query(QuerySpec("distinct", (("d", 64), ("w", 2))))
+        assert cp.offer(inst.fid, 5) is False
+        assert cp.offer(inst.fid, 5) is True
+
+    def test_multiple_queries_coexist(self):
+        cp = ControlPlane()
+        d = cp.install_query(QuerySpec("distinct", (("d", 64), ("w", 2))))
+        h = cp.install_query(QuerySpec("having", (("threshold", 10),)))
+        assert d.fid != h.fid
+        assert cp.offer(d.fid, 1) is False
+        assert cp.offer(h.fid, ("k", 3)) is True
+
+    def test_uninstall_frees_resources(self):
+        cp = ControlPlane()
+        inst = cp.install_query(QuerySpec("distinct", (("d", 64), ("w", 2))))
+        rules = cp.total_rules_installed
+        cp.uninstall_query(inst.fid)
+        assert cp.total_rules_installed == rules - inst.compiled.control_rules
+        with pytest.raises(KeyError):
+            cp.offer(inst.fid, 1)
+
+    def test_reboot_clears_state(self):
+        """§3 failure handling: reboot with empty state."""
+        cp = ControlPlane()
+        cp.install_query(QuerySpec("distinct", (("d", 64), ("w", 2))))
+        cp.reboot()
+        assert cp.total_rules_installed == 0
+        assert cp.installed_queries() == []

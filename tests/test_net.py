@@ -1,0 +1,179 @@
+"""Tests for the network layer: packets, wire format, channel, reliability."""
+
+import random
+
+import pytest
+
+from repro.core.distinct import DistinctPruner
+from repro.net.channel import LossyChannel
+from repro.net.packet import (
+    Ack,
+    AckKind,
+    CheetahPacket,
+    FIN_FLAG,
+    packets_for_entries,
+)
+from repro.net.reliability import run_transfer
+from repro.net.wire import (
+    WireFormatError,
+    decode_ack,
+    decode_packet,
+    encode_ack,
+    encode_packet,
+)
+
+
+class TestPacket:
+    def test_construction(self):
+        p = CheetahPacket(fid=1, seq=2, values=(3, 4))
+        assert p.fid == 1 and p.seq == 2 and not p.is_fin
+
+    def test_fin_flag(self):
+        assert CheetahPacket(fid=1, seq=0, flags=FIN_FLAG).is_fin
+
+    def test_field_bounds(self):
+        with pytest.raises(ValueError):
+            CheetahPacket(fid=1 << 16, seq=0)
+        with pytest.raises(ValueError):
+            CheetahPacket(fid=0, seq=1 << 32)
+        with pytest.raises(ValueError):
+            CheetahPacket(fid=0, seq=0, values=(1 << 64,))
+        with pytest.raises(ValueError):
+            CheetahPacket(fid=0, seq=0, values=tuple(range(256)))
+
+    def test_wire_bytes(self):
+        assert CheetahPacket(fid=0, seq=0, values=(1, 2)).wire_bytes() == 24
+
+    def test_packets_for_entries_single(self):
+        packets = packets_for_entries(5, [(1,), (2,), (3,)])
+        assert len(packets) == 4          # 3 data + FIN
+        assert packets[-1].is_fin
+        assert [p.seq for p in packets] == [0, 1, 2, 3]
+
+    def test_packets_for_entries_multi(self):
+        """§9: packing several entries per packet."""
+        packets = packets_for_entries(5, [(1,), (2,), (3,)], per_packet=2)
+        assert len(packets) == 3          # 2 data + FIN
+        assert packets[0].values == (1, 2)
+        assert packets[1].values == (3,)
+
+
+class TestWireFormat:
+    def test_packet_roundtrip(self):
+        original = CheetahPacket(fid=7, seq=1234, values=(0, 2**64 - 1, 42))
+        assert decode_packet(encode_packet(original)) == original
+
+    def test_fin_roundtrip(self):
+        original = CheetahPacket(fid=1, seq=9, flags=FIN_FLAG)
+        assert decode_packet(encode_packet(original)).is_fin
+
+    def test_ack_roundtrip(self):
+        for kind in AckKind:
+            ack = Ack(fid=3, seq=77, kind=kind)
+            assert decode_ack(encode_ack(ack)) == ack
+
+    def test_truncated_packet_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_packet(b"\x00\x01")
+
+    def test_length_mismatch_rejected(self):
+        data = encode_packet(CheetahPacket(fid=1, seq=1, values=(5,)))
+        with pytest.raises(WireFormatError):
+            decode_packet(data + b"\x00")
+
+    def test_bad_ack_kind_rejected(self):
+        data = bytearray(encode_ack(Ack(fid=1, seq=1)))
+        data[-1] = 99
+        with pytest.raises(WireFormatError):
+            decode_ack(bytes(data))
+
+
+class TestLossyChannel:
+    def test_lossless_fifo(self):
+        channel = LossyChannel(loss_rate=0.0)
+        for i in range(10):
+            channel.send(i)
+        assert channel.drain() == list(range(10))
+
+    def test_loss_rate_applied(self):
+        channel = LossyChannel(loss_rate=0.5, seed=1)
+        for i in range(2000):
+            channel.send(i)
+        delivered = len(channel.drain())
+        assert 800 < delivered < 1200
+
+    def test_receive_empty(self):
+        assert LossyChannel().receive() is None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LossyChannel(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            LossyChannel(reorder_window=-1)
+
+
+class TestReliabilityProtocol:
+    def prune_nothing(self, values):
+        return False
+
+    def test_lossless_delivery(self):
+        entries = {1: [(i,) for i in range(100)]}
+        report = run_transfer(entries, self.prune_nothing, loss_rate=0.0)
+        assert report.delivered[1] == [(i,) for i in range(100)]
+        assert report.retransmissions == 0
+
+    def test_delivery_under_loss(self):
+        entries = {1: [(i,) for i in range(300)]}
+        report = run_transfer(entries, self.prune_nothing, loss_rate=0.15,
+                              seed=2)
+        assert report.delivered[1] == [(i,) for i in range(300)]
+        assert report.retransmissions > 0
+
+    def test_pruned_packets_acked_by_switch(self):
+        """Workers must not retransmit pruned packets forever: the switch
+        ACK substitutes for the master ACK."""
+        entries = {1: [(i % 5,) for i in range(100)]}
+        pruner = DistinctPruner(rows=8, width=2)
+        report = run_transfer(entries, lambda v: pruner.offer(v[0]),
+                              loss_rate=0.0)
+        assert report.switch_pruned == 95
+        assert len(report.delivered[1]) == 5
+
+    def test_query_correctness_under_loss_and_pruning(self):
+        """The §7.2 headline: DISTINCT output intact despite loss + prune
+        + retransmissions slipping through."""
+        rng = random.Random(3)
+        stream = [(rng.randrange(30),) for _ in range(400)]
+        pruner = DistinctPruner(rows=8, width=2)
+        report = run_transfer({1: stream}, lambda v: pruner.offer(v[0]),
+                              loss_rate=0.25, seed=5)
+        delivered_keys = {v[0] for v in report.delivered[1]}
+        assert delivered_keys == {v[0] for v in stream}
+
+    def test_multiple_flows_isolated(self):
+        entries = {
+            1: [(i,) for i in range(50)],
+            2: [(i + 1000,) for i in range(80)],
+        }
+        report = run_transfer(entries, self.prune_nothing, loss_rate=0.1,
+                              seed=7)
+        assert report.delivered[1] == [(i,) for i in range(50)]
+        assert report.delivered[2] == [(i + 1000,) for i in range(80)]
+
+    def test_retransmission_duplicates_deduplicated(self):
+        entries = {1: [(i,) for i in range(200)]}
+        report = run_transfer(entries, self.prune_nothing, loss_rate=0.3,
+                              seed=9)
+        assert report.delivered[1] == [(i,) for i in range(200)]
+        # Duplicates may arrive; the master must have deduplicated.
+        assert len(set(report.delivered[1])) == 200
+
+    def test_superset_safety_under_retransmission(self):
+        """A pruned packet's retransmission may reach the master (the
+        Y <= X path); the result is still a superset that yields the
+        same DISTINCT output."""
+        stream = [(i % 10,) for i in range(150)]
+        pruner = DistinctPruner(rows=4, width=2)
+        report = run_transfer({1: stream}, lambda v: pruner.offer(v[0]),
+                              loss_rate=0.35, seed=11)
+        assert {v[0] for v in report.delivered[1]} == set(range(10))

@@ -1,0 +1,114 @@
+"""Tests for LEFT/RIGHT OUTER join pruning (paper footnote 3)."""
+
+import random
+
+import pytest
+
+from repro.db import QueryPlanner, Table, execute, parse_sql
+from repro.db.queries import JoinQuery, JoinType
+
+
+@pytest.fixture
+def join_tables():
+    rng = random.Random(9)
+    left = Table.from_rows("L", [
+        {"k": rng.randrange(120), "x": i} for i in range(800)
+    ])
+    right = Table.from_rows("R", [
+        {"k": rng.randrange(60, 180), "y": i} for i in range(800)
+    ])
+    return {"L": left, "R": right}
+
+
+class TestOuterJoinSemantics:
+    def test_left_outer_keeps_unmatched_left(self, join_tables):
+        query = JoinQuery(left_table="L", right_table="R",
+                          left_key="k", right_key="k",
+                          join_type=JoinType.LEFT_OUTER)
+        output = execute(query, join_tables).output
+        inner = execute(
+            JoinQuery(left_table="L", right_table="R",
+                      left_key="k", right_key="k"),
+            join_tables,
+        ).output
+        # Outer output >= inner output: unmatched left rows join nulls.
+        assert sum(output.values()) > sum(inner.values())
+        null_rows = [
+            key for key in output
+            if dict(key).get("R.y") is None
+        ]
+        assert null_rows
+
+    def test_right_outer_mirrors_left(self, join_tables):
+        right_query = JoinQuery(left_table="L", right_table="R",
+                                left_key="k", right_key="k",
+                                join_type=JoinType.RIGHT_OUTER)
+        mirrored = JoinQuery(left_table="R", right_table="L",
+                             left_key="k", right_key="k",
+                             join_type=JoinType.LEFT_OUTER)
+        assert (execute(right_query, join_tables)
+                == execute(mirrored, join_tables))
+
+    def test_prunable_sides(self):
+        inner = JoinQuery("L", "R", "k", "k")
+        left = JoinQuery("L", "R", "k", "k",
+                         join_type=JoinType.LEFT_OUTER)
+        right = JoinQuery("L", "R", "k", "k",
+                          join_type=JoinType.RIGHT_OUTER)
+        assert inner.prunable_sides == ("L", "R")
+        assert left.prunable_sides == ("R",)
+        assert right.prunable_sides == ("L",)
+
+
+class TestOuterJoinPruning:
+    @pytest.mark.parametrize("join_type", [
+        JoinType.LEFT_OUTER, JoinType.RIGHT_OUTER, JoinType.INNER,
+    ])
+    def test_pruned_equals_ground_truth(self, join_tables, join_type):
+        query = JoinQuery(left_table="L", right_table="R",
+                          left_key="k", right_key="k",
+                          join_type=join_type)
+        run = QueryPlanner().plan(query).run(join_tables)
+        assert run.result == execute(query, join_tables)
+
+    def test_left_outer_forwards_whole_left_side(self, join_tables):
+        query = JoinQuery(left_table="L", right_table="R",
+                          left_key="k", right_key="k",
+                          join_type=JoinType.LEFT_OUTER)
+        run = QueryPlanner().plan(query).run(join_tables)
+        # The outer (left) side cannot be pruned; only the right is.
+        assert run.traffic.forwarded_entries >= len(join_tables["L"])
+
+    def test_outer_prunes_less_than_inner(self, join_tables):
+        inner_run = QueryPlanner().plan(
+            JoinQuery("L", "R", "k", "k")
+        ).run(join_tables)
+        outer_run = QueryPlanner().plan(
+            JoinQuery("L", "R", "k", "k",
+                      join_type=JoinType.LEFT_OUTER)
+        ).run(join_tables)
+        assert (outer_run.traffic.forwarded_entries
+                >= inner_run.traffic.forwarded_entries)
+
+
+class TestOuterJoinSQL:
+    def test_parse_left_outer(self):
+        query = parse_sql("SELECT * FROM A LEFT OUTER JOIN B ON A.x = B.y")
+        assert query.join_type is JoinType.LEFT_OUTER
+
+    def test_parse_left_without_outer(self):
+        query = parse_sql("SELECT * FROM A LEFT JOIN B ON A.x = B.y")
+        assert query.join_type is JoinType.LEFT_OUTER
+
+    def test_parse_right(self):
+        query = parse_sql("SELECT * FROM A RIGHT JOIN B ON A.x = B.y")
+        assert query.join_type is JoinType.RIGHT_OUTER
+
+    def test_parse_inner_keyword(self):
+        query = parse_sql("SELECT * FROM A INNER JOIN B ON A.x = B.y")
+        assert query.join_type is JoinType.INNER
+
+    def test_sql_to_pruned_execution(self, join_tables):
+        query = parse_sql("SELECT * FROM L LEFT JOIN R ON L.k = R.k")
+        run = QueryPlanner().plan(query).run(join_tables)
+        assert run.result == execute(query, join_tables)

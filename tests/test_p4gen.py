@@ -1,0 +1,86 @@
+"""Tests for the P4 source generator."""
+
+import re
+
+import pytest
+
+from repro.core.distinct import DistinctPruner
+from repro.core.expr import Col
+from repro.core.filtering import FilterPruner
+from repro.core.groupby import GroupByPruner
+from repro.core.having import HavingPruner
+from repro.core.join import FilterKind, JoinPruner
+from repro.core.skyline import Projection, SkylinePruner
+from repro.core.topn import TopNDeterministic, TopNRandomized
+from repro.switch.p4gen import generate_p4
+
+ALL_PRUNERS = [
+    DistinctPruner(rows=128, width=2),
+    TopNDeterministic(n=100, thresholds=4),
+    TopNRandomized(n=100, rows=128, width=4),
+    GroupByPruner(rows=128, width=8),
+    JoinPruner(size_bits=64 * 1024, hashes=3),
+    HavingPruner(threshold=10, width=256, depth=3),
+    SkylinePruner(dimensions=2, width=4, projection=Projection.APH),
+    FilterPruner(Col("x") > 5),
+]
+
+
+class TestP4Generation:
+    @pytest.mark.parametrize("pruner", ALL_PRUNERS,
+                             ids=lambda p: type(p).__name__)
+    def test_common_structure(self, pruner):
+        source = generate_p4(pruner)
+        assert "header_type cheetah_t" in source
+        assert "parser parse_cheetah" in source
+        assert "table prune_decision" in source
+        assert "Table 2" in source            # resource banner
+
+    def test_distinct_registers_match_matrix(self):
+        source = generate_p4(DistinctPruner(rows=128, width=2))
+        registers = re.findall(r"register (distinct_col\d+)", source)
+        assert registers == ["distinct_col0", "distinct_col1"]
+        assert "instance_count : 128" in source
+
+    def test_topn_det_counters(self):
+        source = generate_p4(TopNDeterministic(n=100, thresholds=4))
+        assert len(re.findall(r"register topn_counter\d+", source)) == 4
+        assert "topn_t0_min" in source
+
+    def test_join_two_filters(self):
+        source = generate_p4(JoinPruner(size_bits=64 * 1024, hashes=3))
+        assert "join_filter_a" in source and "join_filter_b" in source
+        # 64 KiB / 64-bit words.
+        assert f"instance_count : {64 * 1024 // 64}" in source
+
+    def test_having_rows(self):
+        source = generate_p4(HavingPruner(threshold=10, width=256, depth=3))
+        assert len(re.findall(r"register cm_row\d+", source)) == 3
+        assert "instance_count : 256" in source
+
+    def test_skyline_aph_tables(self):
+        source = generate_p4(
+            SkylinePruner(dimensions=2, width=4, projection=Projection.APH)
+        )
+        assert "size : 65536" in source       # 2^16 log table
+        assert "size : 128" in source         # 64 * D TCAM rules
+
+    def test_skyline_sum_has_no_tcam(self):
+        source = generate_p4(
+            SkylinePruner(dimensions=2, width=4, projection=Projection.SUM)
+        )
+        assert "aph_msb" not in source
+
+    def test_rbf_labelled(self):
+        source = generate_p4(
+            JoinPruner(size_bits=64 * 1024,
+                       kind=FilterKind.REGISTER_BLOOM)
+        )
+        assert "register Bloom" in source
+
+    def test_unsupported_type_raises(self):
+        class Fake:
+            pass
+
+        with pytest.raises(TypeError):
+            generate_p4(Fake())

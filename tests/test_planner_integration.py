@@ -1,0 +1,206 @@
+"""Integration tests: the full Cheetah flow (plan -> install -> prune ->
+master completes) equals ground truth — the core §3 property
+``Q(A_Q(D)) == Q(D)``."""
+
+import random
+
+import pytest
+
+from repro.core.expr import Col
+from repro.db import (
+    DistinctQuery,
+    FilterQuery,
+    GroupByQuery,
+    HavingQuery,
+    JoinQuery,
+    QueryPlanner,
+    SkylineQuery,
+    Table,
+    TopNQuery,
+    execute,
+    parse_sql,
+)
+from repro.db.queries import CompoundQuery
+
+
+def make_table(rows, name="T"):
+    return Table.from_rows(name, rows)
+
+
+@pytest.fixture
+def random_table():
+    rng = random.Random(42)
+    return make_table([
+        {
+            "key": rng.randrange(40),
+            "value": rng.randrange(1000),
+            "score": rng.randrange(1, 500),
+            "label": f"item-{rng.randrange(60)}",
+        }
+        for _ in range(3000)
+    ])
+
+
+class TestPruningEqualsGroundTruth:
+    def test_filter(self, random_table):
+        query = FilterQuery(predicate=(Col("value") > 500)
+                            & (Col("score") < 400))
+        run = QueryPlanner().plan(query).run(random_table)
+        assert run.result == execute(query, random_table)
+        assert run.traffic.forwarded_entries < len(random_table)
+
+    def test_filter_with_unsupported_leaf(self, random_table):
+        query = FilterQuery(
+            predicate=(Col("value") > 500) | Col("label").like("item-1%")
+        )
+        run = QueryPlanner().plan(query).run(random_table)
+        assert run.result == execute(query, random_table)
+
+    def test_distinct_int_keys(self, random_table):
+        query = DistinctQuery(key_columns=("key",))
+        run = QueryPlanner().plan(query).run(random_table)
+        assert run.result == execute(query, random_table)
+        assert run.traffic.unpruned_fraction < 0.2
+
+    def test_distinct_string_keys_fingerprinted(self, random_table):
+        query = DistinctQuery(key_columns=("label",))
+        run = QueryPlanner().plan(query).run(random_table)
+        assert run.result == execute(query, random_table)
+
+    def test_distinct_multi_column(self, random_table):
+        query = DistinctQuery(key_columns=("key", "label"))
+        run = QueryPlanner().plan(query).run(random_table)
+        assert run.result == execute(query, random_table)
+
+    def test_topn_randomized(self, random_table):
+        query = TopNQuery(n=20, order_column="value")
+        run = QueryPlanner().plan(query).run(random_table)
+        assert run.result == execute(query, random_table)
+
+    def test_topn_deterministic(self, random_table):
+        query = TopNQuery(n=20, order_column="value", randomized=False)
+        run = QueryPlanner().plan(query).run(random_table)
+        assert run.result == execute(query, random_table)
+
+    def test_topn_ascending(self, random_table):
+        from repro.db.queries import SortOrder
+
+        query = TopNQuery(n=15, order_column="score",
+                          order=SortOrder.ASC, randomized=False)
+        run = QueryPlanner().plan(query).run(random_table)
+        assert run.result == execute(query, random_table)
+
+    def test_groupby_max(self, random_table):
+        query = GroupByQuery(key_column="key", value_column="value")
+        run = QueryPlanner().plan(query).run(random_table)
+        assert run.result == execute(query, random_table)
+
+    def test_groupby_min(self, random_table):
+        query = GroupByQuery(key_column="key", value_column="value",
+                             aggregate="min")
+        run = QueryPlanner().plan(query).run(random_table)
+        assert run.result == execute(query, random_table)
+
+    def test_groupby_sum_partial_aggregation(self, random_table):
+        query = GroupByQuery(key_column="key", value_column="value",
+                             aggregate="sum")
+        run = QueryPlanner().plan(query).run(random_table)
+        ground = execute(query, random_table)
+        assert run.result.output == pytest.approx(ground.output)
+
+    def test_groupby_count(self, random_table):
+        query = GroupByQuery(key_column="key", value_column="value",
+                             aggregate="count")
+        run = QueryPlanner().plan(query).run(random_table)
+        assert run.result.output == execute(query, random_table).output
+
+    def test_having_sum_with_second_pass(self, random_table):
+        query = HavingQuery(key_column="key", value_column="score",
+                            threshold=20_000)
+        run = QueryPlanner().plan(query).run(random_table)
+        assert run.result == execute(query, random_table)
+        assert run.traffic.second_pass_entries > 0
+
+    def test_having_max(self, random_table):
+        query = HavingQuery(key_column="key", value_column="score",
+                            threshold=490, aggregate="max")
+        run = QueryPlanner().plan(query).run(random_table)
+        assert run.result == execute(query, random_table)
+
+    def test_skyline(self, random_table):
+        query = SkylineQuery(dimensions=("value", "score"))
+        run = QueryPlanner().plan(query).run(random_table)
+        assert run.result == execute(query, random_table)
+
+    def test_join(self):
+        rng = random.Random(7)
+        left = make_table(
+            [{"k": rng.randrange(300), "x": i} for i in range(1200)],
+            name="L",
+        )
+        right = make_table(
+            [{"k": rng.randrange(150, 450), "y": i} for i in range(1200)],
+            name="R",
+        )
+        tables = {"L": left, "R": right}
+        query = JoinQuery(left_table="L", right_table="R",
+                          left_key="k", right_key="k")
+        run = QueryPlanner().plan(query).run(tables)
+        assert run.result == execute(query, tables)
+        assert run.traffic.second_pass_entries == 2400
+
+    def test_compound(self, random_table):
+        query = CompoundQuery(parts=(
+            FilterQuery(predicate=Col("value") > 800),
+            DistinctQuery(key_columns=("key",)),
+        ))
+        run = QueryPlanner().plan(query).run(random_table)
+        assert run.result == execute(query, random_table)
+        assert len(run.parts) == 2
+
+
+class TestTrafficAccounting:
+    def test_forwarded_le_offered(self, random_table):
+        query = DistinctQuery(key_columns=("key",))
+        run = QueryPlanner().plan(query).run(random_table)
+        assert run.traffic.forwarded_entries <= run.traffic.first_pass_entries
+
+    def test_tail_fraction_present_for_cache_ops(self, random_table):
+        query = DistinctQuery(key_columns=("key",))
+        run = QueryPlanner().plan(query).run(random_table)
+        assert run.traffic.tail_unpruned_fraction is not None
+        assert 0.0 <= run.traffic.tail_unpruned_fraction <= 1.0
+
+    def test_structure_scale_reduces_pruning(self, random_table):
+        query = DistinctQuery(key_columns=("key",))
+        full = QueryPlanner().plan(query).run(random_table)
+        tiny = QueryPlanner(structure_scale=1e-3).plan(query).run(
+            random_table
+        )
+        assert (tiny.traffic.forwarded_entries
+                >= full.traffic.forwarded_entries)
+        # Correctness holds regardless of structure size.
+        assert tiny.result == execute(query, random_table)
+
+
+class TestSqlToPrunedExecution:
+    """End to end: SQL text -> parse -> plan -> prune -> result."""
+
+    @pytest.mark.parametrize("sql", [
+        "SELECT DISTINCT seller FROM Products",
+        "SELECT TOP 2 * FROM Products ORDER BY price",
+        "SELECT seller, MAX(price) FROM Products GROUP BY seller",
+        "SELECT seller FROM Products GROUP BY seller HAVING SUM(price) > 5",
+    ])
+    def test_products_queries(self, sql, products_table):
+        query = parse_sql(sql)
+        run = QueryPlanner().plan(query).run(products_table)
+        assert run.result == execute(query, products_table)
+
+    def test_join_sql(self, both_tables):
+        query = parse_sql(
+            "SELECT * FROM Products JOIN Ratings "
+            "ON Products.name = Ratings.name"
+        )
+        run = QueryPlanner().plan(query).run(both_tables)
+        assert run.result == execute(query, both_tables)

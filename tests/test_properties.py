@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These encode DESIGN.md §6: pruning soundness, superset safety, the
+no-false-positive / one-sided-error properties of the sketches, and the
+wire-format roundtrip — on adversarial inputs, not just fixtures.
+"""
+
+from collections import Counter, defaultdict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distinct import DistinctPruner
+from repro.core.groupby import GroupByPruner, GroupBySumAggregator
+from repro.core.having import HavingPruner
+from repro.core.join import JoinPruner, JoinSide
+from repro.core.skyline import Projection, SkylinePruner, dominates
+from repro.core.topn import TopNDeterministic
+from repro.net.packet import Ack, AckKind, CheetahPacket
+from repro.net.wire import (
+    decode_ack,
+    decode_packet,
+    encode_ack,
+    encode_packet,
+)
+from repro.sketches.bloom import BloomFilter
+from repro.sketches.cache_matrix import CacheMatrix, RollingMinMatrix
+from repro.sketches.countmin import CountMinSketch
+
+keys = st.integers(min_value=0, max_value=50)
+values = st.integers(min_value=0, max_value=10_000)
+
+
+class TestSketchProperties:
+    @given(st.lists(keys, max_size=300))
+    def test_bloom_no_false_negatives(self, items):
+        bf = BloomFilter(size_bits=1024, hashes=3, seed=1)
+        for item in items:
+            bf.add(item)
+        for item in items:
+            assert item in bf
+
+    @given(st.lists(st.tuples(keys, st.integers(0, 100)), max_size=300))
+    def test_countmin_one_sided(self, updates):
+        sketch = CountMinSketch(width=16, depth=2, seed=2)
+        truth = defaultdict(int)
+        for key, amount in updates:
+            sketch.update(key, amount)
+            truth[key] += amount
+        for key, total in truth.items():
+            assert sketch.estimate(key) >= total
+
+    @given(st.lists(keys, max_size=400))
+    def test_cache_matrix_no_false_positives(self, stream):
+        matrix = CacheMatrix(rows=4, width=2, seed=3)
+        seen = set()
+        for value in stream:
+            if matrix.contains_or_insert(value):
+                assert value in seen
+            seen.add(value)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), max_size=300),
+           st.integers(min_value=1, max_value=6))
+    def test_rolling_min_keeps_global_top_w_per_row(self, stream, width):
+        matrix = RollingMinMatrix(rows=3, width=width, seed=4)
+        per_row = defaultdict(list)
+        for i, value in enumerate(stream):
+            row = matrix.row_for_arrival(i)
+            kept = not matrix.offer(value, sequence=i)
+            per_row[row].append((value, kept))
+        for row, entries in per_row.items():
+            vals = [v for v, _ in entries]
+            top = sorted(vals, reverse=True)[:width]
+            for target in top:
+                assert any(v == target and kept for v, kept in entries)
+
+
+class TestPrunerSoundness:
+    @given(st.lists(keys, max_size=400))
+    @settings(max_examples=50)
+    def test_distinct_preserves_key_set(self, stream):
+        pruner = DistinctPruner(rows=4, width=1, seed=5)
+        forwarded = pruner.filter_stream(stream)
+        assert set(forwarded) == set(stream)
+
+    @given(st.lists(values, min_size=1, max_size=400),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=50)
+    def test_topn_deterministic_sound(self, stream, n):
+        pruner = TopNDeterministic(n=n, thresholds=3)
+        forwarded = pruner.filter_stream(stream)
+        assert (sorted(forwarded, reverse=True)[:n]
+                == sorted(stream, reverse=True)[:n])
+
+    @given(st.lists(st.tuples(keys, values), max_size=400))
+    @settings(max_examples=50)
+    def test_groupby_max_sound(self, stream):
+        pruner = GroupByPruner(rows=4, width=2, seed=6)
+        forwarded = pruner.filter_stream(stream)
+        exact, got = {}, {}
+        for k, v in stream:
+            exact[k] = max(exact.get(k, v), v)
+        for k, v in forwarded:
+            got[k] = max(got.get(k, v), v)
+        assert got == exact
+
+    @given(st.lists(st.tuples(keys, values), max_size=300))
+    @settings(max_examples=50)
+    def test_groupby_sum_mass_conservation(self, stream):
+        aggregator = GroupBySumAggregator(rows=2, width=1)
+        merged = defaultdict(int)
+        for key, amount in stream:
+            evicted = aggregator.offer(key, amount)
+            if evicted is not None:
+                merged[evicted[0]] += evicted[1]
+        for key, partial in aggregator.drain():
+            merged[key] += partial
+        exact = defaultdict(int)
+        for key, amount in stream:
+            exact[key] += amount
+        assert dict(merged) == dict(exact)
+
+    @given(st.lists(keys, max_size=200), st.lists(keys, max_size=200))
+    @settings(max_examples=50)
+    def test_join_no_matching_entry_pruned(self, left, right):
+        pruner = JoinPruner(size_bits=512, hashes=2, seed=7)
+        for key in left:
+            pruner.offer((JoinSide.A, key))
+        for key in right:
+            pruner.offer((JoinSide.B, key))
+        pruner.start_second_pass()
+        kept_left = [k for k in left if not pruner.offer((JoinSide.A, k))]
+        kept_right = [k for k in right if not pruner.offer((JoinSide.B, k))]
+        left_set, right_set = set(left), set(right)
+        assert Counter(k for k in left if k in right_set) <= Counter(kept_left)
+        assert Counter(k for k in right if k in left_set) <= Counter(kept_right)
+
+    @given(st.lists(st.tuples(keys, st.integers(0, 100)), max_size=300),
+           st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=50)
+    def test_having_sum_no_output_key_lost(self, stream, threshold):
+        pruner = HavingPruner(threshold=threshold, width=8, depth=2, seed=8)
+        for entry in stream:
+            pruner.offer(entry)
+        totals = defaultdict(int)
+        for key, amount in stream:
+            totals[key] += amount
+        winners = {k for k, t in totals.items() if t > threshold}
+        assert winners <= pruner.candidate_keys()
+
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 1000)),
+                    max_size=250),
+           st.sampled_from(list(Projection)))
+    @settings(max_examples=50)
+    def test_skyline_sound(self, points, projection):
+        pruner = SkylinePruner(dimensions=2, width=3, projection=projection)
+        forwarded = pruner.filter_stream(points)
+
+        def skyline(pts):
+            pts = set(pts)
+            return {
+                p for p in pts
+                if not any(dominates(q, p) for q in pts if q != p)
+            }
+
+        assert skyline(forwarded) == skyline(points)
+
+
+class TestSupersetSafety:
+    """§7.2 requires: master(superset of forwarded) == master(forwarded).
+
+    We check the strongest form — adding back *any* pruned entries never
+    changes the query output computed from the forwarded set.
+    """
+
+    @given(st.lists(keys, max_size=300), st.data())
+    @settings(max_examples=50)
+    def test_distinct_superset_safe(self, stream, data):
+        pruner = DistinctPruner(rows=2, width=1, seed=9)
+        forwarded, pruned = [], []
+        for value in stream:
+            (pruned if pruner.offer(value) else forwarded).append(value)
+        if pruned:
+            extra = data.draw(st.lists(st.sampled_from(pruned),
+                                       max_size=len(pruned)))
+        else:
+            extra = []
+        assert set(forwarded + extra) == set(forwarded) | set(extra)
+        assert set(forwarded + extra) == set(stream)
+
+    @given(st.lists(values, min_size=1, max_size=300), st.data())
+    @settings(max_examples=50)
+    def test_topn_superset_safe(self, stream, data):
+        n = 5
+        pruner = TopNDeterministic(n=n, thresholds=2)
+        forwarded, pruned = [], []
+        for value in stream:
+            (pruned if pruner.offer(value) else forwarded).append(value)
+        extra = (data.draw(st.lists(st.sampled_from(pruned),
+                                    max_size=len(pruned)))
+                 if pruned else [])
+        base = sorted(forwarded, reverse=True)[:n]
+        with_extra = sorted(forwarded + extra, reverse=True)[:n]
+        assert base == with_extra
+
+
+class TestWireProperties:
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**32 - 1),
+           st.lists(st.integers(0, 2**64 - 1), max_size=20),
+           st.integers(0, 3))
+    def test_packet_roundtrip(self, fid, seq, vals, flags):
+        packet = CheetahPacket(fid=fid, seq=seq, values=tuple(vals),
+                               flags=flags)
+        assert decode_packet(encode_packet(packet)) == packet
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**32 - 1),
+           st.sampled_from(list(AckKind)))
+    def test_ack_roundtrip(self, fid, seq, kind):
+        ack = Ack(fid=fid, seq=seq, kind=kind)
+        assert decode_ack(encode_ack(ack)) == ack

@@ -1,0 +1,245 @@
+"""Tests for the PISA switch simulator: resources, ALUs, registers, tables."""
+
+import pytest
+
+from repro.switch.alu import ALU, ALUOp, UnsupportedOperation, evaluate
+from repro.switch.registers import RegisterAccessError, RegisterArray
+from repro.switch.resources import (
+    ResourceUsage,
+    SMALL_SWITCH_MODEL,
+    SwitchModel,
+    TOFINO_MODEL,
+    TOFINO2_MODEL,
+)
+from repro.switch.resources import ResourceExhausted
+from repro.switch.tables import (
+    MatchActionTable,
+    TernaryTable,
+    prefix_rules_for_msb,
+)
+
+
+class TestResourceUsage:
+    def test_addition(self):
+        a = ResourceUsage(stages=2, alus=3, sram_bits=100)
+        b = ResourceUsage(stages=1, alus=1, sram_bits=50, tcam_entries=10)
+        c = a + b
+        assert (c.stages, c.alus, c.sram_bits, c.tcam_entries) == (3, 4, 150, 10)
+
+    def test_packed_shares_stages(self):
+        a = ResourceUsage(stages=5, alus=2)
+        b = ResourceUsage(stages=3, alus=4)
+        packed = a.packed_with(b)
+        assert packed.stages == 5
+        assert packed.alus == 6
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceUsage(stages=-1)
+
+    def test_sram_kib(self):
+        assert ResourceUsage(sram_bits=8 * 1024).sram_kib == 1.0
+
+    def test_describe(self):
+        text = ResourceUsage(stages=2, alus=3).describe()
+        assert "stages=2" in text and "alus=3" in text
+
+
+class TestSwitchModel:
+    def test_tofino_fits_small_usage(self):
+        assert TOFINO_MODEL.fits(ResourceUsage(stages=2, alus=4,
+                                               sram_bits=1024))
+
+    def test_stage_violation(self):
+        usage = ResourceUsage(stages=TOFINO_MODEL.stages + 1)
+        problems = TOFINO_MODEL.violations(usage)
+        assert any("stages" in p for p in problems)
+
+    def test_require_fits_raises(self):
+        with pytest.raises(ResourceExhausted):
+            SMALL_SWITCH_MODEL.require_fits(
+                ResourceUsage(tcam_entries=10**6)
+            )
+
+    def test_tofino2_larger(self):
+        assert TOFINO2_MODEL.stages > TOFINO_MODEL.stages
+
+    def test_max_packable(self):
+        usage = ResourceUsage(stages=3, alus=10,
+                              sram_bits=32 * 1024 * 8)
+        count = SMALL_SWITCH_MODEL.max_packable([usage] * 10)
+        assert 1 <= count < 10
+
+    def test_invalid_model(self):
+        with pytest.raises(ValueError):
+            SwitchModel("bad", stages=0, alus_per_stage=1,
+                        sram_per_stage_bits=1, tcam_entries=0,
+                        metadata_limit_bits=64)
+
+
+class TestALU:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        (ALUOp.ADD, 3, 4, 7),
+        (ALUOp.SUB, 10, 4, 6),
+        (ALUOp.MIN, 3, 9, 3),
+        (ALUOp.MAX, 3, 9, 9),
+        (ALUOp.EQ, 5, 5, 1),
+        (ALUOp.NEQ, 5, 5, 0),
+        (ALUOp.GT, 7, 3, 1),
+        (ALUOp.GE, 3, 3, 1),
+        (ALUOp.LT, 3, 7, 1),
+        (ALUOp.LE, 8, 7, 0),
+        (ALUOp.AND, 0b1100, 0b1010, 0b1000),
+        (ALUOp.OR, 0b1100, 0b1010, 0b1110),
+        (ALUOp.XOR, 0b1100, 0b1010, 0b0110),
+        (ALUOp.SHL, 1, 4, 16),
+        (ALUOp.SHR, 16, 4, 1),
+        (ALUOp.PASS_A, 9, 1, 9),
+        (ALUOp.PASS_B, 9, 1, 1),
+    ])
+    def test_operations(self, op, a, b, expected):
+        assert evaluate(op, a, b) == expected
+
+    def test_wraparound_64_bits(self):
+        assert evaluate(ALUOp.ADD, 2**64 - 1, 1) == 0
+
+    def test_forbidden_ops_rejected(self):
+        """§2.2: no multiplication, division, log on switches."""
+        for name in ("mul", "div", "log", "strcmp"):
+            with pytest.raises(UnsupportedOperation):
+                evaluate(name, 2, 3)
+
+    def test_alu_fires_once_per_packet(self):
+        alu = ALU(stage_index=0, slot=0)
+        alu.fire(ALUOp.ADD, 1, 2, packet_epoch=1)
+        with pytest.raises(UnsupportedOperation):
+            alu.fire(ALUOp.ADD, 1, 2, packet_epoch=1)
+        # New packet: fine.
+        alu.fire(ALUOp.ADD, 1, 2, packet_epoch=2)
+
+
+class TestRegisterArray:
+    def test_read_modify_write_returns_old(self):
+        reg = RegisterArray("r", size=4)
+        assert reg.read_modify_write(0, 42, packet_epoch=1) == 0
+        assert reg.read_modify_write(0, 7, packet_epoch=2) == 42
+
+    def test_one_access_per_packet(self):
+        reg = RegisterArray("r", size=4)
+        reg.read(0, packet_epoch=1)
+        with pytest.raises(RegisterAccessError):
+            reg.read(1, packet_epoch=1)
+
+    def test_out_of_range(self):
+        reg = RegisterArray("r", size=2)
+        with pytest.raises(RegisterAccessError):
+            reg.read(5, packet_epoch=1)
+
+    def test_width_enforced(self):
+        reg = RegisterArray("r", size=1, width_bits=8)
+        with pytest.raises(RegisterAccessError):
+            reg.read_modify_write(0, 256, packet_epoch=1)
+
+    def test_conditional_max_write(self):
+        reg = RegisterArray("r", size=1)
+        reg.conditional_max_write(0, 5, packet_epoch=1)
+        reg.conditional_max_write(0, 3, packet_epoch=2)
+        assert reg.peek(0) == 5
+        reg.conditional_max_write(0, 9, packet_epoch=3)
+        assert reg.peek(0) == 9
+
+    def test_conditional_min_write(self):
+        reg = RegisterArray("r", size=1)
+        reg.poke(0, 100)
+        reg.conditional_min_write(0, 40, packet_epoch=1)
+        assert reg.peek(0) == 40
+        reg.conditional_min_write(0, 70, packet_epoch=2)
+        assert reg.peek(0) == 40
+
+    def test_increment_returns_new(self):
+        reg = RegisterArray("r", size=1)
+        assert reg.increment(0, 3, packet_epoch=1) == 3
+        assert reg.increment(0, 2, packet_epoch=2) == 5
+
+    def test_increment_saturates(self):
+        reg = RegisterArray("r", size=1, width_bits=4)
+        reg.poke(0, 14)
+        assert reg.increment(0, 5, packet_epoch=1) == 15
+
+    def test_control_plane_bypasses_epoch(self):
+        reg = RegisterArray("r", size=1)
+        reg.read(0, packet_epoch=1)
+        reg.poke(0, 9)           # control plane: no epoch constraint
+        assert reg.peek(0) == 9
+
+    def test_sram_bits(self):
+        assert RegisterArray("r", size=100, width_bits=64).sram_bits == 6400
+
+    def test_clear(self):
+        reg = RegisterArray("r", size=2)
+        reg.poke(0, 5)
+        reg.clear()
+        assert reg.peek(0) == 0
+
+
+class TestMatchActionTable:
+    def test_lookup_hit_and_miss(self):
+        table = MatchActionTable("t", default_action="drop")
+        table.install(5, "forward", (1,))
+        assert table.lookup(5) == ("forward", (1,))
+        assert table.lookup(6) == ("drop", ())
+
+    def test_overwrite(self):
+        table = MatchActionTable("t")
+        table.install(1, "a")
+        table.install(1, "b")
+        assert table.lookup(1)[0] == "b"
+        assert len(table) == 1
+
+    def test_capacity(self):
+        table = MatchActionTable("t", max_entries=2)
+        table.install(1, "a")
+        table.install(2, "a")
+        with pytest.raises(OverflowError):
+            table.install(3, "a")
+
+    def test_remove_idempotent(self):
+        table = MatchActionTable("t")
+        table.install(1, "a")
+        table.remove(1)
+        table.remove(1)
+        assert len(table) == 0
+
+
+class TestTernaryTable:
+    def test_masked_match(self):
+        tcam = TernaryTable("t")
+        tcam.install(value=0b1000, mask=0b1000, action="msb3")
+        entry = tcam.lookup(0b1010)
+        assert entry is not None and entry.action == "msb3"
+
+    def test_priority_order(self):
+        tcam = TernaryTable("t")
+        tcam.install(0, 0, "catch_all", priority=0)
+        tcam.install(0b100, 0b100, "specific", priority=10)
+        assert tcam.lookup(0b101).action == "specific"
+        assert tcam.lookup(0b001).action == "catch_all"
+
+    def test_no_match(self):
+        tcam = TernaryTable("t")
+        tcam.install(0b1, 0b1, "odd")
+        assert tcam.lookup(0b10) is None
+
+    def test_capacity(self):
+        tcam = TernaryTable("t", max_entries=1)
+        tcam.install(0, 0, "a")
+        with pytest.raises(OverflowError):
+            tcam.install(1, 1, "b")
+
+    def test_msb_rules_classify_correctly(self):
+        tcam = TernaryTable("msb", width_bits=16)
+        for value, mask, bit in prefix_rules_for_msb(16):
+            tcam.install(value, mask, "set", (bit,), priority=bit)
+        for test_value in (1, 2, 3, 127, 128, 255, 4096, 65535):
+            entry = tcam.lookup(test_value)
+            assert entry.params[0] == test_value.bit_length() - 1

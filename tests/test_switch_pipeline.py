@@ -1,0 +1,195 @@
+"""Tests for the pipeline, the TCAM log approximation, and the
+pipeline-level reference programs (cross-validated against the fast
+pruners)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.distinct import DistinctPruner
+from repro.switch.alu import ALUOp, UnsupportedOperation
+from repro.switch.pipeline import PacketContext, Pipeline
+from repro.switch.programs import (
+    DeterministicTopNProgram,
+    DistinctProgram,
+    run_stream,
+)
+from repro.switch.tcam_log import ApproxLog, msb_index
+
+
+class TestPipeline:
+    def test_stage_program_runs(self):
+        pipe = Pipeline(num_stages=2)
+        seen = []
+        pipe.stage(0).set_program(lambda s, p: seen.append(p.get("v")))
+        pipe.process(PacketContext(fields={"v": 9}))
+        assert seen == [9]
+
+    def test_prune_at_end_of_pipeline(self):
+        pipe = Pipeline(num_stages=1)
+
+        def program(stage, packet):
+            packet.prune = True
+
+        pipe.stage(0).set_program(program)
+        assert pipe.process(PacketContext(fields={})) is False
+        assert pipe.packets_pruned == 1
+
+    def test_alu_budget_enforced(self):
+        pipe = Pipeline(num_stages=1, alus_per_stage=2)
+
+        def program(stage, packet):
+            for _ in range(3):
+                stage.alu(ALUOp.ADD, 1, 1)
+
+        pipe.stage(0).set_program(program)
+        with pytest.raises(UnsupportedOperation):
+            pipe.process(PacketContext(fields={}))
+
+    def test_cross_stage_register_access_rejected(self):
+        pipe = Pipeline(num_stages=2)
+        pipe.stage(0).add_register("r0", 4)
+
+        def program(stage, packet):
+            stage.register("r0")  # r0 belongs to stage 0
+
+        pipe.stage(1).set_program(program)
+        with pytest.raises(UnsupportedOperation):
+            pipe.process(PacketContext(fields={}))
+
+    def test_metadata_limit(self):
+        pipe = Pipeline(num_stages=1, metadata_limit_bits=128)
+
+        def program(stage, packet):
+            for i in range(10):
+                packet.set_meta(f"m{i}", i)
+
+        pipe.stage(0).set_program(program)
+        with pytest.raises(UnsupportedOperation):
+            pipe.process(PacketContext(fields={}))
+
+    def test_prune_fraction(self):
+        pipe = Pipeline(num_stages=1)
+        pipe.stage(0).set_program(
+            lambda s, p: setattr(p, "prune", p.get("v") % 2 == 0)
+        )
+        for v in range(10):
+            pipe.process(PacketContext(fields={"v": v}))
+        assert pipe.prune_fraction == 0.5
+
+
+class TestApproxLog:
+    def test_small_values_exact_table(self):
+        approx = ApproxLog(beta_bits=20)
+        for value in (1, 2, 3, 100, 65535):
+            expected = round((1 << 20) * math.log2(value))
+            assert approx.approx_log2(value) == expected
+
+    def test_wide_values_close(self):
+        approx = ApproxLog(beta_bits=20)
+        for value in (2**20 + 12345, 2**31 - 1, 2**40 + 7):
+            assert approx.relative_error(value) < 1e-4
+
+    def test_zero_maps_to_floor(self):
+        assert ApproxLog().approx_log2(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ApproxLog().approx_log2(-1)
+
+    def test_score_monotone_per_dimension(self):
+        approx = ApproxLog()
+        base = approx.score((100, 200))
+        assert approx.score((101, 200)) >= base
+        assert approx.score((100, 201)) >= base
+
+    def test_score_tracks_product_ordering(self):
+        """APH preserves product order for well-separated points."""
+        approx = ApproxLog()
+        rng = random.Random(0)
+        agreements = 0
+        trials = 300
+        for _ in range(trials):
+            a = (rng.randrange(1, 1 << 16), rng.randrange(1, 1 << 16))
+            b = (rng.randrange(1, 1 << 16), rng.randrange(1, 1 << 16))
+            prod_a, prod_b = a[0] * a[1], b[0] * b[1]
+            if prod_a == prod_b:
+                continue
+            score_order = approx.score(a) > approx.score(b)
+            prod_order = prod_a > prod_b
+            agreements += score_order == prod_order
+        assert agreements > trials * 0.98
+
+    def test_resource_accounting(self):
+        approx = ApproxLog(width_bits=64)
+        assert approx.table_entries == 1 << 16
+        assert approx.tcam_entries_per_dimension == 64
+
+    def test_msb_index(self):
+        assert msb_index(1) == 0
+        assert msb_index(2**33) == 33
+        with pytest.raises(ValueError):
+            msb_index(0)
+
+
+class TestDistinctProgramCrossValidation:
+    def test_matches_fast_pruner_exactly(self):
+        """The register-level program and the CacheMatrix pruner must make
+        identical per-packet decisions (both are LRU d x w)."""
+        rows, width, seed = 32, 2, 5
+        program = DistinctProgram(rows=rows, width=width, seed=seed)
+        pruner = DistinctPruner(rows=rows, width=width, seed=seed)
+        rng = random.Random(1)
+        stream = [rng.randrange(100) for _ in range(2000)]
+        for value in stream:
+            assert program.offer(value) == pruner.offer(value)
+
+    def test_no_false_positives(self):
+        program = DistinctProgram(rows=8, width=2)
+        seen = set()
+        rng = random.Random(2)
+        for _ in range(500):
+            value = rng.randrange(50)
+            if program.offer(value):
+                assert value in seen
+            seen.add(value)
+
+    def test_duplicate_pruned_immediately(self):
+        program = DistinctProgram(rows=4, width=2)
+        assert program.offer(7) is False
+        assert program.offer(7) is True
+
+
+class TestDeterministicTopNProgram:
+    def test_never_prunes_during_warmup(self):
+        program = DeterministicTopNProgram(n=10, thresholds=2)
+        for v in range(10):
+            assert program.offer(v) is False
+
+    def test_soundness_on_random_stream(self):
+        """No top-N value is ever pruned — deterministic guarantee."""
+        rng = random.Random(3)
+        stream = [rng.randrange(1, 1 << 16) for _ in range(5000)]
+        program = DeterministicTopNProgram(n=50, thresholds=6)
+        kept = [v for v in stream if not program.offer(v)]
+        top = sorted(stream, reverse=True)[:50]
+        kept_sorted = sorted(kept, reverse=True)[:50]
+        assert kept_sorted == top
+
+    def test_prunes_something_on_large_stream(self):
+        rng = random.Random(4)
+        stream = [rng.randrange(1, 1 << 16) for _ in range(5000)]
+        program = DeterministicTopNProgram(n=10, thresholds=8)
+        fraction = run_stream(program, stream)
+        assert fraction > 0.3
+
+    def test_matches_fast_pruner(self):
+        from repro.core.topn import TopNDeterministic
+
+        rng = random.Random(5)
+        stream = [rng.randrange(1, 1 << 12) for _ in range(3000)]
+        program = DeterministicTopNProgram(n=25, thresholds=4)
+        pruner = TopNDeterministic(n=25, thresholds=4)
+        for value in stream:
+            assert program.offer(value) == pruner.offer(value)

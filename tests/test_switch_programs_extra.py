@@ -1,0 +1,103 @@
+"""Tests for the register-level TOP-N and GROUP BY pipeline programs."""
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.core.topn import TopNRandomized
+from repro.switch.programs import GroupByMaxProgram, RandomizedTopNProgram
+
+
+class TestRandomizedTopNProgram:
+    def test_warmup_never_prunes(self):
+        program = RandomizedTopNProgram(rows=2, width=3)
+        rng = random.Random(0)
+        # 2 rows x 3 cells: the first few arrivals find empty slots.
+        for _ in range(4):
+            assert program.offer(rng.randrange(1, 100)) is False
+
+    def test_prunes_small_values_eventually(self):
+        program = RandomizedTopNProgram(rows=4, width=2, seed=1)
+        rng = random.Random(1)
+        for _ in range(200):
+            program.offer(rng.randrange(100, 1000))
+        # A tiny value is below every populated row.
+        assert program.offer(1) is True
+
+    def test_topn_soundness(self):
+        """The global top-w values always survive."""
+        program = RandomizedTopNProgram(rows=8, width=4, seed=2)
+        rng = random.Random(2)
+        stream = [rng.randrange(1, 1 << 20) for _ in range(3000)]
+        kept = [v for v in stream if not program.offer(v)]
+        for value in sorted(stream, reverse=True)[:4]:
+            assert value in kept
+
+    def test_matches_fast_pruner_decisions(self):
+        """Register-level program == RollingMinMatrix pruner, packet by
+        packet (same seed, same row-selection formula)."""
+        rows, width, seed = 16, 3, 5
+        program = RandomizedTopNProgram(rows=rows, width=width, seed=seed)
+        pruner = TopNRandomized(n=10, rows=rows, width=width, seed=seed)
+        rng = random.Random(5)
+        for _ in range(2000):
+            value = rng.randrange(1, 1 << 16)
+            assert program.offer(value) == pruner.offer(value)
+
+    def test_rejects_zero(self):
+        program = RandomizedTopNProgram(rows=2, width=2)
+        with pytest.raises(ValueError):
+            program.offer(0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RandomizedTopNProgram(rows=0, width=1)
+
+
+class TestGroupByMaxProgram:
+    def test_first_entry_of_group_kept(self):
+        program = GroupByMaxProgram(rows=8, width=2)
+        assert program.offer("a", 10) is False
+
+    def test_non_improving_pruned(self):
+        program = GroupByMaxProgram(rows=8, width=2)
+        program.offer("a", 10)
+        assert program.offer("a", 5) is True
+        assert program.offer("a", 10) is True     # equal: cannot improve
+        assert program.offer("a", 11) is False    # improves
+
+    def test_soundness_group_max_preserved(self):
+        program = GroupByMaxProgram(rows=16, width=4, seed=3)
+        rng = random.Random(3)
+        stream = [(rng.randrange(60), rng.randrange(1, 10_000))
+                  for _ in range(4000)]
+        kept = [(k, v) for k, v in stream if not program.offer(k, v)]
+        exact, got = {}, {}
+        for k, v in stream:
+            exact[k] = max(exact.get(k, 0), v)
+        for k, v in kept:
+            got[k] = max(got.get(k, 0), v)
+        assert got == exact
+
+    def test_row_overflow_forwards(self):
+        """More groups than slots in a row: extras pass unpruned."""
+        program = GroupByMaxProgram(rows=1, width=1, seed=0)
+        program.offer("a", 1)
+        # A second group finds the only slot taken: forwarded always.
+        assert program.offer("b", 1) is False
+        assert program.offer("b", 0) is False
+
+    def test_value_width_checked(self):
+        program = GroupByMaxProgram(rows=4, width=2)
+        with pytest.raises(ValueError):
+            program.offer("a", 1 << 33)
+
+    def test_pruning_rate_reasonable(self):
+        program = GroupByMaxProgram(rows=64, width=4, seed=4)
+        rng = random.Random(4)
+        pruned = sum(
+            1 for _ in range(5000)
+            if program.offer(rng.randrange(50), rng.randrange(1, 1000))
+        )
+        assert pruned / 5000 > 0.8

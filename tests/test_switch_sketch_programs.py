@@ -1,0 +1,107 @@
+"""Tests for the register-level Count-Min and register-Bloom programs."""
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.sketches.bloom import RegisterBloomFilter
+from repro.sketches.countmin import CountMinSketch
+from repro.switch.programs import CountMinProgram, RegisterBloomProgram
+
+
+class TestCountMinProgram:
+    def test_one_sided_estimates(self):
+        program = CountMinProgram(width=32, depth=3, seed=1)
+        rng = random.Random(1)
+        truth = defaultdict(int)
+        for _ in range(2000):
+            key = rng.randrange(200)
+            amount = rng.randrange(1, 5)
+            truth[key] += amount
+            _, estimate = program.offer(key, amount)
+            assert estimate >= truth[key]
+
+    def test_matches_sketch_class(self):
+        """Pipeline estimates == CountMinSketch estimates (same hashes)."""
+        width, depth, seed = 64, 3, 2
+        program = CountMinProgram(width=width, depth=depth, seed=seed)
+        sketch = CountMinSketch(width=width, depth=depth, seed=seed)
+        rng = random.Random(2)
+        for _ in range(3000):
+            key = rng.randrange(300)
+            amount = rng.randrange(1, 4)
+            _, program_estimate = program.offer(key, amount)
+            sketch_estimate = sketch.update_and_estimate(key, amount)
+            assert program_estimate == sketch_estimate
+
+    def test_threshold_prune_bit(self):
+        program = CountMinProgram(width=64, depth=2, threshold=5, seed=3)
+        pruned, _ = program.offer("k", 3)
+        assert pruned is True          # estimate 3 <= 5
+        pruned, _ = program.offer("k", 3)
+        assert pruned is False         # estimate 6 > 5
+
+    def test_no_output_key_lost(self):
+        """Keys whose true sum exceeds the threshold always pass at
+        least once — the HAVING soundness property, at register level."""
+        program = CountMinProgram(width=16, depth=2, threshold=50, seed=4)
+        rng = random.Random(4)
+        truth = defaultdict(int)
+        passed = set()
+        for _ in range(3000):
+            key = rng.randrange(40)
+            amount = rng.randrange(1, 6)
+            truth[key] += amount
+            pruned, _ = program.offer(key, amount)
+            if not pruned:
+                passed.add(key)
+        winners = {k for k, total in truth.items() if total > 50}
+        assert winners <= passed
+
+    def test_negative_rejected(self):
+        program = CountMinProgram(width=8, depth=2)
+        with pytest.raises(ValueError):
+            program.offer("k", -1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CountMinProgram(width=0)
+
+
+class TestRegisterBloomProgram:
+    def test_insert_then_query(self):
+        program = RegisterBloomProgram(size_bits=4096, hashes=3, seed=1)
+        for key in range(100):
+            program.offer(key)         # pass 1: insert
+        program.set_mode(insert=False)
+        for key in range(100):
+            assert program.offer(key) is False    # member: not pruned
+
+    def test_misses_pruned(self):
+        program = RegisterBloomProgram(size_bits=64 * 1024, hashes=3,
+                                       seed=2)
+        for key in range(200):
+            program.offer(key)
+        program.set_mode(insert=False)
+        pruned = sum(
+            1 for key in range(10_000, 10_400) if program.offer(key)
+        )
+        assert pruned > 380            # few false positives at this size
+
+    def test_matches_sketch_class(self):
+        """Program membership == RegisterBloomFilter membership."""
+        size, hashes, seed = 8192, 3, 3
+        program = RegisterBloomProgram(size, hashes, seed)
+        sketch = RegisterBloomFilter(size, hashes, seed)
+        rng = random.Random(3)
+        keys = [rng.randrange(10_000) for _ in range(500)]
+        for key in keys:
+            program.offer(key)
+            sketch.add(key)
+        for probe in range(2000):
+            assert program.contains(probe) == (probe in sketch)
+
+    def test_single_stage(self):
+        program = RegisterBloomProgram(size_bits=1024)
+        assert len(program.pipeline.stages) == 1
