@@ -1,0 +1,12 @@
+"""Compatibility shim for toolchains without PEP 660 support.
+
+All metadata lives in pyproject.toml; ``pip install -e .`` uses it
+directly.  This file only enables the legacy editable path
+(``pip install -e . --no-use-pep517`` / ``python setup.py develop``) on
+environments whose setuptools cannot build editable wheels (e.g. no
+``wheel`` package and no network to fetch one).
+"""
+
+from setuptools import setup
+
+setup()

@@ -151,10 +151,16 @@ def _bigdata_setup(scale: float, seed: int):
 
 
 def fig5_completion(scale: float = 5e-4, seed: int = 1,
-                    network_bps: float = 10e9) -> ExperimentResult:
-    """Figure 5: Spark (1st / subsequent) vs Cheetah completion time."""
+                    network_bps: float = 10e9,
+                    shards: int = 1) -> ExperimentResult:
+    """Figure 5: Spark (1st / subsequent) vs Cheetah completion time.
+
+    ``shards > 1`` runs Cheetah's dataplane across that many simulated
+    switch pipelines (the ``--shards`` scenario axis); compound queries
+    (A+B) keep their parts unsharded.
+    """
     tables, ratio = _bigdata_setup(scale, seed)
-    runtime = CheetahRuntime(network_bps=network_bps)
+    runtime = CheetahRuntime(network_bps=network_bps, shards=shards)
     spark = SparkBaseline()
     rows = []
     for label, key in _FIG5_QUERIES:

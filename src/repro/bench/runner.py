@@ -1,10 +1,23 @@
-"""Experiment result container and text-table rendering."""
+"""Experiment result container, text-table rendering, and perf benches.
+
+Besides the rendered text tables, this module emits machine-readable
+``BENCH_<name>.json`` files (timings + pruning fractions) so the perf
+trajectory can be tracked across PRs and asserted in CI:
+
+* :func:`run_fig11_scale_bench` — the Figure 11 scale benchmark: every
+  fig11 pruner over growing stream prefixes, timed per-packet vs
+  batched, optionally sharded across K simulated switch pipelines
+  (``--shards`` on the CLI), with decision-equivalence verified.
+* :func:`run_fig5_bench` — one timed fig5 completion-time regeneration.
+"""
 
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
-from typing import Dict, List, Optional, Sequence
+import time
+from typing import Callable, Dict, List, Optional, Sequence
 
 
 @dataclasses.dataclass
@@ -105,3 +118,216 @@ def save_result(result: ExperimentResult,
     with open(path, "w") as f:
         f.write(result.render() + "\n")
     return path
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable benchmark emission (BENCH_<name>.json)
+# ---------------------------------------------------------------------------
+
+def emit_bench_json(name: str, payload: Dict,
+                    directory: Optional[str] = None) -> str:
+    """Write ``payload`` as ``BENCH_<name>.json`` under the results dir.
+
+    The JSON is the cross-PR perf record: CI runs the benches on tiny
+    inputs, uploads these files as artifacts, and asserts their shape.
+    """
+    directory = directory or os.environ.get("REPRO_RESULTS_DIR", "results")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def _chunks(items: list, size: int):
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+@dataclasses.dataclass
+class _BenchCase:
+    """One fig11 pruner workload: factory + stream + routing type."""
+
+    name: str
+    factory: Callable[[], object]
+    stream: list
+    query_type: Optional[str] = None
+    two_pass: bool = False
+
+
+def _fig11_cases(rows: int, seed: int) -> List[_BenchCase]:
+    """The Figure 11 pruner configurations on their fig11-style streams."""
+    from repro.core import (
+        DistinctPruner,
+        GroupByPruner,
+        HavingPruner,
+        JoinPruner,
+        SkylinePruner,
+        TopNRandomized,
+    )
+    from repro.core.join import JoinSide
+    from repro.workloads.streams import (
+        join_key_streams,
+        keyed_value_stream,
+        random_order_stream,
+        random_points,
+        value_stream,
+    )
+
+    keyed = keyed_value_stream(rows, max(1, rows // 40), seed=seed)
+    half = rows // 2
+    left, right = join_key_streams(half, half, overlap=0.25,
+                                   key_space=1 << 22, seed=seed)
+    join_stream = []
+    for left_key, right_key in zip(left, right):
+        join_stream.append((JoinSide.A, left_key))
+        join_stream.append((JoinSide.B, right_key))
+    total_mass = sum(value for _, value in keyed)
+    return [
+        _BenchCase("distinct", lambda: DistinctPruner(rows=4096, width=2,
+                                                      seed=seed),
+                   random_order_stream(rows, max(1, rows // 10), seed)),
+        _BenchCase("skyline", lambda: SkylinePruner(dimensions=2, width=8),
+                   random_points(max(1, rows // 3), dimensions=2,
+                                 seed=seed)),
+        _BenchCase("topn_rand", lambda: TopNRandomized(n=250, rows=4096,
+                                                       width=8, seed=seed),
+                   value_stream(rows, seed=seed)),
+        _BenchCase("groupby", lambda: GroupByPruner(rows=4096, width=6,
+                                                    seed=seed),
+                   keyed, query_type="groupby"),
+        _BenchCase("having", lambda: HavingPruner(
+                       threshold=total_mass * 0.002, width=128, depth=3,
+                       seed=seed),
+                   keyed, query_type="having"),
+        _BenchCase("join", lambda: JoinPruner(size_bits=256 * 1024 * 8,
+                                              hashes=3, seed=seed),
+                   join_stream, query_type="join", two_pass=True),
+    ]
+
+
+def _run_case_packet(pruner, stream, two_pass: bool):
+    decisions = [pruner.offer(entry) for entry in stream]
+    if two_pass:
+        pruner.start_second_pass()
+        decisions += [pruner.offer(entry) for entry in stream]
+    return decisions
+
+
+def _run_case_batched(pruner, stream, two_pass: bool, batch_size: int):
+    decisions: List[bool] = []
+    for chunk in _chunks(stream, batch_size):
+        decisions += pruner.offer_batch(chunk)
+    if two_pass:
+        pruner.start_second_pass()
+        for chunk in _chunks(stream, batch_size):
+            decisions += pruner.offer_batch(chunk)
+    return decisions
+
+
+def run_fig11_scale_bench(rows: int = 60_000, shards: int = 1,
+                          batch_size: int = 8192, seed: int = 0,
+                          verify: bool = True) -> Dict:
+    """The Figure 11 scale benchmark: per-packet vs batched dataplane.
+
+    Runs every fig11 pruner over growing prefixes of its stream (three
+    row counts up to ``rows``), once through the per-packet ``offer``
+    path and once through the batched ``offer_batch`` path — both
+    sharded across ``shards`` simulated switch pipelines when
+    ``shards > 1`` — and records wall-clock timings, pruning fractions,
+    speedups, and (with ``verify``) decision equivalence.
+
+    Returns the payload for ``BENCH_fig11.json``; the headline
+    ``overall_speedup_at_largest`` is total per-packet time over total
+    batched time at the largest row count.
+    """
+    from repro.cluster.runtime import make_sharded
+
+    if rows < 40:
+        raise ValueError(f"rows too small for the fig11 streams: {rows}")
+    row_counts = sorted({max(10, rows // 4), max(10, rows // 2), rows})
+    cases = _fig11_cases(rows, seed)
+    algorithms: Dict[str, List[Dict]] = {}
+    totals = {count: {"packet": 0.0, "batch": 0.0} for count in row_counts}
+    for case in cases:
+        series = []
+        for count in row_counts:
+            prefix = case.stream[:max(1, round(len(case.stream)
+                                               * count / rows))]
+            packet_pruner = make_sharded(case.factory, shards,
+                                         case.query_type, seed=seed)
+            start = time.perf_counter()
+            packet_decisions = _run_case_packet(packet_pruner, prefix,
+                                                case.two_pass)
+            packet_seconds = time.perf_counter() - start
+            batch_pruner = make_sharded(case.factory, shards,
+                                        case.query_type, seed=seed)
+            start = time.perf_counter()
+            batch_decisions = _run_case_batched(batch_pruner, prefix,
+                                                case.two_pass, batch_size)
+            batch_seconds = time.perf_counter() - start
+            equivalent = (packet_decisions == batch_decisions
+                          and packet_pruner.stats == batch_pruner.stats
+                          ) if verify else None
+            stats = batch_pruner.stats
+            series.append({
+                "rows": len(prefix),
+                "packet_seconds": packet_seconds,
+                "batch_seconds": batch_seconds,
+                "speedup": (packet_seconds / batch_seconds
+                            if batch_seconds > 0 else None),
+                "unpruned_fraction": stats.unpruned_fraction,
+                "pruned_fraction": stats.pruned_fraction,
+                "equivalent": equivalent,
+            })
+            totals[count]["packet"] += packet_seconds
+            totals[count]["batch"] += batch_seconds
+        algorithms[case.name] = series
+    largest = totals[row_counts[-1]]
+    return {
+        "benchmark": "fig11_scale",
+        "rows": rows,
+        "row_counts": row_counts,
+        "shards": shards,
+        "batch_size": batch_size,
+        "seed": seed,
+        "algorithms": algorithms,
+        "totals": {
+            str(count): {
+                "packet_seconds": value["packet"],
+                "batch_seconds": value["batch"],
+                "speedup": (value["packet"] / value["batch"]
+                            if value["batch"] > 0 else None),
+            }
+            for count, value in totals.items()
+        },
+        "overall_speedup_at_largest": (largest["packet"] / largest["batch"]
+                                       if largest["batch"] > 0 else None),
+        "all_equivalent": (all(point["equivalent"]
+                               for series in algorithms.values()
+                               for point in series)
+                           if verify else None),
+    }
+
+
+def run_fig5_bench(scale: float = 5e-4, seed: int = 1,
+                   shards: int = 1) -> Dict:
+    """One timed fig5 completion-time regeneration (smoke-sized in CI).
+
+    Returns the payload for ``BENCH_fig5.json``: wall-clock time plus
+    the completion-time rows (which carry the pruning fractions).
+    """
+    from repro.bench import experiments as ex
+
+    start = time.perf_counter()
+    result = ex.fig5_completion(scale=scale, seed=seed, shards=shards)
+    wall_seconds = time.perf_counter() - start
+    return {
+        "benchmark": "fig5_completion",
+        "scale": scale,
+        "seed": seed,
+        "shards": shards,
+        "wall_seconds": wall_seconds,
+        "rows": result.rows,
+    }

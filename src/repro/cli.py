@@ -6,9 +6,14 @@ Usage::
     python -m repro run fig10a fig10b
     python -m repro run all --results-dir results
     python -m repro sql "SELECT DISTINCT seller FROM Products" --demo-tables
+    python -m repro bench fig11 --rows 60000 --shards 4
+    python -m repro bench fig5 --scale 2e-5
 
 ``run`` executes the named experiments and writes their text tables both
-to stdout and under ``--results-dir`` (default ``results/``).
+to stdout and under ``--results-dir`` (default ``results/``).  ``bench``
+runs a perf benchmark (per-packet vs batched dataplane, optionally
+sharded across ``--shards`` simulated switch pipelines) and emits a
+machine-readable ``BENCH_<name>.json`` under the results dir.
 """
 
 from __future__ import annotations
@@ -60,6 +65,55 @@ def _run(names: List[str], results_dir: str) -> int:
             print()
             path = save_result(result, results_dir)
             print(f"  -> saved {path}\n")
+    return 0
+
+
+def _bench(args) -> int:
+    from repro.bench.runner import (
+        emit_bench_json,
+        run_fig5_bench,
+        run_fig11_scale_bench,
+    )
+
+    if args.shards < 1:
+        print(f"repro bench: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
+    if args.batch_size < 1:
+        print(f"repro bench: --batch-size must be >= 1, got "
+              f"{args.batch_size}", file=sys.stderr)
+        return 2
+    if args.name == "fig11" and args.rows < 40:
+        print(f"repro bench: --rows must be >= 40 for the fig11 streams, "
+              f"got {args.rows}", file=sys.stderr)
+        return 2
+    if args.name == "fig11":
+        payload = run_fig11_scale_bench(rows=args.rows, shards=args.shards,
+                                        batch_size=args.batch_size,
+                                        seed=args.seed)
+        path = emit_bench_json("fig11", payload, args.results_dir)
+        largest = payload["row_counts"][-1]
+        print(f"fig11 scale bench: rows={largest} shards={args.shards}")
+        for name, series in sorted(payload["algorithms"].items()):
+            point = series[-1]
+            print(f"  {name:10s} packet={point['packet_seconds']:.3f}s "
+                  f"batch={point['batch_seconds']:.3f}s "
+                  f"speedup={point['speedup']:.1f}x "
+                  f"equivalent={point['equivalent']}")
+        print(f"  overall speedup at largest row count: "
+              f"{payload['overall_speedup_at_largest']:.1f}x")
+        if payload["all_equivalent"] is False:
+            print("  ERROR: batched decisions diverged from per-packet",
+                  file=sys.stderr)
+            return 1
+    else:
+        payload = run_fig5_bench(scale=args.scale, seed=args.seed,
+                                 shards=args.shards)
+        path = emit_bench_json("fig5", payload, args.results_dir)
+        print(f"fig5 bench: scale={args.scale} shards={args.shards} "
+              f"wall={payload['wall_seconds']:.2f}s "
+              f"({len(payload['rows'])} query rows)")
+    print(f"  -> saved {path}")
     return 0
 
 
@@ -116,6 +170,23 @@ def main(argv: List[str] = None) -> int:
     sql_parser.add_argument("--demo-tables", action="store_true",
                             help="use the paper's Table 1 data")
 
+    bench_parser = sub.add_parser(
+        "bench", help="run a perf benchmark (batched vs per-packet "
+        "dataplane) and emit BENCH_<name>.json")
+    bench_parser.add_argument("name", choices=["fig5", "fig11"])
+    bench_parser.add_argument("--rows", type=int, default=60_000,
+                              help="largest stream length (fig11)")
+    bench_parser.add_argument("--shards", type=int, default=1,
+                              help="simulated switch pipelines to "
+                              "hash-partition entries across")
+    bench_parser.add_argument("--batch-size", type=int, default=8192,
+                              help="entries per batch on the batched path")
+    bench_parser.add_argument("--scale", type=float, default=5e-4,
+                              help="workload sampling scale (fig5)")
+    bench_parser.add_argument("--seed", type=int, default=0)
+    bench_parser.add_argument("--results-dir", default=None,
+                              help="output dir (default: results/)")
+
     p4_parser = sub.add_parser("p4", help="emit P4-style source for a "
                                "query type at its Table 2 defaults")
     p4_parser.add_argument("query_type",
@@ -131,6 +202,8 @@ def main(argv: List[str] = None) -> int:
         return 0
     if args.command == "run":
         return _run(args.names, args.results_dir)
+    if args.command == "bench":
+        return _bench(args)
     if args.command == "sql":
         return _sql_demo(args.statement)
     if args.command == "p4":

@@ -30,6 +30,30 @@ class CMaster:
             return
         self._by_flow.setdefault(packet.fid, []).append(packet.values)
 
+    def receive_batch(self, packets: Sequence[CheetahPacket]) -> None:
+        """Accept a batch of forwarded packets (hoisted receive loop —
+        the master-side counterpart of the batched dataplane)."""
+        by_flow = self._by_flow
+        fins = self._fins
+        for packet in packets:
+            if packet.is_fin:
+                fins.add(packet.fid)
+            else:
+                by_flow.setdefault(packet.fid, []).append(packet.values)
+
+    def absorb(self, other: "CMaster") -> None:
+        """Merge another master module's received state into this one.
+
+        The multi-switch merge: with entries sharded across K switch
+        pipelines, each pipe's forwarded stream can be collected
+        per-shard and folded into a single master before query
+        completion.  Flow order within a shard is preserved; flows are
+        merged by fid.
+        """
+        for fid, entries in other._by_flow.items():
+            self._by_flow.setdefault(fid, []).extend(entries)
+        self._fins |= other._fins
+
     def all_fins(self, fids: Sequence[int]) -> bool:
         """Whether every worker signalled end-of-stream."""
         return all(fid in self._fins for fid in fids)

@@ -18,15 +18,18 @@ DISTINCT/TOP-N/GROUP BY, whose pruning *improves* with scale (Fig. 11).
 from __future__ import annotations
 
 import dataclasses
-from typing import Mapping, Optional, Union
+from typing import Callable, List, Mapping, Optional, Sequence, Union
 
 from repro.cluster.costmodel import CostModel, TimingBreakdown
 from repro.cluster.spark import result_cardinality, total_input_entries
+from repro.core.base import PruneStats
 from repro.db.executor import ExecutionResult
 from repro.db.planner import CheetahRun, QueryPlanner, TrafficStats
 from repro.db.queries import CompoundQuery, Query
 from repro.db.table import Table
-from repro.switch.controlplane import ControlPlane
+from repro.sketches.hashing import row_of, rows_of_batch
+from repro.switch.compiler import QuerySpec
+from repro.switch.controlplane import ControlPlane, RuleInstallation
 from repro.switch.resources import SwitchModel, TOFINO_MODEL
 
 TableSet = Union[Table, Mapping[str, Table]]
@@ -34,6 +37,259 @@ TableSet = Union[Table, Mapping[str, Table]]
 #: Serialization overlap for compound queries (§8.2.1: A+B completes
 #: faster than A then B because column pre-processing is pipelined).
 COMPOUND_PIPELINE_FACTOR = 0.75
+
+#: Seed perturbation for shard routing, so the shard hash is independent
+#: of the in-shard row hashes that share the entry key.
+_SHARD_ROUTE_SALT = 0x5A4D
+
+
+def shard_key_fn(query_type: str) -> Optional[Callable]:
+    """Routing-key extractor for a query type's wire entries.
+
+    Stateful pruners need all entries of one logical key on the same
+    shard (a JOIN key must hit the shard whose Bloom filter saw it in
+    pass 1; a group's entries must share a slot row), so routing hashes
+    the key component.  ``None`` means "route on the entry itself"
+    (DISTINCT values, TOP-N values, SKYLINE points), with an arrival
+    counter as fallback for unhashable entries (filter rows — the
+    FilterPruner is stateless, so any deterministic spread is sound).
+    """
+    if query_type == "join":
+        return lambda entry: entry[1]
+    if query_type in ("groupby", "having"):
+        return lambda entry: entry[0]
+    return None
+
+
+class ShardedPruner:
+    """K per-shard pruner instances behind one pruner-shaped facade.
+
+    Hash-partitions entries across ``K`` simulated switch pipelines
+    (each shard owns a full instance of the algorithm's data structures)
+    and merges the per-shard prune statistics.  Per-shard decisions are
+    sound for every Cheetah pruner: a shard prunes an entry only on
+    evidence from entries it has itself seen, which is a subset of the
+    global stream — so a sharded prune decision is always justified
+    globally (the superset-safety invariant of §3 carries over).
+
+    ``offer``/``offer_batch`` are bit-identical: batch routing hashes
+    the whole batch at once and preserves per-shard entry order.
+    """
+
+    def __init__(self, pruners: Sequence, key_fn: Optional[Callable] = None,
+                 seed: int = 0):
+        if not pruners:
+            raise ValueError("ShardedPruner needs at least one shard")
+        self.pruners = list(pruners)
+        self.key_fn = key_fn
+        self.seed = seed
+        self._arrival = 0
+
+    @property
+    def name(self) -> str:
+        return self.pruners[0].name
+
+    @property
+    def guarantee(self):
+        return self.pruners[0].guarantee
+
+    @property
+    def shards(self) -> int:
+        """Number of switch pipelines entries are partitioned across."""
+        return len(self.pruners)
+
+    # -- routing -------------------------------------------------------------
+    def _route(self, entry) -> int:
+        key = self.key_fn(entry) if self.key_fn is not None else entry
+        try:
+            return row_of(key, len(self.pruners),
+                          self.seed ^ _SHARD_ROUTE_SALT)
+        except TypeError:
+            # Unhashable entry (e.g. a filter row): deterministic
+            # arrival-counter spread.
+            arrival = self._arrival
+            self._arrival += 1
+            return row_of(arrival, len(self.pruners),
+                          self.seed ^ _SHARD_ROUTE_SALT)
+
+    def _route_batch(self, entries) -> List[int]:
+        key_fn = self.key_fn
+        keys = [key_fn(e) for e in entries] if key_fn is not None \
+            else entries
+        routed = rows_of_batch(keys, len(self.pruners),
+                               self.seed ^ _SHARD_ROUTE_SALT)
+        if routed is None:
+            route = self._route
+            if key_fn is not None:
+                seed = self.seed ^ _SHARD_ROUTE_SALT
+                shards = len(self.pruners)
+                routed = [row_of(key, shards, seed) for key in keys]
+            else:
+                routed = [route(entry) for entry in entries]
+        return routed
+
+    # -- data plane ----------------------------------------------------------
+    def offer(self, entry) -> bool:
+        """Route one entry to its shard; True iff pruned there."""
+        return self.pruners[self._route(entry)].offer(entry)
+
+    def offer_batch(self, entries) -> List[bool]:
+        """Route a batch; per-shard sub-batches keep the arrival order,
+        so decisions match per-entry :meth:`offer` calls exactly."""
+        routed = self._route_batch(entries)
+        shards = len(self.pruners)
+        buckets: List[list] = [[] for _ in range(shards)]
+        positions: List[list] = [[] for _ in range(shards)]
+        for position, (entry, shard) in enumerate(zip(entries, routed)):
+            buckets[shard].append(entry)
+            positions[shard].append(position)
+        out = [False] * len(entries)
+        for shard, bucket in enumerate(buckets):
+            if not bucket:
+                continue
+            decisions = self.pruners[shard].offer_batch(bucket)
+            for position, decision in zip(positions[shard], decisions):
+                out[position] = decision
+        return out
+
+    # -- merged statistics / control -----------------------------------------
+    @property
+    def stats(self) -> PruneStats:
+        """Per-shard prune statistics merged into one view."""
+        merged = PruneStats()
+        for pruner in self.pruners:
+            merged.offered += pruner.stats.offered
+            merged.pruned += pruner.stats.pruned
+        return merged
+
+    def per_shard_stats(self) -> List[PruneStats]:
+        """Each shard's own prune counters (cost-model input)."""
+        return [pruner.stats for pruner in self.pruners]
+
+    def start_second_pass(self) -> None:
+        """JOIN pass boundary, fanned out to every shard."""
+        for pruner in self.pruners:
+            pruner.start_second_pass()
+
+    def start_large_table(self) -> None:
+        """Asymmetric-JOIN phase boundary, fanned out to every shard."""
+        for pruner in self.pruners:
+            pruner.start_large_table()
+
+    def candidate_keys(self) -> set:
+        """HAVING candidate keys, unioned across shards."""
+        merged = set()
+        for pruner in self.pruners:
+            merged |= pruner.candidate_keys()
+        return merged
+
+    def resources(self):
+        """Per-switch resource usage (each shard is its own pipeline,
+        so the budget check is per shard, not summed)."""
+        return self.pruners[0].resources()
+
+    def parameters(self) -> dict:
+        params = dict(self.pruners[0].parameters())
+        params["shards"] = len(self.pruners)
+        return params
+
+    def reset(self) -> None:
+        for pruner in self.pruners:
+            pruner.reset()
+        self._arrival = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"ShardedPruner({type(self.pruners[0]).__name__} x "
+                f"{len(self.pruners)})")
+
+
+def make_sharded(factory: Callable[[], object], shards: int,
+                 query_type: Optional[str] = None, seed: int = 0):
+    """Build ``shards`` instances of ``factory()`` behind a
+    :class:`ShardedPruner` (or the bare pruner when ``shards == 1``)."""
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        return factory()
+    return ShardedPruner([factory() for _ in range(shards)],
+                         key_fn=shard_key_fn(query_type or ""), seed=seed)
+
+
+class ShardedSwitchFrontend:
+    """K simulated switch pipelines behind one control-plane facade.
+
+    Installs every query on each of ``shards`` independent
+    :class:`ControlPlane` instances (one per simulated switch) and
+    exposes the planner-facing surface — ``install_query`` / ``offer`` /
+    ``installed_queries`` — so the whole Cheetah flow runs unchanged
+    while entries hash-partition across the switches.
+    """
+
+    def __init__(self, switch: SwitchModel = TOFINO_MODEL, shards: int = 2,
+                 seed: int = 0):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.seed = seed
+        self.planes = [ControlPlane(switch, seed=seed)
+                       for _ in range(shards)]
+        self._installed: dict = {}
+
+    def install_query(self, spec: QuerySpec,
+                      fid: Optional[int] = None) -> RuleInstallation:
+        """Install ``spec`` on every switch; one merged installation
+        receipt whose pruner is the sharded view."""
+        first = self.planes[0].install_query(spec, fid=fid)
+        installs = [first]
+        installs += [plane.install_query(spec, fid=first.fid)
+                     for plane in self.planes[1:]]
+        view = ShardedPruner(
+            [inst.compiled.pruner for inst in installs],
+            key_fn=shard_key_fn(spec.query_type),
+            seed=self.seed,
+        )
+        compiled = dataclasses.replace(first.compiled, pruner=view)
+        installation = RuleInstallation(
+            fid=first.fid,
+            compiled=compiled,
+            # Switches install in parallel; the slowest plane gates.
+            install_seconds=max(i.install_seconds for i in installs),
+        )
+        self._installed[first.fid] = installation
+        return installation
+
+    def uninstall_query(self, fid: int) -> None:
+        """Remove a query's rules from every switch."""
+        for plane in self.planes:
+            plane.uninstall_query(fid)
+        self._installed.pop(fid, None)
+
+    def offer(self, fid: int, entry) -> bool:
+        """Data-plane prune decision on the entry's shard."""
+        return self._installed[fid].compiled.pruner.offer(entry)
+
+    def offer_batch(self, fid: int, entries) -> List[bool]:
+        """Batched data-plane decisions across the shards."""
+        return self._installed[fid].compiled.pruner.offer_batch(entries)
+
+    def pruner_for(self, fid: int) -> ShardedPruner:
+        """The sharded pruner view behind ``fid``."""
+        return self._installed[fid].compiled.pruner
+
+    def installed_queries(self) -> List[RuleInstallation]:
+        """All live (merged) installations."""
+        return list(self._installed.values())
+
+    def per_shard_stats(self) -> List[PruneStats]:
+        """Prune statistics per switch, merged over installed queries."""
+        totals = [PruneStats() for _ in range(self.shards)]
+        for installation in self._installed.values():
+            for total, stats in zip(
+                    totals,
+                    installation.compiled.pruner.per_shard_stats()):
+                total.offered += stats.offered
+                total.pruned += stats.pruned
+        return totals
 
 
 @dataclasses.dataclass
@@ -43,6 +299,10 @@ class CheetahReport:
     result: ExecutionResult
     traffic: TrafficStats
     breakdown: TimingBreakdown
+    #: Number of switch pipelines the entries were sharded across.
+    shards: int = 1
+    #: Per-shard prune statistics when sharded (None for one switch).
+    shard_stats: Optional[List[PruneStats]] = None
 
     @property
     def completion_seconds(self) -> float:
@@ -56,15 +316,28 @@ class CheetahReport:
 
 
 class CheetahRuntime:
-    """Prices a planned Cheetah execution."""
+    """Prices a planned Cheetah execution.
+
+    ``shards > 1`` runs the dataplane across that many simulated switch
+    pipelines (entries hash-partitioned per query key; see
+    :class:`ShardedSwitchFrontend`): the functional result is unchanged
+    — the master completes the query on the union of the shards'
+    forwarded entries — while the cost model streams the first pass
+    through the parallel pipes, gated by the most-loaded shard.
+    Compound (multi-part) queries run their parts unsharded.
+    """
 
     def __init__(self, cost_model: Optional[CostModel] = None,
                  workers: int = 5, network_bps: float = 10e9,
-                 switch: SwitchModel = TOFINO_MODEL, seed: int = 0):
+                 switch: SwitchModel = TOFINO_MODEL, seed: int = 0,
+                 shards: int = 1):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.cost_model = cost_model or CostModel()
         self.workers = workers
         self.network_bps = network_bps
         self.switch = switch
+        self.shards = shards
         self.planner = QueryPlanner(switch, seed=seed)
 
     def run(self, query: Query, tables: TableSet,
@@ -80,16 +353,24 @@ class CheetahRuntime:
         """
         planner = self.planner
         plan = planner.plan(query)
-        control_plane = ControlPlane(self.switch)
+        if self.shards > 1 and not isinstance(query, CompoundQuery):
+            control_plane = ShardedSwitchFrontend(self.switch, self.shards)
+        else:
+            control_plane = ControlPlane(self.switch)
         run = plan.run(tables, control_plane)
         if isinstance(query, CompoundQuery):
             return self._price_compound(query, run, tables,
                                         extrapolate_to_rows)
+        shard_stats = None
+        if isinstance(control_plane, ShardedSwitchFrontend):
+            shard_stats = control_plane.per_shard_stats()
         breakdown = self._price(query.query_type, run.traffic,
                                 run.result, control_plane,
-                                extrapolate_to_rows)
+                                extrapolate_to_rows,
+                                shard_stats=shard_stats)
         return CheetahReport(result=run.result, traffic=run.traffic,
-                             breakdown=breakdown)
+                             breakdown=breakdown,
+                             shards=self.shards, shard_stats=shard_stats)
 
     # -- pricing ---------------------------------------------------------------
     @staticmethod
@@ -126,7 +407,9 @@ class CheetahRuntime:
 
     def _price(self, op: str, traffic: TrafficStats,
                result: ExecutionResult, control_plane: ControlPlane,
-               extrapolate_to_rows: Optional[int]) -> TimingBreakdown:
+               extrapolate_to_rows: Optional[int],
+               shard_stats: Optional[Sequence[PruneStats]] = None,
+               ) -> TimingBreakdown:
         model = self.cost_model
         scale = 1.0
         first = traffic.first_pass_entries
@@ -136,15 +419,25 @@ class CheetahRuntime:
         forwarded = self._extrapolate_forwarded(op, traffic, first)
         second = round(traffic.second_pass_entries * scale)
 
-        stream = model.cheetah_stream_seconds(first, self.workers,
-                                              self.network_bps)
+        # Sharded merge: K switch pipes stream in parallel, so the wire
+        # time is gated by the most-loaded shard's share of the entries
+        # (1/K under perfect balance).  The master-side costs stay whole:
+        # one master absorbs the union of the forwarded streams.
+        parallel = 1.0
+        if shard_stats:
+            offered = sum(s.offered for s in shard_stats)
+            if offered:
+                parallel = max(s.offered for s in shard_stats) / offered
+
+        stream = parallel * model.cheetah_stream_seconds(
+            first, self.workers, self.network_bps)
         second_master = 0.0
         if second:
             if op == "join":
                 # JOIN's second pass re-streams switch-format packets
                 # (they are pruned in flight): full Cheetah wire cost;
                 # its master work is the forwarded entries, priced below.
-                stream += model.cheetah_stream_seconds(
+                stream += parallel * model.cheetah_stream_seconds(
                     second, self.workers, self.network_bps)
             else:
                 # HAVING / SUM-GROUP-BY partial second passes bypass the

@@ -11,7 +11,7 @@ from __future__ import annotations
 import abc
 import dataclasses
 import enum
-from typing import Any, Dict, Optional, Type
+from typing import Any, Dict, List, Optional, Sequence, Type
 
 from repro.switch.resources import ResourceUsage
 
@@ -72,13 +72,47 @@ class PruningAlgorithm(abc.ABC):
             self.stats.pruned += 1
         return pruned
 
-    def filter_stream(self, entries) -> list:
-        """Convenience: the forwarded subset ``A_Q(D)`` of ``entries``."""
-        return [e for e in entries if not self.offer(e)]
+    def offer_batch(self, entries: Sequence[Any]) -> List[bool]:
+        """Process a batch of entries; per-entry prune booleans.
+
+        The batched dataplane entry point: decisions, internal state, and
+        stats are identical to calling :meth:`offer` per entry in order —
+        subclasses override :meth:`_decide_batch` to amortize Python
+        dispatch (vectorized hashing, hoisted loops) without changing a
+        single decision.  If a batch raises mid-way (e.g. an invalid
+        entry), stats for that batch are not recorded.
+        """
+        decisions = self._decide_batch(entries)
+        self.stats.offered += len(decisions)
+        self.stats.pruned += sum(1 for d in decisions if d)
+        return decisions
+
+    def filter_stream(self, entries, batch_size: Optional[int] = None) -> list:
+        """Convenience: the forwarded subset ``A_Q(D)`` of ``entries``.
+
+        With ``batch_size`` set, entries run through the batched path in
+        chunks of that size (same output, amortized dispatch).
+        """
+        if batch_size is None:
+            return [e for e in entries if not self.offer(e)]
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        entries = list(entries)
+        kept = []
+        for start in range(0, len(entries), batch_size):
+            chunk = entries[start:start + batch_size]
+            kept.extend(e for e, pruned in zip(chunk, self.offer_batch(chunk))
+                        if not pruned)
+        return kept
 
     @abc.abstractmethod
     def _decide(self, entry: Any) -> bool:
         """Prune decision for one entry (True = prune)."""
+
+    def _decide_batch(self, entries: Sequence[Any]) -> List[bool]:
+        """Prune decisions for a batch, in order (default: scalar loop)."""
+        decide = self._decide
+        return [decide(entry) for entry in entries]
 
     @abc.abstractmethod
     def resources(self) -> ResourceUsage:

@@ -14,12 +14,16 @@ never-seen key; sizing per Theorems 5-7 bounds that probability by
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.core.base import Guarantee, PruningAlgorithm, register_algorithm
 from repro.sketches.cache_matrix import CacheMatrix, EvictionPolicy
 from repro.sketches.fingerprint import fingerprint_length_distinct
-from repro.sketches.hashing import HashableValue, fingerprint_bits
+from repro.sketches.hashing import (
+    HashableValue,
+    fingerprint_bits,
+    fingerprint_bits_batch,
+)
 from repro.switch.resources import ResourceUsage
 
 
@@ -66,6 +70,20 @@ class DistinctPruner(PruningAlgorithm):
 
     def _decide(self, entry: HashableValue) -> bool:
         return self.matrix.contains_or_insert(self._key(entry))
+
+    def _decide_batch(self, entries) -> List[bool]:
+        """Batched decisions: fingerprints (if any) and row hashes are
+        vectorized, the cache walk is a single hoisted loop; decisions
+        and matrix state match the scalar path exactly."""
+        if self.fingerprint_bits_ is None:
+            keys = entries
+        else:
+            keys = fingerprint_bits_batch(entries, self.fingerprint_bits_,
+                                          seed=self.seed ^ 0xF1A6)
+            if keys is None:
+                key = self._key
+                keys = [key(entry) for entry in entries]
+        return self.matrix.contains_or_insert_batch(keys)
 
     def resources(self) -> ResourceUsage:
         """Table 2, DISTINCT rows.

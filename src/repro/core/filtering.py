@@ -206,6 +206,11 @@ class FilterPruner(PruningAlgorithm):
                 else self.decomposition.switch_expr)
         return not bool(expr.evaluate(row))
 
+    def _decide_batch(self, rows) -> List[bool]:
+        evaluate = (self.decomposition.full_expr if self.worker_assist
+                    else self.decomposition.switch_expr).evaluate
+        return [not bool(evaluate(row)) for row in rows]
+
     def resources(self) -> ResourceUsage:
         """One ALU per basic predicate plus a truth-table lookup; one
         32-bit register per runtime-configurable constant (Appendix A.2)."""

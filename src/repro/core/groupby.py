@@ -22,7 +22,7 @@ import enum
 from typing import Dict, List, Tuple
 
 from repro.core.base import Guarantee, PruningAlgorithm, register_algorithm
-from repro.sketches.hashing import HashableValue, row_of
+from repro.sketches.hashing import HashableValue, row_of, rows_of_batch
 from repro.switch.resources import ResourceUsage
 
 
@@ -80,6 +80,37 @@ class GroupByPruner(PruningAlgorithm):
             return False
         # Row full of other groups: forward unpruned (safe superset).
         return False
+
+    def _decide_batch(self, entries) -> List[bool]:
+        """Batched decisions: row hashes vectorized, slot walk hoisted;
+        decisions and slot state match the scalar path exactly."""
+        keys = [entry[0] for entry in entries]
+        rows_idx = rows_of_batch(keys, self.rows, self.seed)
+        if rows_idx is None:
+            rows = self.rows
+            seed = self.seed
+            rows_idx = [row_of(key, rows, seed) for key in keys]
+        slots = self._slots
+        width = self.width
+        is_max = self.aggregate is GroupAggregate.MAX
+        out: List[bool] = []
+        append = out.append
+        for (key, value), index in zip(entries, rows_idx):
+            value = float(value)
+            row = slots[index]
+            for i, (slot_key, best) in enumerate(row):
+                if slot_key == key:
+                    if (value > best) if is_max else (value < best):
+                        row[i] = (key, value)
+                        append(False)
+                    else:
+                        append(True)
+                    break
+            else:
+                if len(row) < width:
+                    row.append((key, value))
+                append(False)
+        return out
 
     def resources(self) -> ResourceUsage:
         """Table 2: w stages, w ALUs, d x w x 64b SRAM.

@@ -20,7 +20,7 @@ error points the wrong way); we raise for it explicitly.
 from __future__ import annotations
 
 import enum
-from typing import Set, Tuple
+from typing import List, Set, Tuple
 
 from repro.core.base import Guarantee, PruningAlgorithm, register_algorithm
 from repro.sketches.cache_matrix import CacheMatrix
@@ -104,6 +104,44 @@ class HavingPruner(PruningAlgorithm):
             return True
         self._forwarded_keys.add(key)
         return False
+
+    def _decide_batch(self, entries) -> List[bool]:
+        """Batched decisions (hoisted witness loop for MAX/MIN; batched
+        sketch updates with sequential semantics for SUM/COUNT)."""
+        aggregate = self.aggregate
+        threshold = self.threshold
+        out: List[bool] = []
+        append = out.append
+        if aggregate in (HavingAggregate.MAX, HavingAggregate.MIN):
+            contains_or_insert = self._witnesses.contains_or_insert
+            is_max = aggregate is HavingAggregate.MAX
+            for key, value in entries:
+                satisfied = (value > threshold) if is_max \
+                    else (value < threshold)
+                append(contains_or_insert(key) if satisfied else True)
+            return out
+        keys = [key for key, _ in entries]
+        if aggregate is HavingAggregate.COUNT:
+            amounts = [1] * len(entries)
+        else:
+            amounts = [int(value) for _, value in entries]
+            for amount in amounts:
+                if amount < 0:
+                    raise ValueError(
+                        "HAVING SUM pruning requires non-negative values "
+                        "(the Count-Min one-sided error argument needs "
+                        f"them); got {amount}"
+                    )
+        estimates = self.sketch.update_and_estimate_batch(keys, amounts)
+        forwarded_keys = self._forwarded_keys
+        forward_key = forwarded_keys.add
+        for key, estimate in zip(keys, estimates):
+            if estimate <= threshold or key in forwarded_keys:
+                append(True)
+            else:
+                forward_key(key)
+                append(False)
+        return out
 
     def resources(self) -> ResourceUsage:
         """Table 2 HAVING row: ceil(d/A) stages, d ALUs, d x w x 64b SRAM

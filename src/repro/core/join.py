@@ -16,7 +16,7 @@ low-FP filter for it, then stream and prune the large table in one pass
 from __future__ import annotations
 
 import enum
-from typing import Tuple, Union
+from typing import List, Tuple, Union
 
 from repro.core.base import Guarantee, PruningAlgorithm, register_algorithm
 from repro.sketches.bloom import BloomFilter, RegisterBloomFilter, sized_for_fp_rate
@@ -93,6 +93,39 @@ class JoinPruner(PruningAlgorithm):
         other = JoinSide.B if side is JoinSide.A else JoinSide.A
         return key not in self.filters[other]
 
+    def _decide_batch(self, entries) -> List[bool]:
+        """Batched decisions via the filters' vectorized bulk ops.
+
+        Entries are split per side (pass-1 inserts commute, pass-2 tests
+        are pure, so splitting preserves the scalar decisions exactly)
+        and reassembled in the original order.
+        """
+        sides = [side if isinstance(side, JoinSide) else JoinSide(side)
+                 for side, _ in entries]
+        a_keys = [key for side, (_, key) in zip(sides, entries)
+                  if side is JoinSide.A]
+        b_keys = [key for side, (_, key) in zip(sides, entries)
+                  if side is JoinSide.B]
+        if not self.second_pass:
+            if a_keys:
+                self.filters[JoinSide.A].add_batch(a_keys)
+            if b_keys:
+                self.filters[JoinSide.B].add_batch(b_keys)
+            return [False] * len(sides)
+        a_hits = self.filters[JoinSide.B].contains_batch(a_keys)
+        b_hits = self.filters[JoinSide.A].contains_batch(b_keys)
+        out: List[bool] = []
+        append = out.append
+        a_index = b_index = 0
+        for side in sides:
+            if side is JoinSide.A:
+                append(not a_hits[a_index])
+                a_index += 1
+            else:
+                append(not b_hits[b_index])
+                b_index += 1
+        return out
+
     def resources(self) -> ResourceUsage:
         """Table 2 JOIN rows: BF = 2 stages (shared-memory ALUs), H ALUs,
         M bits; RBF = 1 stage, 1 ALU, M + (64/H) x 64 bits of side state."""
@@ -160,6 +193,12 @@ class AsymmetricJoinPruner(PruningAlgorithm):
             self.filter.add(key)
             return False
         return key not in self.filter
+
+    def _decide_batch(self, keys) -> List[bool]:
+        if not self.large_phase:
+            self.filter.add_batch(list(keys))
+            return [False] * len(keys)
+        return [not hit for hit in self.filter.contains_batch(list(keys))]
 
     def resources(self) -> ResourceUsage:
         """One filter, sized for the small table at the target FP rate."""

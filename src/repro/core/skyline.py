@@ -92,24 +92,68 @@ class SkylinePruner(PruningAlgorithm):
                 f"expected {self.dimensions}-dimensional point, got "
                 f"{len(point)} dimensions"
             )
-        carry_score = self.score(point)
+        return self._walk(point, self.score(point))
+
+    def _walk(self, point: Tuple[float, ...], carry_score: float) -> bool:
+        """The stored-point walk: rolling-minimum swaps plus dominance."""
+        points = self._points
         carry_point = point
         prune = False
-        for i in range(len(self._points)):
-            stored_score, stored_point = self._points[i]
+        two_d = len(point) == 2
+        for i in range(len(points)):
+            stored_score, stored_point = points[i]
             if carry_score > stored_score:
                 # Swap: retain the higher-scoring point, push the evicted
                 # one down the pipeline (it competes with later slots).
-                self._points[i] = (carry_score, carry_point)
+                points[i] = (carry_score, carry_point)
                 carry_score, carry_point = stored_score, stored_point
-            elif carry_point is point and dominates(stored_point, point):
+            elif not prune and carry_point is point:
                 # Dominance is only checked for the *original* packet
                 # point, and the drop happens at the end of the pipeline.
-                prune = True
-        if len(self._points) < self.width:
-            self._points.append((carry_score, carry_point))
-            self._points.sort(key=lambda sp: -sp[0])
+                if two_d:
+                    x, y = point
+                    sx, sy = stored_point
+                    if sx >= x and sy >= y and (sx > x or sy > y):
+                        prune = True
+                elif dominates(stored_point, point):
+                    prune = True
+        if len(points) < self.width:
+            points.append((carry_score, carry_point))
+            points.sort(key=lambda sp: -sp[0])
         return prune
+
+    def _decide_batch(self, entries) -> List[bool]:
+        """Batched decisions: projection scores computed up front — for
+        APH via the vectorized TCAM-log path — while the stored-point
+        walk (inherently sequential) runs per entry."""
+        dimensions = self.dimensions
+        points = []
+        append_point = points.append
+        for entry in entries:
+            point = tuple(float(x) for x in entry)
+            if len(point) != dimensions:
+                raise ValueError(
+                    f"expected {dimensions}-dimensional point, got "
+                    f"{len(point)} dimensions"
+                )
+            append_point(point)
+        scores = self._scores_batch(points)
+        walk = self._walk
+        return [walk(point, score) for point, score in zip(points, scores)]
+
+    def _scores_batch(self, points: List[Tuple[float, ...]]) -> List[float]:
+        """Projection scores for a batch, identical to :meth:`score`."""
+        if self.projection is Projection.SUM:
+            return [float(sum(point)) for point in points]
+        if self.projection is Projection.FIRST_COORD:
+            return [float(point[0]) for point in points]
+        if len(points) >= 64:  # vectorization overhead beats tiny batches
+            clamped = [[int(max(0, x)) for x in point] for point in points]
+            logs = self._aph.approx_log2_batch(clamped)
+            if logs is not None:
+                return [float(total) for total in logs.sum(axis=1).tolist()]
+        score = self.score
+        return [score(point) for point in points]
 
     def stored_points(self) -> List[Tuple[float, ...]]:
         """Currently retained points, highest score first (test hook)."""

@@ -16,12 +16,20 @@ Two variants, matching Table 2's two TOP N rows:
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import List, Optional
 
 from repro.core.base import Guarantee, PruningAlgorithm, register_algorithm
 from repro.core.config import TopNConfig, feasible_topn_config
 from repro.sketches.cache_matrix import RollingMinMatrix
 from repro.switch.resources import ResourceUsage
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+#: Values safely inside int64 for the vectorized threshold comparisons.
+_VEC_VALUE_LIMIT = 1 << 62
 
 
 @register_algorithm
@@ -71,6 +79,52 @@ class TopNDeterministic(PruningAlgorithm):
             elif self._counters[i] >= self.n:
                 prune = True
         return prune
+
+    def _decide_batch(self, entries) -> List[bool]:
+        """Vectorized threshold counters over a batch.
+
+        The warmup prefix (t0 not yet learned) runs scalar; once t0 is
+        fixed the thresholds are static, so per-threshold counters become
+        a cumulative sum over the batch — decisions and final counter
+        state are identical to the scalar path.
+        """
+        values = [int(entry) for entry in entries]
+        out: List[bool] = []
+        i = 0
+        total = len(values)
+        while self._t0 is None and i < total:
+            out.append(self._decide(values[i]))
+            i += 1
+        rest = values[i:]
+        if not rest:
+            return out
+        if (_np is None or len(rest) < 32
+                or max(rest) >= _VEC_VALUE_LIMIT
+                or min(rest) <= -_VEC_VALUE_LIMIT):
+            decide = self._decide
+            out.extend(decide(value) for value in rest)
+            return out
+        arr = _np.asarray(rest, dtype=_np.int64)
+        prune = _np.zeros(len(rest), dtype=bool)
+        n = self.n
+        for index in range(self.w):
+            t_i = self._threshold(index)
+            count0 = self._counters[index]
+            if t_i >= _VEC_VALUE_LIMIT:
+                # Threshold beyond every batch value: no counter updates;
+                # every entry is below t_i, pruned iff count0 reached n.
+                if count0 >= n:
+                    prune[:] = True
+                continue
+            above = arr >= t_i
+            if count0 >= n:
+                prune |= ~above
+            else:
+                counts_before = count0 + _np.cumsum(above) - above
+                prune |= (~above) & (counts_before >= n)
+            self._counters[index] = count0 + int(_np.count_nonzero(above))
+        out.extend(prune.tolist())
+        return out
 
     def resources(self) -> ResourceUsage:
         """Table 2: w+1 stages, w+1 ALUs, (w+1) x 64b SRAM."""
@@ -124,6 +178,9 @@ class TopNRandomized(PruningAlgorithm):
 
     def _decide(self, entry) -> bool:
         return self.matrix.offer(float(entry))
+
+    def _decide_batch(self, entries) -> List[bool]:
+        return self.matrix.offer_batch([float(entry) for entry in entries])
 
     def resources(self) -> ResourceUsage:
         """Table 2: w stages, w ALUs, d x w x 64b SRAM."""

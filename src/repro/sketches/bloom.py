@@ -18,9 +18,14 @@ sound: a pruned key is guaranteed absent from the other table.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional
 
 from repro.sketches.hashing import HashFamily, HashableValue, hash64
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 
 class BloomFilter:
@@ -64,6 +69,37 @@ class BloomFilter:
         """Insert every value in ``values``."""
         for value in values:
             self.add(value)
+
+    def add_batch(self, values) -> None:
+        """Vectorized :meth:`add` for a whole batch of keys.
+
+        Hashes the batch at once and sets bits via a bulk scatter-or;
+        final filter state is identical to per-value ``add`` calls.
+        """
+        index_arrays = self._family.all_batch(values)
+        if index_arrays is None:
+            for value in values:
+                self.add(value)
+            return
+        view = _np.frombuffer(self._words, dtype=_np.uint8)
+        for idxs in index_arrays:
+            byte_idx = (idxs >> _np.uint64(3)).astype(_np.int64)
+            bit = (_np.uint64(1) << (idxs & _np.uint64(7))).astype(_np.uint8)
+            _np.bitwise_or.at(view, byte_idx, bit)
+        self._inserted += len(values)
+
+    def contains_batch(self, values) -> List[bool]:
+        """Vectorized membership test, identical to ``value in filter``."""
+        index_arrays = self._family.all_batch(values)
+        if index_arrays is None:
+            return [value in self for value in values]
+        view = _np.frombuffer(self._words, dtype=_np.uint8)
+        result = _np.ones(len(values), dtype=bool)
+        for idxs in index_arrays:
+            byte_idx = (idxs >> _np.uint64(3)).astype(_np.int64)
+            shift = (idxs & _np.uint64(7)).astype(_np.uint8)
+            result &= ((view[byte_idx] >> shift) & 1).astype(bool)
+        return result.tolist()
 
     @property
     def inserted(self) -> int:
@@ -161,6 +197,26 @@ class RegisterBloomFilter:
         """Insert every value in ``values``."""
         for value in values:
             self.add(value)
+
+    def add_batch(self, values) -> None:
+        """Batched :meth:`add` (the RBF's data-dependent in-word rehash
+        keeps position derivation scalar; the loop is hoisted)."""
+        words = self._words
+        positions = self._positions
+        for value in values:
+            word, mask = positions(value)
+            words[word] |= mask
+        self._inserted += len(values)
+
+    def contains_batch(self, values) -> List[bool]:
+        """Batched membership test."""
+        words = self._words
+        positions = self._positions
+        out = []
+        for value in values:
+            word, mask = positions(value)
+            out.append((words[word] & mask) == mask)
+        return out
 
     @property
     def inserted(self) -> int:

@@ -21,7 +21,13 @@ from __future__ import annotations
 import enum
 from typing import List, Optional
 
-from repro.sketches.hashing import HashableValue, hash64, row_of
+from repro.sketches.hashing import (
+    HashableValue,
+    hash64,
+    row_of,
+    rows_of_batch,
+    sequence_rows_batch,
+)
 
 
 class EvictionPolicy(enum.Enum):
@@ -82,6 +88,42 @@ class CacheMatrix:
         if len(row) > self.width:
             row.pop()
         return False
+
+    def contains_or_insert_batch(self, values) -> List[bool]:
+        """Batched :meth:`contains_or_insert` — identical decisions.
+
+        Row selection is hashed for the whole batch at once (falling back
+        to per-value hashing for non-int keys) and the membership loop
+        runs with locals hoisted; per-value semantics, stats, and stored
+        state match the scalar path exactly.
+        """
+        rows_idx = rows_of_batch(values, self.rows, self.seed)
+        if rows_idx is None:
+            row_index = self.row_index
+            rows_idx = [row_index(v) for v in values]
+        data = self._data
+        width = self.width
+        lru = self.policy is EvictionPolicy.LRU
+        hits = misses = 0
+        out: List[bool] = []
+        append = out.append
+        for value, index in zip(values, rows_idx):
+            row = data[index]
+            if value in row:
+                hits += 1
+                if lru:
+                    row.remove(value)
+                    row.insert(0, value)
+                append(True)
+            else:
+                misses += 1
+                row.insert(0, value)
+                if len(row) > width:
+                    row.pop()
+                append(False)
+        self.hits += hits
+        self.misses += misses
+        return out
 
     def __contains__(self, value: HashableValue) -> bool:
         """Pure membership test (no insertion, no stat update)."""
@@ -157,6 +199,43 @@ class RollingMinMatrix:
         row.pop()
         self._insert_sorted(row, value)
         return False
+
+    def offer_batch(self, values) -> List[bool]:
+        """Batched :meth:`offer` over consecutive arrivals.
+
+        The per-arrival row sequence is hashed for the whole batch at
+        once; the rolling-minimum updates run in arrival order, so the
+        decisions and the stored matrix state are bit-identical to
+        calling :meth:`offer` per value.
+        """
+        count = len(values)
+        rows_idx = sequence_rows_batch(self.seed, self._arrivals, count,
+                                       self.rows)
+        if rows_idx is None:
+            row_for_arrival = self.row_for_arrival
+            rows_idx = [row_for_arrival(self._arrivals + i)
+                        for i in range(count)]
+        self._arrivals += count
+        data = self._data
+        width = self.width
+        insert_sorted = self._insert_sorted
+        count_ge = self._count_ge
+        out: List[bool] = []
+        append = out.append
+        for value, index in zip(values, rows_idx):
+            row = data[index]
+            if len(row) < width:
+                insert_sorted(row, value)
+                append(False)
+                continue
+            last = row[-1]
+            if value <= last:
+                append(value < last or count_ge(row, value) >= width)
+                continue
+            row.pop()
+            insert_sorted(row, value)
+            append(False)
+        return out
 
     @staticmethod
     def _insert_sorted(row: List[float], value: float) -> None:

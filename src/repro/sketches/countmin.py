@@ -10,7 +10,7 @@ error only costs pruning rate, never correctness.
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.sketches.hashing import HashFamily, HashableValue
 
@@ -76,6 +76,44 @@ class CountMinSketch:
         """Single-pass update-then-read, as the switch pipeline does it."""
         self.update(key, amount)
         return self.estimate(key)
+
+    def update_and_estimate_batch(self, keys, amounts) -> List[int]:
+        """Batched :meth:`update_and_estimate` with sequential semantics.
+
+        Counter indices are hashed for the whole batch at once; the
+        updates themselves run in entry order (each estimate reflects all
+        earlier updates in the batch), so the returned estimates and the
+        final counter state are identical to per-entry calls.
+        """
+        index_arrays = (None if self.conservative
+                        else self._family.all_batch(keys))
+        if index_arrays is None:
+            return [self.update_and_estimate(key, amount)
+                    for key, amount in zip(keys, amounts)]
+        index_columns = [arr.astype("int64").tolist()
+                         for arr in index_arrays]
+        rows = self._rows
+        depth = range(self.depth)
+        out: List[int] = []
+        append = out.append
+        for j, amount in enumerate(amounts):
+            if amount < 0:
+                raise ValueError(
+                    "Count-Min one-sided error requires non-negative "
+                    f"updates; got {amount} (the paper defers SUM/COUNT "
+                    "< c to future work)"
+                )
+            self._total += amount
+            estimate = None
+            for i in depth:
+                row = rows[i]
+                index = index_columns[i][j]
+                row[index] += amount
+                value = row[index]
+                if estimate is None or value < estimate:
+                    estimate = value
+            append(estimate)
+        return out
 
     @property
     def total(self) -> int:

@@ -108,6 +108,20 @@ class HashFamily:
         """All ``k`` hash values for ``value`` (Bloom insert/query path)."""
         return [hash64(value, s) % self.range_size for s in self._seeds]
 
+    def all_batch(self, values):
+        """Per-function index arrays for a whole batch of values.
+
+        Returns a list of ``k`` uint64 arrays (one per hash function,
+        each of ``len(values)`` indices), bit-identical to calling
+        :meth:`all` per value — or ``None`` when the batch cannot be
+        vectorized (the caller falls back to the scalar path).
+        """
+        arr = _as_u64_array(values)
+        if arr is None:
+            return None
+        return [hash64_batch(arr, s) % _np.uint64(self.range_size)
+                for s in self._seeds]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"HashFamily(k={self.k}, range={self.range_size}, seed={self.seed})"
 
@@ -126,3 +140,103 @@ def stable_shuffle(items: Iterable, seed: int) -> list:
     streams the analysis assumes, without consuming global RNG state)."""
     keyed = sorted(enumerate(items), key=lambda p: hash64((seed, p[0])))
     return [item for _, item in keyed]
+
+
+# ---------------------------------------------------------------------------
+# Vectorized (batch) hashing
+#
+# The batched dataplane amortizes Python dispatch by hashing whole entry
+# batches at once.  Every function below is bit-identical to its scalar
+# counterpart and returns ``None`` when vectorization is unavailable
+# (numpy missing, or values outside the plain-int fast path) so callers
+# can fall back to the scalar loop.
+# ---------------------------------------------------------------------------
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+
+def _as_u64_array(values):
+    """Plain-int ``values`` as a uint64 array matching ``_to_int``.
+
+    Returns ``None`` when any element is not exactly ``int`` (bool is
+    rejected on purpose: it routes through the scalar path unchanged) or
+    when the values do not fit the 64-bit conversions.
+    """
+    if _np is None:
+        return None
+    for value in values:
+        if type(value) is not int:
+            return None
+    try:
+        return _np.asarray(values, dtype=_np.uint64)
+    except (OverflowError, ValueError, TypeError):
+        pass
+    try:
+        # Negative ints: the int64 -> uint64 cast is the same two's
+        # complement mapping _to_int applies.
+        return _np.asarray(values, dtype=_np.int64).astype(_np.uint64)
+    except (OverflowError, ValueError, TypeError):
+        return None
+
+
+def _splitmix64_array(x):
+    """:func:`_splitmix64` over a uint64 array (unsigned wraparound)."""
+    x = x + _np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> _np.uint64(30))) * _np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> _np.uint64(27))) * _np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> _np.uint64(31))
+
+
+def hash64_batch(values, seed: int = 0):
+    """Vectorized :func:`hash64` over plain-int values.
+
+    Returns a uint64 array, or ``None`` when the batch cannot be
+    vectorized (caller falls back to per-value :func:`hash64`).
+    """
+    if _np is not None and isinstance(values, _np.ndarray) \
+            and values.dtype == _np.uint64:
+        arr = values
+    else:
+        arr = _as_u64_array(values)
+    if arr is None:
+        return None
+    return _splitmix64_array(arr ^ _np.uint64(_splitmix64(seed)))
+
+
+def rows_of_batch(values, rows: int, seed: int = 0xD15C):
+    """Vectorized :func:`row_of`: a list of row indices, or ``None``."""
+    hashed = hash64_batch(values, seed)
+    if hashed is None:
+        return None
+    return (hashed % _np.uint64(rows)).tolist()
+
+
+def fingerprint_bits_batch(values, bits: int, seed: int = 0x5EED):
+    """Vectorized :func:`fingerprint_bits`, or ``None``."""
+    if not 1 <= bits <= 64:
+        raise ValueError(f"fingerprint width must be in [1, 64], got {bits}")
+    hashed = hash64_batch(values, seed)
+    if hashed is None:
+        return None
+    return (hashed >> _np.uint64(64 - bits)).tolist()
+
+
+def sequence_rows_batch(seed, start: int, count: int, rows: int,
+                        salt: int = 0x70F1):
+    """Rows for arrival sequence numbers ``start .. start+count-1``.
+
+    Bit-identical to ``hash64((seed, sequence), salt) % rows`` per
+    arrival — the randomized TOP-N row-selection path.  ``None`` when
+    numpy is unavailable.
+    """
+    if _np is None:
+        return None
+    mult = 0xFF51AFD7ED558CCD
+    acc = (0x9E3779B97F4A7C15 * mult + _to_int(seed)) & _MASK64
+    seqs = _np.arange(start, start + count, dtype=_np.uint64)
+    mixed = _np.uint64((acc * mult) & _MASK64) + seqs
+    hashed = _splitmix64_array(mixed ^ _np.uint64(_splitmix64(salt)))
+    return (hashed % _np.uint64(rows)).tolist()

@@ -11,7 +11,7 @@ loudly instead of silently simulating impossible hardware.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Sequence
 
 from repro.sketches.hashing import hash64
 
@@ -109,6 +109,33 @@ class ALU:
         self._fired_packet = packet_epoch
         self.invocations += 1
         return evaluate(op, a, b)
+
+    def fire_many(self, op: ALUOp, a_values: Sequence[int],
+                  b_values: Sequence[int],
+                  packet_epochs: Sequence[int]) -> List[int]:
+        """Batched :meth:`fire`: one firing per packet, one dispatch per
+        batch.  The once-per-packet rule is enforced per element (each
+        epoch must differ from the previous firing's)."""
+        if not isinstance(op, ALUOp):
+            return [self.fire(op, a, b, epoch)  # raises UnsupportedOperation
+                    for a, b, epoch in zip(a_values, b_values,
+                                           packet_epochs)]
+        impl = _IMPLS[op]
+        fired = self._fired_packet
+        out: List[int] = []
+        append = out.append
+        for a, b, epoch in zip(a_values, b_values, packet_epochs):
+            if fired == epoch:
+                raise UnsupportedOperation(
+                    f"ALU (stage {self.stage_index}, slot {self.slot}) "
+                    "fired twice for one packet; a hardware ALU executes "
+                    "once per packet"
+                )
+            fired = epoch
+            append(impl(a & _MASK64, b & _MASK64))
+        self._fired_packet = fired
+        self.invocations += len(out)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"ALU(stage={self.stage_index}, slot={self.slot})"

@@ -18,7 +18,7 @@ enforcing:
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from repro.switch.alu import ALU, ALUOp, UnsupportedOperation
 from repro.switch.registers import RegisterArray
@@ -49,6 +49,55 @@ class PacketContext:
         return 64 * len(self.metadata)
 
 
+class PacketBatch:
+    """An ordered batch of packets traversing the pipeline together.
+
+    The batched execution path processes a batch **stage-major** (stage 0
+    over every packet, then stage 1, ...) instead of packet-major.  On a
+    PISA pipeline the two orders are semantically identical: a stage's
+    registers are only ever touched by that stage's program, and packets
+    communicate across stages only through their own private metadata —
+    so each packet observes exactly the register state it would have seen
+    packet-major, and every prune decision is bit-identical.
+    """
+
+    __slots__ = ("packets",)
+
+    def __init__(self, packets: Iterable[PacketContext]):
+        self.packets = list(packets)
+
+    @classmethod
+    def from_values(cls, values: Iterable[int],
+                    field: str = "value") -> "PacketBatch":
+        """A batch of single-field packets (the common pruner wire shape)."""
+        return cls(PacketContext(fields={field: int(v)}) for v in values)
+
+    @classmethod
+    def from_fields(cls, field_dicts: Iterable[Dict[str, int]]) -> "PacketBatch":
+        """A batch of packets from per-packet field dicts."""
+        return cls(PacketContext(fields=dict(f)) for f in field_dicts)
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __iter__(self):
+        return iter(self.packets)
+
+    def __getitem__(self, index: int) -> PacketContext:
+        return self.packets[index]
+
+    def prune_flags(self) -> List[bool]:
+        """Per-packet prune bits (end-of-pipeline state)."""
+        return [packet.prune for packet in self.packets]
+
+    def survivors(self) -> List[PacketContext]:
+        """Packets that were not pruned."""
+        return [packet for packet in self.packets if not packet.prune]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PacketBatch({len(self.packets)} packets)"
+
+
 class Stage:
     """One pipeline stage: register arrays, tables, and an ALU budget."""
 
@@ -61,6 +110,7 @@ class Stage:
         self._tables: Dict[str, MatchActionTable] = {}
         self._tcams: Dict[str, TernaryTable] = {}
         self._program: Optional[Callable[["Stage", PacketContext], None]] = None
+        self._batch_program: Optional[Callable] = None
         self._current_epoch = -1
 
     # -- resource declaration (compile time) --------------------------------
@@ -84,9 +134,18 @@ class Stage:
         return tcam
 
     def set_program(self,
-                    program: Callable[["Stage", PacketContext], None]) -> None:
-        """Install the per-packet primitive program for this stage."""
+                    program: Callable[["Stage", PacketContext], None],
+                    batch_program: Optional[Callable] = None) -> None:
+        """Install the per-packet primitive program for this stage.
+
+        ``batch_program(stage, packets)`` is an optional batched variant
+        used by :meth:`process_batch`: it must make the same register
+        and ALU accesses per packet, through the ``*_many`` register
+        primitives and :meth:`alu_batch` (which carry explicit per-packet
+        epochs), and produce identical packet state.
+        """
         self._program = program
+        self._batch_program = batch_program
 
     # -- data-plane primitives (run time) ------------------------------------
     def alu(self, op: ALUOp, a: int, b: int = 0) -> int:
@@ -99,6 +158,20 @@ class Stage:
         alu = self._alus[self._next_alu]
         self._next_alu += 1
         return alu.fire(op, a, b, self._current_epoch)
+
+    def alu_batch(self, op: ALUOp, a_values, b_values,
+                  packet_epochs) -> List[int]:
+        """Fire one ALU slot across a batch: one firing per packet (the
+        per-element epochs enforce that), one slot of the per-packet ALU
+        budget (every packet traverses the same batch program)."""
+        if self._next_alu >= self.alu_budget:
+            raise UnsupportedOperation(
+                f"stage {self.index} exceeded its ALU budget "
+                f"({self.alu_budget}) for one packet"
+            )
+        alu = self._alus[self._next_alu]
+        self._next_alu += 1
+        return alu.fire_many(op, a_values, b_values, packet_epochs)
 
     def register(self, name: str) -> RegisterArray:
         """Access a register array owned by this stage."""
@@ -125,6 +198,43 @@ class Stage:
         self._next_alu = 0
         if self._program is not None:
             self._program(self, packet)
+
+    def process_batch(self, packets: Iterable[PacketContext],
+                      metadata_limit_bits: Optional[int] = None,
+                      limit_description: Optional[str] = None) -> None:
+        """Run this stage's program over a whole batch (one loop).
+
+        Per-packet semantics are unchanged: the ALU budget resets and the
+        register/ALU epoch advances for every packet (a batch program
+        does this through explicit per-packet epochs instead).  When
+        ``metadata_limit_bits`` is given, the PHV limit is enforced per
+        packet, exactly as the packet-major path does per stage;
+        ``limit_description`` customizes the error suffix (the
+        recirculating pipeline reports the pass number).
+        """
+        batch_program = self._batch_program
+        if batch_program is not None:
+            self._next_alu = 0
+            batch_program(self, packets)
+        else:
+            program = self._program
+            if program is None and metadata_limit_bits is None:
+                return
+            for packet in packets:
+                self._current_epoch = packet.epoch
+                self._next_alu = 0
+                if program is not None:
+                    program(self, packet)
+        if metadata_limit_bits is None:
+            return
+        for packet in packets:
+            if packet.metadata_bits() > metadata_limit_bits:
+                suffix = (limit_description if limit_description is not None
+                          else f"({metadata_limit_bits})")
+                raise UnsupportedOperation(
+                    f"packet metadata ({packet.metadata_bits()} bits) "
+                    f"exceeds the PHV limit {suffix}"
+                )
 
     @property
     def sram_bits(self) -> int:
@@ -180,6 +290,40 @@ class Pipeline:
             self.packets_pruned += 1
             return False
         return True
+
+    def process_batch(self,
+                      batch: Union[PacketBatch, Iterable[PacketContext]],
+                      ) -> List[bool]:
+        """Run a whole batch through all stages, stage-major.
+
+        Equivalent to calling :meth:`process` per packet in order (see
+        :class:`PacketBatch` for why stage-major execution preserves the
+        semantics) but amortizes the per-packet stage dispatch.  Returns
+        the per-packet survive flags.  Resource violations raise exactly
+        when the packet-major path would raise one — the only difference
+        is *which* violation surfaces first when several packets violate
+        at different stages (first in (stage, packet) order here).
+        """
+        packets = (batch.packets if isinstance(batch, PacketBatch)
+                   else list(batch))
+        for packet in packets:
+            self._epoch += 1
+            packet.epoch = self._epoch
+        self.packets_seen += len(packets)
+        limit = self.metadata_limit_bits
+        for stage in self.stages:
+            stage.process_batch(packets, metadata_limit_bits=limit)
+        survived = []
+        append = survived.append
+        pruned = 0
+        for packet in packets:
+            if packet.prune:
+                pruned += 1
+                append(False)
+            else:
+                append(True)
+        self.packets_pruned += pruned
+        return survived
 
     @property
     def prune_fraction(self) -> float:
@@ -254,3 +398,39 @@ class RecirculatingPipeline:
             self.packets_pruned += 1
             return False
         return True
+
+    def process_batch(self,
+                      batch: Union[PacketBatch, Iterable[PacketContext]],
+                      ) -> List[bool]:
+        """Batched :meth:`process`: stage-major over all logical stages.
+
+        Same stage-major equivalence argument as
+        :meth:`Pipeline.process_batch`; recirculation passes are a
+        partition of the logical stages, so the pass accounting is
+        unchanged.
+        """
+        packets = (batch.packets if isinstance(batch, PacketBatch)
+                   else list(batch))
+        self.packets_seen += len(packets)
+        logical = self.logical
+        for packet in packets:
+            logical._epoch += 1
+            packet.epoch = logical._epoch
+        limit = logical.metadata_limit_bits
+        for index, stage in enumerate(logical.stages):
+            stage.process_batch(
+                packets, metadata_limit_bits=limit,
+                limit_description=(
+                    f"during pass {index // self.physical_stages + 1}"),
+            )
+        survived = []
+        append = survived.append
+        pruned = 0
+        for packet in packets:
+            if packet.prune:
+                pruned += 1
+                append(False)
+            else:
+                append(True)
+        self.packets_pruned += pruned
+        return survived

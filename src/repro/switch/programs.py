@@ -14,11 +14,11 @@ by packet; they must make identical prune decisions.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.sketches.hashing import hash64
 from repro.switch.alu import ALUOp
-from repro.switch.pipeline import PacketContext, Pipeline
+from repro.switch.pipeline import PacketBatch, PacketContext, Pipeline
 
 #: Register cells are 64-bit; we reserve the all-ones value as "empty"
 #: so that a legitimate 0 value is storable.
@@ -48,7 +48,8 @@ class DistinctProgram:
             array = stage.add_register(f"col{i}", rows, 64)
             for cell in range(rows):
                 array.poke(cell, EMPTY)
-            stage.set_program(self._make_stage_program(i))
+            stage.set_program(self._make_stage_program(i),
+                              batch_program=self._make_batch_program(i))
 
     def _make_stage_program(self, column: int):
         def program(stage, packet: PacketContext) -> None:
@@ -73,6 +74,46 @@ class DistinctProgram:
 
         return program
 
+    def _make_batch_program(self, column: int):
+        """The batched stage program: identical per-packet semantics via
+        the batched register/ALU primitives (one RMW and one EQ firing
+        per still-rolling packet, with explicit per-packet epochs)."""
+        def batch_program(stage, packets) -> None:
+            if column == 0:
+                seed = self.seed
+                rows = self.rows
+                for packet in packets:
+                    value = packet.get("value")
+                    packet.set_meta("row", hash64(value, seed) % rows)
+                    packet.set_meta("carry", value)
+                    packet.set_meta("seen", 0)
+            active = [p for p in packets if not p.get("seen")]
+            if active:
+                array = stage.register(f"col{column}")
+                evicted = array.read_modify_write_many(
+                    [p.get("row") for p in active],
+                    [p.get("carry") for p in active],
+                    [p.epoch for p in active],
+                )
+                hits = stage.alu_batch(ALUOp.EQ, evicted,
+                                       [p.get("value") for p in active],
+                                       [p.epoch for p in active])
+                last = column == self.width - 1
+                for packet, old, hit in zip(active, evicted, hits):
+                    if hit and old != EMPTY:
+                        packet.set_meta("seen", 1)
+                        # Mirror the scalar program: only a hit in the
+                        # *last* column sets the prune bit itself; hits
+                        # in earlier columns are handled by offer()'s
+                        # end-of-pipe check (already-seen packets skip
+                        # the column entirely, like the early return).
+                        if last:
+                            packet.prune = True
+                    else:
+                        packet.set_meta("carry", old)
+
+        return batch_program
+
     def offer(self, value: int) -> bool:
         """Process one entry; return True iff it is pruned (duplicate)."""
         packet = PacketContext(fields={"value": int(value)})
@@ -83,6 +124,18 @@ class DistinctProgram:
             packet.prune = True
             survived = False
         return not survived
+
+    def offer_batch(self, values) -> List[bool]:
+        """Batched :meth:`offer` through the stage-major pipeline path."""
+        batch = PacketBatch.from_values(values)
+        survived = self.pipeline.process_batch(batch)
+        out: List[bool] = []
+        for packet, alive in zip(batch, survived):
+            if alive and packet.get("seen") and not packet.prune:
+                packet.prune = True
+                alive = False
+            out.append(not alive)
+        return out
 
 
 class DeterministicTopNProgram:
@@ -160,6 +213,11 @@ class DeterministicTopNProgram:
         survived = self.pipeline.process(packet)
         return not survived
 
+    def offer_batch(self, values) -> List[bool]:
+        """Batched :meth:`offer` through the stage-major pipeline path."""
+        survived = self.pipeline.process_batch(PacketBatch.from_values(values))
+        return [not alive for alive in survived]
+
 
 class RandomizedTopNProgram:
     """Randomized TOP-N as a register-level pipeline (Example #7).
@@ -234,6 +292,17 @@ class RandomizedTopNProgram:
         packet = PacketContext(fields={"value": int(value)})
         return not self.pipeline.process(packet)
 
+    def offer_batch(self, values) -> List[bool]:
+        """Batched :meth:`offer` (all values validated up front)."""
+        for value in values:
+            if value < 1:
+                raise ValueError(
+                    f"values must be >= 1 on the wire (0 is the empty "
+                    f"sentinel), got {value}"
+                )
+        survived = self.pipeline.process_batch(PacketBatch.from_values(values))
+        return [not alive for alive in survived]
+
 
 class GroupByMaxProgram:
     """MAX GROUP BY as a register-level pipeline (§4.2 / Table 2).
@@ -307,6 +376,18 @@ class GroupByMaxProgram:
         packet.set_meta("key", hash64(key, 0x6B))
         return not self.pipeline.process(packet)
 
+    def offer_batch(self, entries) -> List[bool]:
+        """Batched :meth:`offer` over ``(key, value)`` pairs."""
+        packets = []
+        for key, value in entries:
+            if not 0 <= value <= self.VALUE_MASK:
+                raise ValueError(f"value must fit 32 bits, got {value}")
+            packet = PacketContext(fields={"value": int(value)})
+            packet.set_meta("key", hash64(key, 0x6B))
+            packets.append(packet)
+        survived = self.pipeline.process_batch(PacketBatch(packets))
+        return [not alive for alive in survived]
+
 
 class CountMinProgram:
     """Count-Min update-and-estimate as pipeline stages (Example #5).
@@ -367,6 +448,24 @@ class CountMinProgram:
         survived = self.pipeline.process(packet)
         return (not survived), packet.get("estimate")
 
+    def offer_batch(self, entries) -> "List[Tuple[bool, int]]":
+        """Batched :meth:`offer` over ``(key, amount)`` pairs."""
+        packets = []
+        depth = range(self.depth)
+        family = self._family
+        for key, amount in entries:
+            if amount < 0:
+                raise ValueError(
+                    f"Count-Min updates must be non-negative, got {amount}"
+                )
+            packet = PacketContext(fields={"amount": int(amount)})
+            for row in depth:
+                packet.set_meta(f"idx{row}", family(key, row))
+            packets.append(packet)
+        survived = self.pipeline.process_batch(PacketBatch(packets))
+        return [((not alive), packet.get("estimate"))
+                for packet, alive in zip(packets, survived)]
+
 
 class RegisterBloomProgram:
     """Single-stage register Bloom filter (Table 2's JOIN RBF row).
@@ -420,6 +519,19 @@ class RegisterBloomProgram:
         packet.set_meta("mask", mask)
         survived = self.pipeline.process(packet)
         return not survived
+
+    def offer_batch(self, keys) -> List[bool]:
+        """Batched :meth:`offer`."""
+        packets = []
+        positions = self._reference._positions
+        for key in keys:
+            word, mask = positions(key)
+            packet = PacketContext(fields={})
+            packet.set_meta("word", word)
+            packet.set_meta("mask", mask)
+            packets.append(packet)
+        survived = self.pipeline.process_batch(PacketBatch(packets))
+        return [not alive for alive in survived]
 
     def contains(self, key) -> bool:
         """Query without pruning semantics (test hook)."""

@@ -9,7 +9,7 @@ simulator enforces them.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 
 class RegisterAccessError(Exception):
@@ -116,6 +116,63 @@ class RegisterArray:
         new = min(self._cells[index] + amount, self._mask)
         self._cells[index] = new
         return new
+
+    # -- batched data-plane access -------------------------------------------
+    # One call per *batch* instead of per packet; every element still
+    # consumes that packet's single access (the epoch check runs per
+    # element), so the hardware semantics are enforced unchanged while
+    # Python dispatch is amortized.
+
+    def read_modify_write_many(self, indices: Sequence[int],
+                               new_values: Sequence[int],
+                               packet_epochs: Sequence[int]) -> List[int]:
+        """Batched :meth:`read_modify_write`; returns the old values."""
+        cells = self._cells
+        mask = self._mask
+        check = self._check
+        out: List[int] = []
+        append = out.append
+        for index, new_value, epoch in zip(indices, new_values,
+                                           packet_epochs):
+            check(index, epoch)
+            if new_value & ~mask:
+                raise RegisterAccessError(
+                    f"value {new_value} exceeds register width "
+                    f"{self.width_bits} bits"
+                )
+            append(cells[index])
+            cells[index] = new_value
+        return out
+
+    def read_many(self, indices: Sequence[int],
+                  packet_epochs: Sequence[int]) -> List[int]:
+        """Batched :meth:`read` (each element consumes its packet's
+        single access)."""
+        cells = self._cells
+        check = self._check
+        out: List[int] = []
+        for index, epoch in zip(indices, packet_epochs):
+            check(index, epoch)
+            out.append(cells[index])
+        return out
+
+    def increment_many(self, indices: Sequence[int],
+                       amounts: Sequence[int],
+                       packet_epochs: Sequence[int]) -> List[int]:
+        """Batched :meth:`increment`; returns the new values."""
+        cells = self._cells
+        mask = self._mask
+        check = self._check
+        out: List[int] = []
+        append = out.append
+        for index, amount, epoch in zip(indices, amounts, packet_epochs):
+            check(index, epoch)
+            new = cells[index] + amount
+            if new > mask:
+                new = mask
+            cells[index] = new
+            append(new)
+        return out
 
     def peek(self, index: int) -> int:
         """Control-plane read (no data-plane access constraints)."""

@@ -25,6 +25,9 @@ from typing import Sequence
 
 from repro.switch.tables import TernaryTable, prefix_rules_for_msb
 
+#: Shared numpy copies of the 2^16-entry log tables, keyed by beta_bits.
+_NP_TABLE_CACHE: dict = {}
+
 
 def msb_index(value: int, width_bits: int = 64) -> int:
     """Most-significant set bit index via TCAM-style prefix rules.
@@ -110,6 +113,45 @@ class ApproxLog:
         domination implies a lower-or-equal score.
         """
         return sum(self.approx_log2(max(0, int(x))) for x in point)
+
+    def approx_log2_batch(self, values):
+        """Vectorized :meth:`approx_log2` over a non-negative int64 array.
+
+        Returns an int64 array of identical fixed-point logs, or ``None``
+        when vectorization is unavailable (numpy missing, or values wide
+        enough that the exact-exponent extraction would lose bits).
+        """
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover
+            return None
+        try:
+            values = np.asarray(values, dtype=np.int64)
+        except (OverflowError, ValueError):
+            return None
+        if values.size and int(values.max()) >= 1 << 52:
+            return None  # frexp exponents are only exact below 2^52
+        # The log table only depends on beta_bits; share the numpy copy
+        # across ApproxLog instances so short batches don't pay a fresh
+        # 2^16-entry conversion each.
+        table = _NP_TABLE_CACHE.get(self.beta_bits)
+        if table is None:
+            table = np.asarray(self._table, dtype=np.int64)
+            _NP_TABLE_CACHE[self.beta_bits] = table
+        out = np.zeros(values.shape, dtype=np.int64)
+        small = values < (1 << self.TABLE_BITS)
+        out[small] = table[values[small]]
+        big = ~small
+        if big.any():
+            big_values = values[big]
+            # frexp: v = m * 2^e with m in [0.5, 1) => msb = e - 1,
+            # exactly what the TCAM prefix rules classify.
+            _, exponents = np.frexp(big_values.astype(np.float64))
+            msb = exponents.astype(np.int64) - 1
+            shift = msb - (self.TABLE_BITS - 1)
+            z_prime = big_values >> shift
+            out[big] = table[z_prime] + self.beta * shift
+        return out
 
     def relative_error(self, value: int) -> float:
         """Relative error of the approximation vs. exact log2 (test hook)."""
