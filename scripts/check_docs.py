@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Docs CI checks: run doctests and verify markdown links resolve.
+
+Usage::
+
+    python scripts/check_docs.py
+
+Two checks, both over the repository this script lives in:
+
+1. **Doctests** — every module under ``src/repro`` whose source contains
+   a ``>>>`` example is imported and run through :mod:`doctest`.
+2. **Links** — every relative markdown link in ``README.md``,
+   ``docs/*.md``, and the other top-level ``*.md`` files must point at
+   an existing file (fragments and external ``http(s)``/``mailto``
+   links are skipped).
+
+Exits non-zero on any failure; CI runs this as the ``docs`` job.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+
+#: [text](target) — target captured; images (![...]) match too.
+_LINK = re.compile(r"\]\(([^)\s]+)\)")
+
+
+def doctest_modules() -> list:
+    """Dotted names of repro modules containing ``>>>`` examples."""
+    names = []
+    for path in sorted((SRC_ROOT / "repro").rglob("*.py")):
+        if ">>>" in path.read_text(encoding="utf-8"):
+            relative = path.relative_to(SRC_ROOT).with_suffix("")
+            parts = list(relative.parts)
+            if parts[-1] == "__init__":
+                parts.pop()
+            names.append(".".join(parts))
+    return names
+
+
+def run_doctests() -> int:
+    failures = 0
+    for name in doctest_modules():
+        module = importlib.import_module(name)
+        result = doctest.testmod(module, verbose=False)
+        status = "ok" if result.failed == 0 else "FAIL"
+        print(f"doctest {name}: {result.attempted} examples, "
+              f"{result.failed} failures [{status}]")
+        failures += result.failed
+    return failures
+
+
+def markdown_files() -> list:
+    files = sorted(REPO_ROOT.glob("*.md"))
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return files
+
+
+def check_links() -> int:
+    failures = 0
+    for md in markdown_files():
+        text = md.read_text(encoding="utf-8")
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                print(f"BROKEN LINK in {md.relative_to(REPO_ROOT)}: "
+                      f"{target}")
+                failures += 1
+    print(f"links: checked {len(markdown_files())} markdown files, "
+          f"{failures} broken")
+    return failures
+
+
+def main() -> int:
+    sys.path.insert(0, str(SRC_ROOT))
+    failures = run_doctests() + check_links()
+    if failures:
+        print(f"docs check FAILED ({failures} problems)")
+        return 1
+    print("docs check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

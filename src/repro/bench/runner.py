@@ -9,6 +9,11 @@ trajectory can be tracked across PRs and asserted in CI:
   batched, optionally sharded across K simulated switch pipelines
   (``--shards`` on the CLI), with decision-equivalence verified.
 * :func:`run_fig5_bench` — one timed fig5 completion-time regeneration.
+* :func:`run_e2e_bench` — the end-to-end scenario suite through the
+  full ``ClusterSimulation`` stack (lossy channels + §7.2 protocol +
+  sharded switch), pipelined vs. sequential switch dispatch, plus a
+  loss-rate sweep; every run's result is checked against
+  ``QueryPlan.run``.
 """
 
 from __future__ import annotations
@@ -308,6 +313,89 @@ def run_fig11_scale_bench(rows: int = 60_000, shards: int = 1,
                                for series in algorithms.values()
                                for point in series)
                            if verify else None),
+    }
+
+
+#: Scenarios the e2e bench drives at the configured loss rate.
+E2E_BENCH_SCENARIOS = ("tpch_q3", "distinct", "groupby_sum", "join")
+#: Loss rates swept with the sweep scenario (robustness trend).
+E2E_LOSS_SWEEP = (0.0, 0.05, 0.15)
+
+
+def run_e2e_bench(rows: int = 1200, shards: int = 2,
+                  loss_rate: float = 0.05, reorder_window: int = 2,
+                  seed: int = 0,
+                  scenarios: Sequence[str] = E2E_BENCH_SCENARIOS,
+                  loss_sweep: Sequence[float] = E2E_LOSS_SWEEP,
+                  sweep_scenario: str = "distinct") -> Dict:
+    """End-to-end pipeline benchmark over the full simulated cluster.
+
+    Each scenario runs twice through :class:`ClusterSimulation` — once
+    with the pipelined (batched ``offer_batch``) switch frontend, once
+    with per-packet dispatch — under identical channel seeds, so the
+    delivered streams are bit-identical and the timing delta is pure
+    dispatch cost.  Every run is checked for result equivalence against
+    the functional ``QueryPlan.run`` path.  A loss-rate sweep of
+    ``sweep_scenario`` records how retransmissions and ticks grow with
+    loss.  Returns the payload for ``BENCH_e2e.json``.
+    """
+    from repro.cluster.simulation import (
+        ClusterSimulation,
+        SimulationConfig,
+        build_scenario,
+    )
+
+    def run_case(name: str, loss: float) -> Dict:
+        query, tables = build_scenario(name, rows=rows, seed=seed)
+        row: Dict = {"scenario": name, "loss_rate": loss}
+        results = {}
+        for mode, pipelined in (("pipelined", True), ("sequential", False)):
+            config = SimulationConfig(
+                loss_rate=loss, reorder_window=reorder_window,
+                shards=shards, seed=seed, pipelined=pipelined,
+            )
+            report = ClusterSimulation(config).run(query, tables)
+            results[mode] = report
+            row[f"{mode}_seconds"] = report.wall_seconds
+            row[f"{mode}_equivalent"] = report.equivalent
+            row[f"{mode}_retransmissions"] = report.retransmissions
+            row[f"{mode}_ticks"] = report.ticks
+        row["speedup"] = (
+            row["sequential_seconds"] / row["pipelined_seconds"]
+            if row["pipelined_seconds"] > 0 else None
+        )
+        row["entries"] = results["pipelined"].entries
+        row["delivered"] = results["pipelined"].delivered
+        row["switch_pruned"] = results["pipelined"].switch_pruned
+        row["packets_dropped"] = results["pipelined"].packets_dropped
+        row["modes_match"] = (
+            results["pipelined"].result == results["sequential"].result
+            and results["pipelined"].passes == results["sequential"].passes
+        )
+        return row
+
+    case_rows = [run_case(name, loss_rate) for name in scenarios]
+    sweep_rows = [run_case(sweep_scenario, loss) for loss in loss_sweep]
+    all_rows = case_rows + sweep_rows
+    total_sequential = sum(r["sequential_seconds"] for r in all_rows)
+    total_pipelined = sum(r["pipelined_seconds"] for r in all_rows)
+    return {
+        "benchmark": "e2e_pipeline",
+        "rows": rows,
+        "shards": shards,
+        "loss_rate": loss_rate,
+        "reorder_window": reorder_window,
+        "seed": seed,
+        "scenarios": case_rows,
+        "loss_sweep": sweep_rows,
+        "total_sequential_seconds": total_sequential,
+        "total_pipelined_seconds": total_pipelined,
+        "overall_speedup": (total_sequential / total_pipelined
+                            if total_pipelined > 0 else None),
+        "all_equivalent": all(
+            r["pipelined_equivalent"] and r["sequential_equivalent"]
+            and r["modes_match"] for r in all_rows
+        ),
     }
 
 

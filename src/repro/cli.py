@@ -5,14 +5,22 @@ Usage::
     python -m repro list
     python -m repro run fig10a fig10b
     python -m repro run all --results-dir results
+    python -m repro run tpch_q3 --loss 0.05 --reorder 2 --shards 2
     python -m repro sql "SELECT DISTINCT seller FROM Products" --demo-tables
     python -m repro bench fig11 --rows 60000 --shards 4
     python -m repro bench fig5 --scale 2e-5
+    python -m repro bench e2e --rows 1200 --loss 0.05 --shards 2
 
 ``run`` executes the named experiments and writes their text tables both
-to stdout and under ``--results-dir`` (default ``results/``).  ``bench``
+to stdout and under ``--results-dir`` (default ``results/``).  With
+``--loss``/``--reorder`` (or a scenario name from the end-to-end suite),
+``run`` instead drives the named scenario through the full simulated
+cluster — CWorker wire encoding, lossy channels under the §7.2
+reliability protocol, the (optionally sharded) switch, and master
+completion — and checks the result against ``QueryPlan.run``.  ``bench``
 runs a perf benchmark (per-packet vs batched dataplane, optionally
-sharded across ``--shards`` simulated switch pipelines) and emits a
+sharded across ``--shards`` simulated switch pipelines; ``bench e2e``
+times the pipelined vs sequential cluster drivers) and emits a
 machine-readable ``BENCH_<name>.json`` under the results dir.
 """
 
@@ -48,14 +56,20 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
 }
 
 
-def _run(names: List[str], results_dir: str) -> int:
+def _run(names: List[str], results_dir: str, args=None) -> int:
+    if args is not None and _wants_e2e(names, args):
+        return _run_e2e(names, args)
     if "all" in names:
         names = list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
+        from repro.cluster.simulation import SCENARIOS
+
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(sorted(EXPERIMENTS))}",
               file=sys.stderr)
+        print(f"e2e scenarios (with --loss/--reorder): "
+              f"{', '.join(sorted(SCENARIOS))}", file=sys.stderr)
         return 2
     for name in names:
         outcome = EXPERIMENTS[name]()
@@ -65,12 +79,118 @@ def _run(names: List[str], results_dir: str) -> int:
             print()
             path = save_result(result, results_dir)
             print(f"  -> saved {path}\n")
+    _hint_e2e_overlap(names)
     return 0
+
+
+def _hint_e2e_overlap(names: List[str]) -> None:
+    """Names in both registries (e.g. tpch_q3) default to the legacy
+    experiment; tell the user how to get the cluster scenario."""
+    from repro.cluster.simulation import SCENARIOS
+
+    overlap = [n for n in names if n in SCENARIOS]
+    if overlap:
+        print(f"note: {', '.join(overlap)} ran as paper experiment(s); "
+              "add --loss/--reorder to drive the end-to-end cluster "
+              "scenario of the same name", file=sys.stderr)
+
+
+def _wants_e2e(names: List[str], args) -> bool:
+    """The run subcommand doubles as the end-to-end scenario driver.
+
+    Explicit ``--loss``/``--reorder`` always selects the simulated
+    cluster; otherwise names that are scenarios (and not experiment ids)
+    do, with the default 5% loss.
+    """
+    if args.loss is not None or args.reorder is not None:
+        return True
+    from repro.cluster.simulation import SCENARIOS
+
+    return ("all" not in names
+            and all(n in SCENARIOS and n not in EXPERIMENTS
+                    for n in names))
+
+
+def _run_e2e(names: List[str], args) -> int:
+    """Drive named scenarios end-to-end through ClusterSimulation."""
+    from repro.cluster.simulation import (
+        SCENARIOS,
+        ClusterSimulation,
+        SimulationConfig,
+        SimulationError,
+        build_scenario,
+    )
+
+    import os
+
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"unknown e2e scenarios: {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"available: {', '.join(sorted(SCENARIOS))}",
+              file=sys.stderr)
+        return 2
+    loss = 0.05 if args.loss is None else args.loss
+    reorder = args.reorder or 0
+    modes = (["pipelined", "sequential"] if args.mode == "both"
+             else [args.mode])
+    ok = True
+    for name in names:
+        try:
+            query, tables = build_scenario(name, rows=args.rows,
+                                           seed=args.seed)
+        except SimulationError as error:
+            print(f"repro run: {error}", file=sys.stderr)
+            return 2
+        for mode in modes:
+            try:
+                config = SimulationConfig(
+                    workers=args.workers, loss_rate=loss,
+                    reorder_window=reorder, shards=args.shards,
+                    seed=args.seed, pipelined=(mode == "pipelined"),
+                )
+                report = ClusterSimulation(config).run(query, tables)
+            except ValueError as error:
+                # SimulationConfig bounds, SimulationError (unsupported
+                # wire shapes, livelock): one-line diagnostics, not a
+                # traceback.
+                print(f"repro run: {error}", file=sys.stderr)
+                return 2
+            ok = ok and bool(report.equivalent)
+            verdict = ("IDENTICAL to QueryPlan.run" if report.equivalent
+                       else "MISMATCH vs QueryPlan.run")
+            lines = [
+                f"== e2e {name} [{mode}] ==",
+                f"  loss={loss} reorder={reorder} "
+                f"shards={args.shards} workers={args.workers}",
+                f"  result      : {verdict}",
+                f"  wire        : {report.entries} entries offered, "
+                f"{report.delivered} delivered to master, "
+                f"{report.switch_pruned} packets pruned at the switch",
+                f"  reliability : {report.retransmissions} "
+                f"retransmissions, {report.packets_dropped} channel "
+                f"drops, {report.ticks} ticks",
+                f"  wall        : {report.wall_seconds:.3f}s over "
+                f"{len(report.passes)} pass(es)",
+            ]
+            print("\n".join(lines))
+            print()
+            os.makedirs(args.results_dir, exist_ok=True)
+            path = os.path.join(args.results_dir,
+                                f"E2E_{name}_{mode}.txt")
+            with open(path, "w") as f:
+                f.write("\n".join(lines) + "\n")
+            print(f"  -> saved {path}\n")
+    if not ok:
+        print("e2e: at least one scenario diverged from QueryPlan.run",
+              file=sys.stderr)
+    return 0 if ok else 1
 
 
 def _bench(args) -> int:
     from repro.bench.runner import (
         emit_bench_json,
+        run_e2e_bench,
         run_fig5_bench,
         run_fig11_scale_bench,
     )
@@ -83,11 +203,45 @@ def _bench(args) -> int:
         print(f"repro bench: --batch-size must be >= 1, got "
               f"{args.batch_size}", file=sys.stderr)
         return 2
+    if args.rows is None:
+        args.rows = 1200 if args.name == "e2e" else 60_000
     if args.name == "fig11" and args.rows < 40:
         print(f"repro bench: --rows must be >= 40 for the fig11 streams, "
               f"got {args.rows}", file=sys.stderr)
         return 2
-    if args.name == "fig11":
+    if args.name == "e2e":
+        if args.rows < 20:
+            print(f"repro bench: --rows must be >= 20 for e2e, got "
+                  f"{args.rows}", file=sys.stderr)
+            return 2
+        if not 0.0 <= args.loss < 1.0:
+            print(f"repro bench: --loss must be in [0, 1), got "
+                  f"{args.loss}", file=sys.stderr)
+            return 2
+        if args.reorder < 0:
+            print(f"repro bench: --reorder must be >= 0, got "
+                  f"{args.reorder}", file=sys.stderr)
+            return 2
+        payload = run_e2e_bench(rows=args.rows, shards=args.shards,
+                                loss_rate=args.loss,
+                                reorder_window=args.reorder,
+                                seed=args.seed)
+        path = emit_bench_json("e2e", payload, args.results_dir)
+        print(f"e2e bench: rows={args.rows} shards={args.shards} "
+              f"loss={args.loss} reorder={args.reorder}")
+        for row in payload["scenarios"] + payload["loss_sweep"]:
+            print(f"  {row['scenario']:12s} loss={row['loss_rate']:<5} "
+                  f"seq={row['sequential_seconds']:.3f}s "
+                  f"pipe={row['pipelined_seconds']:.3f}s "
+                  f"speedup={row['speedup']:.2f}x "
+                  f"equivalent={row['pipelined_equivalent']}")
+        print(f"  overall pipelined speedup: "
+              f"{payload['overall_speedup']:.2f}x")
+        if payload["all_equivalent"] is not True:
+            print("  ERROR: an e2e run diverged from QueryPlan.run",
+                  file=sys.stderr)
+            return 1
+    elif args.name == "fig11":
         payload = run_fig11_scale_bench(rows=args.rows, shards=args.shards,
                                         batch_size=args.batch_size,
                                         seed=args.seed)
@@ -159,10 +313,30 @@ def main(argv: List[str] = None) -> int:
 
     sub.add_parser("list", help="list available experiments")
 
-    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser = sub.add_parser(
+        "run", help="run experiments, or drive an end-to-end scenario "
+        "through the simulated cluster (with --loss/--reorder)")
     run_parser.add_argument("names", nargs="+",
-                            help="experiment ids, or 'all'")
+                            help="experiment ids, 'all', or e2e scenario "
+                            "names (e.g. tpch_q3, distinct, join)")
     run_parser.add_argument("--results-dir", default="results")
+    run_parser.add_argument("--loss", type=float, default=None,
+                            help="e2e: per-channel loss probability in "
+                            "[0, 1); selects the ClusterSimulation path")
+    run_parser.add_argument("--reorder", type=int, default=None,
+                            help="e2e: channel reorder window (bounded "
+                            "displacement)")
+    run_parser.add_argument("--shards", type=int, default=1,
+                            help="e2e: simulated switch pipelines")
+    run_parser.add_argument("--workers", type=int, default=4,
+                            help="e2e: CWorker partitions per table")
+    run_parser.add_argument("--rows", type=int, default=1200,
+                            help="e2e: scenario input size")
+    run_parser.add_argument("--mode",
+                            choices=["pipelined", "sequential", "both"],
+                            default="pipelined",
+                            help="e2e: switch dispatch mode")
+    run_parser.add_argument("--seed", type=int, default=0)
 
     sql_parser = sub.add_parser("sql", help="run a demo SQL query "
                                 "through the Cheetah flow")
@@ -172,10 +346,17 @@ def main(argv: List[str] = None) -> int:
 
     bench_parser = sub.add_parser(
         "bench", help="run a perf benchmark (batched vs per-packet "
-        "dataplane) and emit BENCH_<name>.json")
-    bench_parser.add_argument("name", choices=["fig5", "fig11"])
-    bench_parser.add_argument("--rows", type=int, default=60_000,
-                              help="largest stream length (fig11)")
+        "dataplane; 'e2e' times the full simulated cluster) and emit "
+        "BENCH_<name>.json")
+    bench_parser.add_argument("name", choices=["fig5", "fig11", "e2e"])
+    bench_parser.add_argument("--rows", type=int, default=None,
+                              help="largest stream length (fig11: "
+                              "default 60000) or scenario size (e2e: "
+                              "default 1200)")
+    bench_parser.add_argument("--loss", type=float, default=0.05,
+                              help="e2e: channel loss probability")
+    bench_parser.add_argument("--reorder", type=int, default=2,
+                              help="e2e: channel reorder window")
     bench_parser.add_argument("--shards", type=int, default=1,
                               help="simulated switch pipelines to "
                               "hash-partition entries across")
@@ -201,7 +382,7 @@ def main(argv: List[str] = None) -> int:
             print(f"{name:10s} {doc}")
         return 0
     if args.command == "run":
-        return _run(args.names, args.results_dir)
+        return _run(args.names, args.results_dir, args)
     if args.command == "bench":
         return _bench(args)
     if args.command == "sql":

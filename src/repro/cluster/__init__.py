@@ -20,6 +20,14 @@ from repro.cluster.worker import CWorker, encode_value, decode_numeric
 from repro.cluster.master import CMaster
 from repro.cluster.spark import SparkBaseline, SparkReport
 from repro.cluster.runtime import CheetahRuntime, CheetahReport
+from repro.cluster.simulation import (
+    ClusterSimulation,
+    SimulationConfig,
+    SimulationError,
+    SimulationReport,
+    SCENARIOS,
+    build_scenario,
+)
 from repro.cluster.events import (
     QueueReport,
     simulate_master_queue,
@@ -40,6 +48,12 @@ __all__ = [
     "SparkReport",
     "CheetahRuntime",
     "CheetahReport",
+    "ClusterSimulation",
+    "SimulationConfig",
+    "SimulationError",
+    "SimulationReport",
+    "SCENARIOS",
+    "build_scenario",
     "QueueReport",
     "simulate_master_queue",
     "simulate_master_queue_events",

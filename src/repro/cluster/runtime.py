@@ -61,6 +61,16 @@ def shard_key_fn(query_type: str) -> Optional[Callable]:
     return None
 
 
+def shard_of(key, shards: int, seed: int = 0) -> int:
+    """The switch pipeline an entry key hash-routes to.
+
+    This is *the* routing rule — :class:`ShardedPruner` and the cluster
+    simulation's SUM GROUP BY aggregation both use it, so an entry key
+    lands on the same pipe regardless of which frontend drives it.
+    """
+    return row_of(key, shards, seed ^ _SHARD_ROUTE_SALT)
+
+
 class ShardedPruner:
     """K per-shard pruner instances behind one pruner-shaped facade.
 
@@ -102,8 +112,7 @@ class ShardedPruner:
     def _route(self, entry) -> int:
         key = self.key_fn(entry) if self.key_fn is not None else entry
         try:
-            return row_of(key, len(self.pruners),
-                          self.seed ^ _SHARD_ROUTE_SALT)
+            return shard_of(key, len(self.pruners), self.seed)
         except TypeError:
             # Unhashable entry (e.g. a filter row): deterministic
             # arrival-counter spread.

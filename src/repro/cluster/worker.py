@@ -8,7 +8,7 @@ one packet per entry (§7.1).
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence, Tuple
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.db.table import Table
 from repro.net.packet import CheetahPacket, packets_for_entries
@@ -29,6 +29,21 @@ def encode_value(value: Any) -> int:
       rolling-minimum comparisons on the switch are meaningful);
     * strings: a 64-bit fingerprint (equality only — ordering queries on
       strings are not switch-offloadable).
+
+    Booleans are rejected even though ``bool`` is a subclass of ``int``:
+    ``True`` would silently encode as the number ``1`` and round-trip
+    through :func:`decode_numeric` as ``1.0``, masking a schema bug (the
+    paper's wire format has no boolean column type — predicates on flags
+    belong in the worker-side filter, not on the wire).
+
+    >>> encode_value(0)
+    4611686018427387904
+    >>> decode_numeric(encode_value(-2.5))
+    -2.5
+    >>> encode_value(True)
+    Traceback (most recent call last):
+        ...
+    TypeError: boolean columns are not part of the wire format
     """
     if isinstance(value, bool):
         raise TypeError("boolean columns are not part of the wire format")
@@ -61,6 +76,31 @@ class CWorker:
             tuple(encode_value(col[i]) for col in cols)
             for i in range(len(self.partition))
         ]
+
+    def indexed_entries(self, columns: Sequence[str], base: int = 0,
+                        transforms: Optional[Mapping[str, Callable]] = None,
+                        ) -> List[Tuple[int, ...]]:
+        """Wire entries carrying a leading *row identifier* word.
+
+        Late materialization (§2): the metadata stream ships
+        ``(row_id, encoded relevant columns)`` so the master can fetch
+        the full rows of surviving entries after pruning.  ``base`` is
+        this partition's global row offset (partitions are contiguous),
+        making the identifiers cluster-wide.  ``transforms`` optionally
+        maps a column name to a callable applied to the raw value
+        *before* encoding (e.g. negation for ascending TOP-N, so the
+        switch's "keep the largest" registers implement "smallest").
+        """
+        cols = [self.partition.column(c) for c in columns]
+        fns = [transforms.get(c) if transforms else None for c in columns]
+        entries = []
+        for i in range(len(self.partition)):
+            words = tuple(
+                encode_value(fn(col[i]) if fn is not None else col[i])
+                for col, fn in zip(cols, fns)
+            )
+            entries.append((base + i,) + words)
+        return entries
 
     def packets(self, columns: Sequence[str],
                 per_packet: int = 1) -> List[CheetahPacket]:

@@ -72,6 +72,19 @@ class QueryPack:
             raise KeyError(f"no query installed for flow id {fid}") from None
         return pruner.offer(entry)
 
+    def offer_batch(self, fid: int, entries) -> List[bool]:
+        """Batched prune decisions for ``entries`` on flow ``fid``.
+
+        Dispatches the whole batch to the flow's pruner; decisions,
+        state, and stats are bit-identical to per-entry :meth:`offer`
+        calls in order (the batched-dataplane invariant).
+        """
+        try:
+            _, pruner = self._pruners[fid]
+        except KeyError:
+            raise KeyError(f"no query installed for flow id {fid}") from None
+        return pruner.offer_batch(entries)
+
     def packed_resources(self) -> ResourceUsage:
         """Footprint under the §6 stage-sharing model: stages max-combine
         across queries, ALU/SRAM/TCAM/metadata add, plus the select stage."""

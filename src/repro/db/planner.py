@@ -6,7 +6,9 @@ control plane, (2) how worker rows become switch entries, and (3) how the
 master completes the query from the forwarded data.
 
 ``plan.run(tables)`` executes the whole Cheetah flow *functionally* (no
-timing — the cluster layer adds the cost model) and returns the result
+timing — the cluster layer adds the cost model; the driven network
+simulation lives in :class:`repro.cluster.simulation.ClusterSimulation`,
+which asserts its results against this path) and returns the result
 plus traffic accounting:
 
 * JOIN runs its two passes (§4.3), with the asymmetric optimization when
@@ -115,7 +117,15 @@ class QueryPlan:
         return self.runner(tables, control_plane)
 
 
-def _single(tables: TableSet, name: str = None) -> Table:
+def resolve_table(tables: TableSet, name: str = None) -> Table:
+    """Resolve a single-table query's source from a ``TableSet``.
+
+    A bare :class:`Table` is returned as-is; a mapping is indexed by
+    ``name`` when given, and a one-entry mapping resolves to its only
+    table.  Shared by the planner's runners and by
+    :class:`repro.cluster.simulation.ClusterSimulation`, so both paths
+    agree on which table a query reads.
+    """
     if isinstance(tables, Table):
         return tables
     if name is not None:
@@ -123,6 +133,10 @@ def _single(tables: TableSet, name: str = None) -> Table:
     if len(tables) != 1:
         raise ValueError("query needs exactly one table")
     return next(iter(tables.values()))
+
+
+#: Backwards-compatible internal alias.
+_single = resolve_table
 
 
 class QueryPlanner:
@@ -143,9 +157,18 @@ class QueryPlanner:
         #: extrapolation).
         self.structure_scale = structure_scale
 
-    def _scaled(self, size: int, floor: int = 4) -> int:
-        """A structure dimension under the sampling scale."""
+    def scaled(self, size: int, floor: int = 4) -> int:
+        """A structure dimension under the sampling scale.
+
+        Public because the cluster simulation sizes its switch-side
+        structures (e.g. the SUM GROUP BY partial-aggregation matrix)
+        with the same rule, keeping wire runs comparable to
+        ``plan.run``.
+        """
         return max(floor, round(size * self.structure_scale))
+
+    # Backwards-compatible internal alias.
+    _scaled = scaled
 
     def plan(self, query: Query) -> QueryPlan:
         """Build the :class:`QueryPlan` for ``query``."""

@@ -17,6 +17,7 @@ from repro.net.packet import Ack, AckKind, CheetahPacket, FIN_FLAG
 from repro.net.wire import decode_packet, encode_packet, decode_ack, encode_ack
 from repro.net.channel import LossyChannel
 from repro.net.reliability import (
+    BatchedSwitchForwarder,
     MasterEndpoint,
     ReliableWorker,
     SwitchForwarder,
@@ -32,6 +33,7 @@ __all__ = [
     "encode_packet",
     "decode_ack",
     "encode_ack",
+    "BatchedSwitchForwarder",
     "LossyChannel",
     "MasterEndpoint",
     "ReliableWorker",

@@ -14,7 +14,42 @@ from typing import Deque, List, Optional
 
 
 class LossyChannel:
-    """FIFO channel with i.i.d. loss and optional bounded reordering."""
+    """FIFO channel with i.i.d. loss and optional bounded reordering.
+
+    Parameters
+    ----------
+    loss_rate:
+        Per-message drop probability, required to be in ``[0, 1)``.
+        ``1.0`` is rejected *by construction*: a channel that drops
+        everything would livelock the §7.2 retransmission protocol, and
+        :func:`~repro.net.reliability.run_transfer` relies on every
+        message having a nonzero delivery probability to terminate.
+    reorder_window:
+        ``0`` (the default) keeps strict FIFO order.  When positive,
+        each surviving message is, with probability 0.5, inserted up to
+        ``reorder_window`` positions *before* the newest queued message
+        instead of being appended — i.e. bounded displacement, not
+        arbitrary shuffling.
+    seed:
+        Seed for this channel's private :class:`random.Random`; two
+        channels with equal seeds and equal send sequences make
+        identical loss/reorder draws (the driver relies on this to
+        compare pipelined vs. per-packet switches).
+    name:
+        Purely cosmetic label used in ``repr`` and debug output.
+
+    Messages are opaque objects; :meth:`receive` returns ``None`` when
+    nothing is deliverable (there is no blocking and no delay model —
+    whatever survived ``send`` is deliverable on the next
+    :meth:`receive`/:meth:`drain`).
+
+    >>> channel = LossyChannel(loss_rate=0.0, name="demo")
+    >>> channel.send(b"hello")
+    >>> channel.receive()
+    b'hello'
+    >>> channel.receive() is None
+    True
+    """
 
     def __init__(self, loss_rate: float = 0.0, reorder_window: int = 0,
                  seed: int = 0, name: str = "channel"):
@@ -33,7 +68,12 @@ class LossyChannel:
         self.dropped = 0
 
     def send(self, message) -> None:
-        """Offer ``message`` to the channel (may be silently dropped)."""
+        """Offer ``message`` to the channel.
+
+        The message may be silently dropped (with ``loss_rate``
+        probability) or, when ``reorder_window > 0``, enqueued before
+        up to ``reorder_window`` already-queued messages.
+        """
         self.sent += 1
         if self._rng.random() < self.loss_rate:
             self.dropped += 1

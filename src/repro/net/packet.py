@@ -6,7 +6,8 @@ A data packet carries:
 * ``seq`` — the entry identifier, doubling as the sequence number;
 * ``values`` — the relevant column values (or hashes/fingerprints); the
   count is an 8-bit field, so up to 255 values;
-* ``flags`` — FIN marks the end of a worker's stream.
+* ``flags`` — an 8-bit field; bit 0 (FIN) marks the end of a worker's
+  stream, the remaining bits are reserved.
 
 ACKs carry the flow, the acknowledged sequence number, and who produced
 them: the master (packet delivered) or the switch (packet pruned).  Both
@@ -42,6 +43,10 @@ class CheetahPacket:
             raise ValueError(f"fid must fit 16 bits, got {self.fid}")
         if not 0 <= self.seq < 1 << 32:
             raise ValueError(f"seq must fit 32 bits, got {self.seq}")
+        if not 0 <= self.flags < 1 << 8:
+            # The wire header packs flags into one byte; bits other than
+            # FIN are reserved but must still fit the field.
+            raise ValueError(f"flags must fit 8 bits, got {self.flags}")
         if len(self.values) > MAX_VALUES:
             raise ValueError(
                 f"at most {MAX_VALUES} values per packet, got "

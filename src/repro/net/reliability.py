@@ -28,13 +28,36 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.net.channel import LossyChannel
 from repro.net.packet import Ack, AckKind, CheetahPacket, FIN_FLAG
-from repro.net.wire import decode_ack, decode_packet, encode_ack, encode_packet
+from repro.net.wire import (
+    decode_ack,
+    decode_header,
+    decode_packet,
+    decode_values,
+    encode_ack,
+    encode_packet,
+)
 
 PruneFn = Callable[[Tuple[int, ...]], bool]
 
 
 class ReliableWorker:
-    """CWorker side: send entries, retransmit on timeout."""
+    """CWorker side: send entries, retransmit on timeout.
+
+    Parameters
+    ----------
+    fid:
+        Flow id stamped on every packet (16 bits on the wire).
+    entries:
+        The entry stream, one tuple of 64-bit words per entry; a FIN
+        packet is appended automatically.
+    timeout_ticks:
+        Retransmit an unACKed packet after this many event-loop ticks.
+    window:
+        Maximum unACKed packets in flight — this is the bound on the
+        batch the switch can drain per tick in the pipelined driver.
+    per_packet:
+        Entries packed per packet (the §9 multi-entry extension).
+    """
 
     def __init__(self, fid: int, entries: Sequence[Tuple[int, ...]],
                  timeout_ticks: int = 8, window: int = 32,
@@ -58,6 +81,9 @@ class ReliableWorker:
         self._packets.append(
             CheetahPacket(fid=fid, seq=len(self._packets), flags=FIN_FLAG)
         )
+        # Serialize once: retransmissions resend the cached bytes instead
+        # of re-encoding (the CWorker's serialization buffer).
+        self._wire: List[bytes] = [encode_packet(p) for p in self._packets]
         self._next_new = 0
         self._unacked: Dict[int, int] = {}   # seq -> last send tick
         self._acked: set = set()
@@ -76,16 +102,25 @@ class ReliableWorker:
         self._unacked.pop(ack.seq, None)
 
     def tick(self, now: int, channel: LossyChannel) -> None:
-        """Retransmit timed-out packets; send new ones up to the window."""
-        for seq, sent_at in sorted(self._unacked.items()):
-            if now - sent_at >= self.timeout_ticks:
-                channel.send(encode_packet(self._packets[seq]))
+        """Retransmit timed-out packets; send new ones up to the window.
+
+        ``_unacked`` iterates in ascending-seq order by construction:
+        packets enter in send order, timeouts update values in place
+        (which preserves dict position), and ACKs only remove — so no
+        sort is needed, and a timeout round resends the missing head
+        *before* the packets queued behind it (which the switch would
+        gap-drop until the head arrives).
+        """
+        timeout = self.timeout_ticks
+        for seq, sent_at in list(self._unacked.items()):
+            if now - sent_at >= timeout:
+                channel.send(self._wire[seq])
                 self._unacked[seq] = now
                 self.retransmissions += 1
         while (self._next_new < len(self._packets)
                and len(self._unacked) < self.window):
             packet = self._packets[self._next_new]
-            channel.send(encode_packet(packet))
+            channel.send(self._wire[packet.seq])
             self._unacked[packet.seq] = now
             self._next_new += 1
 
@@ -167,6 +202,104 @@ class SwitchForwarder:
         self.dropped_out_of_order += 1
 
 
+# process_batch outcome codes (private to the batched forwarder).
+_PENDING, _FORWARD, _PRUNED, _RETRANSMIT, _GAP = range(5)
+
+
+class BatchedSwitchForwarder(SwitchForwarder):
+    """Batched §7.2 switch frontend: one prune call per arrival batch.
+
+    :meth:`process_batch` consumes one event-loop tick's arrivals in
+    three phases: (1) decode and sequence-classify every packet in
+    arrival order — identical per-flow ``last_seq`` transitions to
+    per-packet :meth:`~SwitchForwarder.process`; (2) make all in-order
+    data packets' prune decisions with a single ``prune_batch_fn`` call
+    (the vectorized dataplane — bit-identical to per-entry ``prune_fn``
+    by the batched-dataplane equivalence property); (3) emit ACKs and
+    forwards in arrival order, so each channel sees exactly the send
+    sequence — and therefore the same loss/reorder RNG draws — as the
+    per-packet switch.  Given identical inputs the two forwarders are
+    observationally indistinguishable; only the Python dispatch cost
+    differs, which is what ``repro bench e2e`` measures.
+
+    Each packet carries one entry of ``values_per_entry`` words; the §9
+    multi-entry popping path is only available on the per-packet base
+    class.
+    """
+
+    def __init__(self, prune_fn: PruneFn,
+                 prune_batch_fn: Optional[Callable] = None,
+                 values_per_entry: int = 1):
+        super().__init__(prune_fn, entries_per_packet=1,
+                         values_per_entry=values_per_entry)
+        if prune_batch_fn is None:
+            def prune_batch_fn(batch):
+                fn = self.prune_fn
+                return [fn(values) for values in batch]
+        self.prune_batch_fn = prune_batch_fn
+        self.batches = 0
+        self.largest_batch = 0
+
+    def process_batch(self, datas: Sequence[bytes], to_master: LossyChannel,
+                      to_worker: LossyChannel) -> None:
+        """Handle one tick's wire packets from the workers.
+
+        Only the headers of the arrival batch are parsed up front (like
+        a PISA parser, the payload stays opaque for forwarding
+        decisions); the values of the in-order *fresh* packets — the
+        only ones that reach the prune logic — are decoded lazily.
+        Under loss, retransmissions dominate arrivals, so this skips
+        the bulk of the payload parsing the per-packet path performs.
+        """
+        if not datas:
+            return
+        headers = [decode_header(data) for data in datas]
+        outcomes: List[int] = []
+        fresh: List[int] = []
+        last_seq = self._last_seq
+        for i, (fid, seq, _, flags) in enumerate(headers):
+            last = last_seq.get(fid, -1)
+            if seq == last + 1:
+                last_seq[fid] = seq
+                if flags & FIN_FLAG:
+                    outcomes.append(_FORWARD)
+                else:
+                    outcomes.append(_PENDING)
+                    fresh.append(i)
+            elif seq <= last:
+                outcomes.append(_RETRANSMIT)
+            else:
+                outcomes.append(_GAP)
+        if fresh:
+            decisions = self.prune_batch_fn([
+                decode_values(datas[i], headers[i][2]) for i in fresh
+            ])
+            if len(decisions) != len(fresh):
+                raise ValueError(
+                    f"prune_batch_fn returned {len(decisions)} decisions "
+                    f"for {len(fresh)} entries"
+                )
+            self.batches += 1
+            self.largest_batch = max(self.largest_batch, len(fresh))
+            for i, pruned in zip(fresh, decisions):
+                outcomes[i] = _PRUNED if pruned else _FORWARD
+        for data, (fid, seq, _, _), outcome in zip(datas, headers,
+                                                   outcomes):
+            if outcome == _FORWARD:
+                self.forwarded += 1
+                to_master.send(data)
+            elif outcome == _PRUNED:
+                self.pruned += 1
+                to_worker.send(encode_ack(
+                    Ack(fid=fid, seq=seq, kind=AckKind.SWITCH)
+                ))
+            elif outcome == _RETRANSMIT:
+                self.forwarded_retransmissions += 1
+                to_master.send(data)
+            else:
+                self.dropped_out_of_order += 1
+
+
 class MasterEndpoint:
     """CMaster side: ACK everything, deduplicate, collect entries."""
 
@@ -191,6 +324,31 @@ class MasterEndpoint:
             self._fins.add(packet.fid)
             return
         self._entries.setdefault(packet.fid, {})[packet.seq] = packet.values
+
+    def process_batch(self, datas: Sequence[bytes],
+                      to_worker: LossyChannel) -> None:
+        """Handle one tick's wire packets from the switch.
+
+        Observationally identical to :meth:`process` per packet in
+        order (same ACK send sequence, same stored entries), but parses
+        only headers for the duplicate majority — a forwarded
+        retransmission's values are only decoded the first time its
+        sequence number is seen.
+        """
+        for data in datas:
+            fid, seq, n, flags = decode_header(data)
+            to_worker.send(encode_ack(
+                Ack(fid=fid, seq=seq, kind=AckKind.MASTER)
+            ))
+            seen = self._seen.setdefault(fid, set())
+            if seq in seen:
+                self.duplicates += 1
+                continue
+            seen.add(seq)
+            if flags & FIN_FLAG:
+                self._fins.add(fid)
+                continue
+            self._entries.setdefault(fid, {})[seq] = decode_values(data, n)
 
     def received(self, fid: int) -> List[Tuple[int, ...]]:
         """Entries received for ``fid``, in sequence order."""

@@ -39,11 +39,18 @@ class WireFormatError(ValueError):
 
 
 def encode_packet(packet: CheetahPacket) -> bytes:
-    """Serialize a data packet."""
-    header = _HEADER.pack(packet.fid, packet.seq, len(packet.values),
+    """Serialize a data packet.
+
+    The values are packed with one ``struct.pack`` call (``>nQ``) — this
+    is the per-packet hot path of the cluster simulation, and one call
+    per packet beats one call per value by a wide margin.
+    """
+    values = packet.values
+    header = _HEADER.pack(packet.fid, packet.seq, len(values),
                           packet.flags)
-    body = b"".join(struct.pack(">Q", v) for v in packet.values)
-    return header + body
+    if not values:
+        return header
+    return header + struct.pack(f">{len(values)}Q", *values)
 
 
 def decode_packet(data: bytes) -> CheetahPacket:
@@ -59,11 +66,39 @@ def decode_packet(data: bytes) -> CheetahPacket:
             f"length mismatch: header says {n} values ({expected} bytes), "
             f"got {len(data)} bytes"
         )
-    values = tuple(
-        struct.unpack_from(">Q", data, _HEADER.size + 8 * i)[0]
-        for i in range(n)
-    )
+    values = (struct.unpack_from(f">{n}Q", data, _HEADER.size)
+              if n else ())
     return CheetahPacket(fid=fid, seq=seq, values=values, flags=flags)
+
+
+def decode_header(data: bytes):
+    """Header-only parse: ``(fid, seq, n_values, flags)``.
+
+    The switch fast path: sequence classification and forwarding need
+    only the header — exactly like a PISA parser, which extracts headers
+    and leaves the payload opaque.  The values of the ~90%-majority
+    retransmitted/forwarded packets are never parsed; callers fetch them
+    lazily with :func:`decode_values` for the packets that actually hit
+    the prune logic.
+    """
+    if len(data) < _HEADER.size:
+        raise WireFormatError(
+            f"packet too short: {len(data)} bytes < header {_HEADER.size}"
+        )
+    fid, seq, n, flags = _HEADER.unpack_from(data)
+    if len(data) != _HEADER.size + 8 * n:
+        raise WireFormatError(
+            f"length mismatch: header says {n} values, got "
+            f"{len(data)} bytes"
+        )
+    return fid, seq, n, flags
+
+
+def decode_values(data: bytes, n: int):
+    """Parse the ``n`` 64-bit values behind a header-checked packet."""
+    if not n:
+        return ()
+    return struct.unpack_from(f">{n}Q", data, _HEADER.size)
 
 
 def encode_ack(ack: Ack) -> bytes:

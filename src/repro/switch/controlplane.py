@@ -78,6 +78,16 @@ class ControlPlane:
         """Data-plane prune decision for ``entry`` on flow ``fid``."""
         return self.pack.offer(fid, entry)
 
+    def offer_batch(self, fid: int, entries) -> List[bool]:
+        """Batched data-plane prune decisions on flow ``fid``.
+
+        Bit-identical to per-entry :meth:`offer` calls in order; this is
+        the hot-path entry the pipelined cluster simulation drives, and
+        it mirrors ``ShardedSwitchFrontend.offer_batch`` so single- and
+        multi-switch frontends are interchangeable.
+        """
+        return self.pack.offer_batch(fid, entries)
+
     def pruner_for(self, fid: int):
         """The live pruner instance behind ``fid`` (test/bench hook)."""
         return self._installed[fid].compiled.pruner

@@ -1,0 +1,32 @@
+"""Docs health: doctests pass and markdown links resolve.
+
+Runs the same checker CI's ``docs`` job uses (``scripts/check_docs.py``)
+so a broken example or link fails tier-1 locally before it fails CI.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_check_docs_script_passes():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_docs.py")],
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "docs check OK" in result.stdout
+
+
+def test_architecture_docs_exist_and_crosslink():
+    docs = REPO_ROOT / "docs"
+    architecture = (docs / "ARCHITECTURE.md").read_text()
+    wire = (docs / "WIRE_FORMAT.md").read_text()
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "ClusterSimulation" in architecture
+    assert "WIRE_FORMAT.md" in architecture
+    assert "7.2" in wire and "Q43.20" in wire
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/WIRE_FORMAT.md" in readme
