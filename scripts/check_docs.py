@@ -5,7 +5,7 @@ Usage::
 
     python scripts/check_docs.py
 
-Two checks, both over the repository this script lives in:
+Three checks, all over the repository this script lives in:
 
 1. **Doctests** — every module under ``src/repro`` whose source contains
    a ``>>>`` example is imported and run through :mod:`doctest`.
@@ -13,6 +13,9 @@ Two checks, both over the repository this script lives in:
    ``docs/*.md``, and the other top-level ``*.md`` files must point at
    an existing file (fragments and external ``http(s)``/``mailto``
    links are skipped).
+3. **Results freshness** — ``docs/RESULTS.md`` must match what
+   ``scripts/render_results.py`` renders from the checked-in
+   ``results/BENCH_*.json`` files.
 
 Exits non-zero on any failure; CI runs this as the ``docs`` job.
 """
@@ -83,9 +86,18 @@ def check_links() -> int:
     return failures
 
 
+def check_results_freshness() -> int:
+    """``docs/RESULTS.md`` must be regenerable byte-for-byte from the
+    checked-in bench JSONs (see ``scripts/render_results.py --check``)."""
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    import render_results
+
+    return render_results.main(["--check"])
+
+
 def main() -> int:
     sys.path.insert(0, str(SRC_ROOT))
-    failures = run_doctests() + check_links()
+    failures = run_doctests() + check_links() + check_results_freshness()
     if failures:
         print(f"docs check FAILED ({failures} problems)")
         return 1

@@ -14,6 +14,10 @@ trajectory can be tracked across PRs and asserted in CI:
   sharded switch), pipelined vs. sequential switch dispatch, plus a
   loss-rate sweep; every run's result is checked against
   ``QueryPlan.run``.
+* :func:`run_concurrency_bench` — multi-tenant serving through the
+  ``QueryScheduler``: aggregate throughput vs. tenant count on shared
+  switches, solo-vs-shared latency, with every tenant's result checked
+  against its solo ``QueryPlan.run``.
 """
 
 from __future__ import annotations
@@ -395,6 +399,132 @@ def run_e2e_bench(rows: int = 1200, shards: int = 2,
         "all_equivalent": all(
             r["pipelined_equivalent"] and r["sequential_equivalent"]
             and r["modes_match"] for r in all_rows
+        ),
+    }
+
+
+def run_concurrency_bench(max_tenants: int = 8, rows: int = 240,
+                          loss_rate: float = 0.05,
+                          reorder_window: int = 1, shards: int = 1,
+                          seed: int = 0,
+                          scenario_mix: Optional[Sequence[str]] = None,
+                          ) -> Dict:
+    """Multi-tenant serving benchmark over shared simulated switches.
+
+    For tenant counts 1, 2, 4, ... up to ``max_tenants`` the same mix
+    of scenarios is served concurrently by the ``QueryScheduler`` (all
+    slots open, so concurrency is bounded only by the fleet size), and
+    the makespan is compared against the *sum of solo latencies* of the
+    same tenants run back-to-back through ``ClusterSimulation`` under
+    identical per-tenant configs.  Every tenant's result, solo and
+    shared, is checked against ``QueryPlan.run``.
+
+    Time is measured in event-loop **ticks**, the simulation's native
+    clock (one tick = one protocol round: windows fill, the switch
+    drains each flow's arrival batch, ACKs return).  N tenants' passes
+    advance in the *same* global ticks, so the shared makespan is about
+    the slowest tenant's solo latency rather than the sum — aggregate
+    throughput (entries per tick) scales with tenant count while each
+    tenant's own latency stays at its solo tick count.  That is the
+    serving claim this benchmark pins down, and because ticks are
+    deterministic (seeded channels), CI can assert it exactly; wall
+    seconds are also recorded, but they only measure this process's
+    Python time, which is serial across tenants.
+
+    Returns the payload for ``BENCH_concurrency.json``; the headline
+    ``throughput_scaling`` is entries-per-tick at ``max_tenants`` over
+    entries-per-tick at one tenant.
+    """
+    from repro.cluster.scheduler import (
+        DEFAULT_TENANT_MIX,
+        QueryScheduler,
+        SchedulerConfig,
+        tenant_specs,
+    )
+    from repro.cluster.simulation import ClusterSimulation, build_scenario
+
+    if max_tenants < 1:
+        raise ValueError(f"max_tenants must be >= 1, got {max_tenants}")
+    mix = tuple(scenario_mix or DEFAULT_TENANT_MIX)
+    counts = [1]
+    while counts[-1] * 2 <= max_tenants:
+        counts.append(counts[-1] * 2)
+    if counts[-1] != max_tenants:
+        counts.append(max_tenants)
+
+    def config_for(n: int) -> SchedulerConfig:
+        return SchedulerConfig(slots=n, loss_rate=loss_rate,
+                               reorder_window=reorder_window,
+                               shards=shards, seed=seed)
+
+    # Solo baselines: each tenant of the largest fleet, run alone under
+    # exactly the config the scheduler would give it.
+    specs = tenant_specs(max_tenants, rows=rows, seed=seed, mix=mix)
+    solo_rows: List[Dict] = []
+    full_config = config_for(max_tenants)
+    for index, spec in enumerate(specs):
+        query, tables = build_scenario(spec.scenario, rows=spec.rows,
+                                       seed=spec.seed)
+        sim = ClusterSimulation(full_config.tenant_simulation_config(index))
+        report = sim.run(query, tables)
+        solo_rows.append({
+            "tenant": spec.tenant,
+            "scenario": spec.scenario,
+            "solo_ticks": report.ticks,
+            "solo_seconds": report.wall_seconds,
+            "entries": report.entries,
+            "equivalent": report.equivalent,
+        })
+
+    runs: List[Dict] = []
+    for n in counts:
+        scheduler = QueryScheduler(config_for(n))
+        report = scheduler.serve(tenant_specs(n, rows=rows, seed=seed,
+                                              mix=mix))
+        sum_solo_ticks = sum(row["solo_ticks"] for row in solo_rows[:n])
+        served = report.served
+        runs.append({
+            "tenants": n,
+            "served": len(served),
+            "makespan_ticks": report.ticks,
+            "makespan_seconds": report.wall_seconds,
+            "entries": report.entries,
+            "delivered": report.delivered,
+            "throughput_entries_per_tick": (report.entries / report.ticks
+                                            if report.ticks else None),
+            "sum_solo_ticks": sum_solo_ticks,
+            "consolidation_speedup": (sum_solo_ticks / report.ticks
+                                      if report.ticks else None),
+            "mean_service_ticks": (sum(t.service_ticks for t in served)
+                                   / len(served) if served else None),
+            "mean_wait_ticks": (sum(t.wait_ticks for t in served)
+                                / len(served) if served else None),
+            "all_equivalent": report.all_equivalent,
+        })
+
+    first, last = runs[0], runs[-1]
+    scaling = None
+    if (first["throughput_entries_per_tick"]
+            and last["throughput_entries_per_tick"]):
+        scaling = (last["throughput_entries_per_tick"]
+                   / first["throughput_entries_per_tick"])
+    return {
+        "benchmark": "concurrency",
+        "max_tenants": max_tenants,
+        "tenant_counts": counts,
+        "rows": rows,
+        "loss_rate": loss_rate,
+        "reorder_window": reorder_window,
+        "shards": shards,
+        "seed": seed,
+        "scenario_mix": list(mix),
+        "solo": solo_rows,
+        "runs": runs,
+        "throughput_scaling": scaling,
+        "consolidation_speedup_at_max": last["consolidation_speedup"],
+        "all_equivalent": (
+            all(row["equivalent"] for row in solo_rows)
+            and all(run["all_equivalent"] for run in runs)
         ),
     }
 

@@ -7,9 +7,11 @@ Usage::
     python -m repro run all --results-dir results
     python -m repro run tpch_q3 --loss 0.05 --reorder 2 --shards 2
     python -m repro sql "SELECT DISTINCT seller FROM Products" --demo-tables
+    python -m repro serve --tenants 8 --loss 0.05 --shards 2
     python -m repro bench fig11 --rows 60000 --shards 4
     python -m repro bench fig5 --scale 2e-5
     python -m repro bench e2e --rows 1200 --loss 0.05 --shards 2
+    python -m repro bench concurrency --tenants 8 --loss 0.05
 
 ``run`` executes the named experiments and writes their text tables both
 to stdout and under ``--results-dir`` (default ``results/``).  With
@@ -20,8 +22,12 @@ reliability protocol, the (optionally sharded) switch, and master
 completion — and checks the result against ``QueryPlan.run``.  ``bench``
 runs a perf benchmark (per-packet vs batched dataplane, optionally
 sharded across ``--shards`` simulated switch pipelines; ``bench e2e``
-times the pipelined vs sequential cluster drivers) and emits a
-machine-readable ``BENCH_<name>.json`` under the results dir.
+times the pipelined vs sequential cluster drivers; ``bench
+concurrency`` measures multi-tenant serving throughput vs tenant
+count) and emits a machine-readable ``BENCH_<name>.json`` under the
+results dir.  ``serve`` runs N concurrent tenants through the
+multi-tenant ``QueryScheduler`` over shared simulated switches and
+verifies every tenant against its solo ``QueryPlan.run``.
 """
 
 from __future__ import annotations
@@ -187,9 +193,75 @@ def _run_e2e(names: List[str], args) -> int:
     return 0 if ok else 1
 
 
+def _serve(args) -> int:
+    """Serve N concurrent tenants over shared simulated switches."""
+    from repro.cluster.scheduler import (
+        DEFAULT_TENANT_MIX,
+        QueryScheduler,
+        SchedulerConfig,
+        tenant_specs,
+    )
+    from repro.cluster.simulation import SCENARIOS, SimulationError
+
+    mix = (tuple(args.mix.split(",")) if args.mix
+           else DEFAULT_TENANT_MIX)
+    unknown = [name for name in mix if name not in SCENARIOS]
+    if unknown:
+        print(f"repro serve: unknown scenarios in --mix: "
+              f"{', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(SCENARIOS))}",
+              file=sys.stderr)
+        return 2
+    try:
+        config = SchedulerConfig(
+            slots=(args.slots if args.slots is not None
+                   else args.tenants),
+            queue_when_full=not args.reject_when_full,
+            workers=args.workers, loss_rate=args.loss,
+            reorder_window=args.reorder, shards=args.shards,
+            seed=args.seed,
+        )
+        specs = tenant_specs(args.tenants, rows=args.rows,
+                             seed=args.seed, mix=mix,
+                             arrival_stride=args.arrival_stride)
+        report = QueryScheduler(config).serve(specs)
+    except (ValueError, SimulationError) as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 2
+    print(f"== serve: {args.tenants} tenants, {config.slots} slots, "
+          f"loss={args.loss} reorder={args.reorder} "
+          f"shards={args.shards} ==")
+    ok = True
+    for tenant in report.tenants:
+        if tenant.status == "served":
+            verdict = ("IDENTICAL to QueryPlan.run" if tenant.equivalent
+                       else "MISMATCH vs QueryPlan.run")
+            ok = ok and bool(tenant.equivalent)
+            print(f"  {tenant.spec.tenant:10s} "
+                  f"{tenant.spec.scenario:12s} served    "
+                  f"wait={tenant.wait_ticks:<5d} "
+                  f"service={tenant.service_ticks:<6d} {verdict}")
+        else:
+            ok = ok and tenant.status == "rejected"
+            print(f"  {tenant.spec.tenant:10s} "
+                  f"{tenant.spec.scenario:12s} {tenant.status}  "
+                  f"({tenant.reason})")
+    throughput = report.throughput_entries_per_second
+    print(f"  makespan    : {report.ticks} ticks, "
+          f"{report.wall_seconds:.3f}s wall")
+    print(f"  aggregate   : {report.entries} entries offered, "
+          f"{report.delivered} delivered"
+          + (f", {throughput:.0f} entries/s" if throughput else ""))
+    if not ok:
+        print("serve: at least one tenant diverged or failed",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _bench(args) -> int:
     from repro.bench.runner import (
         emit_bench_json,
+        run_concurrency_bench,
         run_e2e_bench,
         run_fig5_bench,
         run_fig11_scale_bench,
@@ -204,7 +276,8 @@ def _bench(args) -> int:
               f"{args.batch_size}", file=sys.stderr)
         return 2
     if args.rows is None:
-        args.rows = 1200 if args.name == "e2e" else 60_000
+        args.rows = {"e2e": 1200, "concurrency": 240}.get(args.name,
+                                                          60_000)
     if args.name == "fig11" and args.rows < 40:
         print(f"repro bench: --rows must be >= 40 for the fig11 streams, "
               f"got {args.rows}", file=sys.stderr)
@@ -239,6 +312,41 @@ def _bench(args) -> int:
               f"{payload['overall_speedup']:.2f}x")
         if payload["all_equivalent"] is not True:
             print("  ERROR: an e2e run diverged from QueryPlan.run",
+                  file=sys.stderr)
+            return 1
+    elif args.name == "concurrency":
+        if args.tenants < 1:
+            print(f"repro bench: --tenants must be >= 1, got "
+                  f"{args.tenants}", file=sys.stderr)
+            return 2
+        if args.rows < 20:
+            print(f"repro bench: --rows must be >= 20 for concurrency, "
+                  f"got {args.rows}", file=sys.stderr)
+            return 2
+        if not 0.0 <= args.loss < 1.0:
+            print(f"repro bench: --loss must be in [0, 1), got "
+                  f"{args.loss}", file=sys.stderr)
+            return 2
+        payload = run_concurrency_bench(max_tenants=args.tenants,
+                                        rows=args.rows,
+                                        loss_rate=args.loss,
+                                        reorder_window=args.reorder,
+                                        shards=args.shards,
+                                        seed=args.seed)
+        path = emit_bench_json("concurrency", payload, args.results_dir)
+        print(f"concurrency bench: tenants up to {args.tenants} "
+              f"rows={args.rows} loss={args.loss} shards={args.shards}")
+        for row in payload["runs"]:
+            print(f"  tenants={row['tenants']:<3d} "
+                  f"makespan={row['makespan_ticks']} ticks "
+                  f"throughput={row['throughput_entries_per_tick']:.2f} "
+                  f"entries/tick "
+                  f"consolidation={row['consolidation_speedup']:.2f}x "
+                  f"equivalent={row['all_equivalent']}")
+        print(f"  throughput scaling at {args.tenants} tenants: "
+              f"{payload['throughput_scaling']:.2f}x")
+        if payload["all_equivalent"] is not True:
+            print("  ERROR: a tenant diverged from QueryPlan.run",
                   file=sys.stderr)
             return 1
     elif args.name == "fig11":
@@ -344,15 +452,49 @@ def main(argv: List[str] = None) -> int:
     sql_parser.add_argument("--demo-tables", action="store_true",
                             help="use the paper's Table 1 data")
 
+    serve_parser = sub.add_parser(
+        "serve", help="serve N concurrent tenants through the "
+        "multi-tenant QueryScheduler over shared simulated switches")
+    serve_parser.add_argument("--tenants", type=int, default=4,
+                              help="number of concurrent tenants")
+    serve_parser.add_argument("--slots", type=int, default=None,
+                              help="serving slots / QueryPack budget "
+                              "(default: one per tenant)")
+    serve_parser.add_argument("--loss", type=float, default=0.05,
+                              help="per-channel loss probability in "
+                              "[0, 1)")
+    serve_parser.add_argument("--reorder", type=int, default=0,
+                              help="channel reorder window")
+    serve_parser.add_argument("--shards", type=int, default=1,
+                              help="simulated switch pipelines")
+    serve_parser.add_argument("--workers", type=int, default=4,
+                              help="CWorker partitions per tenant table")
+    serve_parser.add_argument("--rows", type=int, default=240,
+                              help="rows per tenant scenario")
+    serve_parser.add_argument("--mix", default=None,
+                              help="comma-separated scenario names "
+                              "tenants cycle through")
+    serve_parser.add_argument("--arrival-stride", type=int, default=0,
+                              help="ticks between tenant arrivals "
+                              "(0 = all at start)")
+    serve_parser.add_argument("--reject-when-full", action="store_true",
+                              help="reject tenants arriving with no "
+                              "free slot instead of queueing them")
+    serve_parser.add_argument("--seed", type=int, default=0)
+
     bench_parser = sub.add_parser(
         "bench", help="run a perf benchmark (batched vs per-packet "
-        "dataplane; 'e2e' times the full simulated cluster) and emit "
+        "dataplane; 'e2e' times the full simulated cluster; "
+        "'concurrency' measures multi-tenant serving) and emit "
         "BENCH_<name>.json")
-    bench_parser.add_argument("name", choices=["fig5", "fig11", "e2e"])
+    bench_parser.add_argument("name", choices=["fig5", "fig11", "e2e",
+                                               "concurrency"])
     bench_parser.add_argument("--rows", type=int, default=None,
                               help="largest stream length (fig11: "
                               "default 60000) or scenario size (e2e: "
-                              "default 1200)")
+                              "default 1200; concurrency: default 240)")
+    bench_parser.add_argument("--tenants", type=int, default=8,
+                              help="concurrency: largest tenant count")
     bench_parser.add_argument("--loss", type=float, default=0.05,
                               help="e2e: channel loss probability")
     bench_parser.add_argument("--reorder", type=int, default=2,
@@ -383,6 +525,8 @@ def main(argv: List[str] = None) -> int:
         return 0
     if args.command == "run":
         return _run(args.names, args.results_dir, args)
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "bench":
         return _bench(args)
     if args.command == "sql":

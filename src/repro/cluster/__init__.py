@@ -28,6 +28,14 @@ from repro.cluster.simulation import (
     SCENARIOS,
     build_scenario,
 )
+from repro.cluster.scheduler import (
+    QueryScheduler,
+    ScheduleReport,
+    SchedulerConfig,
+    TenantReport,
+    TenantSpec,
+    tenant_specs,
+)
 from repro.cluster.events import (
     QueueReport,
     simulate_master_queue,
@@ -54,6 +62,12 @@ __all__ = [
     "SimulationReport",
     "SCENARIOS",
     "build_scenario",
+    "QueryScheduler",
+    "ScheduleReport",
+    "SchedulerConfig",
+    "TenantReport",
+    "TenantSpec",
+    "tenant_specs",
     "QueueReport",
     "simulate_master_queue",
     "simulate_master_queue_events",

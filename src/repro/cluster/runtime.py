@@ -232,15 +232,20 @@ class ShardedSwitchFrontend:
     exposes the planner-facing surface — ``install_query`` / ``offer`` /
     ``installed_queries`` — so the whole Cheetah flow runs unchanged
     while entries hash-partition across the switches.
+
+    ``max_slots`` is applied to every per-shard control plane: a packed
+    query occupies one slot on *each* pipeline (it must be installed
+    everywhere its entries may hash), so the concurrent-tenant budget of
+    the sharded frontend equals that of a single switch.
     """
 
     def __init__(self, switch: SwitchModel = TOFINO_MODEL, shards: int = 2,
-                 seed: int = 0):
+                 seed: int = 0, max_slots: Optional[int] = None):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.shards = shards
         self.seed = seed
-        self.planes = [ControlPlane(switch, seed=seed)
+        self.planes = [ControlPlane(switch, seed=seed, max_slots=max_slots)
                        for _ in range(shards)]
         self._installed: dict = {}
 

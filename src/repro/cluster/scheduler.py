@@ -1,0 +1,474 @@
+"""Multi-tenant concurrent query serving over shared switches.
+
+The §6 multi-query machinery (the :class:`~repro.core.multiquery.QueryPack`
+slot model) exists because reprogramming a Tofino takes upwards of a
+minute: many queries must share the scarce PISA pipeline concurrently.
+This module drives that machinery at cluster scale.
+:class:`QueryScheduler` admits N simultaneous tenants (each a named
+scenario from the end-to-end suite), packs their compiled queries into
+one *shared* switch frontend, and interleaves their packet streams
+through a single event loop under loss and reordering — with every
+tenant's result still identical to its solo ``QueryPlan.run``.
+
+Scheduling model (specified in ``docs/SCHEDULER.md``):
+
+* **Admission** — a tenant arrives at ``spec.arrival_tick`` and is
+  admitted when a serving slot is free; with ``queue_when_full=False``
+  it is rejected on arrival instead of waiting.  A tenant whose
+  compiled query cannot be packed into the shared switch at all
+  (``ResourceExhausted`` / ``CompilationError`` on its first install)
+  is rejected with the packer's reason.
+* **Resource arbitration** — every admitted tenant installs its query
+  into the shared :class:`~repro.switch.controlplane.ControlPlane` (or
+  :class:`~repro.cluster.runtime.ShardedSwitchFrontend`).  The pack
+  validates the packed §6 footprint (stages max-combine; ALU, SRAM,
+  TCAM, and metadata add) *and* the slot budget (``slots``, forwarded
+  as the frontend's ``max_slots``) on each install; drivers uninstall
+  the moment a pass group completes, releasing the slot to waiting
+  tenants.
+* **Fairness** — each global tick, every active tenant's in-flight wire
+  pass advances exactly one protocol tick, and the service order
+  *rotates* so no tenant systematically reaches the switch's
+  ``offer_batch`` first.
+
+Why interleaving is safe: every tenant's pruner state lives behind its
+own flow id inside the pack (stateful queries never observe other
+flows' packets), so the shared switch makes the same decisions it would
+make solo; superset safety plus the §7.2 reliability protocol then give
+result identity with the functional path regardless of loss, reorder,
+shard count, or how tenants' batches interleave.  This is
+property-tested in ``tests/test_scheduler.py`` and exercised by
+``repro serve`` / ``repro bench concurrency``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.cluster.runtime import ShardedSwitchFrontend
+from repro.cluster.simulation import (
+    ActiveTransfer,
+    ClusterSimulation,
+    PassStats,
+    SimulationConfig,
+    SimulationError,
+    build_scenario,
+)
+from repro.db.executor import ExecutionResult
+from repro.switch.compiler import CompilationError
+from repro.switch.controlplane import ControlPlane
+from repro.switch.resources import (
+    ResourceExhausted,
+    SwitchModel,
+    TOFINO_MODEL,
+)
+
+#: Seed stride between tenants, decorrelating their channel RNG draws.
+_TENANT_SEED_STRIDE = 1009
+
+#: Default scenario mix ``repro serve`` / ``repro bench concurrency``
+#: cycle through when assigning scenarios to tenants.
+DEFAULT_TENANT_MIX = (
+    "distinct", "filter", "topn", "groupby_max",
+    "having_sum", "groupby_sum", "skyline", "join",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's request: a named scenario plus arrival time."""
+
+    tenant: str
+    scenario: str
+    rows: int = 240
+    seed: int = 0
+    #: Global scheduler tick at which the tenant shows up (0 = start).
+    arrival_tick: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival_tick < 0:
+            raise ValueError(
+                f"arrival_tick must be >= 0, got {self.arrival_tick}"
+            )
+
+
+@dataclasses.dataclass
+class SchedulerConfig:
+    """Knobs of one multi-tenant serving run.
+
+    ``slots`` is the concurrent-tenant budget, enforced twice: the
+    scheduler never admits more tenants than slots, and the shared
+    frontend's ``max_slots`` makes the data plane itself reject
+    over-admission.  ``queue_when_full=False`` turns slot contention
+    into admission rejection instead of queueing.  The remaining knobs
+    mirror :class:`~repro.cluster.simulation.SimulationConfig` and are
+    applied to every tenant.
+    """
+
+    slots: int = 4
+    queue_when_full: bool = True
+    workers: int = 4
+    loss_rate: float = 0.0
+    reorder_window: int = 0
+    shards: int = 1
+    seed: int = 0
+    window: int = 32
+    timeout_ticks: int = 8
+    pipelined: bool = True
+    max_ticks: int = 2_000_000
+    switch: SwitchModel = TOFINO_MODEL
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ValueError(f"slots must be >= 1, got {self.slots}")
+        # Delegate range checks of the shared knobs: building a tenant
+        # config validates workers/loss/reorder/shards/window.
+        self.tenant_simulation_config(0)
+
+    def tenant_simulation_config(self, index: int) -> SimulationConfig:
+        """The :class:`SimulationConfig` tenant ``index`` runs under.
+
+        Each tenant gets a decorrelated channel seed and a disjoint
+        flow-id range (``fid_base``), so concurrent flows are globally
+        distinguishable on the wire.  ``repro bench concurrency`` uses
+        the same configs for its solo baselines, making solo-vs-shared
+        latencies directly comparable.
+        """
+        return SimulationConfig(
+            workers=self.workers,
+            loss_rate=self.loss_rate,
+            reorder_window=self.reorder_window,
+            shards=self.shards,
+            seed=self.seed + _TENANT_SEED_STRIDE * index,
+            window=self.window,
+            timeout_ticks=self.timeout_ticks,
+            pipelined=self.pipelined,
+            max_ticks=self.max_ticks,
+            fid_base=index * (self.workers + self.shards),
+        )
+
+
+@dataclasses.dataclass
+class TenantReport:
+    """Outcome of one tenant's stay in the scheduler."""
+
+    spec: TenantSpec
+    #: ``served`` | ``rejected`` | ``failed`` (mid-run install error).
+    status: str
+    reason: str = ""
+    result: Optional[ExecutionResult] = None
+    #: ``result == QueryPlan.run(...)``; None when unchecked/unserved.
+    equivalent: Optional[bool] = None
+    admitted_tick: Optional[int] = None
+    completed_tick: Optional[int] = None
+    passes: List[PassStats] = dataclasses.field(default_factory=list)
+
+    @property
+    def wait_ticks(self) -> Optional[int]:
+        """Ticks spent queued between arrival and admission."""
+        if self.admitted_tick is None:
+            return None
+        return self.admitted_tick - self.spec.arrival_tick
+
+    @property
+    def service_ticks(self) -> Optional[int]:
+        """Ticks between admission and completion."""
+        if self.completed_tick is None or self.admitted_tick is None:
+            return None
+        return self.completed_tick - self.admitted_tick
+
+    @property
+    def entries(self) -> int:
+        """Unique entries this tenant offered to the wire."""
+        return sum(p.entries for p in self.passes)
+
+    @property
+    def delivered(self) -> int:
+        """Entries of this tenant that reached the master."""
+        return sum(p.delivered for p in self.passes)
+
+
+@dataclasses.dataclass
+class ScheduleReport:
+    """Outcome of one :meth:`QueryScheduler.serve` run."""
+
+    tenants: List[TenantReport]
+    ticks: int
+    wall_seconds: float
+    slots: int
+    shards: int
+    loss_rate: float
+    reorder_window: int
+
+    @property
+    def served(self) -> List[TenantReport]:
+        """Tenants that completed service."""
+        return [t for t in self.tenants if t.status == "served"]
+
+    @property
+    def rejected(self) -> List[TenantReport]:
+        """Tenants turned away at admission."""
+        return [t for t in self.tenants if t.status == "rejected"]
+
+    @property
+    def all_equivalent(self) -> Optional[bool]:
+        """Every served tenant matched its solo ``QueryPlan.run``
+        (None when serving ran with ``check=False``)."""
+        verdicts = [t.equivalent for t in self.served]
+        if not verdicts or any(v is None for v in verdicts):
+            return None
+        return all(verdicts)
+
+    @property
+    def entries(self) -> int:
+        """Unique entries offered to the wire across served tenants."""
+        return sum(t.entries for t in self.served)
+
+    @property
+    def delivered(self) -> int:
+        """Entries delivered to masters across served tenants."""
+        return sum(t.delivered for t in self.served)
+
+    @property
+    def throughput_entries_per_second(self) -> Optional[float]:
+        """Aggregate serving throughput: offered entries / makespan."""
+        if self.wall_seconds <= 0:
+            return None
+        return self.entries / self.wall_seconds
+
+
+class _TenantRun:
+    """Internal per-tenant state machine (spec -> driver -> report)."""
+
+    def __init__(self, spec: TenantSpec, index: int,
+                 config: SchedulerConfig, frontend: Any):
+        self.spec = spec
+        self.index = index
+        self.status = "queued"
+        self.reason = ""
+        self.result: Optional[ExecutionResult] = None
+        self.reference: Optional[ExecutionResult] = None
+        self.equivalent: Optional[bool] = None
+        self.admitted_tick: Optional[int] = None
+        self.completed_tick: Optional[int] = None
+        self.passes: List[PassStats] = []
+        self.current: Optional[ActiveTransfer] = None
+        self._delivered = None
+        self.sim = ClusterSimulation(
+            config.tenant_simulation_config(index),
+            frontend_factory=lambda: frontend,
+        )
+        self.gen = None
+        self.query = None
+        self.tables = None
+
+    def prepare(self) -> None:
+        """Materialize the tenant's scenario.  Runs before the serving
+        clock starts, so dataset construction is not billed to the
+        makespan (the solo baselines exclude it the same way)."""
+        self.query, self.tables = build_scenario(self.spec.scenario,
+                                                 rows=self.spec.rows,
+                                                 seed=self.spec.seed)
+
+    def admit(self, tick: int) -> None:
+        """Start the tenant's driver (installing its query — this is
+        where ``ResourceExhausted`` surfaces as admission rejection)."""
+        self.gen = self.sim.query_generator(self.query, self.tables)
+        self._advance(None)
+        self.status = "admitted"
+        self.admitted_tick = tick
+
+    def _advance(self, value) -> bool:
+        """Resume the driver; start its next pass or capture the result."""
+        try:
+            request = self.gen.send(value)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.current = None
+            return False
+        self.current = self.sim.begin_transfer(request)
+        return True
+
+    def finish_pass(self) -> None:
+        """Record the completed pass and stash its delivered entries."""
+        self.passes.append(self.current.stats())
+        self._delivered = self.current.delivered()
+
+    def advance(self) -> bool:
+        """Feed the finished pass back to the driver; True while the
+        tenant still has wire passes to run."""
+        delivered, self._delivered = self._delivered, None
+        return self._advance(delivered)
+
+    def complete(self, tick: int) -> None:
+        self.status = "served"
+        self.completed_tick = tick
+
+    def evaluate(self) -> None:
+        """Compare against the functional ``QueryPlan.run`` reference.
+        Runs after the serving clock stops — verification work must not
+        skew the reported makespan (the solo ``ClusterSimulation.run``
+        likewise keeps its reference outside ``wall_seconds``)."""
+        if self.status != "served":
+            return
+        self.reference = (self.sim.planner.plan(self.query)
+                          .run(self.tables).result)
+        self.equivalent = self.result == self.reference
+
+    def reject(self, reason: str) -> None:
+        self.status = "rejected"
+        self.reason = reason
+
+    def fail(self, reason: str, tick: int) -> None:
+        self.status = "failed"
+        self.reason = reason
+        self.completed_tick = tick
+
+    def report(self) -> TenantReport:
+        return TenantReport(
+            spec=self.spec, status=self.status, reason=self.reason,
+            result=self.result, equivalent=self.equivalent,
+            admitted_tick=self.admitted_tick,
+            completed_tick=self.completed_tick, passes=self.passes,
+        )
+
+
+class QueryScheduler:
+    """Serve many concurrent tenants through one shared switch frontend.
+
+    ``serve(tenants)`` runs the admission + interleaving loop described
+    in the module docstring and returns a :class:`ScheduleReport` whose
+    per-tenant results are (by construction, and checked when
+    ``check=True``) identical to each tenant's solo ``QueryPlan.run``.
+    """
+
+    def __init__(self, config: Optional[SchedulerConfig] = None):
+        self.config = config or SchedulerConfig()
+
+    def _build_frontend(self):
+        """The shared data plane every tenant installs into."""
+        cfg = self.config
+        if cfg.shards > 1:
+            return ShardedSwitchFrontend(cfg.switch, cfg.shards,
+                                         seed=cfg.seed,
+                                         max_slots=cfg.slots)
+        return ControlPlane(cfg.switch, seed=cfg.seed,
+                            max_slots=cfg.slots)
+
+    def serve(self, tenants: Sequence[TenantSpec],
+              check: bool = True) -> ScheduleReport:
+        """Admit, arbitrate, and interleave ``tenants`` to completion.
+
+        With ``check=True`` (default) each tenant's scenario is also
+        executed functionally via ``QueryPlan.run`` and compared;
+        ``TenantReport.equivalent`` records the verdict.
+        """
+        cfg = self.config
+        if not tenants:
+            raise ValueError("serve needs at least one tenant")
+        names = [spec.tenant for spec in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tenant names must be unique, got {names}")
+        frontend = self._build_frontend()
+        runs = [_TenantRun(spec, index, cfg, frontend)
+                for index, spec in enumerate(tenants)]
+        for run in runs:
+            run.prepare()
+        pending = sorted(runs, key=lambda r: (r.spec.arrival_tick, r.index))
+        waiting: List[_TenantRun] = []
+        active: List[_TenantRun] = []
+        finished: List[_TenantRun] = []
+        tick = 0
+        start = time.perf_counter()
+        while pending or waiting or active:
+            while pending and pending[0].spec.arrival_tick <= tick:
+                waiting.append(pending.pop(0))
+            still_waiting: List[_TenantRun] = []
+            for run in waiting:
+                if len(active) >= cfg.slots:
+                    if cfg.queue_when_full:
+                        still_waiting.append(run)
+                    else:
+                        run.reject(f"no free slot: all {cfg.slots} "
+                                   "serving slots busy at arrival")
+                        finished.append(run)
+                    continue
+                try:
+                    run.admit(tick)
+                except (ResourceExhausted, CompilationError) as error:
+                    run.reject(str(error))
+                    finished.append(run)
+                    continue
+                if run.current is None:
+                    run.complete(tick)
+                    finished.append(run)
+                else:
+                    active.append(run)
+            waiting = still_waiting
+            if not active:
+                if pending:
+                    # Idle until the next arrival.
+                    tick = max(tick + 1, pending[0].spec.arrival_tick)
+                    continue
+                break
+            tick += 1
+            if tick > cfg.max_ticks:
+                raise SimulationError(
+                    f"serving did not complete within {cfg.max_ticks} "
+                    "global ticks (protocol livelock?)"
+                )
+            # Fairness: rotate which tenant's pass is serviced (and
+            # therefore whose offer_batch the switch sees) first.
+            offset = tick % len(active)
+            done_runs: List[_TenantRun] = []
+            for run in active[offset:] + active[:offset]:
+                run.current.step()
+                if not run.current.done:
+                    continue
+                run.finish_pass()
+                try:
+                    more = run.advance()
+                except (ResourceExhausted, CompilationError) as error:
+                    run.fail(f"mid-run install failed: {error}", tick)
+                    done_runs.append(run)
+                    continue
+                if not more:
+                    run.complete(tick)
+                    done_runs.append(run)
+            for run in done_runs:
+                active.remove(run)
+                finished.append(run)
+        wall = time.perf_counter() - start
+        if check:
+            for run in finished:
+                run.evaluate()
+        finished.sort(key=lambda r: r.index)
+        return ScheduleReport(
+            tenants=[run.report() for run in finished],
+            ticks=tick,
+            wall_seconds=wall,
+            slots=cfg.slots,
+            shards=cfg.shards,
+            loss_rate=cfg.loss_rate,
+            reorder_window=cfg.reorder_window,
+        )
+
+
+def tenant_specs(count: int, rows: int = 240, seed: int = 0,
+                 mix: Sequence[str] = DEFAULT_TENANT_MIX,
+                 arrival_stride: int = 0) -> List[TenantSpec]:
+    """``count`` tenant specs cycling through ``mix``; tenant ``i``
+    arrives at ``i * arrival_stride`` (0 = everyone at start).  Shared
+    by ``repro serve`` and the concurrency benchmark."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if not mix:
+        raise ValueError("scenario mix must not be empty")
+    return [
+        TenantSpec(tenant=f"tenant-{i}", scenario=mix[i % len(mix)],
+                   rows=rows, seed=seed + i,
+                   arrival_tick=i * arrival_stride)
+        for i in range(count)
+    ]

@@ -36,6 +36,15 @@ bit-identical prune decisions and identical channel RNG draws, so their
 delivered streams match exactly; the wall-clock difference (recorded by
 ``repro bench e2e``) is pure dispatch overhead.
 
+**Driver structure.**  Every per-query driver is a *generator*: it
+yields :class:`TransferRequest` objects describing one reliable wire
+pass and is resumed with the delivered entries.  ``ClusterSimulation``
+satisfies each request synchronously (one pass at a time);
+:class:`~repro.cluster.scheduler.QueryScheduler` steps many tenants'
+drivers concurrently, interleaving their active passes through one
+shared event loop and one shared switch frontend — see
+``docs/SCHEDULER.md``.
+
 **Quantization caveat** (documented in ``docs/WIRE_FORMAT.md``): numeric
 columns ride the wire as Q43.20 biased fixed point.  Values that are
 exact in 20 fractional bits (all integers, and e.g. ``2.5``) round-trip
@@ -108,7 +117,10 @@ class SimulationConfig:
     ``window`` bounds each worker's unACKed packets in flight, which is
     also the per-flow bound on the batch the pipelined switch drains per
     tick.  ``pipelined`` selects the batched switch frontend; the
-    per-packet path is the reference.
+    per-packet path is the reference.  ``fid_base`` offsets every flow
+    id this simulation stamps on the wire — the multi-tenant scheduler
+    gives each tenant a disjoint fid range so concurrent tenants' flows
+    are globally distinguishable.
     """
 
     workers: int = 4
@@ -120,10 +132,15 @@ class SimulationConfig:
     timeout_ticks: int = 8
     pipelined: bool = True
     max_ticks: int = 2_000_000
+    fid_base: int = 0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if not 0 <= self.fid_base < (1 << 16):
+            raise ValueError(
+                f"fid_base must fit the 16-bit wire fid, got {self.fid_base}"
+            )
         if not 0.0 <= self.loss_rate < 1.0:
             raise ValueError(
                 f"loss_rate must be in [0, 1), got {self.loss_rate}"
@@ -200,6 +217,122 @@ class SimulationReport:
         return sum(p.packets_dropped for p in self.passes)
 
 
+@dataclasses.dataclass
+class TransferRequest:
+    """Declarative description of one reliable wire pass.
+
+    The per-query drivers are generators: instead of running a pass
+    themselves they ``yield`` one of these and are resumed with the
+    delivered entries per flow.  The solo :class:`ClusterSimulation`
+    satisfies a request by stepping it to completion immediately; the
+    multi-tenant :class:`~repro.cluster.scheduler.QueryScheduler`
+    interleaves many tenants' active requests through one shared event
+    loop, one tick per tenant per global tick.
+    """
+
+    name: str
+    streams: Dict[int, List[Tuple[int, ...]]]
+    entry_width: int
+    scalar_fn: Callable
+    batch_fn: Callable
+
+
+class ActiveTransfer:
+    """One in-flight wire pass, advanced one event-loop tick at a time.
+
+    Bundles the per-pass protocol state — the three lossy channels, the
+    reliable workers, the (batched) switch forwarder, and the master
+    endpoint — behind a ``step()``/``done`` surface so the same
+    machinery serves both drive styles: ``ClusterSimulation`` steps a
+    single transfer until it completes, while the scheduler steps many
+    concurrently, rotating the service order across tenants for
+    fairness.
+    """
+
+    def __init__(self, request: TransferRequest, config: SimulationConfig,
+                 salt: int):
+        self.request = request
+        self.config = config
+        cfg = config
+        self.up = LossyChannel(cfg.loss_rate, cfg.reorder_window,
+                               seed=salt + 1,
+                               name=f"{request.name}:worker->switch")
+        self.down = LossyChannel(cfg.loss_rate, cfg.reorder_window,
+                                 seed=salt + 2,
+                                 name=f"{request.name}:switch->master")
+        self.acks = LossyChannel(cfg.loss_rate, cfg.reorder_window,
+                                 seed=salt + 3, name=f"{request.name}:acks")
+        self.workers = {
+            fid: ReliableWorker(fid, entries,
+                                timeout_ticks=cfg.timeout_ticks,
+                                window=cfg.window)
+            for fid, entries in request.streams.items()
+        }
+        if cfg.pipelined:
+            self.switch = BatchedSwitchForwarder(
+                request.scalar_fn, request.batch_fn,
+                values_per_entry=request.entry_width)
+        else:
+            self.switch = SwitchForwarder(
+                request.scalar_fn, values_per_entry=request.entry_width)
+        self.master = MasterEndpoint()
+        self.ticks = 0
+
+    @property
+    def done(self) -> bool:
+        """All flows (including their FINs) are fully acknowledged."""
+        return all(worker.done for worker in self.workers.values())
+
+    def step(self) -> None:
+        """Advance one tick: every worker retransmits timed-out packets
+        and fills its window, the switch consumes the tick's arrivals
+        (one ``offer_batch`` in pipelined mode, per-packet otherwise),
+        the master ACKs, and ACKs drain back.  Loss and reordering apply
+        independently on the worker->switch, switch->master, and ACK
+        channels."""
+        self.ticks += 1
+        tick = self.ticks
+        for worker in self.workers.values():
+            worker.tick(tick, self.up)
+        arrivals = self.up.drain()
+        if self.config.pipelined:
+            self.switch.process_batch(arrivals, self.down, self.acks)
+            self.master.process_batch(self.down.drain(), self.acks)
+        else:
+            for data in arrivals:
+                self.switch.process(data, self.down, self.acks)
+            for data in self.down.drain():
+                self.master.process(data, self.acks)
+        for data in self.acks.drain():
+            ack = decode_ack(data)
+            worker = self.workers.get(ack.fid)
+            if worker is not None:
+                worker.on_ack(ack)
+
+    def delivered(self) -> Dict[int, List[Tuple[int, ...]]]:
+        """Entries that reached the master, per flow, in sequence order."""
+        return {fid: self.master.received(fid)
+                for fid in self.request.streams}
+
+    def stats(self) -> PassStats:
+        """Protocol accounting for the (completed) pass."""
+        return PassStats(
+            name=self.request.name,
+            entries=sum(len(s) for s in self.request.streams.values()),
+            delivered=sum(len(self.master.received(fid))
+                          for fid in self.request.streams),
+            ticks=self.ticks,
+            retransmissions=sum(w.retransmissions
+                                for w in self.workers.values()),
+            switch_pruned=self.switch.pruned,
+            switch_forwarded=self.switch.forwarded,
+            master_duplicates=self.master.duplicates,
+            packets_sent=self.up.sent + self.down.sent + self.acks.sent,
+            packets_dropped=(self.up.dropped + self.down.dropped
+                             + self.acks.dropped),
+        )
+
+
 def _surviving_ids(delivered: Dict[int, List[Tuple[int, ...]]],
                    index: int = 0) -> List[int]:
     """Sorted global row ids extracted from delivered entries."""
@@ -230,9 +363,15 @@ class ClusterSimulation:
     """
 
     def __init__(self, config: Optional[SimulationConfig] = None,
-                 planner: Optional[QueryPlanner] = None):
+                 planner: Optional[QueryPlanner] = None,
+                 frontend_factory: Optional[Callable[[], Any]] = None):
         self.config = config or SimulationConfig()
         self.planner = planner or QueryPlanner(seed=self.config.seed)
+        #: When set, every driver uses this instead of building a fresh
+        #: frontend — the multi-tenant scheduler injects a factory that
+        #: returns the *shared* switch frontend, so concurrent tenants'
+        #: queries pack into one data plane (§6).
+        self.frontend_factory = frontend_factory
         self._pass_salt = 0
 
     # -- public entry ---------------------------------------------------------
@@ -269,24 +408,78 @@ class ClusterSimulation:
     # -- dispatch -------------------------------------------------------------
     def _execute(self, plan: QueryPlan, query: Query, tables: TableSet,
                  passes: List[PassStats]) -> ExecutionResult:
+        return self._drive(self._query_generator(plan, query, tables),
+                           passes)
+
+    def query_generator(self, query: Query, tables: TableSet):
+        """Plan ``query`` and return its driver generator.
+
+        The generator yields :class:`TransferRequest` objects and
+        expects each pass's delivered entries sent back in; its return
+        value (``StopIteration.value``) is the final
+        :class:`~repro.db.executor.ExecutionResult`.  This is the
+        scheduler-facing surface: ``QueryScheduler`` steps many of
+        these concurrently over one shared switch frontend.
+        """
+        plan = self.planner.plan(query)
+        return self._query_generator(plan, query, tables)
+
+    def _query_generator(self, plan: QueryPlan, query: Query,
+                         tables: TableSet):
         if isinstance(query, CompoundQuery):
             outputs = []
             for part in query.parts:
                 part_plan = self.planner.plan(part)
-                outputs.append(
-                    self._execute(part_plan, part, tables, passes).output
-                )
+                result = yield from self._query_generator(part_plan, part,
+                                                          tables)
+                outputs.append(result.output)
             return ExecutionResult(query=query, output=tuple(outputs))
         handler = _SIM_HANDLERS.get(type(query))
         if handler is None:
             raise SimulationError(
                 f"no end-to-end driver for {type(query).__name__}"
             )
-        return handler(self, plan, query, tables, passes)
+        return (yield from handler(self, plan, query, tables))
+
+    def begin_transfer(self, request: TransferRequest) -> ActiveTransfer:
+        """Fresh channels (deterministically re-salted per pass) and
+        protocol state for ``request``; the caller steps it."""
+        self._pass_salt += 1
+        salt = self.config.seed * 7919 + self._pass_salt * 104729
+        return ActiveTransfer(request, self.config, salt)
+
+    def _drive(self, gen, passes: List[PassStats]) -> ExecutionResult:
+        """Satisfy a driver generator's transfer requests synchronously."""
+        value = None
+        while True:
+            try:
+                request = gen.send(value)
+            except StopIteration as stop:
+                return stop.value
+            value = self._run_transfer(request, passes)
+
+    def _run_transfer(self, request: TransferRequest,
+                      passes: List[PassStats],
+                      ) -> Dict[int, List[Tuple[int, ...]]]:
+        """Run one requested pass to completion (the solo drive mode)."""
+        active = self.begin_transfer(request)
+        while not active.done:
+            if active.ticks >= self.config.max_ticks:
+                raise SimulationError(
+                    f"pass {request.name!r} did not complete within "
+                    f"{self.config.max_ticks} ticks (protocol livelock?)"
+                )
+            active.step()
+        passes.append(active.stats())
+        return active.delivered()
 
     # -- shared plumbing ------------------------------------------------------
     def _frontend(self):
-        """A fresh switch frontend: one control plane, or K sharded."""
+        """The switch frontend for one query driver: the shared one when
+        a scheduler injected a factory, else a fresh control plane (or K
+        sharded planes)."""
+        if self.frontend_factory is not None:
+            return self.frontend_factory()
         if self.config.shards > 1:
             return ShardedSwitchFrontend(self.planner.switch,
                                          self.config.shards,
@@ -294,11 +487,16 @@ class ClusterSimulation:
         return ControlPlane(self.planner.switch, seed=self.planner.seed)
 
     def _cworkers(self, table: Table) -> List[Tuple[CWorker, int]]:
-        """CWorkers over contiguous partitions, with global row offsets."""
+        """CWorkers over contiguous partitions, with global row offsets.
+
+        Flow ids start at ``config.fid_base`` so concurrent tenants
+        (which get disjoint bases from the scheduler) never collide on
+        the wire."""
         out = []
         base = 0
+        fid_base = self.config.fid_base
         for i, part in enumerate(table.partition(self.config.workers)):
-            out.append((CWorker(i, part, fid=i), base))
+            out.append((CWorker(i, part, fid=fid_base + i), base))
             base += len(part)
         return out
 
@@ -349,86 +547,22 @@ class ClusterSimulation:
     def _transfer(self, name: str,
                   streams: Dict[int, List[Tuple[int, ...]]],
                   entry_width: int,
-                  scalar_fn, batch_fn,
-                  passes: List[PassStats]) -> Dict[int, List[Tuple[int, ...]]]:
-        """Run one reliable wire pass; returns delivered entries per flow.
-
-        The event loop advances in ticks: every worker retransmits timed
-        out packets and fills its window, the switch consumes the tick's
-        arrivals (one ``offer_batch`` in pipelined mode, per-packet
-        otherwise), the master ACKs, and ACKs drain back.  Loss and
-        reordering apply independently on the worker->switch,
-        switch->master, and ACK channels.
-        """
-        cfg = self.config
-        self._pass_salt += 1
-        salt = cfg.seed * 7919 + self._pass_salt * 104729
-        up = LossyChannel(cfg.loss_rate, cfg.reorder_window,
-                          seed=salt + 1, name=f"{name}:worker->switch")
-        down = LossyChannel(cfg.loss_rate, cfg.reorder_window,
-                            seed=salt + 2, name=f"{name}:switch->master")
-        acks = LossyChannel(cfg.loss_rate, cfg.reorder_window,
-                            seed=salt + 3, name=f"{name}:acks")
-        workers = {
-            fid: ReliableWorker(fid, entries,
-                                timeout_ticks=cfg.timeout_ticks,
-                                window=cfg.window)
-            for fid, entries in streams.items()
-        }
-        if cfg.pipelined:
-            switch = BatchedSwitchForwarder(scalar_fn, batch_fn,
-                                            values_per_entry=entry_width)
-        else:
-            switch = SwitchForwarder(scalar_fn,
-                                     values_per_entry=entry_width)
-        master = MasterEndpoint()
-        tick = 0
-        while not all(worker.done for worker in workers.values()):
-            tick += 1
-            if tick > cfg.max_ticks:
-                raise SimulationError(
-                    f"pass {name!r} did not complete within "
-                    f"{cfg.max_ticks} ticks (protocol livelock?)"
-                )
-            for worker in workers.values():
-                worker.tick(tick, up)
-            arrivals = up.drain()
-            if cfg.pipelined:
-                switch.process_batch(arrivals, down, acks)
-                master.process_batch(down.drain(), acks)
-            else:
-                for data in arrivals:
-                    switch.process(data, down, acks)
-                for data in down.drain():
-                    master.process(data, acks)
-            for data in acks.drain():
-                ack = decode_ack(data)
-                worker = workers.get(ack.fid)
-                if worker is not None:
-                    worker.on_ack(ack)
-        delivered = {fid: master.received(fid) for fid in streams}
-        passes.append(PassStats(
-            name=name,
-            entries=sum(len(s) for s in streams.values()),
-            delivered=sum(len(d) for d in delivered.values()),
-            ticks=tick,
-            retransmissions=sum(w.retransmissions
-                                for w in workers.values()),
-            switch_pruned=switch.pruned,
-            switch_forwarded=switch.forwarded,
-            master_duplicates=master.duplicates,
-            packets_sent=up.sent + down.sent + acks.sent,
-            packets_dropped=up.dropped + down.dropped + acks.dropped,
-        ))
+                  scalar_fn, batch_fn):
+        """Yield one wire pass; the generator is resumed with the
+        delivered entries per flow (see :class:`TransferRequest`)."""
+        delivered = yield TransferRequest(
+            name=name, streams=streams, entry_width=entry_width,
+            scalar_fn=scalar_fn, batch_fn=batch_fn)
         return delivered
 
     def _single_pass(self, name: str, plan: QueryPlan,
                      table: Table, columns: Sequence[str],
                      to_entry: Callable[[Tuple[int, ...]], Any],
-                     passes: List[PassStats],
-                     transforms: Optional[Mapping] = None) -> List[int]:
+                     transforms: Optional[Mapping] = None):
         """The common single-pass flow: stream ``(row_id, columns...)``
-        entries through the switch, return the surviving row ids."""
+        entries through the switch, return the surviving row ids.  The
+        query's rules are uninstalled as soon as the pass completes,
+        releasing its pack slot to concurrently served tenants."""
         frontend = self._frontend()
         installation = frontend.install_query(plan.spec)
         streams = {
@@ -438,12 +572,14 @@ class ClusterSimulation:
         }
         scalar, batch = self._prune_adapters(frontend, installation.fid,
                                              to_entry)
-        delivered = self._transfer(name, streams, 1 + len(columns),
-                                   scalar, batch, passes)
+        delivered = yield from self._transfer(name, streams,
+                                              1 + len(columns),
+                                              scalar, batch)
+        frontend.uninstall_query(installation.fid)
         return _surviving_ids(delivered)
 
-    # -- per-query drivers ----------------------------------------------------
-    def _sim_filter(self, plan, query: FilterQuery, tables, passes):
+    # -- per-query drivers (generators; see TransferRequest) ------------------
+    def _sim_filter(self, plan, query: FilterQuery, tables):
         table = resolve_table(tables, query.table)
         columns = list(query.relevant_columns())
         self._require_numeric(table, columns, "FILTER predicate")
@@ -452,11 +588,11 @@ class ClusterSimulation:
             return {column: decode_numeric(word)
                     for column, word in zip(columns, values[1:])}
 
-        ids = self._single_pass("filter", plan, table, columns,
-                                to_row, passes)
+        ids = yield from self._single_pass("filter", plan, table, columns,
+                                           to_row)
         return execute(query, table.take(ids))
 
-    def _sim_distinct(self, plan, query: DistinctQuery, tables, passes):
+    def _sim_distinct(self, plan, query: DistinctQuery, tables):
         table = resolve_table(tables, query.table)
         columns = list(query.key_columns)
         if len(columns) == 1:
@@ -465,11 +601,11 @@ class ClusterSimulation:
         else:
             def to_key(values):
                 return tuple(values[1:])
-        ids = self._single_pass("distinct", plan, table, columns,
-                                to_key, passes)
+        ids = yield from self._single_pass("distinct", plan, table,
+                                           columns, to_key)
         return execute(query, table.take(ids))
 
-    def _sim_topn(self, plan, query: TopNQuery, tables, passes):
+    def _sim_topn(self, plan, query: TopNQuery, tables):
         table = resolve_table(tables, query.table)
         column = query.order_column
         self._require_numeric(table, [column], "TOP-N ordering")
@@ -482,11 +618,12 @@ class ClusterSimulation:
         def to_value(values):
             return decode_numeric(values[1])
 
-        ids = self._single_pass("topn", plan, table, [column],
-                                to_value, passes, transforms=transforms)
+        ids = yield from self._single_pass("topn", plan, table, [column],
+                                           to_value,
+                                           transforms=transforms)
         return execute(query, table.take(ids))
 
-    def _sim_skyline(self, plan, query: SkylineQuery, tables, passes):
+    def _sim_skyline(self, plan, query: SkylineQuery, tables):
         table = resolve_table(tables, query.table)
         dimensions = list(query.dimensions)
         self._require_numeric(table, dimensions, "SKYLINE dimensions")
@@ -494,13 +631,13 @@ class ClusterSimulation:
         def to_point(values):
             return tuple(decode_numeric(word) for word in values[1:])
 
-        ids = self._single_pass("skyline", plan, table, dimensions,
-                                to_point, passes)
+        ids = yield from self._single_pass("skyline", plan, table,
+                                           dimensions, to_point)
         return execute(query, table.take(ids))
 
-    def _sim_groupby(self, plan, query: GroupByQuery, tables, passes):
+    def _sim_groupby(self, plan, query: GroupByQuery, tables):
         if not query.switch_offloadable:
-            return self._sim_groupby_sum(plan, query, tables, passes)
+            return (yield from self._sim_groupby_sum(plan, query, tables))
         table = resolve_table(tables, query.table)
         self._require_numeric(table, [query.value_column],
                               "GROUP BY value")
@@ -508,12 +645,12 @@ class ClusterSimulation:
         def to_entry(values):
             return (values[1], decode_numeric(values[2]))
 
-        ids = self._single_pass(
+        ids = yield from self._single_pass(
             "groupby", plan, table,
-            [query.key_column, query.value_column], to_entry, passes)
+            [query.key_column, query.value_column], to_entry)
         return execute(query, table.take(ids))
 
-    def _sim_groupby_sum(self, plan, query: GroupByQuery, tables, passes):
+    def _sim_groupby_sum(self, plan, query: GroupByQuery, tables):
         """SUM/COUNT GROUP BY: in-switch partial aggregation (§6).
 
         Every data packet is absorbed at the switch (and switch-ACKed,
@@ -560,8 +697,8 @@ class ClusterSimulation:
             worker.fid: worker.indexed_entries(columns, base=base)
             for worker, base in self._cworkers(table)
         }
-        self._transfer("groupby_sum", streams, 1 + len(columns),
-                       absorb, lambda vs: [absorb(v) for v in vs], passes)
+        yield from self._transfer("groupby_sum", streams, 1 + len(columns),
+                                  absorb, lambda vs: [absorb(v) for v in vs])
         # FIN-time drain: one reliable flow per shard streams the merged
         # partials (outbox + live matrix) to the master.
         drain_streams: Dict[int, List[Tuple[int, ...]]] = {}
@@ -569,13 +706,14 @@ class ClusterSimulation:
             merged = dict(outbox[shard])
             for key, partial in aggregators[shard].drain():
                 merged[key] = merged.get(key, 0) + partial
-            drain_streams[shard] = [
+            drain_streams[self.config.fid_base + shard] = [
                 (key, encode_value(partial))
                 for key, partial in merged.items()
             ]
         scalar, batch = self._never_prune_adapters()
-        delivered = self._transfer("groupby_sum:drain", drain_streams, 2,
-                                   scalar, batch, passes)
+        delivered = yield from self._transfer("groupby_sum:drain",
+                                              drain_streams, 2,
+                                              scalar, batch)
         totals: Dict[int, float] = {}
         for flow in delivered.values():
             for key_word, partial_word in flow:
@@ -587,7 +725,7 @@ class ClusterSimulation:
         }
         return ExecutionResult(query=query, output=output)
 
-    def _sim_join(self, plan, query: JoinQuery, tables, passes):
+    def _sim_join(self, plan, query: JoinQuery, tables):
         if isinstance(tables, Table):
             raise SimulationError(
                 "JOIN needs a mapping of table name -> Table")
@@ -606,8 +744,8 @@ class ClusterSimulation:
         for tag, table_name, table, key_column in sides:
             streams = self._join_streams(table, key_column, tag,
                                          with_ids=False)
-            self._transfer(f"join:pass1:{table_name}", streams, 2,
-                           scalar, batch, passes)
+            yield from self._transfer(f"join:pass1:{table_name}", streams,
+                                      2, scalar, batch)
         frontend.pruner_for(fid).start_second_pass()
         # Pass 2: re-stream the prunable sides with row ids; survivors'
         # ids select the pruned tables (an OUTER side ships whole).
@@ -622,9 +760,10 @@ class ClusterSimulation:
                 continue
             streams = self._join_streams(table, key_column, tag,
                                          with_ids=True)
-            delivered = self._transfer(f"join:pass2:{table_name}", streams,
-                                       3, scalar, batch, passes)
+            delivered = yield from self._transfer(
+                f"join:pass2:{table_name}", streams, 3, scalar, batch)
             kept[table_name] = _surviving_ids(delivered, index=1)
+        frontend.uninstall_query(fid)
         pruned = {
             query.left_table: left.take(kept[query.left_table]),
             query.right_table: right.take(kept[query.right_table]),
@@ -648,7 +787,7 @@ class ClusterSimulation:
                 ]
         return streams
 
-    def _sim_having(self, plan, query: HavingQuery, tables, passes):
+    def _sim_having(self, plan, query: HavingQuery, tables):
         table = resolve_table(tables, query.table)
         frontend = self._frontend()
         installation = frontend.install_query(plan.spec)
@@ -675,16 +814,19 @@ class ClusterSimulation:
         }
         scalar, batch = self._prune_adapters(frontend, installation.fid,
                                              to_entry)
-        delivered = self._transfer("having:pass1", streams,
-                                   1 + len(columns), scalar, batch, passes)
+        delivered = yield from self._transfer("having:pass1", streams,
+                                              1 + len(columns), scalar,
+                                              batch)
         if query.aggregate in ("max", "min"):
             # Witness forwarding is exact: complete on the survivors.
+            frontend.uninstall_query(installation.fid)
             return execute(query, table.take(_surviving_ids(delivered)))
         # SUM/COUNT: the switch sketch yields a candidate-key superset;
         # the partial second pass (§4.3) streams only those keys' rows
         # (matched by key word at the CWorker), unpruned, and the master
         # computes the exact aggregates on the fetched rows.
         candidates = frontend.pruner_for(installation.fid).candidate_keys()
+        frontend.uninstall_query(installation.fid)
         second_streams: Dict[int, List[Tuple[int, ...]]] = {}
         for worker, base in self._cworkers(table):
             column = worker.partition.column(query.key_column)
@@ -694,8 +836,9 @@ class ClusterSimulation:
                 if encode_value(column[i]) in candidates
             ]
         scalar, batch = self._never_prune_adapters()
-        delivered = self._transfer("having:pass2", second_streams, 1,
-                                   scalar, batch, passes)
+        delivered = yield from self._transfer("having:pass2",
+                                              second_streams, 1,
+                                              scalar, batch)
         return execute(query, table.take(_surviving_ids(delivered)))
 
 

@@ -62,7 +62,16 @@ def decode_numeric(word: int) -> float:
 
 
 class CWorker:
-    """One worker's Cheetah module."""
+    """One worker's Cheetah module.
+
+    ``fid`` is the flow id stamped on every packet this worker emits
+    (16 bits on the wire).  It scopes all per-flow protocol state —
+    switch sequence tracking, master deduplication — *and* selects the
+    tenant's pruner inside a multi-query pack, so under multi-tenant
+    serving each tenant's workers must use fids from that tenant's
+    disjoint range (the scheduler assigns ``fid_base`` offsets; see
+    ``SimulationConfig.fid_base``).
+    """
 
     def __init__(self, worker_id: int, partition: Table, fid: int = None):
         self.worker_id = worker_id

@@ -7,8 +7,13 @@ resources between them.  Every packet is evaluated by all packed queries
 the packet's flow (``fid``).
 
 :class:`QueryPack` models this: it holds named pruners, validates the
-packed resource footprint against a switch budget (stage-sharing model),
-and dispatches entries to the pruner selected by flow id.
+packed resource footprint against a switch budget (stage-sharing model)
+plus an optional hard *slot* budget, and dispatches entries to the
+pruner selected by flow id.  The multi-tenant
+:class:`~repro.cluster.scheduler.QueryScheduler` serves N concurrent
+tenants through one pack: each tenant's query occupies a slot from
+install to uninstall, and the pack is the arbiter of whether another
+tenant's query still fits.
 """
 
 from __future__ import annotations
@@ -16,35 +21,81 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.base import PruningAlgorithm
-from repro.switch.resources import ResourceUsage, SwitchModel
+from repro.switch.resources import (
+    ResourceExhausted,
+    ResourceUsage,
+    SwitchModel,
+)
 
 
 class QueryPack:
     """A set of concurrently installed pruners sharing one data plane.
+
+    Two independent budgets gate :meth:`add`:
+
+    * the *resource* budget — the §6 stage-sharing footprint
+      (:meth:`packed_resources`) must fit ``switch``;
+    * the *slot* budget — at most ``max_slots`` queries may be
+      installed at once, modelling the fixed fan-in of the final
+      bit-selection stage (each packed query needs its own select-table
+      entry and result bit).
 
     Parameters
     ----------
     switch:
         The budget to validate against (None skips validation — used by
         unit tests of dispatch logic alone).
+    max_slots:
+        Concurrent-query slot budget (None = unlimited).  Exceeding it
+        raises :class:`~repro.switch.resources.ResourceExhausted`, the
+        scheduler's admission-rejection signal.
+
+    Slot lifecycle: :meth:`add` claims a slot, :meth:`remove` frees it —
+    queries of completed tenants must be removed or the pack fills up.
+
+    >>> from repro.core.expr import Col
+    >>> from repro.core.filtering import FilterPruner
+    >>> pack = QueryPack(max_slots=2)
+    >>> pack.add(7, "filter", FilterPruner(Col("v") > 10))
+    >>> pack.add(8, "filter", FilterPruner(Col("v") > 0))
+    >>> pack.add(9, "filter", FilterPruner(Col("v") > 5))
+    Traceback (most recent call last):
+        ...
+    repro.switch.resources.ResourceExhausted: no free query slot: all 2 slots of the pack are installed
+    >>> pack.remove(8)
+    >>> pack.add(9, "filter", FilterPruner(Col("v") > 5))
+    >>> pack.installed()
+    [(7, 'filter'), (9, 'filter')]
     """
 
     #: The final bit-selection stage every pack needs (§6).
     SELECT_STAGE = ResourceUsage(stages=1, alus=1, sram_bits=64,
                                  metadata_bits=8)
 
-    def __init__(self, switch: Optional[SwitchModel] = None):
+    def __init__(self, switch: Optional[SwitchModel] = None,
+                 max_slots: Optional[int] = None):
+        if max_slots is not None and max_slots < 1:
+            raise ValueError(f"max_slots must be >= 1, got {max_slots}")
         self.switch = switch
+        self.max_slots = max_slots
         self._pruners: Dict[int, Tuple[str, PruningAlgorithm]] = {}
 
     def add(self, fid: int, name: str, pruner: PruningAlgorithm) -> None:
         """Install ``pruner`` for flow ``fid``; validates the new footprint.
 
-        Raises ``ResourceExhausted`` (via the switch model) if the packed
-        set no longer fits — the caller must drop a query or shrink one.
+        Raises ``ResourceExhausted`` if the slot budget is exhausted, or
+        (via the switch model) if the packed set no longer fits — the
+        caller must drop a query, shrink one, or wait for a tenant to
+        finish.  A failed install leaves the pack unchanged.
         """
         if fid in self._pruners:
             raise ValueError(f"flow id {fid} already has a query installed")
+        if (self.max_slots is not None
+                and len(self._pruners) >= self.max_slots):
+            raise ResourceExhausted(
+                f"no free query slot: all {self.max_slots} slots of the "
+                "pack are installed"
+            )
         self._pruners[fid] = (name, pruner)
         if self.switch is not None:
             try:
@@ -54,8 +105,15 @@ class QueryPack:
                 raise
 
     def remove(self, fid: int) -> None:
-        """Uninstall the query for ``fid`` (control-plane teardown)."""
+        """Uninstall the query for ``fid`` (control-plane teardown),
+        freeing its slot; unknown fids are ignored."""
         self._pruners.pop(fid, None)
+
+    def free_slots(self) -> Optional[int]:
+        """Remaining slot budget (None when the pack is unbounded)."""
+        if self.max_slots is None:
+            return None
+        return self.max_slots - len(self._pruners)
 
     def offer(self, fid: int, entry: Any) -> bool:
         """Prune decision for ``entry`` on flow ``fid``.
@@ -64,7 +122,20 @@ class QueryPack:
         stage picks one; behaviourally that equals dispatching to the
         flow's pruner, except that *stateful* queries must not observe
         other flows' packets — which holds because CWorkers tag each
-        dataset with its own fid.
+        dataset with its own fid.  That per-fid isolation is what lets
+        the multi-tenant scheduler interleave tenants' packet streams
+        arbitrarily without changing any tenant's decisions.
+
+        >>> from repro.core.expr import Col
+        >>> from repro.core.filtering import FilterPruner
+        >>> pack = QueryPack()
+        >>> pack.add(3, "filter", FilterPruner(Col("v") > 10))
+        >>> pack.offer(3, {"v": 4})      # fails the predicate: pruned
+        True
+        >>> pack.offer(99, {"v": 4})
+        Traceback (most recent call last):
+            ...
+        KeyError: 'no query installed for flow id 99'
         """
         try:
             _, pruner = self._pruners[fid]
@@ -77,7 +148,17 @@ class QueryPack:
 
         Dispatches the whole batch to the flow's pruner; decisions,
         state, and stats are bit-identical to per-entry :meth:`offer`
-        calls in order (the batched-dataplane invariant).
+        calls in order (the batched-dataplane invariant).  One batch
+        addresses one flow — interleaved tenants each submit their own
+        arrival batch, and the scheduler rotates whose batch is
+        serviced first each tick.
+
+        >>> from repro.core.expr import Col
+        >>> from repro.core.filtering import FilterPruner
+        >>> pack = QueryPack()
+        >>> pack.add(3, "filter", FilterPruner(Col("v") > 10))
+        >>> pack.offer_batch(3, [{"v": 4}, {"v": 40}])
+        [True, False]
         """
         try:
             _, pruner = self._pruners[fid]

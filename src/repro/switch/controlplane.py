@@ -36,12 +36,37 @@ class RuleInstallation:
 
 
 class ControlPlane:
-    """Installs compiled queries onto one switch data plane."""
+    """Installs compiled queries onto one switch data plane.
 
-    def __init__(self, switch: SwitchModel = TOFINO_MODEL, seed: int = 0):
+    ``max_slots`` bounds how many queries may be installed concurrently
+    (the pack's §6 select-stage fan-in); the multi-tenant scheduler sets
+    it to its slot budget so the data plane itself rejects
+    over-admission.  Install receipts double as readiness ACKs: a
+    :class:`RuleInstallation` only exists once its rules are live.
+
+    >>> from repro.switch.compiler import QuerySpec
+    >>> cp = ControlPlane(max_slots=1)
+    >>> spec = QuerySpec("distinct", params=(("rows", 64), ("width", 2)))
+    >>> inst = cp.install_query(spec)
+    >>> inst.acked
+    True
+    >>> cp.offer_batch(inst.fid, [5, 5, 9])   # repeat key 5 is pruned
+    [False, True, False]
+    >>> cp.install_query(spec)                # second tenant: slot budget
+    Traceback (most recent call last):
+        ...
+    repro.switch.resources.ResourceExhausted: no free query slot: all 1 slots of the pack are installed
+    >>> cp.uninstall_query(inst.fid)          # tenant done: slot freed
+    >>> cp.install_query(spec).fid
+    2
+    """
+
+    def __init__(self, switch: SwitchModel = TOFINO_MODEL, seed: int = 0,
+                 max_slots: Optional[int] = None):
         self.switch = switch
+        self.max_slots = max_slots
         self.compiler = QueryCompiler(switch, seed)
-        self.pack = QueryPack(switch)
+        self.pack = QueryPack(switch, max_slots=max_slots)
         self._installed: Dict[int, RuleInstallation] = {}
         self._next_fid = 1
         self.total_rules_installed = 0
@@ -51,13 +76,21 @@ class ControlPlane:
         """Compile ``spec``, pack it into the data plane, return the ACK.
 
         Raises ``CompilationError`` / ``ResourceExhausted`` when the query
-        cannot be accommodated alongside those already installed.
+        cannot be accommodated alongside those already installed —
+        either the packed resource footprint no longer fits the switch,
+        or every concurrent-query slot is taken (``max_slots``).  Flow
+        ids are allocated monotonically, so two tenants of one shared
+        control plane can never collide.
         """
-        if fid is None:
-            fid = self._next_fid
-            self._next_fid += 1
         compiled = self.compiler.compile(spec)
+        allocated = fid is None
+        if allocated:
+            fid = self._next_fid
         self.pack.add(fid, spec.query_type, compiled.pruner)
+        if allocated:
+            # Only a successful pack claims the fid: a rejected install
+            # (slot budget, resource budget) leaves no trace.
+            self._next_fid += 1
         installation = RuleInstallation(
             fid=fid,
             compiled=compiled,
@@ -68,7 +101,8 @@ class ControlPlane:
         return installation
 
     def uninstall_query(self, fid: int) -> None:
-        """Remove a query's rules (interactive workload churn, §6)."""
+        """Remove a query's rules (interactive workload churn, §6),
+        freeing its pack slot for the next waiting tenant."""
         self.pack.remove(fid)
         installation = self._installed.pop(fid, None)
         if installation is not None:
@@ -84,7 +118,9 @@ class ControlPlane:
         Bit-identical to per-entry :meth:`offer` calls in order; this is
         the hot-path entry the pipelined cluster simulation drives, and
         it mirrors ``ShardedSwitchFrontend.offer_batch`` so single- and
-        multi-switch frontends are interchangeable.
+        multi-switch frontends are interchangeable.  Each call addresses
+        exactly one flow; under multi-tenant serving the scheduler
+        submits one batch per tenant per tick, rotating the order.
         """
         return self.pack.offer_batch(fid, entries)
 
@@ -100,6 +136,6 @@ class ControlPlane:
         """Failure handling (§3): reboot with empty state — queries must
         be re-installed, and the query pipeline keeps working without
         pruning in the meantime."""
-        self.pack = QueryPack(self.switch)
+        self.pack = QueryPack(self.switch, max_slots=self.max_slots)
         self._installed.clear()
         self.total_rules_installed = 0

@@ -27,6 +27,35 @@ def test_architecture_docs_exist_and_crosslink():
     readme = (REPO_ROOT / "README.md").read_text()
     assert "ClusterSimulation" in architecture
     assert "WIRE_FORMAT.md" in architecture
+    assert "SCHEDULER.md" in architecture
     assert "7.2" in wire and "Q43.20" in wire
     assert "docs/ARCHITECTURE.md" in readme
     assert "docs/WIRE_FORMAT.md" in readme
+    assert "docs/SCHEDULER.md" in readme
+    assert "docs/RESULTS.md" in readme
+
+
+def test_scheduler_doc_describes_the_serving_model():
+    scheduler = (REPO_ROOT / "docs" / "SCHEDULER.md").read_text()
+    for topic in ("QueryScheduler", "Admission", "arbitration",
+                  "Fairness", "max_slots", "QueryPlan.run"):
+        assert topic in scheduler, topic
+    # The ASCII diagram shows the shared pack.
+    assert "QueryPack" in scheduler and "offer_batch" in scheduler
+
+
+def test_results_md_regenerates_deterministically(tmp_path):
+    """RESULTS.md is a pure function of the checked-in bench JSONs:
+    rendering twice gives byte-identical output that matches the file."""
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    try:
+        import render_results
+    finally:
+        sys.path.pop(0)
+    first = render_results.render_report()
+    second = render_results.render_report()
+    assert first == second
+    assert (REPO_ROOT / "docs" / "RESULTS.md").read_text() == first
+    for section in ("Figure 5", "Figure 11", "End-to-end",
+                    "Multi-tenant serving", "provenance"):
+        assert section in first, section

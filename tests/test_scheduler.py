@@ -1,0 +1,264 @@
+"""Multi-tenant serving: QueryScheduler vs. solo execution.
+
+The acceptance property of the serving layer: N concurrent tenants
+interleaved through shared switches each produce results *identical* to
+their solo ``ClusterSimulation`` run (which itself equals
+``QueryPlan.run``), across loss rates and shard counts — plus the
+admission edge cases: tenants arriving mid-run, slot-budget queueing and
+rejection, and switch-resource rejection.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.runner import run_concurrency_bench
+from repro.cluster.scheduler import (
+    DEFAULT_TENANT_MIX,
+    QueryScheduler,
+    SchedulerConfig,
+    TenantSpec,
+    tenant_specs,
+)
+from repro.cluster.simulation import ClusterSimulation, build_scenario
+from repro.core.multiquery import QueryPack
+from repro.switch.resources import ResourceExhausted, SMALL_SWITCH_MODEL
+
+
+def serve(specs, **overrides):
+    config = SchedulerConfig(**overrides)
+    return QueryScheduler(config).serve(specs)
+
+
+class TestConcurrentEquivalence:
+    def test_four_tenants_shared_switch_lossy(self):
+        """N>=4 mixed tenants on one shared switch under loss: every
+        result identical to the solo path (the tentpole property)."""
+        specs = tenant_specs(4, rows=160, seed=3)
+        report = serve(specs, slots=4, loss_rate=0.05, reorder_window=2,
+                       shards=2, seed=1)
+        assert len(report.served) == 4
+        assert report.all_equivalent is True
+
+    def test_shared_results_match_solo_cluster_simulation(self):
+        """Interleaved execution is byte-identical to running each
+        tenant alone under the same per-tenant config."""
+        specs = tenant_specs(5, rows=140, seed=9)
+        config = SchedulerConfig(slots=5, loss_rate=0.08,
+                                 reorder_window=1, shards=3, seed=4)
+        report = QueryScheduler(config).serve(specs)
+        assert report.all_equivalent is True
+        for index, (spec, tenant) in enumerate(zip(specs,
+                                                   report.tenants)):
+            sim = ClusterSimulation(config.tenant_simulation_config(index))
+            query, tables = build_scenario(spec.scenario, rows=spec.rows,
+                                           seed=spec.seed)
+            solo = sim.run(query, tables)
+            assert tenant.result == solo.result, spec.scenario
+
+    def test_compound_tenant_among_concurrent(self):
+        """A compound (tpch_q3) tenant's sequential install/uninstall
+        cycles coexist with other tenants in the shared pack."""
+        specs = [
+            TenantSpec("q3", "tpch_q3", rows=150, seed=1),
+            TenantSpec("d", "distinct", rows=120, seed=2),
+            TenantSpec("j", "join", rows=100, seed=3),
+            TenantSpec("h", "having_sum", rows=120, seed=4),
+        ]
+        report = serve(specs, slots=4, loss_rate=0.04, shards=2, seed=5)
+        assert report.all_equivalent is True
+        q3 = report.tenants[0]
+        assert len(q3.passes) == 8  # two joins x (2 build + 2 prune)
+
+
+class TestAdmission:
+    def test_tenant_arriving_mid_run(self):
+        """A tenant that shows up while others are being served is
+        admitted at (not before) its arrival tick and still matches."""
+        specs = [
+            TenantSpec("early", "distinct", rows=160, seed=1),
+            TenantSpec("late", "filter", rows=120, seed=2,
+                       arrival_tick=40),
+        ]
+        report = serve(specs, slots=2, loss_rate=0.05, seed=6)
+        early, late = report.tenants
+        assert early.admitted_tick == 0
+        assert late.admitted_tick >= 40
+        assert late.admitted_tick < early.completed_tick, \
+            "the late tenant should overlap the early one"
+        assert report.all_equivalent is True
+
+    def test_arrival_after_everyone_finished(self):
+        """An arrival far in the future idles the loop forward instead
+        of spinning through empty ticks."""
+        specs = [
+            TenantSpec("a", "distinct", rows=120, seed=1),
+            TenantSpec("b", "filter", rows=120, seed=2,
+                       arrival_tick=100_000),
+        ]
+        report = serve(specs, slots=1, loss_rate=0.0, seed=7)
+        assert report.all_equivalent is True
+        assert report.tenants[1].admitted_tick >= 100_000
+
+    def test_slot_contention_queues_fifo(self):
+        """slots=1 serializes: each tenant is admitted only after the
+        previous one completes, and all still match solo results."""
+        specs = tenant_specs(3, rows=120, seed=5)
+        report = serve(specs, slots=1, loss_rate=0.02, seed=2)
+        assert len(report.served) == 3
+        assert report.all_equivalent is True
+        for previous, tenant in zip(report.tenants, report.tenants[1:]):
+            assert tenant.admitted_tick >= previous.completed_tick
+
+    def test_rejection_when_tenants_exceed_slot_budget(self):
+        """queue_when_full=False: tenants beyond the slot budget are
+        turned away at arrival with an explanatory reason."""
+        specs = tenant_specs(3, rows=120, seed=5)
+        report = serve(specs, slots=1, queue_when_full=False,
+                       loss_rate=0.0, seed=2)
+        assert [t.status for t in report.tenants] == \
+            ["served", "rejected", "rejected"]
+        for tenant in report.rejected:
+            assert "no free slot" in tenant.reason
+        assert report.all_equivalent is True  # over the served tenant
+
+    def test_rejection_on_switch_resource_exhaustion(self):
+        """A tenant whose compiled query cannot fit the shared switch at
+        all is rejected with the compiler/packer's reason."""
+        specs = [
+            TenantSpec("fits", "distinct", rows=120, seed=1),
+            TenantSpec("too-big", "skyline", rows=120, seed=2),
+        ]
+        report = serve(specs, slots=2, switch=SMALL_SWITCH_MODEL, seed=3)
+        fits, too_big = report.tenants
+        assert fits.status == "served" and fits.equivalent
+        assert too_big.status == "rejected"
+        assert "does not fit switch" in too_big.reason
+
+    def test_pack_slot_budget_is_enforced_in_data_plane(self):
+        """The QueryPack itself rejects installs beyond max_slots — the
+        scheduler's budget is enforced at the data plane too."""
+        from repro.core.filtering import FilterPruner
+        from repro.core.expr import Col
+
+        pack = QueryPack(max_slots=1)
+        pack.add(1, "filter", FilterPruner(Col("v") > 1))
+        assert pack.free_slots() == 0
+        with pytest.raises(ResourceExhausted, match="no free query slot"):
+            pack.add(2, "filter", FilterPruner(Col("v") > 2))
+        pack.remove(1)
+        assert pack.free_slots() == 1
+        pack.add(2, "filter", FilterPruner(Col("v") > 2))
+
+
+class TestFairnessAndAccounting:
+    def test_service_order_rotates(self):
+        """All concurrently admitted tenants make progress in the same
+        global window (no tenant is starved until others finish)."""
+        specs = tenant_specs(4, rows=200, seed=11,
+                             mix=("distinct", "filter", "topn",
+                                  "groupby_max"))
+        report = serve(specs, slots=4, loss_rate=0.05, seed=8)
+        served = report.served
+        assert len(served) == 4
+        # Every tenant overlapped every other: all admitted at tick 0,
+        # none completed before the slowest had a chance to start.
+        assert all(t.admitted_tick == 0 for t in served)
+        makespan = max(t.completed_tick for t in served)
+        assert all(t.service_ticks <= makespan for t in served)
+        # Aggregate accounting adds up.
+        assert report.entries == sum(t.entries for t in served)
+        assert report.delivered == sum(t.delivered for t in served)
+
+    def test_unique_tenant_names_required(self):
+        specs = [TenantSpec("same", "distinct"),
+                 TenantSpec("same", "filter")]
+        with pytest.raises(ValueError, match="unique"):
+            serve(specs)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="slots"):
+            SchedulerConfig(slots=0)
+        with pytest.raises(ValueError, match="loss_rate"):
+            SchedulerConfig(loss_rate=1.0)
+        with pytest.raises(ValueError, match="arrival_tick"):
+            TenantSpec("t", "distinct", arrival_tick=-1)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    loss=st.sampled_from([0.0, 0.02, 0.05]),
+    shards=st.sampled_from([1, 2, 4]),
+    rows=st.integers(min_value=40, max_value=90),
+    seed=st.integers(min_value=0, max_value=1 << 16),
+)
+def test_property_interleaved_equals_solo(loss, shards, rows, seed):
+    """N=4 concurrent tenants on shared switches, loss 0-0.05, shards
+    1-4: every tenant's result equals its solo ClusterSimulation run
+    (which is itself checked against QueryPlan.run)."""
+    mix = ("distinct", "topn", "groupby_sum", "having_sum")
+    specs = tenant_specs(4, rows=rows, seed=seed % 997, mix=mix)
+    config = SchedulerConfig(slots=4, loss_rate=loss, reorder_window=2,
+                             shards=shards, seed=seed % 89)
+    report = QueryScheduler(config).serve(specs)
+    assert report.all_equivalent is True, [
+        (t.spec.scenario, t.status) for t in report.tenants
+    ]
+    for index, (spec, tenant) in enumerate(zip(specs, report.tenants)):
+        sim = ClusterSimulation(config.tenant_simulation_config(index))
+        query, tables = build_scenario(spec.scenario, rows=spec.rows,
+                                       seed=spec.seed)
+        solo = sim.run(query, tables)
+        assert solo.equivalent
+        assert tenant.result == solo.result, spec.scenario
+
+
+class TestConcurrencyBenchAndCli:
+    def test_bench_payload_shape_and_scaling(self):
+        payload = run_concurrency_bench(max_tenants=4, rows=100,
+                                        loss_rate=0.05,
+                                        reorder_window=1, seed=1)
+        assert payload["benchmark"] == "concurrency"
+        assert payload["tenant_counts"] == [1, 2, 4]
+        assert payload["all_equivalent"] is True
+        assert len(payload["solo"]) == 4
+        for run in payload["runs"]:
+            assert run["served"] == run["tenants"]
+            assert run["all_equivalent"] is True
+            assert run["makespan_ticks"] > 0
+        # Ticks are deterministic, so the scaling claim is exact: the
+        # shared makespan beats running the tenants back to back.
+        assert payload["throughput_scaling"] > 1.0
+        assert payload["runs"][-1]["consolidation_speedup"] > 1.0
+
+    def test_cli_serve(self, capsys):
+        from repro.cli import main
+
+        code = main(["serve", "--tenants", "3", "--loss", "0.05",
+                     "--rows", "120", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("IDENTICAL to QueryPlan.run") == 3
+        assert "aggregate" in out
+
+    def test_cli_serve_rejects_unknown_mix(self, capsys):
+        from repro.cli import main
+
+        code = main(["serve", "--tenants", "2", "--mix", "nonsense"])
+        assert code == 2
+        assert "unknown scenarios" in capsys.readouterr().err
+
+    def test_cli_bench_concurrency(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main(["bench", "concurrency", "--tenants", "2", "--rows",
+                     "100", "--loss", "0.02", "--results-dir",
+                     str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "throughput scaling" in out
+        assert (tmp_path / "BENCH_concurrency.json").exists()
+
+    def test_default_mix_scenarios_exist(self):
+        from repro.cluster.simulation import SCENARIOS
+
+        assert set(DEFAULT_TENANT_MIX) <= set(SCENARIOS)
