@@ -78,7 +78,8 @@ def _environment_section(payloads) -> str:
         params = {
             key: payload[key]
             for key in ("rows", "scale", "shards", "seed", "loss_rate",
-                        "reorder_window", "batch_size", "max_tenants")
+                        "reorder_window", "batch_size", "max_tenants",
+                        "queries", "slots")
             if isinstance(payload.get(key), (int, float))
         }
         rows.append({
@@ -217,11 +218,63 @@ def _concurrency_section(payload) -> str:
     )
 
 
+def _replay_section(payload) -> str:
+    latency_rows = [
+        {
+            "process": run["process"],
+            "served": run["served"],
+            "rejected": run["rejected"],
+            "makespan (ticks)": run["ticks"],
+            "p50 (ticks)": run["latency"]["p50_ticks"],
+            "p95 (ticks)": run["latency"]["p95_ticks"],
+            "p99 (ticks)": run["latency"]["p99_ticks"],
+            "max (ticks)": run["latency"]["max_ticks"],
+            "all identical": run["all_equivalent"],
+        }
+        for run in payload["runs"]
+    ]
+    occupancy_rows = [
+        {
+            "process": run["process"],
+            "mean occupancy": _fmt(run["occupancy"]["mean"], 2),
+            "peak occupancy": run["occupancy"]["peak"],
+            "peak queue depth": run["occupancy"]["peak_queue_depth"],
+            "rejections": len(run["rejections"]),
+            "throughput (entries/tick)":
+                _fmt(run["throughput_entries_per_tick"], 2),
+        }
+        for run in payload["runs"]
+    ]
+    return (
+        "## Trace replay — tail latency under arrival processes "
+        "(`repro bench replay`)\n\n"
+        f"{payload['queries']}-query traces ({payload['rows']} rows "
+        f"each) generated per arrival process and replayed through the "
+        f"scheduler under a {payload['slots']}-slot budget "
+        f"({payload['shards']} shard(s), loss "
+        f"{_fmt(payload['loss_rate'], 2)}).  Latency is "
+        "arrival-to-completion in event-loop ticks (queueing included), "
+        "from the per-tick telemetry probe; every metric here is "
+        "deterministic for the recorded seed.  The trace format and "
+        "generators are specified in [TRACES.md](TRACES.md).\n\n"
+        + _table(["process", "served", "rejected", "makespan (ticks)",
+                  "p50 (ticks)", "p95 (ticks)", "p99 (ticks)",
+                  "max (ticks)", "all identical"], latency_rows)
+        + "\n\nSlot occupancy over the same replays:\n\n"
+        + _table(["process", "mean occupancy", "peak occupancy",
+                  "peak queue depth", "rejections",
+                  "throughput (entries/tick)"], occupancy_rows)
+        + "\n\nEvery replayed tenant identical to `QueryPlan.run`: "
+        f"`{payload['all_equivalent']}`."
+    )
+
+
 _SECTIONS = (
     ("fig5", _fig5_section),
     ("fig11", _fig11_section),
     ("e2e", _e2e_section),
     ("concurrency", _concurrency_section),
+    ("replay", _replay_section),
 )
 
 

@@ -18,6 +18,12 @@ trajectory can be tracked across PRs and asserted in CI:
   ``QueryScheduler``: aggregate throughput vs. tenant count on shared
   switches, solo-vs-shared latency, with every tenant's result checked
   against its solo ``QueryPlan.run``.
+* :func:`run_replay_bench` — trace-replay serving: Poisson, bursty,
+  and diurnal arrival traces through the scheduler under a tight slot
+  budget, reporting p50/p95/p99 arrival-to-completion latency and slot
+  occupancy from the per-tick telemetry probe.  Fully deterministic
+  (tick-based metrics only), so CI asserts byte-identical payloads for
+  the same seed.
 """
 
 from __future__ import annotations
@@ -526,6 +532,77 @@ def run_concurrency_bench(max_tenants: int = 8, rows: int = 240,
             all(row["equivalent"] for row in solo_rows)
             and all(run["all_equivalent"] for run in runs)
         ),
+    }
+
+
+def run_replay_bench(queries: int = 8, rows: int = 100, slots: int = 2,
+                     loss_rate: float = 0.02, reorder_window: int = 1,
+                     shards: int = 1, seed: int = 0,
+                     processes: Optional[Sequence[str]] = None,
+                     scenario_mix: Optional[Sequence[str]] = None,
+                     ) -> Dict:
+    """Trace-replay benchmark: tail latency under arrival processes.
+
+    For each arrival process (Poisson, bursty, diurnal by default) a
+    ``queries``-query trace is generated deterministically from ``seed``
+    and replayed through the :class:`QueryScheduler` under a tight
+    ``slots`` budget, so queueing actually happens and the latency
+    *tail* separates from the median — the serving behavior the
+    back-to-back ``concurrency`` bench cannot expose.  The burst trace
+    packs ``2 * slots`` arrivals into a single tick, guaranteeing queue
+    pressure.  Every tenant's result is checked against its solo
+    ``QueryPlan.run``.
+
+    The payload (``BENCH_replay.json``) is **fully deterministic**: all
+    metrics are tick-based (:meth:`ScheduleReport.to_payload` excludes
+    wall-clock time), so CI asserts byte-identical output for the same
+    seed.  Headline keys: ``p99_latency_ticks`` and ``peak_occupancy``
+    per process.
+    """
+    from repro.cluster.scheduler import SchedulerConfig, replay_trace
+    from repro.workloads.traces import (
+        ARRIVAL_PROCESSES,
+        DEFAULT_REPLAY_MIX,
+        generate_trace,
+    )
+
+    if queries < 1:
+        raise ValueError(f"queries must be >= 1, got {queries}")
+    processes = tuple(processes or ARRIVAL_PROCESSES)
+    mix = tuple(scenario_mix or DEFAULT_REPLAY_MIX)
+    config = SchedulerConfig(slots=slots, loss_rate=loss_rate,
+                             reorder_window=reorder_window,
+                             shards=shards, seed=seed)
+    runs: List[Dict] = []
+    for process in processes:
+        trace = generate_trace(process, queries=queries, rows=rows,
+                               seed=seed, mix=mix,
+                               burst_size=2 * slots)
+        report = replay_trace(trace, config, apply_overrides=False)
+        runs.append({
+            "process": process,
+            "queries": len(trace.queries),
+            "trace_duration_ticks": trace.duration_ticks,
+            **report.to_payload(),
+        })
+    return {
+        "benchmark": "trace_replay",
+        "queries": queries,
+        "rows": rows,
+        "slots": slots,
+        "loss_rate": loss_rate,
+        "reorder_window": reorder_window,
+        "shards": shards,
+        "seed": seed,
+        "scenario_mix": list(mix),
+        "processes": list(processes),
+        "runs": runs,
+        "p99_latency_ticks": {run["process"]: run["latency"]["p99_ticks"]
+                              for run in runs},
+        "peak_occupancy": {run["process"]: run["occupancy"]["peak"]
+                           for run in runs},
+        "all_equivalent": all(run["all_equivalent"] is True
+                              for run in runs),
     }
 
 

@@ -8,6 +8,8 @@ Usage::
     python -m repro run tpch_q3 --loss 0.05 --reorder 2 --shards 2
     python -m repro sql "SELECT DISTINCT seller FROM Products" --demo-tables
     python -m repro serve --tenants 8 --loss 0.05 --shards 2
+    python -m repro replay --gen poisson --queries 12 --seed 0
+    python -m repro replay traces/diurnal.jsonl --slots 2
     python -m repro bench fig11 --rows 60000 --shards 4
     python -m repro bench fig5 --scale 2e-5
     python -m repro bench e2e --rows 1200 --loss 0.05 --shards 2
@@ -27,7 +29,13 @@ concurrency`` measures multi-tenant serving throughput vs tenant
 count) and emits a machine-readable ``BENCH_<name>.json`` under the
 results dir.  ``serve`` runs N concurrent tenants through the
 multi-tenant ``QueryScheduler`` over shared simulated switches and
-verifies every tenant against its solo ``QueryPlan.run``.
+verifies every tenant against its solo ``QueryPlan.run``.  ``replay``
+feeds a recorded (or ``--gen``-erated Poisson/bursty/diurnal) JSON-lines
+arrival trace through the scheduler and reports p50/p95/p99
+arrival-to-completion latency and slot occupancy from the per-tick
+telemetry probe; ``bench replay`` sweeps all three arrival processes
+into ``BENCH_replay.json`` (fully deterministic: tick-based metrics
+only).  The trace format is specified in ``docs/TRACES.md``.
 """
 
 from __future__ import annotations
@@ -193,6 +201,26 @@ def _run_e2e(names: List[str], args) -> int:
     return 0 if ok else 1
 
 
+def _print_tenant_outcomes(report, served_detail) -> bool:
+    """One line per tenant of a ScheduleReport (shared by ``serve`` and
+    ``replay``); returns True when every served tenant matched its solo
+    ``QueryPlan.run`` and none failed.  ``served_detail(tenant)``
+    renders the command-specific middle columns of a served line."""
+    ok = True
+    for tenant in report.tenants:
+        label = f"{tenant.spec.tenant:10s} {tenant.spec.scenario:12s}"
+        if tenant.status == "served":
+            verdict = ("IDENTICAL to QueryPlan.run" if tenant.equivalent
+                       else "MISMATCH vs QueryPlan.run")
+            ok = ok and bool(tenant.equivalent)
+            print(f"  {label} served    {served_detail(tenant)} "
+                  f"{verdict}")
+        else:
+            ok = ok and tenant.status == "rejected"
+            print(f"  {label} {tenant.status}  ({tenant.reason})")
+    return ok
+
+
 def _serve(args) -> int:
     """Serve N concurrent tenants over shared simulated switches."""
     from repro.cluster.scheduler import (
@@ -231,21 +259,9 @@ def _serve(args) -> int:
     print(f"== serve: {args.tenants} tenants, {config.slots} slots, "
           f"loss={args.loss} reorder={args.reorder} "
           f"shards={args.shards} ==")
-    ok = True
-    for tenant in report.tenants:
-        if tenant.status == "served":
-            verdict = ("IDENTICAL to QueryPlan.run" if tenant.equivalent
-                       else "MISMATCH vs QueryPlan.run")
-            ok = ok and bool(tenant.equivalent)
-            print(f"  {tenant.spec.tenant:10s} "
-                  f"{tenant.spec.scenario:12s} served    "
-                  f"wait={tenant.wait_ticks:<5d} "
-                  f"service={tenant.service_ticks:<6d} {verdict}")
-        else:
-            ok = ok and tenant.status == "rejected"
-            print(f"  {tenant.spec.tenant:10s} "
-                  f"{tenant.spec.scenario:12s} {tenant.status}  "
-                  f"({tenant.reason})")
+    ok = _print_tenant_outcomes(
+        report, lambda t: f"wait={t.wait_ticks:<5d} "
+                          f"service={t.service_ticks:<6d}")
     throughput = report.throughput_entries_per_second
     print(f"  makespan    : {report.ticks} ticks, "
           f"{report.wall_seconds:.3f}s wall")
@@ -258,6 +274,97 @@ def _serve(args) -> int:
     return 0 if ok else 1
 
 
+def _replay(args) -> int:
+    """Replay a recorded/generated arrival trace through the scheduler."""
+    from repro.cluster.scheduler import SchedulerConfig, replay_trace
+    from repro.cluster.simulation import SCENARIOS, SimulationError
+    from repro.workloads.traces import generate_trace, load_trace
+
+    trace_file = args.trace_file or args.trace_opt
+    if (trace_file and args.gen) or (args.trace_file and args.trace_opt):
+        print("repro replay: give a trace file or --gen, not both",
+              file=sys.stderr)
+        return 2
+    if not trace_file and not args.gen:
+        print("repro replay: need a trace file or --gen "
+              "poisson|burst|diurnal", file=sys.stderr)
+        return 2
+    mix = tuple(args.mix.split(",")) if args.mix else None
+    if mix:
+        unknown = [name for name in mix if name not in SCENARIOS]
+        if unknown:
+            print(f"repro replay: unknown scenarios in --mix: "
+                  f"{', '.join(unknown)}", file=sys.stderr)
+            print(f"available: {', '.join(sorted(SCENARIOS))}",
+                  file=sys.stderr)
+            return 2
+    try:
+        if trace_file:
+            trace = load_trace(trace_file)
+        else:
+            from repro.workloads.traces import DEFAULT_REPLAY_MIX
+
+            trace = generate_trace(
+                args.gen, queries=args.queries, rows=args.rows,
+                seed=args.seed, mix=mix or DEFAULT_REPLAY_MIX,
+                interarrival=args.interarrival,
+                burst_size=args.burst_size, burst_gap=args.burst_gap,
+                period=args.period)
+        if args.out:
+            trace.save(args.out)
+            print(f"  -> saved trace {args.out}")
+        # Precedence: explicit CLI flag > trace header > default.
+        loss = (args.loss if args.loss is not None
+                else trace.loss_rate if trace.loss_rate is not None
+                else 0.0)
+        shards = (args.shards if args.shards is not None
+                  else trace.shards if trace.shards is not None else 1)
+        config = SchedulerConfig(
+            slots=args.slots, queue_when_full=not args.reject_when_full,
+            workers=args.workers, loss_rate=loss,
+            reorder_window=args.reorder, shards=shards, seed=args.seed)
+        report = replay_trace(trace, config, apply_overrides=False)
+    except (OSError, ValueError, SimulationError) as error:
+        print(f"repro replay: {error}", file=sys.stderr)
+        return 2
+    source = trace_file or f"generated {args.gen}"
+    print(f"== replay: {source} ({len(trace.queries)} queries, "
+          f"{config.slots} slots, loss={config.loss_rate} "
+          f"shards={config.shards}) ==")
+    if not trace.queries:
+        print("  empty trace: nothing to replay")
+        return 0
+    ok = _print_tenant_outcomes(
+        report, lambda t: f"arrival={t.spec.arrival_tick:<6d} "
+                          f"wait={t.wait_ticks:<5d} "
+                          f"latency={t.latency_ticks:<6d}")
+    mean_occ = report.mean_occupancy
+    latencies = report.latencies
+    print(f"  makespan   : {report.ticks} ticks, "
+          f"{report.wall_seconds:.3f}s wall")
+    if latencies:
+        mean_latency = sum(latencies) / len(latencies)
+        print(f"  latency    : p50={report.latency_p50_ticks} "
+              f"p95={report.latency_p95_ticks} "
+              f"p99={report.latency_p99_ticks} ticks "
+              f"(mean {mean_latency:.1f}, max {max(latencies)})")
+    print(f"  occupancy  : mean {0.0 if mean_occ is None else mean_occ:.2f}"
+          f"/{config.slots} slots, peak {report.peak_occupancy}, "
+          f"peak queue depth {report.telemetry.peak_queue_depth}")
+    if report.rejection_timeline:
+        first = report.rejection_timeline[0]
+        print(f"  rejections : {len(report.rejection_timeline)} "
+              f"(first: {first.tenant} at tick {first.tick})")
+    throughput = report.throughput_entries_per_tick
+    print(f"  aggregate  : {report.entries} entries offered, "
+          f"{report.delivered} delivered"
+          + (f", {throughput:.2f} entries/tick" if throughput else ""))
+    if not ok:
+        print("replay: at least one tenant diverged or failed",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _bench(args) -> int:
     from repro.bench.runner import (
         emit_bench_json,
@@ -265,6 +372,7 @@ def _bench(args) -> int:
         run_e2e_bench,
         run_fig5_bench,
         run_fig11_scale_bench,
+        run_replay_bench,
     )
 
     if args.shards < 1:
@@ -276,8 +384,8 @@ def _bench(args) -> int:
               f"{args.batch_size}", file=sys.stderr)
         return 2
     if args.rows is None:
-        args.rows = {"e2e": 1200, "concurrency": 240}.get(args.name,
-                                                          60_000)
+        args.rows = {"e2e": 1200, "concurrency": 240,
+                     "replay": 100}.get(args.name, 60_000)
     if args.name == "fig11" and args.rows < 40:
         print(f"repro bench: --rows must be >= 40 for the fig11 streams, "
               f"got {args.rows}", file=sys.stderr)
@@ -348,6 +456,43 @@ def _bench(args) -> int:
         if payload["all_equivalent"] is not True:
             print("  ERROR: a tenant diverged from QueryPlan.run",
                   file=sys.stderr)
+            return 1
+    elif args.name == "replay":
+        if args.queries < 1:
+            print(f"repro bench: --queries must be >= 1, got "
+                  f"{args.queries}", file=sys.stderr)
+            return 2
+        if args.rows < 20:
+            print(f"repro bench: --rows must be >= 20 for replay, got "
+                  f"{args.rows}", file=sys.stderr)
+            return 2
+        if not 0.0 <= args.loss < 1.0:
+            print(f"repro bench: --loss must be in [0, 1), got "
+                  f"{args.loss}", file=sys.stderr)
+            return 2
+        payload = run_replay_bench(queries=args.queries, rows=args.rows,
+                                   slots=args.slots,
+                                   loss_rate=args.loss,
+                                   reorder_window=args.reorder,
+                                   shards=args.shards, seed=args.seed)
+        path = emit_bench_json("replay", payload, args.results_dir)
+        print(f"replay bench: {args.queries} queries/trace "
+              f"rows={args.rows} slots={args.slots} loss={args.loss} "
+              f"shards={args.shards}")
+        for run in payload["runs"]:
+            latency = run["latency"]
+            occupancy = run["occupancy"]
+            print(f"  {run['process']:8s} served={run['served']:<3d} "
+                  f"makespan={run['ticks']} ticks "
+                  f"p50={latency['p50_ticks']} "
+                  f"p95={latency['p95_ticks']} "
+                  f"p99={latency['p99_ticks']} "
+                  f"occ mean={occupancy['mean']:.2f} "
+                  f"peak={occupancy['peak']} "
+                  f"equivalent={run['all_equivalent']}")
+        if payload["all_equivalent"] is not True:
+            print("  ERROR: a replayed tenant diverged from "
+                  "QueryPlan.run", file=sys.stderr)
             return 1
     elif args.name == "fig11":
         payload = run_fig11_scale_bench(rows=args.rows, shards=args.shards,
@@ -482,19 +627,76 @@ def main(argv: List[str] = None) -> int:
                               "free slot instead of queueing them")
     serve_parser.add_argument("--seed", type=int, default=0)
 
+    replay_parser = sub.add_parser(
+        "replay", help="replay a recorded (or generated) JSON-lines "
+        "query-arrival trace through the multi-tenant scheduler and "
+        "report tail latency + slot occupancy (format: docs/TRACES.md)")
+    replay_parser.add_argument("trace_file", nargs="?", default=None,
+                               help="path to a JSON-lines trace "
+                               "(alternative to --gen)")
+    replay_parser.add_argument("--trace", dest="trace_opt", default=None,
+                               help="path to a JSON-lines trace "
+                               "(same as the positional)")
+    replay_parser.add_argument("--gen",
+                               choices=["poisson", "burst", "diurnal"],
+                               default=None,
+                               help="synthesize a trace under this "
+                               "arrival process instead of reading one")
+    replay_parser.add_argument("--queries", type=int, default=8,
+                               help="generated trace length")
+    replay_parser.add_argument("--rows", type=int, default=120,
+                               help="rows per generated query")
+    replay_parser.add_argument("--mix", default=None,
+                               help="comma-separated scenario names "
+                               "generated queries cycle through")
+    replay_parser.add_argument("--interarrival", type=float, default=30.0,
+                               help="poisson/diurnal: mean gap between "
+                               "arrivals in ticks")
+    replay_parser.add_argument("--burst-size", type=int, default=4,
+                               help="burst: simultaneous arrivals per "
+                               "burst")
+    replay_parser.add_argument("--burst-gap", type=int, default=120,
+                               help="burst: ticks between bursts")
+    replay_parser.add_argument("--period", type=int, default=240,
+                               help="diurnal: ticks per rate cycle")
+    replay_parser.add_argument("--out", default=None,
+                               help="also save the (generated) trace "
+                               "to this path")
+    replay_parser.add_argument("--slots", type=int, default=4,
+                               help="serving slots / QueryPack budget")
+    replay_parser.add_argument("--loss", type=float, default=None,
+                               help="per-channel loss probability "
+                               "(default: trace header, else 0)")
+    replay_parser.add_argument("--reorder", type=int, default=0,
+                               help="channel reorder window")
+    replay_parser.add_argument("--shards", type=int, default=None,
+                               help="simulated switch pipelines "
+                               "(default: trace header, else 1)")
+    replay_parser.add_argument("--workers", type=int, default=4,
+                               help="CWorker partitions per tenant table")
+    replay_parser.add_argument("--reject-when-full", action="store_true",
+                               help="reject arrivals with no free slot "
+                               "instead of queueing them")
+    replay_parser.add_argument("--seed", type=int, default=0)
+
     bench_parser = sub.add_parser(
         "bench", help="run a perf benchmark (batched vs per-packet "
         "dataplane; 'e2e' times the full simulated cluster; "
-        "'concurrency' measures multi-tenant serving) and emit "
+        "'concurrency' measures multi-tenant serving; 'replay' measures "
+        "tail latency under trace-replay arrivals) and emit "
         "BENCH_<name>.json")
     bench_parser.add_argument("name", choices=["fig5", "fig11", "e2e",
-                                               "concurrency"])
+                                               "concurrency", "replay"])
     bench_parser.add_argument("--rows", type=int, default=None,
                               help="largest stream length (fig11: "
                               "default 60000) or scenario size (e2e: "
                               "default 1200; concurrency: default 240)")
     bench_parser.add_argument("--tenants", type=int, default=8,
                               help="concurrency: largest tenant count")
+    bench_parser.add_argument("--queries", type=int, default=8,
+                              help="replay: queries per generated trace")
+    bench_parser.add_argument("--slots", type=int, default=2,
+                              help="replay: serving-slot budget")
     bench_parser.add_argument("--loss", type=float, default=0.05,
                               help="e2e: channel loss probability")
     bench_parser.add_argument("--reorder", type=int, default=2,
@@ -527,6 +729,8 @@ def main(argv: List[str] = None) -> int:
         return _run(args.names, args.results_dir, args)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "replay":
+        return _replay(args)
     if args.command == "bench":
         return _bench(args)
     if args.command == "sql":

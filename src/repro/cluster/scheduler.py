@@ -39,11 +39,22 @@ result identity with the functional path regardless of loss, reorder,
 shard count, or how tenants' batches interleave.  This is
 property-tested in ``tests/test_scheduler.py`` and exercised by
 ``repro serve`` / ``repro bench concurrency``.
+
+Every ``serve`` run additionally collects :class:`SchedulerTelemetry`
+— a per-tick probe of slot occupancy, queue depth, and admission
+outcomes — from which :class:`ScheduleReport` derives p50/p95/p99
+arrival-to-completion latency, mean/peak occupancy, and the rejection
+timeline.  :func:`replay_trace` feeds a recorded arrival trace
+(``repro.workloads.traces``, see ``docs/TRACES.md``) through the same
+loop: that is the ``repro replay`` / ``repro bench replay`` surface,
+where tail latency under Poisson, bursty, and diurnal arrivals is the
+measured claim.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -150,6 +161,107 @@ class SchedulerConfig:
         )
 
 
+def _percentile(values: Sequence[int], fraction: float) -> int:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclasses.dataclass(frozen=True)
+class TelemetrySample:
+    """One per-tick probe of the serving loop.
+
+    ``occupancy`` counts the tenants whose in-flight passes the loop
+    stepped during this tick; ``queue_depth`` the tenants waiting for
+    a slot.  The three counters record events stamped with *exactly*
+    this tick, so they correlate one-to-one with
+    ``TenantReport.admitted_tick`` / ``completed_tick`` and
+    ``RejectionEvent.tick`` (admissions happen between service steps:
+    a tenant admitted at tick ``t`` first advances — and is first
+    counted in ``occupancy`` — at ``t + 1``).  Ticks where nothing
+    happened (the scheduler idling toward a far-future arrival)
+    produce no sample; their occupancy is zero by construction.
+    """
+
+    tick: int
+    occupancy: int
+    queue_depth: int
+    admitted: int
+    completed: int
+    rejected: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RejectionEvent:
+    """One admission rejection: when, who, and the packer's reason."""
+
+    tick: int
+    tenant: str
+    reason: str
+
+
+@dataclasses.dataclass
+class SchedulerTelemetry:
+    """Per-tick probe data collected by :meth:`QueryScheduler.serve`.
+
+    The samples are the raw occupancy/queue/admission time series;
+    :class:`ScheduleReport` derives the headline latency percentiles
+    and occupancy statistics from them.  ``occupancy_timeline``
+    downsamples the series into a bounded number of buckets for
+    rendering (bench JSON, ``docs/RESULTS.md``).
+    """
+
+    slots: int
+    samples: List[TelemetrySample] = dataclasses.field(
+        default_factory=list)
+    rejections: List[RejectionEvent] = dataclasses.field(
+        default_factory=list)
+
+    @property
+    def peak_occupancy(self) -> int:
+        """Most slots simultaneously held during any sampled tick."""
+        return max((s.occupancy for s in self.samples), default=0)
+
+    @property
+    def peak_queue_depth(self) -> int:
+        """Deepest the admission queue ever got."""
+        return max((s.queue_depth for s in self.samples), default=0)
+
+    def occupancy_integral(self) -> int:
+        """Sum of occupancy over sampled ticks (slot-ticks of service).
+        Unsampled (idle) ticks contribute zero, so dividing by the
+        makespan gives the time-weighted mean occupancy."""
+        return sum(s.occupancy for s in self.samples)
+
+    def occupancy_timeline(self, buckets: int = 24) -> List[Dict]:
+        """The occupancy series downsampled to at most ``buckets``
+        equal-width tick ranges: per bucket the mean/max occupancy and
+        max queue depth.  Deterministic; empty when nothing ran."""
+        if not self.samples or buckets < 1:
+            return []
+        span = self.samples[-1].tick
+        width = max(1, math.ceil(span / buckets))
+        timeline: List[Dict] = []
+        grouped: Dict[int, List[TelemetrySample]] = {}
+        for sample in self.samples:
+            grouped.setdefault(max(sample.tick - 1, 0) // width,
+                               []).append(sample)
+        for index in sorted(grouped):
+            bucket = grouped[index]
+            # Mean over the *bucket width*: unsampled ticks are idle.
+            ticks_in_bucket = min(width, span - index * width)
+            timeline.append({
+                "until_tick": min((index + 1) * width, span),
+                "mean_occupancy": round(
+                    sum(s.occupancy for s in bucket)
+                    / max(ticks_in_bucket, 1), 4),
+                "max_occupancy": max(s.occupancy for s in bucket),
+                "max_queue_depth": max(s.queue_depth for s in bucket),
+            })
+        return timeline
+
+
 @dataclasses.dataclass
 class TenantReport:
     """Outcome of one tenant's stay in the scheduler."""
@@ -180,6 +292,14 @@ class TenantReport:
         return self.completed_tick - self.admitted_tick
 
     @property
+    def latency_ticks(self) -> Optional[int]:
+        """End-to-end latency the tenant observed: arrival (not
+        admission) to completion, so queueing delay is included."""
+        if self.completed_tick is None or self.status != "served":
+            return None
+        return self.completed_tick - self.spec.arrival_tick
+
+    @property
     def entries(self) -> int:
         """Unique entries this tenant offered to the wire."""
         return sum(p.entries for p in self.passes)
@@ -201,6 +321,7 @@ class ScheduleReport:
     shards: int
     loss_rate: float
     reorder_window: int
+    telemetry: Optional[SchedulerTelemetry] = None
 
     @property
     def served(self) -> List[TenantReport]:
@@ -233,10 +354,144 @@ class ScheduleReport:
 
     @property
     def throughput_entries_per_second(self) -> Optional[float]:
-        """Aggregate serving throughput: offered entries / makespan."""
-        if self.wall_seconds <= 0:
+        """Aggregate serving throughput: offered entries / makespan.
+        ``None`` when nothing was served (empty trace, every tenant
+        rejected) or the clock recorded no elapsed time — a replay with
+        zero served ticks must not divide by zero."""
+        if self.wall_seconds <= 0 or not self.served:
             return None
         return self.entries / self.wall_seconds
+
+    @property
+    def throughput_entries_per_tick(self) -> Optional[float]:
+        """Deterministic throughput: offered entries / makespan ticks
+        (``None`` when the replay served zero ticks)."""
+        if self.ticks <= 0 or not self.served:
+            return None
+        return self.entries / self.ticks
+
+    @property
+    def latencies(self) -> List[int]:
+        """Per-tenant arrival-to-completion latencies (served only),
+        in report order."""
+        return [t.latency_ticks for t in self.served
+                if t.latency_ticks is not None]
+
+    def latency_percentile(self, fraction: float) -> Optional[int]:
+        """Nearest-rank latency percentile in ticks; ``None`` when no
+        tenant was served (never a division by zero)."""
+        values = self.latencies
+        if not values:
+            return None
+        return _percentile(values, fraction)
+
+    @property
+    def latency_p50_ticks(self) -> Optional[int]:
+        """Median arrival-to-completion latency."""
+        return self.latency_percentile(0.50)
+
+    @property
+    def latency_p95_ticks(self) -> Optional[int]:
+        """95th-percentile arrival-to-completion latency."""
+        return self.latency_percentile(0.95)
+
+    @property
+    def latency_p99_ticks(self) -> Optional[int]:
+        """99th-percentile (tail) arrival-to-completion latency."""
+        return self.latency_percentile(0.99)
+
+    @property
+    def mean_occupancy(self) -> Optional[float]:
+        """Time-weighted mean slot occupancy over the makespan
+        (idle ticks count as zero); ``None`` without telemetry or when
+        zero ticks were served."""
+        if self.telemetry is None or self.ticks <= 0:
+            return None
+        return self.telemetry.occupancy_integral() / self.ticks
+
+    @property
+    def peak_occupancy(self) -> Optional[int]:
+        """Most slots simultaneously held; ``None`` without telemetry."""
+        if self.telemetry is None:
+            return None
+        return self.telemetry.peak_occupancy
+
+    @property
+    def rejection_timeline(self) -> List[RejectionEvent]:
+        """Admission rejections in tick order (empty without
+        telemetry)."""
+        if self.telemetry is None:
+            return []
+        return list(self.telemetry.rejections)
+
+    def to_payload(self) -> Dict:
+        """The report as a deterministic, JSON-serializable dict.
+
+        Everything here is a pure function of the tenant specs, the
+        config, and the seeds — wall-clock time is deliberately
+        excluded, so replaying the same trace with the same seed yields
+        a byte-identical ``json.dumps(report.to_payload(),
+        sort_keys=True)``.  ``repro bench replay`` and the determinism
+        property test both rely on this.
+        """
+        mean_occupancy = self.mean_occupancy
+        return {
+            "slots": self.slots,
+            "shards": self.shards,
+            "loss_rate": self.loss_rate,
+            "reorder_window": self.reorder_window,
+            "ticks": self.ticks,
+            "served": len(self.served),
+            "rejected": len(self.rejected),
+            "all_equivalent": self.all_equivalent,
+            "entries": self.entries,
+            "delivered": self.delivered,
+            "throughput_entries_per_tick":
+                self.throughput_entries_per_tick,
+            "latency": {
+                "p50_ticks": self.latency_p50_ticks,
+                "p95_ticks": self.latency_p95_ticks,
+                "p99_ticks": self.latency_p99_ticks,
+                "mean_ticks": (sum(self.latencies) / len(self.latencies)
+                               if self.latencies else None),
+                "max_ticks": (max(self.latencies)
+                              if self.latencies else None),
+            },
+            "occupancy": {
+                "mean": (None if mean_occupancy is None
+                         else round(mean_occupancy, 4)),
+                "peak": self.peak_occupancy,
+                "peak_queue_depth": (None if self.telemetry is None
+                                     else self.telemetry.peak_queue_depth),
+                "timeline": ([] if self.telemetry is None
+                             else self.telemetry.occupancy_timeline()),
+            },
+            "rejections": [
+                {"tick": event.tick, "tenant": event.tenant,
+                 "reason": event.reason}
+                for event in self.rejection_timeline
+            ],
+            "tenants": [
+                {
+                    "tenant": t.spec.tenant,
+                    "scenario": t.spec.scenario,
+                    "rows": t.spec.rows,
+                    "seed": t.spec.seed,
+                    "arrival_tick": t.spec.arrival_tick,
+                    "status": t.status,
+                    "reason": t.reason,
+                    "admitted_tick": t.admitted_tick,
+                    "completed_tick": t.completed_tick,
+                    "wait_ticks": t.wait_ticks,
+                    "service_ticks": t.service_ticks,
+                    "latency_ticks": t.latency_ticks,
+                    "entries": t.entries,
+                    "delivered": t.delivered,
+                    "equivalent": t.equivalent,
+                }
+                for t in self.tenants
+            ],
+        }
 
 
 class _TenantRun:
@@ -380,6 +635,20 @@ class QueryScheduler:
         waiting: List[_TenantRun] = []
         active: List[_TenantRun] = []
         finished: List[_TenantRun] = []
+        telemetry = SchedulerTelemetry(slots=cfg.slots)
+        # Per-tick probe bookkeeping, keyed by the *exact* tick each
+        # event is stamped with (admissions happen between service
+        # steps, so an iteration's admission events and its service
+        # step carry different ticks): tick -> [admitted, completed,
+        # rejected], tick -> (occupancy, queue_depth), tick ->
+        # queue depth after an admission phase.
+        counts: Dict[int, List[int]] = {}
+        service: Dict[int, tuple] = {}
+        queue_at: Dict[int, int] = {}
+
+        def bump(at: int, slot: int) -> None:
+            counts.setdefault(at, [0, 0, 0])[slot] += 1
+
         tick = 0
         start = time.perf_counter()
         while pending or waiting or active:
@@ -393,20 +662,30 @@ class QueryScheduler:
                     else:
                         run.reject(f"no free slot: all {cfg.slots} "
                                    "serving slots busy at arrival")
+                        telemetry.rejections.append(RejectionEvent(
+                            tick, run.spec.tenant, run.reason))
+                        bump(tick, 2)
                         finished.append(run)
                     continue
                 try:
                     run.admit(tick)
                 except (ResourceExhausted, CompilationError) as error:
                     run.reject(str(error))
+                    telemetry.rejections.append(RejectionEvent(
+                        tick, run.spec.tenant, run.reason))
+                    bump(tick, 2)
                     finished.append(run)
                     continue
+                bump(tick, 0)
                 if run.current is None:
                     run.complete(tick)
+                    bump(tick, 1)
                     finished.append(run)
                 else:
                     active.append(run)
             waiting = still_waiting
+            if tick in counts:
+                queue_at[tick] = len(waiting)
             if not active:
                 if pending:
                     # Idle until the next arrival.
@@ -436,11 +715,22 @@ class QueryScheduler:
                     continue
                 if not more:
                     run.complete(tick)
+                    bump(tick, 1)
                     done_runs.append(run)
+            service[tick] = (len(active), len(waiting))
             for run in done_runs:
                 active.remove(run)
                 finished.append(run)
         wall = time.perf_counter() - start
+        for sample_tick in sorted(set(counts) | set(service)):
+            occupancy, queue_depth = service.get(
+                sample_tick, (0, queue_at.get(sample_tick, 0)))
+            admitted, completed, rejected = counts.get(sample_tick,
+                                                       (0, 0, 0))
+            telemetry.samples.append(TelemetrySample(
+                tick=sample_tick, occupancy=occupancy,
+                queue_depth=queue_depth, admitted=admitted,
+                completed=completed, rejected=rejected))
         if check:
             for run in finished:
                 run.evaluate()
@@ -453,6 +743,7 @@ class QueryScheduler:
             shards=cfg.shards,
             loss_rate=cfg.loss_rate,
             reorder_window=cfg.reorder_window,
+            telemetry=telemetry,
         )
 
 
@@ -472,3 +763,41 @@ def tenant_specs(count: int, rows: int = 240, seed: int = 0,
                    arrival_tick=i * arrival_stride)
         for i in range(count)
     ]
+
+
+def replay_trace(trace, config: Optional[SchedulerConfig] = None,
+                 check: bool = True,
+                 apply_overrides: bool = True) -> ScheduleReport:
+    """Replay a recorded arrival trace through the scheduler.
+
+    ``trace`` is a :class:`repro.workloads.traces.Trace` (from
+    :func:`~repro.workloads.traces.load_trace` or
+    :func:`~repro.workloads.traces.generate_trace`).  With
+    ``apply_overrides=True`` (default) the trace header's
+    ``loss_rate``/``shards`` replace the config's values — a recorded
+    trace pins its network conditions; pass ``False`` when the caller
+    (e.g. an explicit CLI flag) has already resolved them.
+
+    An empty trace is a valid replay: the result is a zero-tick
+    :class:`ScheduleReport` with no tenants, ``None`` latency
+    percentiles and throughput, and empty telemetry — never a division
+    by zero.
+    """
+    config = config or SchedulerConfig()
+    if apply_overrides:
+        overrides = {}
+        if trace.loss_rate is not None:
+            overrides["loss_rate"] = trace.loss_rate
+        if trace.shards is not None:
+            overrides["shards"] = trace.shards
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
+    specs = trace.tenant_specs()
+    if not specs:
+        return ScheduleReport(
+            tenants=[], ticks=0, wall_seconds=0.0, slots=config.slots,
+            shards=config.shards, loss_rate=config.loss_rate,
+            reorder_window=config.reorder_window,
+            telemetry=SchedulerTelemetry(slots=config.slots),
+        )
+    return QueryScheduler(config).serve(specs, check=check)

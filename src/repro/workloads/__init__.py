@@ -18,6 +18,15 @@ from repro.workloads.bigdata import (
     benchmark_query,
 )
 from repro.workloads.tpch import TPCHGenerator, tpch_q3_queries
+from repro.workloads.traces import (
+    ARRIVAL_PROCESSES,
+    TRACE_VERSION,
+    Trace,
+    TraceQuery,
+    generate_trace,
+    load_trace,
+    parse_trace,
+)
 
 __all__ = [
     "random_order_stream",
@@ -29,4 +38,11 @@ __all__ = [
     "benchmark_query",
     "TPCHGenerator",
     "tpch_q3_queries",
+    "ARRIVAL_PROCESSES",
+    "TRACE_VERSION",
+    "Trace",
+    "TraceQuery",
+    "generate_trace",
+    "load_trace",
+    "parse_trace",
 ]

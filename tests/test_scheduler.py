@@ -184,6 +184,84 @@ class TestFairnessAndAccounting:
             TenantSpec("t", "distinct", arrival_tick=-1)
 
 
+class TestTelemetryAndEdgeCases:
+    """Scheduler hardening: the per-tick telemetry probe plus the edge
+    cases the PR 3 suite missed (trace-level cases such as the empty
+    trace live in tests/test_traces.py)."""
+
+    def test_serve_collects_telemetry(self):
+        specs = tenant_specs(4, rows=120, seed=3)
+        report = serve(specs, slots=2, loss_rate=0.02, seed=1)
+        telemetry = report.telemetry
+        assert telemetry is not None and telemetry.slots == 2
+        assert telemetry.samples, "no probe samples collected"
+        assert report.peak_occupancy == 2  # 4 tenants contend for 2 slots
+        assert telemetry.peak_queue_depth >= 1
+        assert 0 < report.mean_occupancy <= 2
+        assert sum(s.completed for s in telemetry.samples) == 4
+        # Occupancy timeline buckets are bounded and ordered.
+        timeline = telemetry.occupancy_timeline(buckets=10)
+        assert 0 < len(timeline) <= 10
+        assert [b["until_tick"] for b in timeline] == \
+            sorted(b["until_tick"] for b in timeline)
+        assert all(b["max_occupancy"] <= 2 for b in timeline)
+
+    def test_latency_includes_queueing_delay(self):
+        """A queued tenant's arrival->completion latency exceeds its
+        admission->completion service time by exactly its wait."""
+        specs = tenant_specs(3, rows=120, seed=5)
+        report = serve(specs, slots=1, loss_rate=0.0, seed=2)
+        for tenant in report.served:
+            assert tenant.latency_ticks == \
+                tenant.wait_ticks + tenant.service_ticks
+        queued = [t for t in report.served if t.wait_ticks > 0]
+        assert queued, "slots=1 with 3 tenants must queue someone"
+
+    def test_single_tick_burst_exceeding_slots_queues_all(self):
+        """All tenants arrive in one tick, more than max_slots: with
+        queueing they are all served and all still match solo runs."""
+        specs = tenant_specs(5, rows=100, seed=7)  # all arrival_tick=0
+        report = serve(specs, slots=2, loss_rate=0.0, seed=4)
+        assert len(report.served) == 5
+        assert report.all_equivalent is True
+        assert report.peak_occupancy == 2
+        assert report.telemetry.peak_queue_depth == 3
+
+    def test_single_tick_burst_exceeding_slots_rejects_overflow(self):
+        """Same burst with reject_when_full: overflow is rejected at
+        tick 0 and lands on the rejection timeline."""
+        specs = tenant_specs(5, rows=100, seed=7)
+        report = serve(specs, slots=2, queue_when_full=False,
+                       loss_rate=0.0, seed=4)
+        assert len(report.served) == 2
+        assert len(report.rejected) == 3
+        assert len(report.rejection_timeline) == 3
+        assert all(e.tick == 0 for e in report.rejection_timeline)
+
+    def test_throughput_is_none_when_nothing_served(self):
+        """The division-by-zero fix: zero ticks / all rejected => None,
+        never ZeroDivisionError."""
+        from repro.cluster.scheduler import (
+            ScheduleReport,
+            SchedulerTelemetry,
+        )
+
+        empty = ScheduleReport(tenants=[], ticks=0, wall_seconds=0.0,
+                               slots=2, shards=1, loss_rate=0.0,
+                               reorder_window=0,
+                               telemetry=SchedulerTelemetry(slots=2))
+        assert empty.throughput_entries_per_second is None
+        assert empty.throughput_entries_per_tick is None
+        assert empty.latency_p50_ticks is None
+        assert empty.mean_occupancy is None
+        # All-rejected serve: wall_seconds > 0 but nothing served.
+        specs = [TenantSpec("big", "skyline", rows=100, seed=2)]
+        report = serve(specs, slots=1, switch=SMALL_SWITCH_MODEL, seed=3)
+        assert report.served == []
+        assert report.throughput_entries_per_second is None
+        assert report.throughput_entries_per_tick is None
+
+
 @settings(max_examples=8, deadline=None)
 @given(
     loss=st.sampled_from([0.0, 0.02, 0.05]),
