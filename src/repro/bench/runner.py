@@ -19,11 +19,16 @@ trajectory can be tracked across PRs and asserted in CI:
   switches, solo-vs-shared latency, with every tenant's result checked
   against its solo ``QueryPlan.run``.
 * :func:`run_replay_bench` — trace-replay serving: Poisson, bursty,
-  and diurnal arrival traces through the scheduler under a tight slot
-  budget, reporting p50/p95/p99 arrival-to-completion latency and slot
-  occupancy from the per-tick telemetry probe.  Fully deterministic
-  (tick-based metrics only), so CI asserts byte-identical payloads for
-  the same seed.
+  diurnal, and heavy-tailed Pareto arrival traces through the
+  scheduler under a tight slot budget, reporting p50/p95/p99
+  arrival-to-completion latency and slot occupancy from the per-tick
+  telemetry probe.  Fully deterministic (tick-based metrics only), so
+  CI asserts byte-identical payloads for the same seed.
+* :func:`run_qos_bench` — the QoS subsystem's measured claim:
+  interactive-class tail latency under saturating batch load with the
+  ``tiers`` policy's slot preemption enabled vs. disabled, with every
+  tenant (including the preempted ones) still identical to its solo
+  ``QueryPlan.run``.  Deterministic for the same seed.
 """
 
 from __future__ import annotations
@@ -601,6 +606,111 @@ def run_replay_bench(queries: int = 8, rows: int = 100, slots: int = 2,
                               for run in runs},
         "peak_occupancy": {run["process"]: run["occupancy"]["peak"]
                            for run in runs},
+        "all_equivalent": all(run["all_equivalent"] is True
+                              for run in runs),
+    }
+
+
+#: Long-running scenarios the QoS bench uses as saturating batch load.
+QOS_BATCH_MIX = ("groupby_sum", "skyline", "having_sum")
+#: Short scenarios standing in for latency-sensitive interactive work.
+QOS_INTERACTIVE_MIX = ("distinct", "filter")
+
+
+def run_qos_bench(batch_tenants: int = 3, interactive_tenants: int = 4,
+                  batch_rows: int = 260, interactive_rows: int = 60,
+                  slots: int = 3, loss_rate: float = 0.02,
+                  reorder_window: int = 1, shards: int = 1,
+                  seed: int = 0, interactive_stride: int = 45,
+                  first_interactive_tick: int = 15) -> Dict:
+    """QoS benchmark: interactive p99 with vs. without slot preemption.
+
+    ``batch_tenants`` long-running batch-class tenants arrive at tick 0
+    and saturate the slot budget; ``interactive_tenants`` short
+    interactive-class tenants then arrive every ``interactive_stride``
+    ticks.  The same tenant set is served twice under the three-tier
+    policy (``docs/QOS.md``) — once with preemption enabled
+    (``tiers``), once disabled (``tiers-no-preempt``) — and the
+    per-class latency percentiles from ``ScheduleReport`` are compared.
+    The headline ``interactive_p99_improvement`` is the no-preemption
+    p99 over the preemption p99 (> 1 means preemption helped), while
+    ``all_equivalent`` certifies that every tenant — *including the
+    preempted-and-resumed batch tenants* — still produced a result
+    identical to its solo ``QueryPlan.run``.
+
+    The payload (``BENCH_qos.json``) is fully deterministic for the
+    same seed (tick-based metrics only); CI double-runs it and asserts
+    byte identity plus the improvement factor.
+    """
+    from repro.cluster.qos import tiers_policy
+    from repro.cluster.scheduler import (
+        QueryScheduler,
+        SchedulerConfig,
+        TenantSpec,
+    )
+
+    if batch_tenants < 1 or interactive_tenants < 1:
+        raise ValueError("the QoS bench needs at least one tenant of "
+                         "each class")
+    specs = [
+        TenantSpec(tenant=f"batch-{i}",
+                   scenario=QOS_BATCH_MIX[i % len(QOS_BATCH_MIX)],
+                   rows=batch_rows, seed=seed + i, arrival_tick=0,
+                   priority="batch")
+        for i in range(batch_tenants)
+    ] + [
+        TenantSpec(tenant=f"interactive-{i}",
+                   scenario=QOS_INTERACTIVE_MIX[
+                       i % len(QOS_INTERACTIVE_MIX)],
+                   rows=interactive_rows, seed=seed + 101 + i,
+                   arrival_tick=first_interactive_tick
+                   + i * interactive_stride,
+                   priority="interactive")
+        for i in range(interactive_tenants)
+    ]
+    runs: List[Dict] = []
+    for policy in (tiers_policy(preemption=True),
+                   tiers_policy(preemption=False)):
+        config = SchedulerConfig(slots=slots, policy=policy,
+                                 loss_rate=loss_rate,
+                                 reorder_window=reorder_window,
+                                 shards=shards, seed=seed)
+        report = QueryScheduler(config).serve(specs)
+        runs.append({
+            "policy": policy.name,
+            "preemption": policy.preemption,
+            **report.to_payload(),
+        })
+    with_preempt, without = runs
+    p99_on = with_preempt["classes"]["interactive"]["latency"]["p99_ticks"]
+    p99_off = without["classes"]["interactive"]["latency"]["p99_ticks"]
+    return {
+        "benchmark": "qos",
+        "batch_tenants": batch_tenants,
+        "interactive_tenants": interactive_tenants,
+        "batch_rows": batch_rows,
+        "interactive_rows": interactive_rows,
+        "slots": slots,
+        "loss_rate": loss_rate,
+        "reorder_window": reorder_window,
+        "shards": shards,
+        "seed": seed,
+        "interactive_stride": interactive_stride,
+        "runs": runs,
+        "interactive_p99_ticks": {run["policy"]: run["classes"]
+                                  ["interactive"]["latency"]["p99_ticks"]
+                                  for run in runs},
+        "batch_p99_ticks": {run["policy"]: run["classes"]
+                            ["batch"]["latency"]["p99_ticks"]
+                            for run in runs},
+        # The timeline interleaves preempt and resume entries; count
+        # only actual preemptions.
+        "preemption_events": {
+            run["policy"]: sum(event["kind"] == "preempt"
+                               for event in run["preemptions"])
+            for run in runs},
+        "interactive_p99_improvement": (p99_off / p99_on
+                                        if p99_on else None),
         "all_equivalent": all(run["all_equivalent"] is True
                               for run in runs),
     }

@@ -8,8 +8,12 @@ Usage::
     python -m repro run tpch_q3 --loss 0.05 --reorder 2 --shards 2
     python -m repro sql "SELECT DISTINCT seller FROM Products" --demo-tables
     python -m repro serve --tenants 8 --loss 0.05 --shards 2
+    python -m repro serve --tenants 6 --policy tiers \\
+        --priorities interactive,batch --record-trace session.jsonl
     python -m repro replay --gen poisson --queries 12 --seed 0
+    python -m repro replay --gen pareto --alpha 1.3 --queries 12
     python -m repro replay traces/diurnal.jsonl --slots 2
+    python -m repro bench qos --slots 3
     python -m repro bench fig11 --rows 60000 --shards 4
     python -m repro bench fig5 --scale 2e-5
     python -m repro bench e2e --rows 1200 --loss 0.05 --shards 2
@@ -33,9 +37,15 @@ verifies every tenant against its solo ``QueryPlan.run``.  ``replay``
 feeds a recorded (or ``--gen``-erated Poisson/bursty/diurnal) JSON-lines
 arrival trace through the scheduler and reports p50/p95/p99
 arrival-to-completion latency and slot occupancy from the per-tick
-telemetry probe; ``bench replay`` sweeps all three arrival processes
-into ``BENCH_replay.json`` (fully deterministic: tick-based metrics
-only).  The trace format is specified in ``docs/TRACES.md``.
+telemetry probe; ``bench replay`` sweeps all four arrival processes
+(Poisson, bursty, diurnal, heavy-tailed Pareto) into
+``BENCH_replay.json`` (fully deterministic: tick-based metrics only).
+``serve``/``replay`` take ``--policy`` to serve under a QoS policy —
+priority classes, weighted fair service, slot preemption (see
+``docs/QOS.md``) — and ``bench qos`` measures the interactive-class
+p99 with vs. without preemption into ``BENCH_qos.json``.  The trace
+format (version 2: per-query ``priority``/``slots`` hints) is
+specified in ``docs/TRACES.md``.
 """
 
 from __future__ import annotations
@@ -221,8 +231,33 @@ def _print_tenant_outcomes(report, served_detail) -> bool:
     return ok
 
 
+def _print_qos_outcomes(report) -> None:
+    """Per-class latency and preemption lines of a ScheduleReport
+    (shared by ``serve`` and ``replay``; silent under a single-class
+    policy with no preemptions)."""
+    summary = report.class_summary()
+    if len(summary) <= 1 and not report.preemption_count:
+        return
+    for name in sorted(summary):
+        entry = summary[name]
+        latency = entry["latency"]
+        line = (f"  class {name:12s} served={entry['served']:<3d} "
+                f"p50={latency['p50_ticks']} p99={latency['p99_ticks']}")
+        if entry["preemptions"]:
+            line += (f" preemptions={entry['preemptions']} "
+                     f"(suspended {entry['suspended_ticks']} ticks)")
+        print(line)
+    if report.preemption_count:
+        first = next(e for e in report.preemption_timeline
+                     if e.kind == "preempt")
+        print(f"  preemptions: {report.preemption_count} "
+              f"(first: {first.tenant} by {first.by} at tick "
+              f"{first.tick})")
+
+
 def _serve(args) -> int:
     """Serve N concurrent tenants over shared simulated switches."""
+    from repro.cluster.qos import parse_policy
     from repro.cluster.scheduler import (
         DEFAULT_TENANT_MIX,
         QueryScheduler,
@@ -240,28 +275,58 @@ def _serve(args) -> int:
         print(f"available: {', '.join(sorted(SCENARIOS))}",
               file=sys.stderr)
         return 2
+    priorities = (tuple(args.priorities.split(","))
+                  if args.priorities else None)
     try:
+        policy = parse_policy(args.policy)
         config = SchedulerConfig(
             slots=(args.slots if args.slots is not None
                    else args.tenants),
             queue_when_full=not args.reject_when_full,
+            policy=policy,
             workers=args.workers, loss_rate=args.loss,
             reorder_window=args.reorder, shards=args.shards,
             seed=args.seed,
         )
         specs = tenant_specs(args.tenants, rows=args.rows,
                              seed=args.seed, mix=mix,
-                             arrival_stride=args.arrival_stride)
+                             arrival_stride=args.arrival_stride,
+                             priorities=priorities)
         report = QueryScheduler(config).serve(specs)
     except (ValueError, SimulationError) as error:
         print(f"repro serve: {error}", file=sys.stderr)
         return 2
+    if args.record_trace:
+        import shlex
+
+        from repro.workloads.traces import trace_from_specs
+
+        trace = trace_from_specs(specs, seed=args.seed,
+                                 loss_rate=args.loss,
+                                 shards=args.shards)
+        trace.save(args.record_trace)
+        # The header pins loss/shards, but the remaining scheduler
+        # knobs must ride the replay command for the byte-identical
+        # round trip — include every non-default one, shell-quoted
+        # (custom policy specs contain ';').
+        replay_cmd = (f"repro replay {shlex.quote(args.record_trace)} "
+                      f"--policy {shlex.quote(args.policy)} "
+                      f"--slots {config.slots} --seed {args.seed}")
+        if args.reorder:
+            replay_cmd += f" --reorder {args.reorder}"
+        if args.workers != 4:
+            replay_cmd += f" --workers {args.workers}"
+        if args.reject_when_full:
+            replay_cmd += " --reject-when-full"
+        print(f"  -> recorded trace {args.record_trace} "
+              f"(version {trace.version}; replay with: {replay_cmd})")
     print(f"== serve: {args.tenants} tenants, {config.slots} slots, "
-          f"loss={args.loss} reorder={args.reorder} "
-          f"shards={args.shards} ==")
+          f"policy={policy.name}, loss={args.loss} "
+          f"reorder={args.reorder} shards={args.shards} ==")
     ok = _print_tenant_outcomes(
         report, lambda t: f"wait={t.wait_ticks:<5d} "
                           f"service={t.service_ticks:<6d}")
+    _print_qos_outcomes(report)
     throughput = report.throughput_entries_per_second
     print(f"  makespan    : {report.ticks} ticks, "
           f"{report.wall_seconds:.3f}s wall")
@@ -276,6 +341,7 @@ def _serve(args) -> int:
 
 def _replay(args) -> int:
     """Replay a recorded/generated arrival trace through the scheduler."""
+    from repro.cluster.qos import parse_policy
     from repro.cluster.scheduler import SchedulerConfig, replay_trace
     from repro.cluster.simulation import SCENARIOS, SimulationError
     from repro.workloads.traces import generate_trace, load_trace
@@ -298,6 +364,14 @@ def _replay(args) -> int:
             print(f"available: {', '.join(sorted(SCENARIOS))}",
                   file=sys.stderr)
             return 2
+    priorities = (tuple(args.priorities.split(","))
+                  if args.priorities else None)
+    if trace_file and priorities:
+        # Silent no-op would be worse: a recorded trace carries its own
+        # hints; --priorities only shapes generated traces.
+        print("repro replay: --priorities applies to --gen traces only "
+              "(a trace file keeps its recorded hints)", file=sys.stderr)
+        return 2
     try:
         if trace_file:
             trace = load_trace(trace_file)
@@ -309,11 +383,20 @@ def _replay(args) -> int:
                 seed=args.seed, mix=mix or DEFAULT_REPLAY_MIX,
                 interarrival=args.interarrival,
                 burst_size=args.burst_size, burst_gap=args.burst_gap,
-                period=args.period)
+                period=args.period, alpha=args.alpha,
+                priorities=priorities)
         if args.out:
             trace.save(args.out)
             print(f"  -> saved trace {args.out}")
-        # Precedence: explicit CLI flag > trace header > default.
+        # Precedence: explicit CLI flag > trace header > default.  The
+        # policy defaults to `tiers` when the trace carries *priority*
+        # hints (so recorded classes actually take effect) and `fifo`
+        # otherwise — slots-only v2 traces stay classless, since under
+        # tiers their standard-class queries would be locked out of
+        # small budgets by the reservation floors.
+        hinted = any(q.priority is not None for q in trace.queries)
+        policy = parse_policy(args.policy if args.policy is not None
+                              else "tiers" if hinted else "fifo")
         loss = (args.loss if args.loss is not None
                 else trace.loss_rate if trace.loss_rate is not None
                 else 0.0)
@@ -321,7 +404,7 @@ def _replay(args) -> int:
                   else trace.shards if trace.shards is not None else 1)
         config = SchedulerConfig(
             slots=args.slots, queue_when_full=not args.reject_when_full,
-            workers=args.workers, loss_rate=loss,
+            policy=policy, workers=args.workers, loss_rate=loss,
             reorder_window=args.reorder, shards=shards, seed=args.seed)
         report = replay_trace(trace, config, apply_overrides=False)
     except (OSError, ValueError, SimulationError) as error:
@@ -329,8 +412,8 @@ def _replay(args) -> int:
         return 2
     source = trace_file or f"generated {args.gen}"
     print(f"== replay: {source} ({len(trace.queries)} queries, "
-          f"{config.slots} slots, loss={config.loss_rate} "
-          f"shards={config.shards}) ==")
+          f"{config.slots} slots, policy={policy.name}, "
+          f"loss={config.loss_rate} shards={config.shards}) ==")
     if not trace.queries:
         print("  empty trace: nothing to replay")
         return 0
@@ -338,6 +421,7 @@ def _replay(args) -> int:
         report, lambda t: f"arrival={t.spec.arrival_tick:<6d} "
                           f"wait={t.wait_ticks:<5d} "
                           f"latency={t.latency_ticks:<6d}")
+    _print_qos_outcomes(report)
     mean_occ = report.mean_occupancy
     latencies = report.latencies
     print(f"  makespan   : {report.ticks} ticks, "
@@ -372,6 +456,7 @@ def _bench(args) -> int:
         run_e2e_bench,
         run_fig5_bench,
         run_fig11_scale_bench,
+        run_qos_bench,
         run_replay_bench,
     )
 
@@ -385,7 +470,11 @@ def _bench(args) -> int:
         return 2
     if args.rows is None:
         args.rows = {"e2e": 1200, "concurrency": 240,
-                     "replay": 100}.get(args.name, 60_000)
+                     "replay": 100, "qos": 260}.get(args.name, 60_000)
+    if args.slots is None:
+        # The QoS bench needs slack above the tiers policy's two
+        # reserved slots; the replay bench wants a tight budget.
+        args.slots = 3 if args.name == "qos" else 2
     if args.name == "fig11" and args.rows < 40:
         print(f"repro bench: --rows must be >= 40 for the fig11 streams, "
               f"got {args.rows}", file=sys.stderr)
@@ -493,6 +582,46 @@ def _bench(args) -> int:
         if payload["all_equivalent"] is not True:
             print("  ERROR: a replayed tenant diverged from "
                   "QueryPlan.run", file=sys.stderr)
+            return 1
+    elif args.name == "qos":
+        if args.rows < 20:
+            print(f"repro bench: --rows must be >= 20 for qos, got "
+                  f"{args.rows}", file=sys.stderr)
+            return 2
+        if not 0.0 <= args.loss < 1.0:
+            print(f"repro bench: --loss must be in [0, 1), got "
+                  f"{args.loss}", file=sys.stderr)
+            return 2
+        try:
+            payload = run_qos_bench(batch_rows=args.rows,
+                                    slots=args.slots,
+                                    loss_rate=args.loss,
+                                    reorder_window=args.reorder,
+                                    shards=args.shards, seed=args.seed)
+        except ValueError as error:
+            print(f"repro bench: {error}", file=sys.stderr)
+            return 2
+        path = emit_bench_json("qos", payload, args.results_dir)
+        print(f"qos bench: {payload['batch_tenants']} batch + "
+              f"{payload['interactive_tenants']} interactive tenants, "
+              f"{args.slots} slots, batch rows={args.rows}, "
+              f"loss={args.loss}")
+        for run in payload["runs"]:
+            classes = run["classes"]
+            preempts = payload["preemption_events"][run["policy"]]
+            print(f"  {run['policy']:17s} "
+                  f"interactive p99="
+                  f"{classes['interactive']['latency']['p99_ticks']} "
+                  f"batch p99={classes['batch']['latency']['p99_ticks']} "
+                  f"preemptions={preempts} "
+                  f"equivalent={run['all_equivalent']}")
+        improvement = payload["interactive_p99_improvement"]
+        print(f"  interactive p99 improvement from preemption: "
+              f"{improvement:.2f}x")
+        if payload["all_equivalent"] is not True:
+            print("  ERROR: a tenant diverged from QueryPlan.run "
+                  "(preemption broke result identity?)",
+                  file=sys.stderr)
             return 1
     elif args.name == "fig11":
         payload = run_fig11_scale_bench(rows=args.rows, shards=args.shards,
@@ -625,6 +754,18 @@ def main(argv: List[str] = None) -> int:
     serve_parser.add_argument("--reject-when-full", action="store_true",
                               help="reject tenants arriving with no "
                               "free slot instead of queueing them")
+    serve_parser.add_argument("--policy", default="fifo",
+                              help="QoS policy: fifo, tiers, "
+                              "tiers-no-preempt, or a custom class "
+                              "spec (see docs/QOS.md)")
+    serve_parser.add_argument("--priorities", default=None,
+                              help="comma-separated QoS class names "
+                              "tenants cycle through (e.g. "
+                              "interactive,batch)")
+    serve_parser.add_argument("--record-trace", default=None,
+                              metavar="PATH",
+                              help="record the session's admissions as "
+                              "a replayable v2 arrival trace")
     serve_parser.add_argument("--seed", type=int, default=0)
 
     replay_parser = sub.add_parser(
@@ -638,7 +779,8 @@ def main(argv: List[str] = None) -> int:
                                help="path to a JSON-lines trace "
                                "(same as the positional)")
     replay_parser.add_argument("--gen",
-                               choices=["poisson", "burst", "diurnal"],
+                               choices=["poisson", "burst", "diurnal",
+                                        "pareto"],
                                default=None,
                                help="synthesize a trace under this "
                                "arrival process instead of reading one")
@@ -659,6 +801,17 @@ def main(argv: List[str] = None) -> int:
                                help="burst: ticks between bursts")
     replay_parser.add_argument("--period", type=int, default=240,
                                help="diurnal: ticks per rate cycle")
+    replay_parser.add_argument("--alpha", type=float, default=1.5,
+                               help="pareto: tail index (> 1; smaller "
+                               "= heavier tail)")
+    replay_parser.add_argument("--priorities", default=None,
+                               help="comma-separated QoS class names "
+                               "generated queries cycle through "
+                               "(makes the trace version 2)")
+    replay_parser.add_argument("--policy", default=None,
+                               help="QoS policy (default: tiers when "
+                               "the trace carries priority hints, "
+                               "else fifo)")
     replay_parser.add_argument("--out", default=None,
                                help="also save the (generated) trace "
                                "to this path")
@@ -683,20 +836,24 @@ def main(argv: List[str] = None) -> int:
         "bench", help="run a perf benchmark (batched vs per-packet "
         "dataplane; 'e2e' times the full simulated cluster; "
         "'concurrency' measures multi-tenant serving; 'replay' measures "
-        "tail latency under trace-replay arrivals) and emit "
+        "tail latency under trace-replay arrivals; 'qos' measures "
+        "interactive p99 with vs without slot preemption) and emit "
         "BENCH_<name>.json")
     bench_parser.add_argument("name", choices=["fig5", "fig11", "e2e",
-                                               "concurrency", "replay"])
+                                               "concurrency", "replay",
+                                               "qos"])
     bench_parser.add_argument("--rows", type=int, default=None,
                               help="largest stream length (fig11: "
                               "default 60000) or scenario size (e2e: "
-                              "default 1200; concurrency: default 240)")
+                              "default 1200; concurrency: default 240; "
+                              "qos: batch-tenant rows, default 260)")
     bench_parser.add_argument("--tenants", type=int, default=8,
                               help="concurrency: largest tenant count")
     bench_parser.add_argument("--queries", type=int, default=8,
                               help="replay: queries per generated trace")
-    bench_parser.add_argument("--slots", type=int, default=2,
-                              help="replay: serving-slot budget")
+    bench_parser.add_argument("--slots", type=int, default=None,
+                              help="serving-slot budget (replay: "
+                              "default 2; qos: default 3)")
     bench_parser.add_argument("--loss", type=float, default=0.05,
                               help="e2e: channel loss probability")
     bench_parser.add_argument("--reorder", type=int, default=2,

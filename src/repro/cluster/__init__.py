@@ -28,6 +28,14 @@ from repro.cluster.simulation import (
     SCENARIOS,
     build_scenario,
 )
+from repro.cluster.qos import (
+    DeficitRoundRobin,
+    PriorityClass,
+    QosPolicy,
+    fifo_policy,
+    parse_policy,
+    tiers_policy,
+)
 from repro.cluster.scheduler import (
     QueryScheduler,
     ScheduleReport,
@@ -62,6 +70,12 @@ __all__ = [
     "SimulationReport",
     "SCENARIOS",
     "build_scenario",
+    "DeficitRoundRobin",
+    "PriorityClass",
+    "QosPolicy",
+    "fifo_policy",
+    "parse_policy",
+    "tiers_policy",
     "QueryScheduler",
     "ScheduleReport",
     "SchedulerConfig",

@@ -1,0 +1,424 @@
+"""QoS policy engine: priority classes, weighted fair service, preemption.
+
+The multi-tenant :class:`~repro.cluster.scheduler.QueryScheduler`
+consults a :class:`QosPolicy` at every admission and service decision.
+The policy is a set of named :class:`PriorityClass`\\ es (e.g.
+``interactive`` / ``standard`` / ``batch``), each carrying:
+
+* a **priority** — admission order and who may preempt whom (strictly
+  higher priority only);
+* a **weight** — the class's share of service under deficit round
+  robin (:class:`DeficitRoundRobin`), replacing the PR-3 fixed
+  rotation;
+* a **slot reservation** — a floor of serving slots held back for the
+  class: other classes cannot occupy them at admission, and preemption
+  can never push the class below its floor.  A ``batch`` floor of one
+  slot is what makes the policy starvation-free under sustained
+  ``interactive`` load;
+* a **preemptible** flag — whether an arriving strictly-higher-priority
+  tenant may suspend a running member of this class mid-pass.
+
+Three built-in policies (``BUILTIN_POLICIES``):
+
+* ``fifo`` — one class, no reservations, no preemption; byte-identical
+  to the pre-QoS scheduler (the default, so classless workloads are
+  unchanged);
+* ``tiers`` — ``interactive`` (priority 20, weight 4, one reserved
+  slot, not preemptible) / ``standard`` (priority 10, weight 2) /
+  ``batch`` (priority 0, weight 1, one reserved slot, preemptible),
+  preemption enabled;
+* ``tiers-no-preempt`` — the same classes with preemption disabled
+  (the control arm of ``repro bench qos``).
+
+:func:`parse_policy` additionally accepts a compact custom-policy spec
+so CLI users can define classes inline.  The full model (DRR math,
+preemption state machine, starvation-freedom argument) is documented in
+``docs/QOS.md``.
+
+>>> policy = parse_policy("tiers")
+>>> policy.resolve("interactive").weight
+4.0
+>>> policy.resolve(None).name          # unhinted tenants -> default
+'standard'
+>>> custom = parse_policy("rt:prio=5,weight=8,reserve=1,rigid;bg:prio=0")
+>>> custom.resolve("bg").preemptible
+True
+>>> custom.default_class               # first class unless marked
+'rt'
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "PriorityClass",
+    "QosPolicy",
+    "DeficitRoundRobin",
+    "BUILTIN_POLICIES",
+    "fifo_policy",
+    "tiers_policy",
+    "parse_policy",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class PriorityClass:
+    """One named QoS class and its service parameters."""
+
+    name: str
+    #: Higher priority is admitted first and may preempt strictly lower.
+    priority: int
+    #: DRR service share relative to other *active* classes (> 0).
+    weight: float = 1.0
+    #: Serving-slot floor held back for this class (see module doc).
+    reserved_slots: int = 0
+    #: May a strictly-higher-priority arrival suspend this class?
+    preemptible: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("priority class needs a non-empty name")
+        if self.weight <= 0:
+            raise ValueError(
+                f"class {self.name!r}: weight must be > 0 (a zero weight "
+                f"would starve the class under DRR), got {self.weight}"
+            )
+        if self.reserved_slots < 0:
+            raise ValueError(
+                f"class {self.name!r}: reserved_slots must be >= 0, "
+                f"got {self.reserved_slots}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class QosPolicy:
+    """A named set of priority classes plus the preemption switch."""
+
+    name: str
+    classes: Tuple[PriorityClass, ...]
+    default_class: str
+    preemption: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("a QoS policy needs at least one class")
+        names = [cls.name for cls in self.classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate class names in policy: {names}")
+        if self.default_class not in names:
+            raise ValueError(
+                f"default class {self.default_class!r} is not one of "
+                f"the policy's classes ({', '.join(names)})"
+            )
+
+    # -- lookups --------------------------------------------------------------
+    def resolve(self, name: Optional[str]) -> PriorityClass:
+        """The class for a tenant's ``priority`` hint (None = default).
+
+        Raises :class:`ValueError` naming the available classes when the
+        hint is unknown — a trace recorded against one policy replayed
+        under another should fail loudly, not silently re-class.
+        """
+        if name is None:
+            name = self.default_class
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        raise ValueError(
+            f"unknown priority class {name!r} (policy {self.name!r} "
+            f"defines: {', '.join(c.name for c in self.classes)})"
+        )
+
+    @property
+    def class_names(self) -> List[str]:
+        """Class names in declaration order."""
+        return [cls.name for cls in self.classes]
+
+    @property
+    def total_reserved(self) -> int:
+        """Sum of all classes' slot floors."""
+        return sum(cls.reserved_slots for cls in self.classes)
+
+    # -- admission math -------------------------------------------------------
+    def validate_slots(self, slots: int) -> None:
+        """The policy's floors must fit the scheduler's slot budget."""
+        if self.total_reserved > slots:
+            raise ValueError(
+                f"policy {self.name!r} reserves {self.total_reserved} "
+                f"slots but the scheduler only has {slots}"
+            )
+
+    def held_back_from(self, cls: PriorityClass,
+                       in_service: Mapping[str, int]) -> int:
+        """Slots the other classes' unfilled floors withhold from
+        ``cls``.  ``in_service`` maps class name -> slots currently
+        held by running tenants of that class."""
+        return sum(
+            max(0, other.reserved_slots - in_service.get(other.name, 0))
+            for other in self.classes if other.name != cls.name
+        )
+
+    def available_to(self, cls: PriorityClass, free_slots: int,
+                     in_service: Mapping[str, int]) -> int:
+        """Slots ``cls`` may actually claim right now: the free slots
+        minus every *other* class's unfilled reservation floor."""
+        return free_slots - self.held_back_from(cls, in_service)
+
+    def best_case_slots(self, cls: PriorityClass, slots: int) -> int:
+        """Most slots ``cls`` could ever hold (empty scheduler): used to
+        reject tenants whose ``slots`` ask can never be satisfied."""
+        return slots - self.held_back_from(cls, {})
+
+    def may_preempt(self, arriving: PriorityClass,
+                    victim: PriorityClass) -> bool:
+        """Preemption eligibility: enabled, the victim's class allows
+        it, and the arrival outranks the victim *strictly*."""
+        return (self.preemption and victim.preemptible
+                and arriving.priority > victim.priority)
+
+    def describe(self) -> str:
+        """One line per class (CLI/diagnostics)."""
+        parts = []
+        for cls in sorted(self.classes, key=lambda c: -c.priority):
+            flags = [] if cls.preemptible else ["rigid"]
+            if cls.reserved_slots:
+                flags.append(f"reserve={cls.reserved_slots}")
+            if cls.name == self.default_class:
+                flags.append("default")
+            suffix = f" [{', '.join(flags)}]" if flags else ""
+            parts.append(f"{cls.name}(prio={cls.priority}, "
+                         f"weight={cls.weight:g}){suffix}")
+        state = "on" if self.preemption else "off"
+        return f"{self.name}: {'; '.join(parts)}; preemption {state}"
+
+
+class DeficitRoundRobin:
+    """Weighted fair service across the active tenants.
+
+    Each global scheduler tick, every active tenant earns credit
+    proportional to its class weight — normalized by the *largest
+    weight currently active*, so the heaviest class steps every tick
+    and the scheduler stays work-conserving (a lone ``batch`` tenant is
+    never slowed down).  A tenant whose accumulated deficit reaches one
+    quantum is serviced that tick and pays the quantum back.  With
+    uniform weights every tenant steps every tick — byte-identical to
+    the pre-QoS scheduler.
+
+    Service-rate guarantee: an active tenant with weight ``w`` advances
+    at least ``floor(T * w / w_max)`` protocol ticks over any window of
+    ``T`` global ticks, so every positive-weight class is
+    starvation-free *while it holds a slot* (the reservation floors in
+    :class:`QosPolicy` guarantee it can hold one).
+
+    >>> drr = DeficitRoundRobin()
+    >>> for key in ("fast", "slow"):
+    ...     drr.admit(key)
+    >>> weights = {"fast": 4.0, "slow": 1.0}
+    >>> [sorted(drr.serviced(weights)) for _ in range(4)]
+    [['fast'], ['fast'], ['fast'], ['fast', 'slow']]
+    """
+
+    #: Tolerance for float credit accumulation (e.g. 3 * (1/3)).
+    _EPSILON = 1e-9
+
+    def __init__(self) -> None:
+        self._deficit: Dict[object, float] = {}
+
+    def admit(self, key: object) -> None:
+        """Start tracking ``key`` with an empty deficit."""
+        self._deficit[key] = 0.0
+
+    def forget(self, key: object) -> None:
+        """Stop tracking ``key`` (completion or preemption — a resumed
+        tenant re-enters via :meth:`admit` with a fresh deficit)."""
+        self._deficit.pop(key, None)
+
+    def serviced(self, weights: Mapping[object, float]) -> List[object]:
+        """Advance one global tick: credit every key in ``weights`` and
+        return the keys (in ``weights`` iteration order) whose deficit
+        reached a full quantum.  Never empty when ``weights`` is not:
+        the max-weight key always earns a full quantum."""
+        if not weights:
+            return []
+        max_weight = max(weights.values())
+        ready: List[object] = []
+        for key, weight in weights.items():
+            credit = self._deficit.get(key, 0.0) + weight / max_weight
+            if credit >= 1.0 - self._EPSILON:
+                credit -= 1.0
+                ready.append(key)
+            self._deficit[key] = credit
+        return ready
+
+
+# ---------------------------------------------------------------------------
+# Built-in policies and the CLI policy parser
+# ---------------------------------------------------------------------------
+
+def fifo_policy() -> QosPolicy:
+    """One class, no floors, no preemption: the pre-QoS scheduler."""
+    return QosPolicy(
+        name="fifo",
+        classes=(PriorityClass("standard", priority=0, weight=1.0,
+                               preemptible=False),),
+        default_class="standard",
+        preemption=False,
+    )
+
+
+def tiers_policy(preemption: bool = True) -> QosPolicy:
+    """The three-tier interactive/standard/batch policy.
+
+    ``interactive`` keeps one slot reserved (latency headroom) and is
+    never preempted; ``batch`` also keeps one slot reserved, which is
+    the starvation-freedom floor: preemption can never push the class
+    below it, so batch work always progresses.
+    """
+    return QosPolicy(
+        name="tiers" if preemption else "tiers-no-preempt",
+        classes=(
+            PriorityClass("interactive", priority=20, weight=4.0,
+                          reserved_slots=1, preemptible=False),
+            PriorityClass("standard", priority=10, weight=2.0),
+            PriorityClass("batch", priority=0, weight=1.0,
+                          reserved_slots=1),
+        ),
+        default_class="standard",
+        preemption=preemption,
+    )
+
+
+#: Named policies the CLI accepts directly.
+BUILTIN_POLICIES = {
+    "fifo": fifo_policy,
+    "tiers": lambda: tiers_policy(preemption=True),
+    "tiers-no-preempt": lambda: tiers_policy(preemption=False),
+}
+
+
+def _parse_class(chunk: str, index: int) -> Tuple[PriorityClass, bool]:
+    """One ``name:field,field,...`` chunk -> (class, is_default)."""
+    if ":" not in chunk:
+        raise ValueError(
+            f"policy spec: class {chunk!r} needs fields "
+            "(name:prio=INT[,weight=FLOAT,...])"
+        )
+    name, _, body = chunk.partition(":")
+    name = name.strip()
+    if not name:
+        raise ValueError(f"policy spec: class #{index + 1} has no name")
+    priority = 0
+    weight = 1.0
+    reserved = 0
+    preemptible = True
+    default = False
+    for field in filter(None, (f.strip() for f in body.split(","))):
+        key, _, value = field.partition("=")
+        try:
+            if key == "prio":
+                priority = int(value)
+            elif key == "weight":
+                weight = float(value)
+            elif key == "reserve":
+                reserved = int(value)
+            elif key == "rigid" and not value:
+                preemptible = False
+            elif key == "default" and not value:
+                default = True
+            else:
+                raise ValueError
+        except ValueError:
+            raise ValueError(
+                f"policy spec: class {name!r} has bad field {field!r} "
+                "(expected prio=INT, weight=FLOAT, reserve=INT, rigid, "
+                "or default)"
+            ) from None
+    return (PriorityClass(name, priority=priority, weight=weight,
+                          reserved_slots=reserved,
+                          preemptible=preemptible), default)
+
+
+def parse_policy(text: str) -> QosPolicy:
+    """A built-in policy name, or a compact custom class spec.
+
+    Custom grammar (``;``-separated classes)::
+
+        [nopreempt;] name:prio=P[,weight=W][,reserve=R][,rigid][,default]
+
+    ``rigid`` marks a class non-preemptible; ``default`` marks the
+    class unhinted tenants fall into (first class otherwise).
+    """
+    text = text.strip()
+    builtin = BUILTIN_POLICIES.get(text)
+    if builtin is not None:
+        return builtin()
+    chunks = [c.strip() for c in text.split(";") if c.strip()]
+    preemption = True
+    if chunks and chunks[0] == "nopreempt":
+        preemption = False
+        chunks = chunks[1:]
+    if not chunks or not any(":" in chunk for chunk in chunks):
+        # A bare word that is not a built-in is a typo, not a one-class
+        # custom policy.
+        raise ValueError(
+            f"unknown policy {text!r} (built-ins: "
+            f"{', '.join(sorted(BUILTIN_POLICIES))}; or a custom spec "
+            "like 'rt:prio=5,weight=8,reserve=1;bg:prio=0')"
+        )
+    classes: List[PriorityClass] = []
+    default_class: Optional[str] = None
+    for index, chunk in enumerate(chunks):
+        cls, is_default = _parse_class(chunk, index)
+        classes.append(cls)
+        if is_default:
+            if default_class is not None:
+                raise ValueError(
+                    "policy spec: more than one class marked default"
+                )
+            default_class = cls.name
+    return QosPolicy(
+        name="custom",
+        classes=tuple(classes),
+        default_class=default_class or classes[0].name,
+        preemption=preemption,
+    )
+
+
+def plan_preemption(policy: QosPolicy, arriving: PriorityClass,
+                    needed: int, shortfall: int,
+                    candidates: Sequence[Tuple[object, PriorityClass, int]],
+                    in_service: Mapping[str, int]) -> Optional[List[object]]:
+    """Choose victims to free ``shortfall`` more slots for an arrival.
+
+    ``candidates`` are ``(key, class, slots)`` triples of the running
+    tenants, already ordered by preference (the scheduler passes lowest
+    priority first, most recently admitted first — minimizing both the
+    rank and the amount of work thrown away).  A victim must be
+    preemptible by ``arriving`` and its class must stay at or above its
+    reservation floor after removal.  Returns the victim keys, or
+    ``None`` when no combination frees enough — preemption is then not
+    attempted at all (suspending tenants without admitting anyone would
+    only waste work).
+    """
+    if shortfall <= 0:
+        return []
+    if not policy.preemption or needed <= 0:
+        return None
+    remaining = dict(in_service)
+    victims: List[object] = []
+    freed = 0
+    for key, cls, slots in candidates:
+        if freed >= shortfall:
+            break
+        if not policy.may_preempt(arriving, cls):
+            continue
+        if remaining.get(cls.name, 0) - slots < cls.reserved_slots:
+            continue  # would breach the victim class's floor
+        remaining[cls.name] = remaining.get(cls.name, 0) - slots
+        victims.append(key)
+        freed += slots
+    if freed < shortfall:
+        return None
+    return victims

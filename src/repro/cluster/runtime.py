@@ -29,7 +29,11 @@ from repro.db.queries import CompoundQuery, Query
 from repro.db.table import Table
 from repro.sketches.hashing import row_of, rows_of_batch
 from repro.switch.compiler import QuerySpec
-from repro.switch.controlplane import ControlPlane, RuleInstallation
+from repro.switch.controlplane import (
+    ControlPlane,
+    QueryCheckpoint,
+    RuleInstallation,
+)
 from repro.switch.resources import SwitchModel, TOFINO_MODEL
 
 TableSet = Union[Table, Mapping[str, Table]]
@@ -278,6 +282,34 @@ class ShardedSwitchFrontend:
             plane.uninstall_query(fid)
         self._installed.pop(fid, None)
 
+    def suspend_query(self, fid: int) -> "ShardedQueryCheckpoint":
+        """Checkpoint a live query on every shard (QoS preemption).
+
+        Each pipeline's rules are removed while its pruner state is
+        retained in a per-shard :class:`QueryCheckpoint`; the merged
+        sharded view is kept alongside, so :meth:`resume_query`
+        restores the exact pre-suspension state everywhere.
+        """
+        shards = tuple(plane.suspend_query(fid) for plane in self.planes)
+        merged = self._installed.pop(fid)
+        return ShardedQueryCheckpoint(fid=fid, installation=merged,
+                                      shards=shards)
+
+    def resume_query(self,
+                     checkpoint: "ShardedQueryCheckpoint",
+                     ) -> RuleInstallation:
+        """Re-install a suspended query on every shard.
+
+        Every pipeline holds the same packed composition, so if the
+        first shard's pack re-admits the checkpoint the rest do too
+        (``ResourceExhausted`` therefore surfaces before any shard is
+        mutated).
+        """
+        for plane, shard_checkpoint in zip(self.planes, checkpoint.shards):
+            plane.resume_query(shard_checkpoint)
+        self._installed[checkpoint.fid] = checkpoint.installation
+        return checkpoint.installation
+
     def offer(self, fid: int, entry) -> bool:
         """Data-plane prune decision on the entry's shard."""
         return self._installed[fid].compiled.pruner.offer(entry)
@@ -304,6 +336,17 @@ class ShardedSwitchFrontend:
                 total.offered += stats.offered
                 total.pruned += stats.pruned
         return totals
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardedQueryCheckpoint:
+    """A query suspended across all shards: the merged installation
+    plus one :class:`~repro.switch.controlplane.QueryCheckpoint` per
+    pipeline (state preserved shard by shard)."""
+
+    fid: int
+    installation: RuleInstallation
+    shards: tuple
 
 
 @dataclasses.dataclass

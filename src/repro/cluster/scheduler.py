@@ -26,10 +26,20 @@ Scheduling model (specified in ``docs/SCHEDULER.md``):
   as the frontend's ``max_slots``) on each install; drivers uninstall
   the moment a pass group completes, releasing the slot to waiting
   tenants.
-* **Fairness** — each global tick, every active tenant's in-flight wire
-  pass advances exactly one protocol tick, and the service order
-  *rotates* so no tenant systematically reaches the switch's
-  ``offer_batch`` first.
+* **QoS** (``docs/QOS.md``) — every admission and service decision
+  consults the configured :class:`~repro.cluster.qos.QosPolicy`:
+  waiting tenants are admitted highest class priority first, slot
+  *reservations* hold floors per class, and (when enabled) an arriving
+  strictly-higher-priority tenant may *preempt* a preemptible tenant
+  mid-pass — the victim's installed queries are checkpointed out of
+  the data plane with their pruner state intact and resumed later with
+  a byte-identical final result.
+* **Fairness** — each global tick, deficit round robin
+  (:class:`~repro.cluster.qos.DeficitRoundRobin`) picks which active
+  tenants' in-flight passes advance one protocol tick, proportional to
+  class weight (uniform weights = everyone, the pre-QoS behavior), and
+  the service order *rotates* so no tenant systematically reaches the
+  switch's ``offer_batch`` first.
 
 Why interleaving is safe: every tenant's pruner state lives behind its
 own flow id inside the pack (stateful queries never observe other
@@ -58,6 +68,13 @@ import math
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.cluster.qos import (
+    DeficitRoundRobin,
+    PriorityClass,
+    QosPolicy,
+    fifo_policy,
+    plan_preemption,
+)
 from repro.cluster.runtime import ShardedSwitchFrontend
 from repro.cluster.simulation import (
     ActiveTransfer,
@@ -89,7 +106,13 @@ DEFAULT_TENANT_MIX = (
 
 @dataclasses.dataclass(frozen=True)
 class TenantSpec:
-    """One tenant's request: a named scenario plus arrival time."""
+    """One tenant's request: a named scenario plus arrival time.
+
+    ``priority`` names a class of the serving policy
+    (:class:`~repro.cluster.qos.QosPolicy`; ``None`` = the policy's
+    default class) and ``slots`` is the tenant's serving-slot ask —
+    both also ride in version-2 arrival traces (``docs/TRACES.md``).
+    """
 
     tenant: str
     scenario: str
@@ -97,12 +120,18 @@ class TenantSpec:
     seed: int = 0
     #: Global scheduler tick at which the tenant shows up (0 = start).
     arrival_tick: int = 0
+    #: QoS class hint (a policy class name; None = policy default).
+    priority: Optional[str] = None
+    #: Serving slots this tenant occupies while admitted.
+    slots: int = 1
 
     def __post_init__(self) -> None:
         if self.arrival_tick < 0:
             raise ValueError(
                 f"arrival_tick must be >= 0, got {self.arrival_tick}"
             )
+        if self.slots < 1:
+            raise ValueError(f"slots must be >= 1, got {self.slots}")
 
 
 @dataclasses.dataclass
@@ -113,13 +142,18 @@ class SchedulerConfig:
     scheduler never admits more tenants than slots, and the shared
     frontend's ``max_slots`` makes the data plane itself reject
     over-admission.  ``queue_when_full=False`` turns slot contention
-    into admission rejection instead of queueing.  The remaining knobs
-    mirror :class:`~repro.cluster.simulation.SimulationConfig` and are
-    applied to every tenant.
+    into admission rejection instead of queueing.  ``policy`` is the
+    QoS policy the scheduler consults at every admission and service
+    decision (default :func:`~repro.cluster.qos.fifo_policy`, which is
+    byte-identical to the pre-QoS scheduler); its slot reservations
+    must fit within ``slots``.  The remaining knobs mirror
+    :class:`~repro.cluster.simulation.SimulationConfig` and are applied
+    to every tenant.
     """
 
     slots: int = 4
     queue_when_full: bool = True
+    policy: QosPolicy = dataclasses.field(default_factory=fifo_policy)
     workers: int = 4
     loss_rate: float = 0.0
     reorder_window: int = 0
@@ -134,6 +168,7 @@ class SchedulerConfig:
     def __post_init__(self) -> None:
         if self.slots < 1:
             raise ValueError(f"slots must be >= 1, got {self.slots}")
+        self.policy.validate_slots(self.slots)
         # Delegate range checks of the shared knobs: building a tenant
         # config validates workers/loss/reorder/shards/window.
         self.tenant_simulation_config(0)
@@ -172,9 +207,13 @@ def _percentile(values: Sequence[int], fraction: float) -> int:
 class TelemetrySample:
     """One per-tick probe of the serving loop.
 
-    ``occupancy`` counts the tenants whose in-flight passes the loop
-    stepped during this tick; ``queue_depth`` the tenants waiting for
-    a slot.  The three counters record events stamped with *exactly*
+    ``occupancy`` counts the serving slots held by admitted tenants
+    during this tick (a tenant's ``spec.slots``, summed);
+    ``serviced`` the tenants whose in-flight passes the loop actually
+    stepped — under the default single-class policy every slot holder
+    steps every tick, so the two only diverge when DRR weights skip a
+    slot-holding tenant; ``queue_depth`` the tenants waiting for a
+    slot.  The event counters record events stamped with *exactly*
     this tick, so they correlate one-to-one with
     ``TenantReport.admitted_tick`` / ``completed_tick`` and
     ``RejectionEvent.tick`` (admissions happen between service steps:
@@ -190,6 +229,13 @@ class TelemetrySample:
     admitted: int
     completed: int
     rejected: int
+    #: Tenants whose passes advanced this tick (DRR-selected).
+    serviced: int = 0
+    #: Tenants sitting preempted (checkpointed, slotless) this tick.
+    suspended: int = 0
+    #: Preemptions / resumes stamped with exactly this tick.
+    preempted: int = 0
+    resumed: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -199,6 +245,21 @@ class RejectionEvent:
     tick: int
     tenant: str
     reason: str
+
+
+@dataclasses.dataclass(frozen=True)
+class PreemptionEvent:
+    """One preemption-state transition on the QoS timeline.
+
+    ``kind`` is ``"preempt"`` (``tenant`` was suspended to make room
+    for the arriving ``by``) or ``"resume"`` (``tenant`` re-entered
+    service; ``by`` is empty).
+    """
+
+    tick: int
+    tenant: str
+    by: str
+    kind: str
 
 
 @dataclasses.dataclass
@@ -216,6 +277,8 @@ class SchedulerTelemetry:
     samples: List[TelemetrySample] = dataclasses.field(
         default_factory=list)
     rejections: List[RejectionEvent] = dataclasses.field(
+        default_factory=list)
+    preemptions: List[PreemptionEvent] = dataclasses.field(
         default_factory=list)
 
     @property
@@ -276,6 +339,12 @@ class TenantReport:
     admitted_tick: Optional[int] = None
     completed_tick: Optional[int] = None
     passes: List[PassStats] = dataclasses.field(default_factory=list)
+    #: Resolved QoS class name (the policy default when unhinted).
+    qos_class: str = ""
+    #: Times this tenant was preempted (suspended mid-pass).
+    preemptions: int = 0
+    #: Global ticks spent suspended between preemption and resume.
+    suspended_ticks: int = 0
 
     @property
     def wait_ticks(self) -> Optional[int]:
@@ -322,6 +391,8 @@ class ScheduleReport:
     loss_rate: float
     reorder_window: int
     telemetry: Optional[SchedulerTelemetry] = None
+    #: Name of the QoS policy the run was served under.
+    policy: str = "fifo"
 
     @property
     def served(self) -> List[TenantReport]:
@@ -424,6 +495,64 @@ class ScheduleReport:
             return []
         return list(self.telemetry.rejections)
 
+    @property
+    def preemption_timeline(self) -> List[PreemptionEvent]:
+        """Preempt/resume transitions in tick order (empty without
+        telemetry or under a no-preemption policy)."""
+        if self.telemetry is None:
+            return []
+        return list(self.telemetry.preemptions)
+
+    @property
+    def preemption_count(self) -> int:
+        """Total preemptions across served tenants."""
+        return sum(t.preemptions for t in self.tenants)
+
+    def class_latencies(self, qos_class: str) -> List[int]:
+        """Arrival-to-completion latencies of one QoS class's served
+        tenants, in report order."""
+        return [t.latency_ticks for t in self.served
+                if t.qos_class == qos_class and t.latency_ticks is not None]
+
+    def class_latency_percentile(self, qos_class: str,
+                                 fraction: float) -> Optional[int]:
+        """Nearest-rank latency percentile within one class (``None``
+        when the class served nothing)."""
+        values = self.class_latencies(qos_class)
+        if not values:
+            return None
+        return _percentile(values, fraction)
+
+    def class_summary(self) -> Dict[str, Dict]:
+        """Per-class serving outcomes: counts, latency percentiles,
+        and preemption totals, keyed by class name (only classes that
+        appear among this run's tenants)."""
+        summary: Dict[str, Dict] = {}
+        for tenant in self.tenants:
+            name = tenant.qos_class or "standard"
+            entry = summary.setdefault(name, {
+                "tenants": 0, "served": 0, "rejected": 0,
+                "preemptions": 0, "suspended_ticks": 0,
+            })
+            entry["tenants"] += 1
+            entry["preemptions"] += tenant.preemptions
+            entry["suspended_ticks"] += tenant.suspended_ticks
+            if tenant.status == "served":
+                entry["served"] += 1
+            elif tenant.status == "rejected":
+                entry["rejected"] += 1
+        for name, entry in summary.items():
+            values = self.class_latencies(name)
+            entry["latency"] = {
+                "p50_ticks": _percentile(values, 0.50) if values else None,
+                "p95_ticks": _percentile(values, 0.95) if values else None,
+                "p99_ticks": _percentile(values, 0.99) if values else None,
+                "mean_ticks": (sum(values) / len(values)
+                               if values else None),
+                "max_ticks": max(values) if values else None,
+            }
+        return summary
+
     def to_payload(self) -> Dict:
         """The report as a deterministic, JSON-serializable dict.
 
@@ -437,6 +566,7 @@ class ScheduleReport:
         mean_occupancy = self.mean_occupancy
         return {
             "slots": self.slots,
+            "policy": self.policy,
             "shards": self.shards,
             "loss_rate": self.loss_rate,
             "reorder_window": self.reorder_window,
@@ -471,6 +601,12 @@ class ScheduleReport:
                  "reason": event.reason}
                 for event in self.rejection_timeline
             ],
+            "classes": self.class_summary(),
+            "preemptions": [
+                {"tick": event.tick, "tenant": event.tenant,
+                 "by": event.by, "kind": event.kind}
+                for event in self.preemption_timeline
+            ],
             "tenants": [
                 {
                     "tenant": t.spec.tenant,
@@ -478,6 +614,8 @@ class ScheduleReport:
                     "rows": t.spec.rows,
                     "seed": t.spec.seed,
                     "arrival_tick": t.spec.arrival_tick,
+                    "qos_class": t.qos_class,
+                    "slots": t.spec.slots,
                     "status": t.status,
                     "reason": t.reason,
                     "admitted_tick": t.admitted_tick,
@@ -485,6 +623,8 @@ class ScheduleReport:
                     "wait_ticks": t.wait_ticks,
                     "service_ticks": t.service_ticks,
                     "latency_ticks": t.latency_ticks,
+                    "preemptions": t.preemptions,
+                    "suspended_ticks": t.suspended_ticks,
                     "entries": t.entries,
                     "delivered": t.delivered,
                     "equivalent": t.equivalent,
@@ -492,6 +632,56 @@ class ScheduleReport:
                 for t in self.tenants
             ],
         }
+
+
+class _TenantFrontend:
+    """Per-tenant view of the shared switch frontend.
+
+    Tracks which flow ids the tenant currently has installed, so the
+    scheduler can checkpoint them all on preemption
+    (``suspend_query``) and restore them byte-identically on resume —
+    the tenant's drivers keep calling the usual control-plane surface
+    and never notice the round trip.
+    """
+
+    def __init__(self, shared: Any):
+        self._shared = shared
+        self.fids: set = set()
+
+    def install_query(self, spec, fid=None):
+        installation = self._shared.install_query(spec, fid=fid)
+        self.fids.add(installation.fid)
+        return installation
+
+    def uninstall_query(self, fid: int) -> None:
+        self._shared.uninstall_query(fid)
+        self.fids.discard(fid)
+
+    def offer(self, fid: int, entry):
+        return self._shared.offer(fid, entry)
+
+    def offer_batch(self, fid: int, entries):
+        return self._shared.offer_batch(fid, entries)
+
+    def pruner_for(self, fid: int):
+        return self._shared.pruner_for(fid)
+
+    def suspend(self) -> List[Any]:
+        """Checkpoint every installed query (state-preserving)."""
+        return [self._shared.suspend_query(fid)
+                for fid in sorted(self.fids)]
+
+    def resume(self, checkpoints: List[Any]) -> None:
+        """Re-install the suspended queries under their original fids.
+
+        Consumes ``checkpoints`` in place as each re-install lands, so
+        a mid-list ``ResourceExhausted`` leaves exactly the
+        not-yet-restored checkpoints behind — a retry resumes the
+        remainder instead of double-installing a fid.
+        """
+        while checkpoints:
+            self._shared.resume_query(checkpoints[0])
+            checkpoints.pop(0)
 
 
 class _TenantRun:
@@ -511,9 +701,16 @@ class _TenantRun:
         self.passes: List[PassStats] = []
         self.current: Optional[ActiveTransfer] = None
         self._delivered = None
+        self.qos_class: PriorityClass = config.policy.resolve(
+            spec.priority)
+        self.preemptions = 0
+        self.suspended_ticks = 0
+        self._suspend_tick: Optional[int] = None
+        self._checkpoints: Optional[List[Any]] = None
+        self.frontend = _TenantFrontend(frontend)
         self.sim = ClusterSimulation(
             config.tenant_simulation_config(index),
-            frontend_factory=lambda: frontend,
+            frontend_factory=lambda: self.frontend,
         )
         self.gen = None
         self.query = None
@@ -561,6 +758,31 @@ class _TenantRun:
         self.status = "served"
         self.completed_tick = tick
 
+    def suspend(self, tick: int) -> None:
+        """Preempt mid-pass: checkpoint every installed query out of
+        the shared data plane (pruner state preserved) and freeze the
+        in-flight :class:`ActiveTransfer` — nothing about the pass
+        advances while suspended, so the resumed run is byte-identical
+        to an uninterrupted one."""
+        self._checkpoints = self.frontend.suspend()
+        self.status = "suspended"
+        self._suspend_tick = tick
+        self.preemptions += 1
+
+    def resume(self, tick: int) -> None:
+        """Re-install the checkpointed queries and rejoin the active
+        set.  Raises ``ResourceExhausted`` (checkpoint no longer fits
+        alongside the current pack) without losing the not-yet-restored
+        checkpoints — ``_TenantFrontend.resume`` consumes the list as
+        installs land — so the scheduler can retry later."""
+        if self._checkpoints:
+            self.frontend.resume(self._checkpoints)
+        self._checkpoints = None
+        self.status = "admitted"
+        if self._suspend_tick is not None:
+            self.suspended_ticks += tick - self._suspend_tick
+            self._suspend_tick = None
+
     def evaluate(self) -> None:
         """Compare against the functional ``QueryPlan.run`` reference.
         Runs after the serving clock stops — verification work must not
@@ -587,6 +809,9 @@ class _TenantRun:
             result=self.result, equivalent=self.equivalent,
             admitted_tick=self.admitted_tick,
             completed_tick=self.completed_tick, passes=self.passes,
+            qos_class=self.qos_class.name,
+            preemptions=self.preemptions,
+            suspended_ticks=self.suspended_ticks,
         )
 
 
@@ -621,60 +846,136 @@ class QueryScheduler:
         ``TenantReport.equivalent`` records the verdict.
         """
         cfg = self.config
+        policy = cfg.policy
         if not tenants:
             raise ValueError("serve needs at least one tenant")
         names = [spec.tenant for spec in tenants]
         if len(set(names)) != len(names):
             raise ValueError(f"tenant names must be unique, got {names}")
         frontend = self._build_frontend()
+        # Resolving every tenant's class up front surfaces unknown
+        # priority hints as a serve-time ValueError, not a mid-run one.
         runs = [_TenantRun(spec, index, cfg, frontend)
                 for index, spec in enumerate(tenants)]
         for run in runs:
             run.prepare()
         pending = sorted(runs, key=lambda r: (r.spec.arrival_tick, r.index))
         waiting: List[_TenantRun] = []
+        suspended: List[_TenantRun] = []
         active: List[_TenantRun] = []
         finished: List[_TenantRun] = []
+        drr = DeficitRoundRobin()
         telemetry = SchedulerTelemetry(slots=cfg.slots)
         # Per-tick probe bookkeeping, keyed by the *exact* tick each
         # event is stamped with (admissions happen between service
         # steps, so an iteration's admission events and its service
         # step carry different ticks): tick -> [admitted, completed,
-        # rejected], tick -> (occupancy, queue_depth), tick ->
-        # queue depth after an admission phase.
+        # rejected, preempted, resumed], tick -> (occupancy,
+        # queue_depth, suspended), tick -> (queue depth, suspended)
+        # after an admission phase.
         counts: Dict[int, List[int]] = {}
         service: Dict[int, tuple] = {}
-        queue_at: Dict[int, int] = {}
+        queue_at: Dict[int, tuple] = {}
 
         def bump(at: int, slot: int) -> None:
-            counts.setdefault(at, [0, 0, 0])[slot] += 1
+            counts.setdefault(at, [0, 0, 0, 0, 0])[slot] += 1
+
+        def in_service() -> Dict[str, int]:
+            held: Dict[str, int] = {}
+            for run in active:
+                name = run.qos_class.name
+                held[name] = held.get(name, 0) + run.spec.slots
+            return held
+
+        def reject(run: _TenantRun, reason: str, at: int) -> None:
+            run.reject(reason)
+            telemetry.rejections.append(RejectionEvent(
+                at, run.spec.tenant, run.reason))
+            bump(at, 2)
+            finished.append(run)
 
         tick = 0
         start = time.perf_counter()
-        while pending or waiting or active:
+        while pending or waiting or suspended or active:
             while pending and pending[0].spec.arrival_tick <= tick:
                 waiting.append(pending.pop(0))
-            still_waiting: List[_TenantRun] = []
-            for run in waiting:
-                if len(active) >= cfg.slots:
-                    if cfg.queue_when_full:
-                        still_waiting.append(run)
-                    else:
-                        run.reject(f"no free slot: all {cfg.slots} "
-                                   "serving slots busy at arrival")
-                        telemetry.rejections.append(RejectionEvent(
-                            tick, run.spec.tenant, run.reason))
-                        bump(tick, 2)
-                        finished.append(run)
+            # Admission & resume, highest class priority first (FIFO
+            # within a class: arrival tick, then spec order).
+            candidates = sorted(
+                waiting + suspended,
+                key=lambda r: (-r.qos_class.priority,
+                               r.spec.arrival_tick, r.index))
+            for run in candidates:
+                cls = run.qos_class
+                need = run.spec.slots
+                if (run.status == "queued"
+                        and need > policy.best_case_slots(cls, cfg.slots)):
+                    waiting.remove(run)
+                    reject(run, f"needs {need} slot(s) but class "
+                                f"{cls.name!r} can use at most "
+                                f"{policy.best_case_slots(cls, cfg.slots)}"
+                                f" of {cfg.slots} (reserved for other "
+                                "classes)", tick)
                     continue
+                held = in_service()
+                free = cfg.slots - sum(held.values())
+                available = policy.available_to(cls, free, held)
+                if available < need and run.status == "queued":
+                    # A strictly-higher-priority arrival may suspend
+                    # preemptible lower classes (never below their
+                    # reservation floors) to make room.
+                    victims = plan_preemption(
+                        policy, cls, need, need - available,
+                        [(victim, victim.qos_class, victim.spec.slots)
+                         for victim in sorted(
+                             active,
+                             key=lambda v: (v.qos_class.priority,
+                                            -(v.admitted_tick or 0),
+                                            -v.index))],
+                        held)
+                    if victims:
+                        for victim in victims:
+                            victim.suspend(tick)
+                            active.remove(victim)
+                            suspended.append(victim)
+                            drr.forget(victim.index)
+                            telemetry.preemptions.append(PreemptionEvent(
+                                tick, victim.spec.tenant,
+                                run.spec.tenant, "preempt"))
+                            bump(tick, 3)
+                        held = in_service()
+                        free = cfg.slots - sum(held.values())
+                        available = policy.available_to(cls, free, held)
+                if available < need:
+                    if run.status == "queued" and not cfg.queue_when_full:
+                        waiting.remove(run)
+                        if free >= need:
+                            reject(run, f"no unreserved slot: class "
+                                        f"{cls.name!r} is locked out by "
+                                        "other classes' reservations at "
+                                        "arrival", tick)
+                        else:
+                            reject(run, f"no free slot: all {cfg.slots} "
+                                        "serving slots busy at arrival",
+                                   tick)
+                    continue  # queued/suspended: wait for a slot
+                if run.status == "suspended":
+                    try:
+                        run.resume(tick)
+                    except (ResourceExhausted, CompilationError):
+                        continue  # checkpoint does not fit yet; retry
+                    suspended.remove(run)
+                    active.append(run)
+                    drr.admit(run.index)
+                    telemetry.preemptions.append(PreemptionEvent(
+                        tick, run.spec.tenant, "", "resume"))
+                    bump(tick, 4)
+                    continue
+                waiting.remove(run)
                 try:
                     run.admit(tick)
                 except (ResourceExhausted, CompilationError) as error:
-                    run.reject(str(error))
-                    telemetry.rejections.append(RejectionEvent(
-                        tick, run.spec.tenant, run.reason))
-                    bump(tick, 2)
-                    finished.append(run)
+                    reject(run, str(error), tick)
                     continue
                 bump(tick, 0)
                 if run.current is None:
@@ -683,10 +984,14 @@ class QueryScheduler:
                     finished.append(run)
                 else:
                     active.append(run)
-            waiting = still_waiting
+                    drr.admit(run.index)
             if tick in counts:
-                queue_at[tick] = len(waiting)
+                queue_at[tick] = (len(waiting), len(suspended))
             if not active:
+                if suspended:
+                    # Resume retries next tick (slots are free now).
+                    tick += 1
+                    continue
                 if pending:
                     # Idle until the next arrival.
                     tick = max(tick + 1, pending[0].spec.arrival_tick)
@@ -698,11 +1003,17 @@ class QueryScheduler:
                     f"serving did not complete within {cfg.max_ticks} "
                     "global ticks (protocol livelock?)"
                 )
-            # Fairness: rotate which tenant's pass is serviced (and
-            # therefore whose offer_batch the switch sees) first.
-            offset = tick % len(active)
+            # Weighted fair service (deficit round robin): which active
+            # tenants' passes advance this tick is set by class weight;
+            # with uniform weights every tenant steps every tick.  The
+            # service order still rotates so no tenant systematically
+            # reaches the switch's offer_batch first.
+            ready = set(drr.serviced({run.index: run.qos_class.weight
+                                      for run in active}))
+            stepped = [run for run in active if run.index in ready]
+            offset = tick % len(stepped)
             done_runs: List[_TenantRun] = []
-            for run in active[offset:] + active[:offset]:
+            for run in stepped[offset:] + stepped[:offset]:
                 run.current.step()
                 if not run.current.done:
                     continue
@@ -717,20 +1028,27 @@ class QueryScheduler:
                     run.complete(tick)
                     bump(tick, 1)
                     done_runs.append(run)
-            service[tick] = (len(active), len(waiting))
+            # Occupancy = slots held this tick (slot-weighted), which
+            # equals the serviced count under uniform DRR weights.
+            service[tick] = (sum(run.spec.slots for run in active),
+                             len(stepped), len(waiting), len(suspended))
             for run in done_runs:
                 active.remove(run)
+                drr.forget(run.index)
                 finished.append(run)
         wall = time.perf_counter() - start
         for sample_tick in sorted(set(counts) | set(service)):
-            occupancy, queue_depth = service.get(
-                sample_tick, (0, queue_at.get(sample_tick, 0)))
-            admitted, completed, rejected = counts.get(sample_tick,
-                                                       (0, 0, 0))
+            occupancy, serviced, queue_depth, idle_suspended = \
+                service.get(sample_tick,
+                            (0, 0) + queue_at.get(sample_tick, (0, 0)))
+            admitted, completed, rejected, preempted, resumed = \
+                counts.get(sample_tick, (0, 0, 0, 0, 0))
             telemetry.samples.append(TelemetrySample(
                 tick=sample_tick, occupancy=occupancy,
                 queue_depth=queue_depth, admitted=admitted,
-                completed=completed, rejected=rejected))
+                completed=completed, rejected=rejected,
+                serviced=serviced, suspended=idle_suspended,
+                preempted=preempted, resumed=resumed))
         if check:
             for run in finished:
                 run.evaluate()
@@ -744,23 +1062,32 @@ class QueryScheduler:
             loss_rate=cfg.loss_rate,
             reorder_window=cfg.reorder_window,
             telemetry=telemetry,
+            policy=policy.name,
         )
 
 
 def tenant_specs(count: int, rows: int = 240, seed: int = 0,
                  mix: Sequence[str] = DEFAULT_TENANT_MIX,
-                 arrival_stride: int = 0) -> List[TenantSpec]:
+                 arrival_stride: int = 0,
+                 priorities: Optional[Sequence[str]] = None,
+                 ) -> List[TenantSpec]:
     """``count`` tenant specs cycling through ``mix``; tenant ``i``
-    arrives at ``i * arrival_stride`` (0 = everyone at start).  Shared
-    by ``repro serve`` and the concurrency benchmark."""
+    arrives at ``i * arrival_stride`` (0 = everyone at start) and — when
+    ``priorities`` is given — carries the ``i % len(priorities)``-th
+    QoS class hint.  Shared by ``repro serve`` and the concurrency and
+    QoS benchmarks."""
     if count < 1:
         raise ValueError(f"count must be >= 1, got {count}")
     if not mix:
         raise ValueError("scenario mix must not be empty")
+    if priorities is not None and not priorities:
+        raise ValueError("priorities must not be empty when given")
     return [
         TenantSpec(tenant=f"tenant-{i}", scenario=mix[i % len(mix)],
                    rows=rows, seed=seed + i,
-                   arrival_tick=i * arrival_stride)
+                   arrival_tick=i * arrival_stride,
+                   priority=(None if priorities is None
+                             else priorities[i % len(priorities)]))
         for i in range(count)
     ]
 
@@ -799,5 +1126,6 @@ def replay_trace(trace, config: Optional[SchedulerConfig] = None,
             shards=config.shards, loss_rate=config.loss_rate,
             reorder_window=config.reorder_window,
             telemetry=SchedulerTelemetry(slots=config.slots),
+            policy=config.policy.name,
         )
     return QueryScheduler(config).serve(specs, check=check)

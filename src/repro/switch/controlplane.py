@@ -35,6 +35,24 @@ class RuleInstallation:
         return True
 
 
+@dataclasses.dataclass(frozen=True)
+class QueryCheckpoint:
+    """A suspended query: its receipt, with the pruner state preserved.
+
+    Produced by :meth:`ControlPlane.suspend_query` when the QoS
+    scheduler preempts a tenant mid-pass: the query's rules leave the
+    data plane (freeing its pack slot and §6 footprint for the
+    preemptor) while the controller retains the pruner object — the
+    model of reading the query's register/SRAM state back out of the
+    switch.  :meth:`ControlPlane.resume_query` re-installs exactly that
+    state, so the resumed query's remaining decisions are byte-identical
+    to an uninterrupted run.
+    """
+
+    fid: int
+    installation: RuleInstallation
+
+
 class ControlPlane:
     """Installs compiled queries onto one switch data plane.
 
@@ -107,6 +125,37 @@ class ControlPlane:
         installation = self._installed.pop(fid, None)
         if installation is not None:
             self.total_rules_installed -= installation.compiled.control_rules
+
+    def suspend_query(self, fid: int) -> QueryCheckpoint:
+        """Checkpoint a live query for preemption (§6 churn, QoS).
+
+        Removes the query's rules from the data plane — freeing its
+        pack slot and resource footprint — while keeping the pruner's
+        state inside the returned :class:`QueryCheckpoint`, so a later
+        :meth:`resume_query` continues byte-identically.  Unknown fids
+        raise ``KeyError``.
+        """
+        installation = self._installed.pop(fid)
+        self.pack.remove(fid)
+        self.total_rules_installed -= installation.compiled.control_rules
+        return QueryCheckpoint(fid=fid, installation=installation)
+
+    def resume_query(self, checkpoint: QueryCheckpoint) -> RuleInstallation:
+        """Re-install a suspended query under its original fid.
+
+        Revalidates the pack (slot budget + §6 footprint) exactly like
+        a fresh install — raising ``ResourceExhausted`` when the
+        checkpoint no longer fits — but restores the *checkpointed*
+        pruner instance, so no switch state is lost across the
+        suspend/resume cycle.
+        """
+        installation = checkpoint.installation
+        self.pack.add(checkpoint.fid,
+                      installation.compiled.spec.query_type,
+                      installation.compiled.pruner)
+        self._installed[checkpoint.fid] = installation
+        self.total_rules_installed += installation.compiled.control_rules
+        return installation
 
     def offer(self, fid: int, entry) -> bool:
         """Data-plane prune decision for ``entry`` on flow ``fid``."""

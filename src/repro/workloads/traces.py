@@ -19,11 +19,19 @@ Format summary (one JSON object per line):
 * every following line — one **query record**: ``scenario`` (a name
   from the end-to-end suite), ``arrival_tick`` (non-decreasing),
   optional ``tenant`` name, ``rows`` (table scale), and ``seed``.
+  **Version 2** additionally allows per-query QoS hints: ``priority``
+  (a class name of the replaying scheduler's
+  :class:`~repro.cluster.qos.QosPolicy`) and ``slots`` (serving-slot
+  ask, >= 1).  Version-1 traces parse unchanged, and a v1 trace using
+  a v2 field fails with a version-gating diagnostic; the writer emits
+  the lowest version that can represent the trace.
 
 :func:`parse_trace` validates everything and raises :class:`ValueError`
 naming the offending ``source:line``; :func:`load_trace` reads a file.
 Generation is pure: the same process, knobs, and seed always produce a
-byte-identical trace.
+byte-identical trace.  :func:`trace_from_specs` records a live serve
+session's tenants as a replayable trace (``repro serve
+--record-trace``).
 
 >>> trace = generate_trace("poisson", queries=3, rows=40, seed=7)
 >>> [q.arrival_tick for q in trace.queries] == \\
@@ -32,10 +40,15 @@ byte-identical trace.
 True
 >>> parse_trace(trace.to_jsonl()) == trace
 True
+>>> trace.header()["version"]        # no QoS hints -> version 1
+1
+>>> generate_trace("pareto", queries=2, rows=40, seed=7,
+...                priorities=("interactive", "batch")).header()["version"]
+2
 >>> parse_trace('{"kind": "cheetah-trace", "version": 99}')
 Traceback (most recent call last):
     ...
-ValueError: <trace>:1: unsupported trace version 99 (this parser reads version 1)
+ValueError: <trace>:1: unsupported trace version 99 (this parser reads versions 1-2)
 """
 
 from __future__ import annotations
@@ -46,14 +59,19 @@ import math
 import random
 from typing import Dict, List, Optional, Sequence
 
-#: Format version this module writes and the only one it reads.
-TRACE_VERSION = 1
+#: Newest format version this module writes and reads.  The writer
+#: emits version 1 whenever a trace uses no v2 feature, so pre-QoS
+#: consumers keep reading recorded traces that don't need the hints.
+TRACE_VERSION = 2
+
+#: Versions :func:`parse_trace` accepts.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: The header's ``kind`` discriminator.
 TRACE_KIND = "cheetah-trace"
 
 #: Arrival processes :func:`generate_trace` knows how to synthesize.
-ARRIVAL_PROCESSES = ("poisson", "burst", "diurnal")
+ARRIVAL_PROCESSES = ("poisson", "burst", "diurnal", "pareto")
 
 #: Scenario mix generated traces cycle through (all from the e2e suite).
 DEFAULT_REPLAY_MIX = (
@@ -66,31 +84,54 @@ _HEADER_KEYS = frozenset(
     {"kind", "version", "process", "seed", "loss_rate", "shards"}
 )
 
-#: Query-record keys the parser accepts.
+#: Query-record keys the parser accepts in a version-1 trace.
 _QUERY_KEYS = frozenset(
     {"tenant", "scenario", "rows", "seed", "arrival_tick"}
 )
 
+#: Additional query-record keys a version-2 trace may carry.
+_QUERY_KEYS_V2 = frozenset({"priority", "slots"})
+
 
 @dataclasses.dataclass(frozen=True)
 class TraceQuery:
-    """One recorded query arrival: what runs, how big, and when."""
+    """One recorded query arrival: what runs, how big, and when.
+
+    ``priority`` and ``slots`` are the version-2 QoS hints: the name of
+    a priority class of the replaying scheduler's policy, and the
+    serving-slot ask.  Their defaults (``None`` / ``1``) mean the query
+    needs only version 1 on the wire.
+    """
 
     tenant: str
     scenario: str
     rows: int = 240
     seed: int = 0
     arrival_tick: int = 0
+    priority: Optional[str] = None
+    slots: int = 1
+
+    @property
+    def needs_v2(self) -> bool:
+        """Does serializing this query require format version 2?"""
+        return self.priority is not None or self.slots != 1
 
     def to_record(self) -> Dict:
-        """The query as its JSON-lines record (plain dict)."""
-        return {
+        """The query as its JSON-lines record (plain dict).  The v2
+        hints are only emitted when set, so hint-free traces remain
+        byte-identical to their version-1 serialization."""
+        record = {
             "tenant": self.tenant,
             "scenario": self.scenario,
             "rows": self.rows,
             "seed": self.seed,
             "arrival_tick": self.arrival_tick,
         }
+        if self.priority is not None:
+            record["priority"] = self.priority
+        if self.slots != 1:
+            record["slots"] = self.slots
+        return record
 
 
 @dataclasses.dataclass(frozen=True)
@@ -114,11 +155,16 @@ class Trace:
             return 0
         return self.queries[-1].arrival_tick
 
+    @property
+    def version(self) -> int:
+        """Lowest format version that can represent this trace."""
+        return 2 if any(q.needs_v2 for q in self.queries) else 1
+
     def header(self) -> Dict:
         """The trace's header record (plain dict)."""
         record = {
             "kind": TRACE_KIND,
-            "version": TRACE_VERSION,
+            "version": self.version,
             "process": self.process,
             "seed": self.seed,
         }
@@ -147,7 +193,8 @@ class Trace:
 
         return [
             TenantSpec(tenant=q.tenant, scenario=q.scenario, rows=q.rows,
-                       seed=q.seed, arrival_tick=q.arrival_tick)
+                       seed=q.seed, arrival_tick=q.arrival_tick,
+                       priority=q.priority, slots=q.slots)
             for q in self.queries
         ]
 
@@ -177,9 +224,10 @@ def _parse_header(record: Dict, source: str, line_no: int):
     if not isinstance(version, int) or isinstance(version, bool):
         _fail(source, line_no, f"\"version\" must be an integer, "
                                f"got {version!r}")
-    if version != TRACE_VERSION:
-        _fail(source, line_no, f"unsupported trace version {version} "
-                               f"(this parser reads version {TRACE_VERSION})")
+    if version not in SUPPORTED_VERSIONS:
+        _fail(source, line_no,
+              f"unsupported trace version {version} (this parser reads "
+              f"versions {SUPPORTED_VERSIONS[0]}-{SUPPORTED_VERSIONS[-1]})")
     unknown = sorted(set(record) - _HEADER_KEYS)
     if unknown:
         _fail(source, line_no,
@@ -203,14 +251,22 @@ def _parse_header(record: Dict, source: str, line_no: int):
     if shards is not None:
         shards = _require_int(record, "shards", source, line_no,
                               minimum=1)
-    return process, seed, loss_rate, shards
+    return version, process, seed, loss_rate, shards
 
 
 def _parse_query(record: Dict, source: str, line_no: int,
                  index: int, scenarios, last_arrival: int,
-                 seen_tenants: set) -> TraceQuery:
-    unknown = sorted(set(record) - _QUERY_KEYS)
+                 seen_tenants: set, version: int) -> TraceQuery:
+    allowed = _QUERY_KEYS if version < 2 else _QUERY_KEYS | _QUERY_KEYS_V2
+    unknown = sorted(set(record) - allowed)
     if unknown:
+        gated = sorted(set(unknown) & _QUERY_KEYS_V2)
+        if gated:
+            _fail(source, line_no,
+                  f"{', '.join(repr(g) for g in gated)} "
+                  f"{'is a' if len(gated) == 1 else 'are'} version-2 "
+                  f"field{'s' if len(gated) > 1 else ''} but the header "
+                  f"declares version {version}")
         _fail(source, line_no,
               f"unknown query field(s): {', '.join(unknown)}")
     scenario = record.get("scenario")
@@ -238,8 +294,16 @@ def _parse_query(record: Dict, source: str, line_no: int,
     if tenant in seen_tenants:
         _fail(source, line_no, f"duplicate tenant name {tenant!r}")
     seen_tenants.add(tenant)
+    priority = record.get("priority")
+    if priority is not None and (not isinstance(priority, str)
+                                 or not priority):
+        _fail(source, line_no, f"\"priority\" must be a non-empty QoS "
+                               f"class name, got {priority!r}")
+    slots = _require_int(record, "slots", source, line_no, minimum=1,
+                         default=1)
     return TraceQuery(tenant=tenant, scenario=scenario, rows=rows,
-                      seed=seed, arrival_tick=arrival)
+                      seed=seed, arrival_tick=arrival,
+                      priority=priority, slots=slots)
 
 
 def parse_trace(text: str, source: str = "<trace>") -> Trace:
@@ -273,14 +337,15 @@ def parse_trace(text: str, source: str = "<trace>") -> Trace:
         query = _parse_query(record, source, line_no, index=len(queries),
                              scenarios=SCENARIOS,
                              last_arrival=last_arrival,
-                             seen_tenants=seen_tenants)
+                             seen_tenants=seen_tenants,
+                             version=header[0])
         last_arrival = query.arrival_tick
         queries.append(query)
     if header is None:
         _fail(source, 1, "empty trace: expected a header line "
                          f"({{\"kind\": \"{TRACE_KIND}\", \"version\": "
                          f"{TRACE_VERSION}}})")
-    process, seed, loss_rate, shards = header
+    _version, process, seed, loss_rate, shards = header
     return Trace(queries=tuple(queries), process=process, seed=seed,
                  loss_rate=loss_rate, shards=shards)
 
@@ -327,6 +392,22 @@ def _burst_arrivals(rng: random.Random, queries: int, burst_size: int,
     return [(i // burst_size) * burst_gap for i in range(queries)]
 
 
+def _pareto_arrivals(rng: random.Random, queries: int,
+                     interarrival: float, alpha: float) -> List[int]:
+    """Heavy-tailed process: Pareto(alpha) inter-arrival gaps scaled so
+    the mean gap is ``interarrival`` ticks (finite only for
+    ``alpha > 1``).  Small ``alpha`` means occasional huge gaps between
+    dense clumps — the flash-crowd pattern Poisson cannot produce."""
+    scale = interarrival * (alpha - 1.0) / alpha
+    arrivals = []
+    clock = 0.0
+    for _ in range(queries):
+        # random.paretovariate(alpha) = U^(-1/alpha), mean a/(a-1).
+        clock += scale * rng.paretovariate(alpha)
+        arrivals.append(int(clock))
+    return arrivals
+
+
 def _diurnal_arrivals(rng: random.Random, queries: int,
                       interarrival: float, period: int,
                       amplitude: float) -> List[int]:
@@ -349,7 +430,8 @@ def generate_trace(process: str, queries: int, *, rows: int = 240,
                    mix: Sequence[str] = DEFAULT_REPLAY_MIX,
                    interarrival: float = 30.0, burst_size: int = 4,
                    burst_gap: int = 120, period: int = 240,
-                   amplitude: float = 0.9,
+                   amplitude: float = 0.9, alpha: float = 1.5,
+                   priorities: Optional[Sequence[str]] = None,
                    loss_rate: Optional[float] = None,
                    shards: Optional[int] = None) -> Trace:
     """Synthesize a ``queries``-query trace under an arrival process.
@@ -357,11 +439,15 @@ def generate_trace(process: str, queries: int, *, rows: int = 240,
     ``process`` is one of :data:`ARRIVAL_PROCESSES`: ``poisson``
     (exponential inter-arrival gaps with mean ``interarrival`` ticks),
     ``burst`` (``burst_size`` simultaneous arrivals every ``burst_gap``
-    ticks), or ``diurnal`` (a sinusoidally modulated Poisson rate with
-    one peak per ``period`` ticks, swing set by ``amplitude``).
-    Scenarios cycle through ``mix``; query ``i`` uses dataset seed
-    ``seed + i``.  Generation is deterministic: same arguments, same
-    trace, byte for byte.
+    ticks), ``diurnal`` (a sinusoidally modulated Poisson rate with
+    one peak per ``period`` ticks, swing set by ``amplitude``), or
+    ``pareto`` (heavy-tailed Pareto(``alpha``) inter-arrival gaps with
+    mean ``interarrival`` — flash crowds separated by long lulls;
+    requires ``alpha > 1`` for the mean to exist).  Scenarios cycle
+    through ``mix``; query ``i`` uses dataset seed ``seed + i`` and —
+    when ``priorities`` is given — carries the ``i``-th (cycled) QoS
+    class hint, making the trace format version 2.  Generation is
+    deterministic: same arguments, same trace, byte for byte.
     """
     if process not in ARRIVAL_PROCESSES:
         raise ValueError(
@@ -389,6 +475,13 @@ def generate_trace(process: str, queries: int, *, rows: int = 240,
         raise ValueError(f"period must be >= 2, got {period}")
     if not 0.0 <= amplitude <= 1.0:
         raise ValueError(f"amplitude must be in [0, 1], got {amplitude}")
+    if alpha <= 1.0:
+        raise ValueError(
+            f"alpha must be > 1 (a Pareto tail index <= 1 has no finite "
+            f"mean inter-arrival), got {alpha}"
+        )
+    if priorities is not None and not priorities:
+        raise ValueError("priorities must not be empty when given")
     # Decorrelate the processes' draws with a *stable* per-process salt
     # (never hash(): string hashing is randomized per interpreter run).
     salt = sum(ord(ch) * 131 ** i for i, ch in enumerate(process))
@@ -397,13 +490,45 @@ def generate_trace(process: str, queries: int, *, rows: int = 240,
         arrivals = _poisson_arrivals(rng, queries, interarrival)
     elif process == "burst":
         arrivals = _burst_arrivals(rng, queries, burst_size, burst_gap)
+    elif process == "pareto":
+        arrivals = _pareto_arrivals(rng, queries, interarrival, alpha)
     else:
         arrivals = _diurnal_arrivals(rng, queries, interarrival, period,
                                      amplitude)
     trace_queries = tuple(
         TraceQuery(tenant=f"q{i}", scenario=mix[i % len(mix)], rows=rows,
-                   seed=seed + i, arrival_tick=arrival)
+                   seed=seed + i, arrival_tick=arrival,
+                   priority=(None if priorities is None
+                             else priorities[i % len(priorities)]))
         for i, arrival in enumerate(arrivals)
     )
     return Trace(queries=trace_queries, process=process, seed=seed,
                  loss_rate=loss_rate, shards=shards)
+
+
+def trace_from_specs(specs: Sequence, seed: int = 0,
+                     loss_rate: Optional[float] = None,
+                     shards: Optional[int] = None) -> Trace:
+    """Record scheduler ``TenantSpec``\\ s as a replayable trace.
+
+    This is the ``repro serve --record-trace`` surface: the serve
+    session's admissions (tenant, scenario, rows, seed, arrival tick,
+    and the v2 QoS hints) become a trace whose replay under the same
+    :class:`~repro.cluster.scheduler.SchedulerConfig` reproduces the
+    serve run byte-identically (``ScheduleReport.to_payload``).  The
+    header pins the session's network conditions via
+    ``loss_rate``/``shards`` and records the scheduler seed as
+    provenance; queries are sorted by arrival tick (stable), satisfying
+    the format's non-decreasing-arrival rule.
+    """
+    ordered = sorted(specs, key=lambda s: s.arrival_tick)
+    return Trace(
+        queries=tuple(
+            TraceQuery(tenant=spec.tenant, scenario=spec.scenario,
+                       rows=spec.rows, seed=spec.seed,
+                       arrival_tick=spec.arrival_tick,
+                       priority=spec.priority, slots=spec.slots)
+            for spec in ordered
+        ),
+        process="custom", seed=seed, loss_rate=loss_rate, shards=shards,
+    )
