@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Socket serving over proto/v1 and the stable ``repro.api`` facade.
+
+Two ways to drive the multi-tenant scheduler:
+
+1. **In process** — ``repro.api.Session``: submit tenants, run, read
+   verified ``QueryResult``s.  This is the stable embedding surface;
+   constructing internal drivers directly is deprecated.
+2. **Over TCP** — a live :class:`repro.serving.ReproServer` plus
+   concurrent :class:`repro.serving.AsyncReproClient` connections
+   speaking the length-prefixed JSON ``proto/v1`` protocol
+   (``docs/PROTOCOL.md``).  Each client's result is identical to what
+   its query produces solo — the server verifies equivalence against
+   ``QueryPlan.run`` before the result frame leaves the box.
+
+Run:  python examples/socket_serving.py
+"""
+
+import asyncio
+
+from repro.api import ServeConfig, Session, connect_async
+
+
+TENANTS = [
+    ("topn", "interactive"),
+    ("filter", "batch"),
+    ("distinct", "standard"),
+    ("join", "interactive"),
+]
+
+
+def in_process_session():
+    print("== in-process: repro.api.Session ==")
+    session = Session(ServeConfig(slots=2, loss=0.05, reorder=2,
+                                  policy="tiers", seed=11))
+    for i, (scenario, priority) in enumerate(TENANTS):
+        session.submit(scenario, tenant=f"t{i}", rows=60, seed=i,
+                       priority=priority)
+    for result in session.run():
+        print(f"  {result.tenant:4s} {result.scenario:10s} "
+              f"{result.status:8s} class={result.qos_class:12s} "
+              f"latency={result.latency_ticks} "
+              f"identical={result.equivalent}")
+
+
+async def socket_session():
+    from repro.serving import ReproServer
+
+    print("\n== over TCP: ReproServer + proto/v1 clients ==")
+    server = ReproServer(ServeConfig(slots=2, loss=0.05, reorder=2,
+                                     policy="tiers", seed=11))
+    await server.start()
+    host, port = server.address
+    print(f"  listening on {host}:{port}")
+
+    async def one(i):
+        scenario, priority = TENANTS[i]
+        client = await connect_async(host, port)
+        result = await client.run(scenario, tenant=f"s{i}", rows=60,
+                                  seed=i, priority=priority)
+        await client.close()
+        return result
+
+    frames = await asyncio.gather(*(one(i) for i in range(len(TENANTS))))
+    await server.stop()
+    for frame in frames:
+        print(f"  {frame['tenant']:4s} {frame['scenario']:10s} "
+              f"{frame['status']:8s} class={frame['qos_class']:12s} "
+              f"latency={frame['latency_ticks']} "
+              f"identical={frame['equivalent']}")
+
+
+def main():
+    in_process_session()
+    asyncio.run(socket_session())
+
+
+if __name__ == "__main__":
+    main()

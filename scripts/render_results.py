@@ -79,7 +79,7 @@ def _environment_section(payloads) -> str:
             key: payload[key]
             for key in ("rows", "scale", "shards", "seed", "loss_rate",
                         "reorder_window", "batch_size", "max_tenants",
-                        "queries", "slots")
+                        "queries", "slots", "clients")
             if isinstance(payload.get(key), (int, float))
         }
         rows.append({
@@ -309,6 +309,61 @@ def _qos_section(payload) -> str:
     )
 
 
+def _load_section(payload) -> str:
+    def phase_row(label, phase):
+        wall = phase["wall_latency"]
+        ticks = phase["tick_latency"]
+        return {
+            "phase": label,
+            "queries": phase["queries"],
+            "served": phase["served"],
+            "wall p50 (ms)": _fmt(wall["p50_seconds"] * 1e3, 1),
+            "wall p95 (ms)": _fmt(wall["p95_seconds"] * 1e3, 1),
+            "wall p99 (ms)": _fmt(wall["p99_seconds"] * 1e3, 1),
+            "tick p50": ticks["p50_ticks"],
+            "tick p95": ticks["p95_ticks"],
+            "tick p99": ticks["p99_ticks"],
+            "all identical": phase["all_equivalent"],
+        }
+
+    rows = [phase_row("open loop", payload["open_loop"])]
+    closed = payload.get("closed_loop")
+    if closed is not None:
+        rows.append(phase_row("closed loop", closed))
+    open_loop = payload["open_loop"]
+    closed_note = ""
+    if closed is not None:
+        closed_note = (
+            f"  The closed loop runs {closed['clients']} clients "
+            f"issuing {closed['queries_per_client']} back-to-back "
+            "queries each against a live server (no hold barrier), so "
+            "its wall latency is the interactive request-response "
+            "number; its tick metrics depend on socket race order and "
+            "are not tracked.")
+    return (
+        "## Socket serving under load (`repro bench load`)\n\n"
+        f"{payload['clients']} concurrent TCP connections to a live "
+        f"`ReproServer` (proto/v1, policy `{payload['policy']}`, "
+        f"{payload['slots']} slots, loss "
+        f"{_fmt(payload['loss_rate'], 2)}), arrivals drawn from the "
+        f"`{payload['process']}` process with QoS classes cycling "
+        f"through {', '.join(payload['priority_mix'])}.  Wall-clock "
+        "latency (connect → result frame, host-dependent and "
+        "indicative only) rides next to the deterministic tick-domain "
+        "latency from the same run; the open loop's full tick domain "
+        "is byte-identical across runs and CI asserts it."
+        + closed_note + "\n\n"
+        + _table(["phase", "queries", "served", "wall p50 (ms)",
+                  "wall p95 (ms)", "wall p99 (ms)", "tick p50",
+                  "tick p95", "tick p99", "all identical"], rows)
+        + "\n\nOpen-loop swarm completed in "
+        f"{_fmt(open_loop['wall_seconds'], 2)}s wall; every served "
+        "query identical to `QueryPlan.run`: "
+        f"`{payload['all_equivalent']}`.  Protocol details in "
+        "[PROTOCOL.md](PROTOCOL.md)."
+    )
+
+
 #: Approximate paper values for Figure 9 (master blocking seconds vs
 #: unpruned %), digitized from the curves at 10 Gbps; the tracked
 #: claims are the *shape* (zero-blocking region, then super-linear
@@ -395,6 +450,7 @@ _SECTIONS = (
     ("concurrency", _concurrency_section),
     ("replay", _replay_section),
     ("qos", _qos_section),
+    ("load", _load_section),
 )
 
 

@@ -32,6 +32,13 @@ Package map
     NetAccel lower-bound model and the OPT streaming pruner.
 ``repro.bench``
     One experiment per table/figure of the paper's evaluation.
+``repro.api``
+    The stable public facade (``Session``, ``submit``,
+    ``QueryResult``, ``ServeConfig``) — the supported surface for
+    application code, covering both in-process and socket serving.
+``repro.serving``
+    The asyncio TCP frontend: ``ReproServer``/``ReproClient`` speaking
+    the versioned ``proto/v1`` wire protocol (docs/PROTOCOL.md).
 
 Quick start
 -----------

@@ -29,6 +29,14 @@ trajectory can be tracked across PRs and asserted in CI:
   ``tiers`` policy's slot preemption enabled vs. disabled, with every
   tenant (including the preempted ones) still identical to its solo
   ``QueryPlan.run``.  Deterministic for the same seed.
+* :func:`run_load_bench` — the socket serving benchmark: a concurrent
+  client swarm over real TCP connections against a live
+  ``ReproServer`` (open-loop arrivals from the trace generators plus
+  a closed-loop request/response phase), reporting wall-clock
+  p50/p95/p99 alongside the tick-based percentiles.  The open-loop
+  phase's ``tick_domain`` sub-object is byte-identical across runs
+  (hold-barrier admission); the wall-clock numbers are not, by
+  design.
 """
 
 from __future__ import annotations
@@ -736,3 +744,189 @@ def run_fig5_bench(scale: float = 5e-4, seed: int = 1,
         "wall_seconds": wall_seconds,
         "rows": result.rows,
     }
+
+#: QoS class names the load bench cycles tenants through.
+LOAD_PRIORITY_MIX = ("interactive", "standard", "batch")
+
+
+def _wall_stats(samples: Sequence[float]) -> Dict:
+    """Nearest-rank percentiles of wall-clock latencies (seconds)."""
+    import math
+
+    ordered = sorted(samples)
+
+    def pick(fraction: float) -> float:
+        rank = max(1, math.ceil(fraction * len(ordered)))
+        return ordered[rank - 1]
+
+    return {
+        "p50_seconds": pick(0.50),
+        "p95_seconds": pick(0.95),
+        "p99_seconds": pick(0.99),
+        "mean_seconds": sum(ordered) / len(ordered),
+        "max_seconds": ordered[-1],
+    }
+
+
+def run_load_bench(clients: int = 256, rows: int = 24, slots: int = 8,
+                   loss_rate: float = 0.02, reorder_window: int = 0,
+                   shards: int = 1, seed: int = 0,
+                   policy: str = "tiers", process: str = "poisson",
+                   closed_clients: int = 16,
+                   closed_queries: int = 2) -> Dict:
+    """Socket load benchmark: a client swarm against a live server.
+
+    Two phases, both over real TCP connections to a
+    :class:`~repro.serving.ReproServer`:
+
+    * **Open loop** — ``clients`` concurrent connections, one query
+      each, with arrival ticks drawn from the ``process`` generator
+      (the same Poisson/burst/diurnal/Pareto machinery the replay
+      bench uses) and QoS classes cycling through
+      :data:`LOAD_PRIORITY_MIX`.  The server runs in *hold* mode: no
+      tick executes until every submission is in, so the admission
+      order — and with it the entire tick domain — is a pure function
+      of the specs.  ``open_loop.tick_domain`` is therefore
+      byte-identical across runs (CI asserts this), while the
+      wall-clock latencies around it are genuinely nondeterministic.
+    * **Closed loop** — ``closed_clients`` connections each issuing
+      ``closed_queries`` queries back-to-back (submit, wait for the
+      result, repeat) against a *live* server with no hold barrier.
+      This measures the interactive request-response wall latency the
+      open phase's batching hides; its tick metrics are reported but
+      not deterministic (socket races decide admission order).
+
+    Wall-clock p50/p95/p99 ride next to the tick-based percentiles in
+    both phases — the comparison ``docs/RESULTS.md`` renders.
+    """
+    import asyncio
+
+    return asyncio.run(_load_bench_async(
+        clients=clients, rows=rows, slots=slots, loss_rate=loss_rate,
+        reorder_window=reorder_window, shards=shards, seed=seed,
+        policy=policy, process=process, closed_clients=closed_clients,
+        closed_queries=closed_queries))
+
+
+async def _load_bench_async(*, clients: int, rows: int, slots: int,
+                            loss_rate: float, reorder_window: int,
+                            shards: int, seed: int, policy: str,
+                            process: str, closed_clients: int,
+                            closed_queries: int) -> Dict:
+    import asyncio
+
+    from repro.api import ServeConfig
+    from repro.serving import AsyncReproClient, ReproServer
+    from repro.workloads.traces import generate_trace
+
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if closed_clients < 0 or closed_queries < 0:
+        raise ValueError("closed_clients/closed_queries must be >= 0")
+    config = ServeConfig(slots=slots, loss=loss_rate,
+                         reorder=reorder_window, shards=shards,
+                         seed=seed, policy=policy)
+
+    async def query_one(host, port, spec_kwargs):
+        start = time.perf_counter()
+        client = await AsyncReproClient.connect(host, port)
+        result = await client.run(**spec_kwargs)
+        await client.close()
+        return time.perf_counter() - start, result
+
+    # -- open loop: one connection per trace query, hold barrier --
+    trace = generate_trace(process, queries=clients, rows=rows,
+                           seed=seed, priorities=LOAD_PRIORITY_MIX)
+    server = ReproServer(config, hold=len(trace.queries))
+    await server.start()
+    host, port = server.address
+    wall_start = time.perf_counter()
+    outcomes = await asyncio.gather(*(
+        query_one(host, port, dict(
+            scenario=q.scenario, tenant=q.tenant, rows=q.rows,
+            seed=q.seed, priority=q.priority,
+            arrival_tick=q.arrival_tick))
+        for q in trace.queries))
+    open_wall = time.perf_counter() - wall_start
+    await server.stop()
+    open_report = server.report()
+    open_latencies = [wall for wall, _ in outcomes]
+    open_frames = [frame for _, frame in outcomes]
+
+    # -- closed loop: live server, back-to-back request/response --
+    closed_latencies: List[float] = []
+    closed_frames: List[Dict] = []
+    closed_report = None
+    if closed_clients and closed_queries:
+        server = ReproServer(config)
+        await server.start()
+        host, port = server.address
+
+        async def closed_one(index: int):
+            client = await AsyncReproClient.connect(host, port)
+            samples = []
+            for turn in range(closed_queries):
+                n = index * closed_queries + turn
+                start = time.perf_counter()
+                frame = await client.run(
+                    trace.queries[n % clients].scenario,
+                    tenant=f"c{index:03d}-{turn}", rows=rows,
+                    seed=seed + n,
+                    priority=LOAD_PRIORITY_MIX[n % 3])
+                samples.append((time.perf_counter() - start, frame))
+            await client.close()
+            return samples
+
+        per_client = await asyncio.gather(
+            *(closed_one(i) for i in range(closed_clients)))
+        await server.stop()
+        closed_report = server.report()
+        for samples in per_client:
+            closed_latencies.extend(wall for wall, _ in samples)
+            closed_frames.extend(frame for _, frame in samples)
+
+    def phase_summary(frames, latencies, report, wall=None):
+        payload = report.to_payload()
+        summary = {
+            "queries": len(frames),
+            "served": sum(f["status"] == "served" for f in frames),
+            "all_equivalent": all(f["equivalent"] is True
+                                  for f in frames
+                                  if f["status"] == "served"),
+            "wall_latency": _wall_stats(latencies),
+            "tick_latency": payload["latency"],
+        }
+        if wall is not None:
+            summary["wall_seconds"] = wall
+        return summary, payload
+
+    open_summary, open_payload = phase_summary(
+        open_frames, open_latencies, open_report, wall=open_wall)
+    # The hold barrier makes the open phase's whole tick domain a pure
+    # function of the trace — this is the sub-object CI asserts is
+    # byte-identical across runs (wall-clock keys live outside it).
+    open_summary["tick_domain"] = open_payload
+    result = {
+        "benchmark": "socket_load",
+        "clients": clients,
+        "rows": rows,
+        "slots": slots,
+        "loss_rate": loss_rate,
+        "reorder_window": reorder_window,
+        "shards": shards,
+        "seed": seed,
+        "policy": policy,
+        "process": process,
+        "priority_mix": list(LOAD_PRIORITY_MIX),
+        "open_loop": open_summary,
+        "all_equivalent": open_summary["all_equivalent"],
+    }
+    if closed_report is not None:
+        closed_summary, _ = phase_summary(
+            closed_frames, closed_latencies, closed_report)
+        closed_summary["clients"] = closed_clients
+        closed_summary["queries_per_client"] = closed_queries
+        result["closed_loop"] = closed_summary
+        result["all_equivalent"] = (open_summary["all_equivalent"]
+                                    and closed_summary["all_equivalent"])
+    return result

@@ -136,14 +136,11 @@ def _wants_e2e(names: List[str], args) -> bool:
 
 
 def _run_e2e(names: List[str], args) -> int:
-    """Drive named scenarios end-to-end through ClusterSimulation."""
-    from repro.cluster.simulation import (
-        SCENARIOS,
-        ClusterSimulation,
-        SimulationConfig,
-        SimulationError,
-        build_scenario,
-    )
+    """Drive named scenarios end-to-end via the stable facade
+    (``repro.api.run_scenario``; direct ``ClusterSimulation``
+    construction is deprecated)."""
+    from repro.api import run_scenario
+    from repro.cluster.simulation import SCENARIOS
 
     import os
 
@@ -160,24 +157,17 @@ def _run_e2e(names: List[str], args) -> int:
              else [args.mode])
     ok = True
     for name in names:
-        try:
-            query, tables = build_scenario(name, rows=args.rows,
-                                           seed=args.seed)
-        except SimulationError as error:
-            print(f"repro run: {error}", file=sys.stderr)
-            return 2
         for mode in modes:
             try:
-                config = SimulationConfig(
-                    workers=args.workers, loss_rate=loss,
-                    reorder_window=reorder, shards=args.shards,
-                    seed=args.seed, pipelined=(mode == "pipelined"),
-                )
-                report = ClusterSimulation(config).run(query, tables)
+                report = run_scenario(
+                    name, rows=args.rows, seed=args.seed,
+                    workers=args.workers, loss=loss, reorder=reorder,
+                    shards=args.shards,
+                    pipelined=(mode == "pipelined"))
             except ValueError as error:
-                # SimulationConfig bounds, SimulationError (unsupported
-                # wire shapes, livelock): one-line diagnostics, not a
-                # traceback.
+                # SimulationConfig bounds, SimulationError (bad rows,
+                # unsupported wire shapes, livelock): one-line
+                # diagnostics, not a traceback.
                 print(f"repro run: {error}", file=sys.stderr)
                 return 2
             ok = ok and bool(report.equivalent)
@@ -255,6 +245,94 @@ def _print_qos_outcomes(report) -> None:
               f"{first.tick})")
 
 
+def _announce_trace(args, config, path: str, version: int) -> None:
+    """Print the recorded-trace line with its replay command.  The
+    header pins loss/shards, but the remaining scheduler knobs must
+    ride the replay command for the byte-identical round trip —
+    include every non-default one, shell-quoted (custom policy specs
+    contain ';')."""
+    import shlex
+
+    replay_cmd = (f"repro replay {shlex.quote(path)} "
+                  f"--policy {shlex.quote(args.policy)} "
+                  f"--slots {config.slots} --seed {args.seed}")
+    if args.reorder:
+        replay_cmd += f" --reorder {args.reorder}"
+    if args.workers != 4:
+        replay_cmd += f" --workers {args.workers}"
+    if args.reject_when_full:
+        replay_cmd += " --reject-when-full"
+    print(f"  -> recorded trace {path} "
+          f"(version {version}; replay with: {replay_cmd})")
+
+
+def _serve_socket(args, config, policy) -> int:
+    """``repro serve --listen``: the asyncio socket frontend."""
+    import asyncio
+
+    from repro.serving import ReproServer
+
+    host, _, port_text = args.listen.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"repro serve: bad --listen {args.listen!r} "
+              "(expected [HOST:]PORT)", file=sys.stderr)
+        return 2
+    if args.hold < 0:
+        print(f"repro serve: --hold must be >= 0, got {args.hold}",
+              file=sys.stderr)
+        return 2
+    if args.max_queries is not None and args.max_queries < 1:
+        print(f"repro serve: --max-queries must be >= 1, got "
+              f"{args.max_queries}", file=sys.stderr)
+        return 2
+
+    async def session() -> ReproServer:
+        server = ReproServer(config, host=host, port=port,
+                             hold=args.hold,
+                             max_queries=args.max_queries)
+        await server.start()
+        bound_host, bound_port = server.address
+        print(f"== serve: listening on {bound_host}:{bound_port} "
+              f"(proto/v1, policy={policy.name}, slots={config.slots}, "
+              f"loss={config.loss_rate} reorder={config.reorder_window} "
+              f"shards={config.shards}) ==", flush=True)
+        if args.max_queries:
+            await server.wait_finished()
+        else:
+            # Serve until interrupted.
+            await asyncio.Event().wait()
+        await server.stop()
+        return server
+
+    try:
+        server = asyncio.run(session())
+    except KeyboardInterrupt:
+        print("serve: interrupted", file=sys.stderr)
+        return 130
+    report = server.report()
+    if args.record_trace:
+        server.write_trace(args.record_trace)
+        from repro.workloads.traces import load_trace
+
+        _announce_trace(args, config, args.record_trace,
+                        load_trace(args.record_trace).version)
+    ok = _print_tenant_outcomes(
+        report, lambda t: f"wait={t.wait_ticks:<5d} "
+                          f"service={t.service_ticks:<6d}")
+    _print_qos_outcomes(report)
+    print(f"  makespan    : {report.ticks} ticks, "
+          f"{report.wall_seconds:.3f}s wall")
+    print(f"  aggregate   : {report.entries} entries offered, "
+          f"{report.delivered} delivered")
+    if not ok:
+        print("serve: at least one tenant diverged or failed",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _serve(args) -> int:
     """Serve N concurrent tenants over shared simulated switches."""
     from repro.cluster.qos import parse_policy
@@ -288,6 +366,12 @@ def _serve(args) -> int:
             reorder_window=args.reorder, shards=args.shards,
             seed=args.seed,
         )
+    except ValueError as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 2
+    if args.listen is not None:
+        return _serve_socket(args, config, policy)
+    try:
         specs = tenant_specs(args.tenants, rows=args.rows,
                              seed=args.seed, mix=mix,
                              arrival_stride=args.arrival_stride,
@@ -297,29 +381,13 @@ def _serve(args) -> int:
         print(f"repro serve: {error}", file=sys.stderr)
         return 2
     if args.record_trace:
-        import shlex
-
         from repro.workloads.traces import trace_from_specs
 
         trace = trace_from_specs(specs, seed=args.seed,
                                  loss_rate=args.loss,
                                  shards=args.shards)
         trace.save(args.record_trace)
-        # The header pins loss/shards, but the remaining scheduler
-        # knobs must ride the replay command for the byte-identical
-        # round trip — include every non-default one, shell-quoted
-        # (custom policy specs contain ';').
-        replay_cmd = (f"repro replay {shlex.quote(args.record_trace)} "
-                      f"--policy {shlex.quote(args.policy)} "
-                      f"--slots {config.slots} --seed {args.seed}")
-        if args.reorder:
-            replay_cmd += f" --reorder {args.reorder}"
-        if args.workers != 4:
-            replay_cmd += f" --workers {args.workers}"
-        if args.reject_when_full:
-            replay_cmd += " --reject-when-full"
-        print(f"  -> recorded trace {args.record_trace} "
-              f"(version {trace.version}; replay with: {replay_cmd})")
+        _announce_trace(args, config, args.record_trace, trace.version)
     print(f"== serve: {args.tenants} tenants, {config.slots} slots, "
           f"policy={policy.name}, loss={args.loss} "
           f"reorder={args.reorder} shards={args.shards} ==")
@@ -456,6 +524,7 @@ def _bench(args) -> int:
         run_e2e_bench,
         run_fig5_bench,
         run_fig11_scale_bench,
+        run_load_bench,
         run_qos_bench,
         run_replay_bench,
     )
@@ -470,11 +539,13 @@ def _bench(args) -> int:
         return 2
     if args.rows is None:
         args.rows = {"e2e": 1200, "concurrency": 240,
-                     "replay": 100, "qos": 260}.get(args.name, 60_000)
+                     "replay": 100, "qos": 260,
+                     "load": 24}.get(args.name, 60_000)
     if args.slots is None:
         # The QoS bench needs slack above the tiers policy's two
-        # reserved slots; the replay bench wants a tight budget.
-        args.slots = 3 if args.name == "qos" else 2
+        # reserved slots; the replay bench wants a tight budget; the
+        # load bench wants enough parallelism for a client swarm.
+        args.slots = {"qos": 3, "load": 8}.get(args.name, 2)
     if args.name == "fig11" and args.rows < 40:
         print(f"repro bench: --rows must be >= 40 for the fig11 streams, "
               f"got {args.rows}", file=sys.stderr)
@@ -623,6 +694,54 @@ def _bench(args) -> int:
                   "(preemption broke result identity?)",
                   file=sys.stderr)
             return 1
+    elif args.name == "load":
+        if args.clients < 1:
+            print(f"repro bench: --clients must be >= 1, got "
+                  f"{args.clients}", file=sys.stderr)
+            return 2
+        if args.rows < 20:
+            print(f"repro bench: --rows must be >= 20 for load, got "
+                  f"{args.rows}", file=sys.stderr)
+            return 2
+        if not 0.0 <= args.loss < 1.0:
+            print(f"repro bench: --loss must be in [0, 1), got "
+                  f"{args.loss}", file=sys.stderr)
+            return 2
+        policy = args.policy if args.policy is not None else "tiers"
+        try:
+            payload = run_load_bench(
+                clients=args.clients, rows=args.rows,
+                slots=args.slots, loss_rate=args.loss,
+                reorder_window=args.reorder, shards=args.shards,
+                seed=args.seed, policy=policy, process=args.process,
+                closed_clients=args.closed_clients,
+                closed_queries=args.closed_queries)
+        except ValueError as error:
+            print(f"repro bench: {error}", file=sys.stderr)
+            return 2
+        path = emit_bench_json("load", payload, args.results_dir)
+        print(f"load bench: {args.clients} open-loop socket clients "
+              f"({args.process} arrivals), slots={args.slots}, "
+              f"policy={policy}, loss={args.loss}")
+
+        def _phase_line(label, phase):
+            wall = phase["wall_latency"]
+            tick = phase["tick_latency"]
+            print(f"  {label}: served={phase['served']}"
+                  f"/{phase['queries']} "
+                  f"wall p50={wall['p50_seconds'] * 1e3:.1f}ms "
+                  f"p99={wall['p99_seconds'] * 1e3:.1f}ms | "
+                  f"tick p50={tick['p50_ticks']} "
+                  f"p99={tick['p99_ticks']} "
+                  f"equivalent={phase['all_equivalent']}")
+
+        _phase_line("open loop  ", payload["open_loop"])
+        if "closed_loop" in payload:
+            _phase_line("closed loop", payload["closed_loop"])
+        if payload["all_equivalent"] is not True:
+            print("  ERROR: a socket-served tenant diverged from "
+                  "QueryPlan.run", file=sys.stderr)
+            return 1
     elif args.name == "fig11":
         payload = run_fig11_scale_bench(rows=args.rows, shards=args.shards,
                                         batch_size=args.batch_size,
@@ -684,6 +803,36 @@ def _sql_demo(statement: str) -> int:
     return 0
 
 
+def _serving_flags(loss=None, shards=None, slots=None, policy=None,
+                   seed=0, slots_help="serving slots / QueryPack "
+                   "budget") -> argparse.ArgumentParser:
+    """The shared ``--loss/--shards/--slots/--policy/--seed`` parent.
+
+    One definition point so the flags spell and behave identically
+    across ``serve``/``replay``/``bench`` (the matrix of per-command
+    defaults is documented in README.md).  A fresh parser per
+    subcommand, because argparse ``parents=`` shares action objects —
+    one subcommand's default would otherwise leak into the others.
+    ``None`` defaults mean "resolved by the command" (e.g. replay
+    falls back to the trace header).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--loss", type=float, default=loss,
+                        help="per-channel loss probability in [0, 1)")
+    parent.add_argument("--shards", type=int, default=shards,
+                        help="simulated switch pipelines to "
+                        "hash-partition entries across")
+    parent.add_argument("--slots", type=int, default=slots,
+                        help=slots_help)
+    parent.add_argument("--policy", default=policy,
+                        help="QoS policy: fifo, tiers, "
+                        "tiers-no-preempt, or a custom class spec "
+                        "(see docs/QOS.md)")
+    parent.add_argument("--seed", type=int, default=seed,
+                        help="deterministic master seed")
+    return parent
+
+
 def main(argv: List[str] = None) -> int:
     """CLI dispatch."""
     parser = argparse.ArgumentParser(
@@ -727,20 +876,34 @@ def main(argv: List[str] = None) -> int:
                             help="use the paper's Table 1 data")
 
     serve_parser = sub.add_parser(
-        "serve", help="serve N concurrent tenants through the "
-        "multi-tenant QueryScheduler over shared simulated switches")
+        "serve",
+        parents=[_serving_flags(
+            loss=0.05, shards=1, policy="fifo",
+            slots_help="serving slots / QueryPack budget "
+                       "(default: one per tenant)")],
+        help="serve N concurrent tenants through the multi-tenant "
+        "QueryScheduler over shared simulated switches, or (with "
+        "--listen) over a real asyncio TCP frontend speaking proto/v1")
     serve_parser.add_argument("--tenants", type=int, default=4,
-                              help="number of concurrent tenants")
-    serve_parser.add_argument("--slots", type=int, default=None,
-                              help="serving slots / QueryPack budget "
-                              "(default: one per tenant)")
-    serve_parser.add_argument("--loss", type=float, default=0.05,
-                              help="per-channel loss probability in "
-                              "[0, 1)")
+                              help="number of concurrent tenants "
+                              "(in-process mode; also the default "
+                              "--slots)")
+    serve_parser.add_argument("--listen", default=None,
+                              metavar="[HOST:]PORT",
+                              help="serve over TCP: accept proto/v1 "
+                              "connections instead of generating "
+                              "in-process tenants (port 0 = ephemeral)")
+    serve_parser.add_argument("--max-queries", type=int, default=None,
+                              help="socket mode: exit after this many "
+                              "results (default: serve until "
+                              "interrupted)")
+    serve_parser.add_argument("--hold", type=int, default=0,
+                              help="socket mode: batch the first N "
+                              "submissions before admitting any, for "
+                              "a deterministic tick domain under "
+                              "racing clients")
     serve_parser.add_argument("--reorder", type=int, default=0,
                               help="channel reorder window")
-    serve_parser.add_argument("--shards", type=int, default=1,
-                              help="simulated switch pipelines")
     serve_parser.add_argument("--workers", type=int, default=4,
                               help="CWorker partitions per tenant table")
     serve_parser.add_argument("--rows", type=int, default=240,
@@ -754,10 +917,6 @@ def main(argv: List[str] = None) -> int:
     serve_parser.add_argument("--reject-when-full", action="store_true",
                               help="reject tenants arriving with no "
                               "free slot instead of queueing them")
-    serve_parser.add_argument("--policy", default="fifo",
-                              help="QoS policy: fifo, tiers, "
-                              "tiers-no-preempt, or a custom class "
-                              "spec (see docs/QOS.md)")
     serve_parser.add_argument("--priorities", default=None,
                               help="comma-separated QoS class names "
                               "tenants cycle through (e.g. "
@@ -766,12 +925,15 @@ def main(argv: List[str] = None) -> int:
                               metavar="PATH",
                               help="record the session's admissions as "
                               "a replayable v2 arrival trace")
-    serve_parser.add_argument("--seed", type=int, default=0)
 
     replay_parser = sub.add_parser(
-        "replay", help="replay a recorded (or generated) JSON-lines "
+        "replay",
+        parents=[_serving_flags(slots=4)],
+        help="replay a recorded (or generated) JSON-lines "
         "query-arrival trace through the multi-tenant scheduler and "
-        "report tail latency + slot occupancy (format: docs/TRACES.md)")
+        "report tail latency + slot occupancy (format: docs/TRACES.md; "
+        "--loss/--shards/--policy default to the trace header / its "
+        "priority hints)")
     replay_parser.add_argument("trace_file", nargs="?", default=None,
                                help="path to a JSON-lines trace "
                                "(alternative to --gen)")
@@ -808,40 +970,33 @@ def main(argv: List[str] = None) -> int:
                                help="comma-separated QoS class names "
                                "generated queries cycle through "
                                "(makes the trace version 2)")
-    replay_parser.add_argument("--policy", default=None,
-                               help="QoS policy (default: tiers when "
-                               "the trace carries priority hints, "
-                               "else fifo)")
     replay_parser.add_argument("--out", default=None,
                                help="also save the (generated) trace "
                                "to this path")
-    replay_parser.add_argument("--slots", type=int, default=4,
-                               help="serving slots / QueryPack budget")
-    replay_parser.add_argument("--loss", type=float, default=None,
-                               help="per-channel loss probability "
-                               "(default: trace header, else 0)")
     replay_parser.add_argument("--reorder", type=int, default=0,
                                help="channel reorder window")
-    replay_parser.add_argument("--shards", type=int, default=None,
-                               help="simulated switch pipelines "
-                               "(default: trace header, else 1)")
     replay_parser.add_argument("--workers", type=int, default=4,
                                help="CWorker partitions per tenant table")
     replay_parser.add_argument("--reject-when-full", action="store_true",
                                help="reject arrivals with no free slot "
                                "instead of queueing them")
-    replay_parser.add_argument("--seed", type=int, default=0)
 
     bench_parser = sub.add_parser(
-        "bench", help="run a perf benchmark (batched vs per-packet "
+        "bench",
+        parents=[_serving_flags(
+            loss=0.05, shards=1,
+            slots_help="serving-slot budget (replay: default 2; "
+                       "qos: 3; load: 8)")],
+        help="run a perf benchmark (batched vs per-packet "
         "dataplane; 'e2e' times the full simulated cluster; "
         "'concurrency' measures multi-tenant serving; 'replay' measures "
         "tail latency under trace-replay arrivals; 'qos' measures "
-        "interactive p99 with vs without slot preemption) and emit "
-        "BENCH_<name>.json")
+        "interactive p99 with vs without slot preemption; 'load' "
+        "drives a concurrent client swarm against a live socket "
+        "server) and emit BENCH_<name>.json")
     bench_parser.add_argument("name", choices=["fig5", "fig11", "e2e",
                                                "concurrency", "replay",
-                                               "qos"])
+                                               "qos", "load"])
     bench_parser.add_argument("--rows", type=int, default=None,
                               help="largest stream length (fig11: "
                               "default 60000) or scenario size (e2e: "
@@ -851,21 +1006,25 @@ def main(argv: List[str] = None) -> int:
                               help="concurrency: largest tenant count")
     bench_parser.add_argument("--queries", type=int, default=8,
                               help="replay: queries per generated trace")
-    bench_parser.add_argument("--slots", type=int, default=None,
-                              help="serving-slot budget (replay: "
-                              "default 2; qos: default 3)")
-    bench_parser.add_argument("--loss", type=float, default=0.05,
-                              help="e2e: channel loss probability")
+    bench_parser.add_argument("--clients", type=int, default=256,
+                              help="load: open-loop socket clients")
+    bench_parser.add_argument("--process",
+                              choices=["poisson", "burst", "diurnal",
+                                       "pareto"],
+                              default="poisson",
+                              help="load: open-loop arrival process")
+    bench_parser.add_argument("--closed-clients", type=int, default=16,
+                              help="load: closed-loop connections "
+                              "(0 skips the closed-loop phase)")
+    bench_parser.add_argument("--closed-queries", type=int, default=2,
+                              help="load: back-to-back queries per "
+                              "closed-loop connection")
     bench_parser.add_argument("--reorder", type=int, default=2,
-                              help="e2e: channel reorder window")
-    bench_parser.add_argument("--shards", type=int, default=1,
-                              help="simulated switch pipelines to "
-                              "hash-partition entries across")
+                              help="e2e/load: channel reorder window")
     bench_parser.add_argument("--batch-size", type=int, default=8192,
                               help="entries per batch on the batched path")
     bench_parser.add_argument("--scale", type=float, default=5e-4,
                               help="workload sampling scale (fig5)")
-    bench_parser.add_argument("--seed", type=int, default=0)
     bench_parser.add_argument("--results-dir", default=None,
                               help="output dir (default: results/)")
 

@@ -21,7 +21,6 @@ from repro.cluster.master import CMaster
 from repro.cluster.spark import SparkBaseline, SparkReport
 from repro.cluster.runtime import CheetahRuntime, CheetahReport
 from repro.cluster.simulation import (
-    ClusterSimulation,
     SimulationConfig,
     SimulationError,
     SimulationReport,
@@ -51,6 +50,30 @@ from repro.cluster.events import (
     blocking_vs_unpruned,
 )
 from repro.cluster.dag import DagEdge, DagNode, WorkerDag
+
+
+def __getattr__(name: str):
+    """Deprecation shim (PEP 562): driving :class:`ClusterSimulation`
+    directly from application code is superseded by the stable facade
+    ``repro.api`` (``Session``/``submit``/``run_scenario``).  The old
+    name keeps working — with a :class:`DeprecationWarning` — and the
+    canonical import ``repro.cluster.simulation.ClusterSimulation``
+    stays warning-free for internal and test code."""
+    if name == "ClusterSimulation":
+        import warnings
+
+        warnings.warn(
+            "importing ClusterSimulation from repro.cluster is "
+            "deprecated; use the stable facade repro.api "
+            "(Session/submit/run_scenario), or import it from "
+            "repro.cluster.simulation if you really need the driver",
+            DeprecationWarning, stacklevel=2)
+        from repro.cluster.simulation import ClusterSimulation
+
+        return ClusterSimulation
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "CostModel",

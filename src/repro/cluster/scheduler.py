@@ -63,6 +63,7 @@ measured claim.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import math
 import time
@@ -787,8 +788,11 @@ class _TenantRun:
         """Compare against the functional ``QueryPlan.run`` reference.
         Runs after the serving clock stops — verification work must not
         skew the reported makespan (the solo ``ClusterSimulation.run``
-        likewise keeps its reference outside ``wall_seconds``)."""
-        if self.status != "served":
+        likewise keeps its reference outside ``wall_seconds``).
+        Idempotent: the socket server evaluates at completion time so
+        results stream back verified, and the final report must not
+        redo the comparison."""
+        if self.status != "served" or self.equivalent is not None:
             return
         self.reference = (self.sim.planner.plan(self.query)
                           .run(self.tables).result)
@@ -815,6 +819,335 @@ class _TenantRun:
         )
 
 
+def _build_frontend(cfg: SchedulerConfig):
+    """The shared data plane every tenant installs into."""
+    if cfg.shards > 1:
+        return ShardedSwitchFrontend(cfg.switch, cfg.shards,
+                                     seed=cfg.seed,
+                                     max_slots=cfg.slots)
+    return ControlPlane(cfg.switch, seed=cfg.seed,
+                        max_slots=cfg.slots)
+
+
+class ServingLoop:
+    """Resumable admission + interleaving core of the scheduler.
+
+    One instance owns the shared frontend, the QoS/DRR state, and the
+    per-tick telemetry of a serving session, and exposes the loop *one
+    iteration at a time*: :meth:`submit` may be called between
+    :meth:`run_tick` calls.  That is what lets the asyncio socket
+    frontend (:class:`repro.serving.server.ReproServer`) admit tenants
+    from live connections while the tick domain stays a pure function
+    of the admitted specs — a recorded trace of a socket session
+    replays byte-identically through :meth:`QueryScheduler.serve`,
+    which drives this same core to exhaustion in a plain ``while``
+    loop.
+
+    The one rule late submissions must obey: once an admission phase
+    has executed at tick ``t``, a new spec's ``arrival_tick`` must be
+    at least :attr:`arrival_floor` (``t + 1``).  An arrival stamped at
+    or below an already-executed phase would have been admitted
+    *earlier* in a replay (where all specs are known up front),
+    breaking tick-domain determinism; :meth:`submit` enforces this.
+    """
+
+    def __init__(self, config: Optional[SchedulerConfig] = None):
+        self.config = config or SchedulerConfig()
+        self.frontend = _build_frontend(self.config)
+        self.tick = 0
+        self.pending: List[_TenantRun] = []
+        self.waiting: List[_TenantRun] = []
+        self.suspended: List[_TenantRun] = []
+        self.active: List[_TenantRun] = []
+        self.finished: List[_TenantRun] = []
+        self.drr = DeficitRoundRobin()
+        self.telemetry = SchedulerTelemetry(slots=self.config.slots)
+        # Per-tick probe bookkeeping, keyed by the *exact* tick each
+        # event is stamped with (admissions happen between service
+        # steps, so an iteration's admission events and its service
+        # step carry different ticks): tick -> [admitted, completed,
+        # rejected, preempted, resumed], tick -> (occupancy, serviced,
+        # queue_depth, suspended), tick -> (queue depth, suspended)
+        # after an admission phase.
+        self._counts: Dict[int, List[int]] = {}
+        self._service: Dict[int, tuple] = {}
+        self._queue_at: Dict[int, tuple] = {}
+        self._next_index = 0
+        self._names: set = set()
+        # Tick of the most recently executed admission phase (-1 =
+        # none yet, so arrivals at tick 0 are still admissible).
+        self._phase_tick = -1
+
+    @property
+    def has_work(self) -> bool:
+        """True while any tenant is pending, queued, suspended, or
+        mid-service — the sync serve loop's continuation condition."""
+        return bool(self.pending or self.waiting or self.suspended
+                    or self.active)
+
+    @property
+    def arrival_floor(self) -> int:
+        """Lowest ``arrival_tick`` a new submission may carry.
+
+        Every admission phase at or before :attr:`_phase_tick` has
+        already run without seeing the submission, so stamping below
+        the floor would admit it earlier under replay.  The socket
+        server stamps live arrivals with exactly this floor (or the
+        client's future hint, whichever is later)."""
+        return self._phase_tick + 1
+
+    def submit(self, spec: TenantSpec) -> _TenantRun:
+        """Enqueue one tenant (dataset built now, before its ticks).
+
+        Raises ``ValueError`` for duplicate tenant names, unknown
+        priority hints (surfaced by class resolution in the run
+        constructor), or an ``arrival_tick`` below
+        :attr:`arrival_floor`."""
+        if spec.tenant in self._names:
+            raise ValueError(
+                f"tenant names must be unique, got a second "
+                f"{spec.tenant!r}")
+        if spec.arrival_tick < self.arrival_floor:
+            raise ValueError(
+                f"arrival_tick {spec.arrival_tick} is below the "
+                f"serving loop's arrival floor {self.arrival_floor} "
+                "(that admission phase already ran)")
+        # Construct and prepare before mutating any loop state: a
+        # submission that fails (unknown priority class, bad scenario
+        # rows) must not consume an index or a name, or live serving
+        # would drift from the recorded trace's index assignment.
+        run = _TenantRun(spec, self._next_index, self.config,
+                         self.frontend)
+        run.prepare()
+        self._next_index += 1
+        self._names.add(spec.tenant)
+        # Keep pending sorted by (arrival_tick, index); submissions
+        # carry monotone indices, so bisect on arrival alone is stable.
+        at = bisect.bisect_right(
+            [p.spec.arrival_tick for p in self.pending],
+            spec.arrival_tick)
+        self.pending.insert(at, run)
+        return run
+
+    def _bump(self, at: int, slot: int) -> None:
+        self._counts.setdefault(at, [0, 0, 0, 0, 0])[slot] += 1
+
+    def _in_service(self) -> Dict[str, int]:
+        held: Dict[str, int] = {}
+        for run in self.active:
+            name = run.qos_class.name
+            held[name] = held.get(name, 0) + run.spec.slots
+        return held
+
+    def _reject(self, run: _TenantRun, reason: str, at: int) -> None:
+        run.reject(reason)
+        self.telemetry.rejections.append(RejectionEvent(
+            at, run.spec.tenant, run.reason))
+        self._bump(at, 2)
+        self.finished.append(run)
+
+    def run_tick(self) -> List[_TenantRun]:
+        """One iteration of the serving loop: pull arrivals, run the
+        admission/resume phase at the current tick, then either advance
+        the in-flight passes one protocol tick or idle toward the next
+        arrival.  Returns the runs that reached a terminal state
+        (served, rejected, failed) during this call; when the loop is
+        completely idle the call is a pure no-op.
+        """
+        cfg = self.config
+        policy = cfg.policy
+        waiting, suspended = self.waiting, self.suspended
+        active, finished = self.active, self.finished
+        done_before = len(finished)
+        tick = self.tick
+        while self.pending and self.pending[0].spec.arrival_tick <= tick:
+            waiting.append(self.pending.pop(0))
+        # Admission & resume, highest class priority first (FIFO
+        # within a class: arrival tick, then spec order).
+        candidates = sorted(
+            waiting + suspended,
+            key=lambda r: (-r.qos_class.priority,
+                           r.spec.arrival_tick, r.index))
+        for run in candidates:
+            cls = run.qos_class
+            need = run.spec.slots
+            if (run.status == "queued"
+                    and need > policy.best_case_slots(cls, cfg.slots)):
+                waiting.remove(run)
+                self._reject(
+                    run, f"needs {need} slot(s) but class "
+                         f"{cls.name!r} can use at most "
+                         f"{policy.best_case_slots(cls, cfg.slots)}"
+                         f" of {cfg.slots} (reserved for other "
+                         "classes)", tick)
+                continue
+            held = self._in_service()
+            free = cfg.slots - sum(held.values())
+            available = policy.available_to(cls, free, held)
+            if available < need and run.status == "queued":
+                # A strictly-higher-priority arrival may suspend
+                # preemptible lower classes (never below their
+                # reservation floors) to make room.
+                victims = plan_preemption(
+                    policy, cls, need, need - available,
+                    [(victim, victim.qos_class, victim.spec.slots)
+                     for victim in sorted(
+                         active,
+                         key=lambda v: (v.qos_class.priority,
+                                        -(v.admitted_tick or 0),
+                                        -v.index))],
+                    held)
+                if victims:
+                    for victim in victims:
+                        victim.suspend(tick)
+                        active.remove(victim)
+                        suspended.append(victim)
+                        self.drr.forget(victim.index)
+                        self.telemetry.preemptions.append(PreemptionEvent(
+                            tick, victim.spec.tenant,
+                            run.spec.tenant, "preempt"))
+                        self._bump(tick, 3)
+                    held = self._in_service()
+                    free = cfg.slots - sum(held.values())
+                    available = policy.available_to(cls, free, held)
+            if available < need:
+                if run.status == "queued" and not cfg.queue_when_full:
+                    waiting.remove(run)
+                    if free >= need:
+                        self._reject(
+                            run, f"no unreserved slot: class "
+                                 f"{cls.name!r} is locked out by "
+                                 "other classes' reservations at "
+                                 "arrival", tick)
+                    else:
+                        self._reject(
+                            run, f"no free slot: all {cfg.slots} "
+                                 "serving slots busy at arrival",
+                            tick)
+                continue  # queued/suspended: wait for a slot
+            if run.status == "suspended":
+                try:
+                    run.resume(tick)
+                except (ResourceExhausted, CompilationError):
+                    continue  # checkpoint does not fit yet; retry
+                suspended.remove(run)
+                active.append(run)
+                self.drr.admit(run.index)
+                self.telemetry.preemptions.append(PreemptionEvent(
+                    tick, run.spec.tenant, "", "resume"))
+                self._bump(tick, 4)
+                continue
+            waiting.remove(run)
+            try:
+                run.admit(tick)
+            except (ResourceExhausted, CompilationError) as error:
+                self._reject(run, str(error), tick)
+                continue
+            self._bump(tick, 0)
+            if run.current is None:
+                run.complete(tick)
+                self._bump(tick, 1)
+                finished.append(run)
+            else:
+                active.append(run)
+                self.drr.admit(run.index)
+        self._phase_tick = tick
+        if tick in self._counts:
+            self._queue_at[tick] = (len(waiting), len(suspended))
+        if not active:
+            if suspended:
+                # Resume retries next tick (slots are free now).
+                self.tick = tick + 1
+            elif self.pending:
+                # Idle until the next arrival.
+                self.tick = max(tick + 1,
+                                self.pending[0].spec.arrival_tick)
+            # Fully idle: tick stays put; the call was a no-op.
+            return finished[done_before:]
+        tick += 1
+        if tick > cfg.max_ticks:
+            raise SimulationError(
+                f"serving did not complete within {cfg.max_ticks} "
+                "global ticks (protocol livelock?)"
+            )
+        # Weighted fair service (deficit round robin): which active
+        # tenants' passes advance this tick is set by class weight;
+        # with uniform weights every tenant steps every tick.  The
+        # service order still rotates so no tenant systematically
+        # reaches the switch's offer_batch first.
+        ready = set(self.drr.serviced({run.index: run.qos_class.weight
+                                       for run in active}))
+        stepped = [run for run in active if run.index in ready]
+        offset = tick % len(stepped)
+        done_runs: List[_TenantRun] = []
+        for run in stepped[offset:] + stepped[:offset]:
+            run.current.step()
+            if not run.current.done:
+                continue
+            run.finish_pass()
+            try:
+                more = run.advance()
+            except (ResourceExhausted, CompilationError) as error:
+                run.fail(f"mid-run install failed: {error}", tick)
+                done_runs.append(run)
+                continue
+            if not more:
+                run.complete(tick)
+                self._bump(tick, 1)
+                done_runs.append(run)
+        # Occupancy = slots held this tick (slot-weighted), which
+        # equals the serviced count under uniform DRR weights.
+        self._service[tick] = (sum(run.spec.slots for run in active),
+                               len(stepped), len(waiting),
+                               len(suspended))
+        for run in done_runs:
+            active.remove(run)
+            self.drr.forget(run.index)
+            finished.append(run)
+        self.tick = tick
+        return finished[done_before:]
+
+    def report(self, check: bool = True,
+               wall_seconds: float = 0.0) -> ScheduleReport:
+        """Assemble the session's :class:`ScheduleReport`.
+
+        Rebuilds the telemetry samples from the probe dicts (so calling
+        it twice is safe) and — with ``check=True`` — evaluates every
+        served tenant against its solo ``QueryPlan.run`` reference
+        (idempotent per tenant: the socket server may have evaluated
+        some at completion time already)."""
+        cfg = self.config
+        self.telemetry.samples = []
+        for sample_tick in sorted(set(self._counts) | set(self._service)):
+            occupancy, serviced, queue_depth, idle_suspended = \
+                self._service.get(
+                    sample_tick,
+                    (0, 0) + self._queue_at.get(sample_tick, (0, 0)))
+            admitted, completed, rejected, preempted, resumed = \
+                self._counts.get(sample_tick, (0, 0, 0, 0, 0))
+            self.telemetry.samples.append(TelemetrySample(
+                tick=sample_tick, occupancy=occupancy,
+                queue_depth=queue_depth, admitted=admitted,
+                completed=completed, rejected=rejected,
+                serviced=serviced, suspended=idle_suspended,
+                preempted=preempted, resumed=resumed))
+        if check:
+            for run in self.finished:
+                run.evaluate()
+        ordered = sorted(self.finished, key=lambda r: r.index)
+        return ScheduleReport(
+            tenants=[run.report() for run in ordered],
+            ticks=self.tick,
+            wall_seconds=wall_seconds,
+            slots=cfg.slots,
+            shards=cfg.shards,
+            loss_rate=cfg.loss_rate,
+            reorder_window=cfg.reorder_window,
+            telemetry=self.telemetry,
+            policy=cfg.policy.name,
+        )
+
+
 class QueryScheduler:
     """Serve many concurrent tenants through one shared switch frontend.
 
@@ -822,6 +1155,9 @@ class QueryScheduler:
     in the module docstring and returns a :class:`ScheduleReport` whose
     per-tenant results are (by construction, and checked when
     ``check=True``) identical to each tenant's solo ``QueryPlan.run``.
+    The loop itself lives in :class:`ServingLoop`; this wrapper drives
+    it synchronously to exhaustion, which is also the reference
+    semantics the asyncio socket frontend must (and does) reproduce.
     """
 
     def __init__(self, config: Optional[SchedulerConfig] = None):
@@ -829,13 +1165,7 @@ class QueryScheduler:
 
     def _build_frontend(self):
         """The shared data plane every tenant installs into."""
-        cfg = self.config
-        if cfg.shards > 1:
-            return ShardedSwitchFrontend(cfg.switch, cfg.shards,
-                                         seed=cfg.seed,
-                                         max_slots=cfg.slots)
-        return ControlPlane(cfg.switch, seed=cfg.seed,
-                            max_slots=cfg.slots)
+        return _build_frontend(self.config)
 
     def serve(self, tenants: Sequence[TenantSpec],
               check: bool = True) -> ScheduleReport:
@@ -845,225 +1175,23 @@ class QueryScheduler:
         executed functionally via ``QueryPlan.run`` and compared;
         ``TenantReport.equivalent`` records the verdict.
         """
-        cfg = self.config
-        policy = cfg.policy
         if not tenants:
             raise ValueError("serve needs at least one tenant")
         names = [spec.tenant for spec in tenants]
         if len(set(names)) != len(names):
             raise ValueError(f"tenant names must be unique, got {names}")
-        frontend = self._build_frontend()
-        # Resolving every tenant's class up front surfaces unknown
-        # priority hints as a serve-time ValueError, not a mid-run one.
-        runs = [_TenantRun(spec, index, cfg, frontend)
-                for index, spec in enumerate(tenants)]
-        for run in runs:
-            run.prepare()
-        pending = sorted(runs, key=lambda r: (r.spec.arrival_tick, r.index))
-        waiting: List[_TenantRun] = []
-        suspended: List[_TenantRun] = []
-        active: List[_TenantRun] = []
-        finished: List[_TenantRun] = []
-        drr = DeficitRoundRobin()
-        telemetry = SchedulerTelemetry(slots=cfg.slots)
-        # Per-tick probe bookkeeping, keyed by the *exact* tick each
-        # event is stamped with (admissions happen between service
-        # steps, so an iteration's admission events and its service
-        # step carry different ticks): tick -> [admitted, completed,
-        # rejected, preempted, resumed], tick -> (occupancy,
-        # queue_depth, suspended), tick -> (queue depth, suspended)
-        # after an admission phase.
-        counts: Dict[int, List[int]] = {}
-        service: Dict[int, tuple] = {}
-        queue_at: Dict[int, tuple] = {}
-
-        def bump(at: int, slot: int) -> None:
-            counts.setdefault(at, [0, 0, 0, 0, 0])[slot] += 1
-
-        def in_service() -> Dict[str, int]:
-            held: Dict[str, int] = {}
-            for run in active:
-                name = run.qos_class.name
-                held[name] = held.get(name, 0) + run.spec.slots
-            return held
-
-        def reject(run: _TenantRun, reason: str, at: int) -> None:
-            run.reject(reason)
-            telemetry.rejections.append(RejectionEvent(
-                at, run.spec.tenant, run.reason))
-            bump(at, 2)
-            finished.append(run)
-
-        tick = 0
+        loop = ServingLoop(self.config)
+        # Submitting (and thus resolving every tenant's class) up front
+        # surfaces unknown priority hints as a serve-time ValueError,
+        # not a mid-run one; dataset construction also lands here,
+        # before the serving clock starts.
+        for spec in tenants:
+            loop.submit(spec)
         start = time.perf_counter()
-        while pending or waiting or suspended or active:
-            while pending and pending[0].spec.arrival_tick <= tick:
-                waiting.append(pending.pop(0))
-            # Admission & resume, highest class priority first (FIFO
-            # within a class: arrival tick, then spec order).
-            candidates = sorted(
-                waiting + suspended,
-                key=lambda r: (-r.qos_class.priority,
-                               r.spec.arrival_tick, r.index))
-            for run in candidates:
-                cls = run.qos_class
-                need = run.spec.slots
-                if (run.status == "queued"
-                        and need > policy.best_case_slots(cls, cfg.slots)):
-                    waiting.remove(run)
-                    reject(run, f"needs {need} slot(s) but class "
-                                f"{cls.name!r} can use at most "
-                                f"{policy.best_case_slots(cls, cfg.slots)}"
-                                f" of {cfg.slots} (reserved for other "
-                                "classes)", tick)
-                    continue
-                held = in_service()
-                free = cfg.slots - sum(held.values())
-                available = policy.available_to(cls, free, held)
-                if available < need and run.status == "queued":
-                    # A strictly-higher-priority arrival may suspend
-                    # preemptible lower classes (never below their
-                    # reservation floors) to make room.
-                    victims = plan_preemption(
-                        policy, cls, need, need - available,
-                        [(victim, victim.qos_class, victim.spec.slots)
-                         for victim in sorted(
-                             active,
-                             key=lambda v: (v.qos_class.priority,
-                                            -(v.admitted_tick or 0),
-                                            -v.index))],
-                        held)
-                    if victims:
-                        for victim in victims:
-                            victim.suspend(tick)
-                            active.remove(victim)
-                            suspended.append(victim)
-                            drr.forget(victim.index)
-                            telemetry.preemptions.append(PreemptionEvent(
-                                tick, victim.spec.tenant,
-                                run.spec.tenant, "preempt"))
-                            bump(tick, 3)
-                        held = in_service()
-                        free = cfg.slots - sum(held.values())
-                        available = policy.available_to(cls, free, held)
-                if available < need:
-                    if run.status == "queued" and not cfg.queue_when_full:
-                        waiting.remove(run)
-                        if free >= need:
-                            reject(run, f"no unreserved slot: class "
-                                        f"{cls.name!r} is locked out by "
-                                        "other classes' reservations at "
-                                        "arrival", tick)
-                        else:
-                            reject(run, f"no free slot: all {cfg.slots} "
-                                        "serving slots busy at arrival",
-                                   tick)
-                    continue  # queued/suspended: wait for a slot
-                if run.status == "suspended":
-                    try:
-                        run.resume(tick)
-                    except (ResourceExhausted, CompilationError):
-                        continue  # checkpoint does not fit yet; retry
-                    suspended.remove(run)
-                    active.append(run)
-                    drr.admit(run.index)
-                    telemetry.preemptions.append(PreemptionEvent(
-                        tick, run.spec.tenant, "", "resume"))
-                    bump(tick, 4)
-                    continue
-                waiting.remove(run)
-                try:
-                    run.admit(tick)
-                except (ResourceExhausted, CompilationError) as error:
-                    reject(run, str(error), tick)
-                    continue
-                bump(tick, 0)
-                if run.current is None:
-                    run.complete(tick)
-                    bump(tick, 1)
-                    finished.append(run)
-                else:
-                    active.append(run)
-                    drr.admit(run.index)
-            if tick in counts:
-                queue_at[tick] = (len(waiting), len(suspended))
-            if not active:
-                if suspended:
-                    # Resume retries next tick (slots are free now).
-                    tick += 1
-                    continue
-                if pending:
-                    # Idle until the next arrival.
-                    tick = max(tick + 1, pending[0].spec.arrival_tick)
-                    continue
-                break
-            tick += 1
-            if tick > cfg.max_ticks:
-                raise SimulationError(
-                    f"serving did not complete within {cfg.max_ticks} "
-                    "global ticks (protocol livelock?)"
-                )
-            # Weighted fair service (deficit round robin): which active
-            # tenants' passes advance this tick is set by class weight;
-            # with uniform weights every tenant steps every tick.  The
-            # service order still rotates so no tenant systematically
-            # reaches the switch's offer_batch first.
-            ready = set(drr.serviced({run.index: run.qos_class.weight
-                                      for run in active}))
-            stepped = [run for run in active if run.index in ready]
-            offset = tick % len(stepped)
-            done_runs: List[_TenantRun] = []
-            for run in stepped[offset:] + stepped[:offset]:
-                run.current.step()
-                if not run.current.done:
-                    continue
-                run.finish_pass()
-                try:
-                    more = run.advance()
-                except (ResourceExhausted, CompilationError) as error:
-                    run.fail(f"mid-run install failed: {error}", tick)
-                    done_runs.append(run)
-                    continue
-                if not more:
-                    run.complete(tick)
-                    bump(tick, 1)
-                    done_runs.append(run)
-            # Occupancy = slots held this tick (slot-weighted), which
-            # equals the serviced count under uniform DRR weights.
-            service[tick] = (sum(run.spec.slots for run in active),
-                             len(stepped), len(waiting), len(suspended))
-            for run in done_runs:
-                active.remove(run)
-                drr.forget(run.index)
-                finished.append(run)
+        while loop.has_work:
+            loop.run_tick()
         wall = time.perf_counter() - start
-        for sample_tick in sorted(set(counts) | set(service)):
-            occupancy, serviced, queue_depth, idle_suspended = \
-                service.get(sample_tick,
-                            (0, 0) + queue_at.get(sample_tick, (0, 0)))
-            admitted, completed, rejected, preempted, resumed = \
-                counts.get(sample_tick, (0, 0, 0, 0, 0))
-            telemetry.samples.append(TelemetrySample(
-                tick=sample_tick, occupancy=occupancy,
-                queue_depth=queue_depth, admitted=admitted,
-                completed=completed, rejected=rejected,
-                serviced=serviced, suspended=idle_suspended,
-                preempted=preempted, resumed=resumed))
-        if check:
-            for run in finished:
-                run.evaluate()
-        finished.sort(key=lambda r: r.index)
-        return ScheduleReport(
-            tenants=[run.report() for run in finished],
-            ticks=tick,
-            wall_seconds=wall,
-            slots=cfg.slots,
-            shards=cfg.shards,
-            loss_rate=cfg.loss_rate,
-            reorder_window=cfg.reorder_window,
-            telemetry=telemetry,
-            policy=policy.name,
-        )
+        return loop.report(check=check, wall_seconds=wall)
 
 
 def tenant_specs(count: int, rows: int = 240, seed: int = 0,

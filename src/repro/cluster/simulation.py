@@ -405,6 +405,69 @@ class ClusterSimulation:
             reference=None if reference is None else reference.result,
         )
 
+    async def run_async(self, query: Query, tables: TableSet,
+                        check: bool = True,
+                        yield_every: int = 32) -> SimulationReport:
+        """Asyncio-friendly :meth:`run`: identical results, same seeds.
+
+        The transfer loop yields control to the event loop every
+        ``yield_every`` protocol ticks (``await asyncio.sleep(0)``), so
+        a long pass cannot starve other coroutines — this is the drive
+        mode embedders (and :mod:`repro.serving`'s reactor pattern) use
+        when a solo query must run inside a live event loop.  The tick
+        domain is untouched: the report is byte-for-byte the one
+        :meth:`run` returns, because yielding happens *between* ticks.
+        """
+        import asyncio
+
+        if yield_every < 1:
+            raise ValueError(
+                f"yield_every must be >= 1, got {yield_every}")
+        self._pass_salt = 0
+        plan = self.planner.plan(query)
+        passes: List[PassStats] = []
+        gen = self._query_generator(plan, query, tables)
+        start = time.perf_counter()
+        value = None
+        while True:
+            try:
+                request = gen.send(value)
+            except StopIteration as stop:
+                result = stop.value
+                break
+            active = self.begin_transfer(request)
+            since_yield = 0
+            while not active.done:
+                if active.ticks >= self.config.max_ticks:
+                    raise SimulationError(
+                        f"pass {request.name!r} did not complete within "
+                        f"{self.config.max_ticks} ticks (protocol "
+                        "livelock?)"
+                    )
+                active.step()
+                since_yield += 1
+                if since_yield >= yield_every:
+                    since_yield = 0
+                    await asyncio.sleep(0)
+            passes.append(active.stats())
+            value = active.delivered()
+        wall = time.perf_counter() - start
+        equivalent = reference = None
+        if check:
+            reference = plan.run(tables)
+            equivalent = result == reference.result
+        return SimulationReport(
+            result=result,
+            passes=passes,
+            wall_seconds=wall,
+            mode="pipelined" if self.config.pipelined else "sequential",
+            shards=self.config.shards,
+            loss_rate=self.config.loss_rate,
+            reorder_window=self.config.reorder_window,
+            equivalent=equivalent,
+            reference=None if reference is None else reference.result,
+        )
+
     # -- dispatch -------------------------------------------------------------
     def _execute(self, plan: QueryPlan, query: Query, tables: TableSet,
                  passes: List[PassStats]) -> ExecutionResult:

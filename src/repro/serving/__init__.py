@@ -1,0 +1,53 @@
+"""Socket serving frontend: tenants arrive over TCP, not as specs.
+
+This package puts a real asyncio TCP listener in front of the
+multi-tenant scheduler (:class:`~repro.cluster.scheduler.ServingLoop`),
+speaking the length-prefixed JSON protocol ``proto/v1`` specified
+normatively in ``docs/PROTOCOL.md``:
+
+* :mod:`repro.serving.protocol` — framing, message schemas, version
+  negotiation, and the unknown-field rule that lets ``proto/v2`` ship
+  backward-compatibly.
+* :mod:`repro.serving.server` — :class:`ReproServer`, the asyncio
+  reactor that accepts connections, translates ``submit`` requests
+  into scheduler admissions, and streams per-tenant results and
+  telemetry back.
+* :mod:`repro.serving.client` — :class:`AsyncReproClient` (coroutine
+  surface) and :class:`ReproClient` (blocking wrapper for scripts and
+  the CLI).
+
+The tick domain stays deterministic across the socket boundary: the
+server stamps live arrivals monotonically at the serving loop's
+arrival floor, so a ``--record-trace`` capture of a socket session
+replays byte-identically through ``repro replay`` (the same
+``ScheduleReport.to_payload()`` guarantee the in-process path has).
+Wall-clock latency, measured at the client, is the new — deliberately
+non-deterministic — dimension ``repro bench load`` reports alongside
+the tick-based percentiles.
+"""
+
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+)
+from repro.serving.server import ReproServer
+from repro.serving.client import (
+    AsyncReproClient,
+    ReproClient,
+    ServingError,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOL_VERSIONS",
+    "ProtocolError",
+    "encode_frame",
+    "read_frame",
+    "ReproServer",
+    "AsyncReproClient",
+    "ReproClient",
+    "ServingError",
+]

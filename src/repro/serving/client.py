@@ -1,0 +1,209 @@
+"""``proto/v1`` clients: :class:`AsyncReproClient` and a sync wrapper.
+
+:class:`AsyncReproClient` is the coroutine surface — ``connect``,
+``submit``, ``result``, ``stats``, ``close`` — used by the bench
+swarm and the socket tests.  Results can arrive out of submission
+order (QoS reordering is the whole point of the scheduler), so the
+client buffers ``result`` frames per tenant and :meth:`result` pops
+the requested tenant's, reading more frames only as needed.
+
+:class:`ReproClient` wraps the async client in a private event loop
+for scripts and REPL use: every method is blocking, and the class is
+a context manager.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional
+
+from repro.serving import protocol
+
+
+class ServingError(RuntimeError):
+    """The server answered with ``error`` or ``rejected``."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class AsyncReproClient:
+    """One ``proto/v1`` connection (use :meth:`connect` to open)."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, welcome: Dict):
+        self._reader = reader
+        self._writer = writer
+        #: The negotiated protocol version.
+        self.version: int = welcome["version"]
+        #: The server's welcome frame (scenarios, policy, slots).
+        self.welcome = welcome
+        self._results: Dict[str, Dict] = {}
+        self._errors: List[Dict] = []
+
+    @classmethod
+    async def connect(cls, host: str, port: int,
+                      client: str = "repro-client") -> "AsyncReproClient":
+        """Open a connection and run the hello/welcome handshake."""
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(protocol.encode_frame(protocol.hello(client)))
+        await writer.drain()
+        frame = await protocol.read_frame(reader)
+        if frame is None:
+            raise ServingError("closed",
+                               "server closed during the handshake")
+        if frame.get("type") == "error":
+            raise ServingError(frame.get("code", "error"),
+                               frame.get("message", ""))
+        if frame.get("type") != "welcome":
+            raise ServingError(
+                "bad-message",
+                f"expected welcome, got {frame.get('type')!r}")
+        return cls(reader, writer, frame)
+
+    async def send(self, message: Dict) -> None:
+        """Send one raw frame (escape hatch; tests use it to probe
+        protocol edges the typed methods never produce)."""
+        self._writer.write(protocol.encode_frame(message))
+        await self._writer.drain()
+
+    async def submit(self, scenario: str, tenant: Optional[str] = None,
+                     rows: Optional[int] = None,
+                     seed: Optional[int] = None,
+                     priority: Optional[str] = None,
+                     slots: Optional[int] = None,
+                     arrival_tick: Optional[int] = None) -> Dict:
+        """Submit one tenant; returns the ``accepted`` frame.
+
+        Raises :class:`ServingError` on ``rejected`` or ``error``.
+        ``result`` frames arriving while we wait (for an earlier
+        submission of this connection) are buffered, not lost.
+        """
+        await self.send(protocol.submit(
+            scenario, tenant=tenant, rows=rows, seed=seed,
+            priority=priority, slots=slots, arrival_tick=arrival_tick))
+        while True:
+            frame = await self._next_frame()
+            kind = frame.get("type")
+            if kind == "accepted":
+                return frame
+            if kind == "rejected":
+                raise ServingError("rejected", frame.get("reason", ""))
+            if kind == "error":
+                raise ServingError(frame.get("code", "error"),
+                                   frame.get("message", ""))
+            self._buffer(frame)
+
+    async def result(self, tenant: str) -> Dict:
+        """Block until ``tenant``'s ``result`` frame arrives."""
+        while tenant not in self._results:
+            self._buffer(await self._next_frame())
+        return self._results.pop(tenant)
+
+    async def stats(self) -> Dict:
+        """One ``telemetry`` snapshot of the serving loop."""
+        await self.send({"type": "stats"})
+        while True:
+            frame = await self._next_frame()
+            if frame.get("type") == "telemetry":
+                return frame
+            if frame.get("type") == "error":
+                raise ServingError(frame.get("code", "error"),
+                                   frame.get("message", ""))
+            self._buffer(frame)
+
+    async def run(self, scenario: str, tenant: Optional[str] = None,
+                  **kwargs) -> Dict:
+        """Submit and wait for the result — the one-call client path."""
+        accepted = await self.submit(scenario, tenant=tenant, **kwargs)
+        return await self.result(accepted["tenant"])
+
+    async def close(self) -> None:
+        """Polite shutdown: ``bye``, wait for ``goodbye``, close."""
+        try:
+            await self.send({"type": "bye"})
+            while True:
+                frame = await protocol.read_frame(self._reader)
+                if frame is None or frame.get("type") == "goodbye":
+                    break
+                self._buffer(frame)
+        except (ConnectionError, protocol.ProtocolError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _next_frame(self) -> Dict:
+        frame = await protocol.read_frame(self._reader)
+        if frame is None:
+            raise ServingError("closed",
+                               "server closed the connection")
+        return frame
+
+    def _buffer(self, frame: Dict) -> None:
+        kind = frame.get("type")
+        if kind == "result":
+            self._results[frame["tenant"]] = frame
+        elif kind == "error":
+            self._errors.append(frame)
+        # Unknown-field rule's sibling at the stream level: frames of
+        # unrecognized type are ignored, so a v2 server can stream new
+        # message kinds past a v1 client.
+
+
+class ReproClient:
+    """Blocking wrapper around :class:`AsyncReproClient`.
+
+    Owns a private event loop; every method drives it to completion.
+    Usable as a context manager::
+
+        with ReproClient("127.0.0.1", 9944) as client:
+            result = client.run("topn", tenant="t0", rows=120)
+    """
+
+    def __init__(self, host: str, port: int,
+                 client: str = "repro-client"):
+        self._loop = asyncio.new_event_loop()
+        self._inner = self._drive(
+            AsyncReproClient.connect(host, port, client=client))
+
+    def _drive(self, coro):
+        return self._loop.run_until_complete(coro)
+
+    @property
+    def version(self) -> int:
+        return self._inner.version
+
+    @property
+    def welcome(self) -> Dict:
+        return self._inner.welcome
+
+    def submit(self, scenario: str, **kwargs) -> Dict:
+        return self._drive(self._inner.submit(scenario, **kwargs))
+
+    def result(self, tenant: str) -> Dict:
+        return self._drive(self._inner.result(tenant))
+
+    def stats(self) -> Dict:
+        return self._drive(self._inner.stats())
+
+    def run(self, scenario: str, **kwargs) -> Dict:
+        return self._drive(self._inner.run(scenario, **kwargs))
+
+    def close(self) -> None:
+        if self._loop.is_closed():
+            return
+        self._drive(self._inner.close())
+        self._loop.close()
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["AsyncReproClient", "ReproClient", "ServingError"]

@@ -1,0 +1,285 @@
+"""``proto/v1``: the length-prefixed JSON wire protocol of ``repro serve``.
+
+The normative specification lives in ``docs/PROTOCOL.md``; this module
+is its reference implementation.  The essentials:
+
+* **Framing** — every message is one frame: a 4-byte big-endian
+  unsigned length followed by that many bytes of UTF-8 JSON encoding a
+  single object.  Frames larger than :data:`MAX_FRAME_BYTES` are a
+  fatal framing error (the stream cannot be resynchronized, so the
+  receiver closes the connection).  A frame whose payload is not valid
+  UTF-8 JSON, or decodes to a non-object, is likewise fatal.
+* **Messages** — every object carries a string ``type``.  Per-type
+  required fields are validated by :func:`validate_message`; a known
+  type missing a required field is a *recoverable* error (the peer
+  answers ``error`` and keeps the connection), as is an unknown type.
+* **Version negotiation** — the client's first frame is ``hello``
+  listing the protocol versions it speaks; the server answers
+  ``welcome`` naming the highest mutually supported version (or
+  ``error`` with code ``version`` and closes).  Everything after the
+  handshake is interpreted under the negotiated version.
+* **Unknown-field rule** — receivers MUST ignore object fields they do
+  not recognize.  This is what lets ``proto/v2`` add fields to
+  existing message types without breaking v1 peers, mirroring the
+  trace format's v1→v2 evolution (``docs/TRACES.md``).
+
+Validation failures raise :class:`ProtocolError`, which carries a
+machine-readable ``code`` (mirrored into ``error`` frames) and a
+``fatal`` flag separating close-the-connection framing errors from
+answer-and-continue message errors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Dict, List, Optional, Sequence
+
+#: The protocol version this implementation speaks natively.
+PROTOCOL_VERSION = 1
+
+#: Every version this implementation can negotiate down (or up) to.
+SUPPORTED_PROTOCOL_VERSIONS = (1,)
+
+#: Upper bound on one frame's JSON payload.  Large enough for any
+#: result (outputs ride as reprs), small enough that a corrupt length
+#: prefix cannot make the reader buffer gigabytes.
+MAX_FRAME_BYTES = 1 << 20
+
+_HEADER = struct.Struct("!I")
+
+#: Message types a client may send.
+CLIENT_MESSAGE_TYPES = ("hello", "submit", "stats", "bye")
+
+#: Message types a server may send.
+SERVER_MESSAGE_TYPES = ("welcome", "accepted", "rejected", "result",
+                        "telemetry", "error", "goodbye")
+
+#: type -> fields the message must carry (beyond ``type``).  Receivers
+#: ignore any field not listed here (the unknown-field rule).
+REQUIRED_FIELDS: Dict[str, Sequence[str]] = {
+    "hello": ("versions",),
+    "welcome": ("version",),
+    "submit": ("scenario",),
+    "accepted": ("tenant", "arrival_tick"),
+    "rejected": ("tenant", "reason"),
+    "result": ("tenant", "status"),
+    "telemetry": ("tick",),
+    "error": ("code", "message"),
+    "stats": (),
+    "bye": (),
+    "goodbye": (),
+}
+
+
+class ProtocolError(ValueError):
+    """A ``proto/v1`` violation.
+
+    ``code`` is the machine-readable token mirrored into ``error``
+    frames (``framing``, ``bad-json``, ``bad-message``, ``version``,
+    ``unknown-type``, ``bad-field``); ``fatal`` is True when the
+    stream cannot continue (framing/JSON damage — the receiver must
+    close) and False when the peer can answer ``error`` and keep the
+    connection.
+    """
+
+    def __init__(self, code: str, message: str, fatal: bool = False):
+        super().__init__(message)
+        self.code = code
+        self.fatal = fatal
+
+
+def encode_frame(message: Dict) -> bytes:
+    """One wire frame for ``message``: length prefix + compact JSON.
+
+    Keys are sorted, so identical messages are identical bytes — the
+    determinism the record/replay round trip leans on.
+    """
+    payload = json.dumps(message, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "framing",
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit", fatal=True)
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict:
+    """Decode one frame's payload into a message object."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(
+            "bad-json", f"frame payload is not valid JSON: {error}",
+            fatal=True) from error
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            "bad-message",
+            f"frame payload must be a JSON object, got "
+            f"{type(message).__name__}", fatal=True)
+    return message
+
+
+def validate_message(message: Dict) -> str:
+    """Check ``type`` and required fields; returns the message type.
+
+    Unknown types and missing required fields raise *recoverable*
+    :class:`ProtocolError`\\ s — the receiver answers ``error`` and
+    keeps the connection.  Unknown fields are deliberately not checked
+    (the unknown-field rule).
+    """
+    kind = message.get("type")
+    if not isinstance(kind, str):
+        raise ProtocolError(
+            "bad-message", "message has no string 'type' field")
+    required = REQUIRED_FIELDS.get(kind)
+    if required is None:
+        raise ProtocolError(
+            "unknown-type", f"unknown message type {kind!r}")
+    missing = [field for field in required if field not in message]
+    if missing:
+        raise ProtocolError(
+            "bad-field",
+            f"{kind} message is missing required field(s): "
+            f"{', '.join(missing)}")
+    return kind
+
+
+def negotiate_version(offered) -> int:
+    """The highest mutually supported version, per the ``hello`` list.
+
+    Raises a recoverable :class:`ProtocolError` (code ``version``)
+    when there is no overlap — the server reports it and closes.
+    """
+    if (not isinstance(offered, list)
+            or not all(isinstance(v, int) for v in offered)):
+        raise ProtocolError(
+            "version", "hello 'versions' must be a list of integers")
+    mutual = [v for v in offered if v in SUPPORTED_PROTOCOL_VERSIONS]
+    if not mutual:
+        raise ProtocolError(
+            "version",
+            f"no mutual protocol version: peer offers {offered}, "
+            f"this side supports {list(SUPPORTED_PROTOCOL_VERSIONS)}")
+    return max(mutual)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict]:
+    """Read one framed message; ``None`` on a clean EOF between frames.
+
+    A truncated frame (EOF inside the header or payload) and an
+    oversized length prefix are fatal :class:`ProtocolError`\\ s: the
+    stream offers no way to resynchronize.
+    """
+    header = await reader.read(_HEADER.size)
+    if not header:
+        return None
+    while len(header) < _HEADER.size:
+        more = await reader.read(_HEADER.size - len(header))
+        if not more:
+            raise ProtocolError(
+                "framing", "connection closed inside a frame header",
+                fatal=True)
+        header += more
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "framing",
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte "
+            "limit", fatal=True)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError(
+            "framing", "connection closed inside a frame payload",
+            fatal=True) from error
+    return decode_payload(payload)
+
+
+# -- message constructors (sorted-key encoding happens in encode_frame) --------
+
+def hello(client: str = "repro-client") -> Dict:
+    """The client's opening frame."""
+    return {"type": "hello",
+            "versions": list(SUPPORTED_PROTOCOL_VERSIONS),
+            "client": client}
+
+
+def welcome(version: int, scenarios: Sequence[str], policy: str,
+            slots: int, server: str = "repro-serve") -> Dict:
+    """The server's handshake answer."""
+    return {"type": "welcome", "version": version, "server": server,
+            "scenarios": list(scenarios), "policy": policy,
+            "slots": slots}
+
+
+def submit(scenario: str, tenant: Optional[str] = None,
+           rows: Optional[int] = None, seed: Optional[int] = None,
+           priority: Optional[str] = None, slots: Optional[int] = None,
+           arrival_tick: Optional[int] = None) -> Dict:
+    """One tenant submission; optional fields ride only when set."""
+    message: Dict = {"type": "submit", "scenario": scenario}
+    for key, value in (("tenant", tenant), ("rows", rows),
+                       ("seed", seed), ("priority", priority),
+                       ("slots", slots), ("arrival_tick", arrival_tick)):
+        if value is not None:
+            message[key] = value
+    return message
+
+
+def error(code: str, message: str) -> Dict:
+    """An ``error`` frame mirroring a :class:`ProtocolError`."""
+    return {"type": "error", "code": code, "message": message}
+
+
+def result_message(report, output_repr: Optional[str] = None) -> Dict:
+    """A ``result`` frame from one ``TenantReport``.
+
+    Outputs cross the wire as ``repr`` strings: JSON cannot round-trip
+    the executor's tuples and integer keys, and the server has already
+    verified equivalence against ``QueryPlan.run`` (the ``equivalent``
+    field) — the repr is for client-side display and spot checks.
+    """
+    return {
+        "type": "result",
+        "tenant": report.spec.tenant,
+        "scenario": report.spec.scenario,
+        "status": report.status,
+        "reason": report.reason,
+        "qos_class": report.qos_class,
+        "equivalent": report.equivalent,
+        "arrival_tick": report.spec.arrival_tick,
+        "admitted_tick": report.admitted_tick,
+        "completed_tick": report.completed_tick,
+        "wait_ticks": report.wait_ticks,
+        "service_ticks": report.service_ticks,
+        "latency_ticks": report.latency_ticks,
+        "preemptions": report.preemptions,
+        "suspended_ticks": report.suspended_ticks,
+        "entries": report.entries,
+        "delivered": report.delivered,
+        "output_repr": output_repr,
+    }
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOL_VERSIONS",
+    "MAX_FRAME_BYTES",
+    "CLIENT_MESSAGE_TYPES",
+    "SERVER_MESSAGE_TYPES",
+    "REQUIRED_FIELDS",
+    "ProtocolError",
+    "encode_frame",
+    "decode_payload",
+    "validate_message",
+    "negotiate_version",
+    "read_frame",
+    "hello",
+    "welcome",
+    "submit",
+    "error",
+    "result_message",
+]
