@@ -79,7 +79,7 @@ def _environment_section(payloads) -> str:
             key: payload[key]
             for key in ("rows", "scale", "shards", "seed", "loss_rate",
                         "reorder_window", "batch_size", "max_tenants",
-                        "queries", "slots", "clients")
+                        "queries", "slots", "clients", "tenants", "kills")
             if isinstance(payload.get(key), (int, float))
         }
         rows.append({
@@ -364,6 +364,69 @@ def _load_section(payload) -> str:
     )
 
 
+def _chaos_section(payload) -> str:
+    def target(entry):
+        if "shard" in entry:
+            return f"shard {entry['shard']}"
+        if "worker" in entry:
+            return f"worker {entry['worker']}"
+        return f"loss → {_fmt(entry.get('loss_rate'), 2)}"
+
+    def effect(entry):
+        if entry["event"] == "kill_shard":
+            return f"{entry['migrated_queries']} queries migrated"
+        if entry["event"] == "restart":
+            return (f"{entry['restored_queries']} restored after "
+                    f"{entry['recovery_ticks']} tick(s) down")
+        if entry["event"] == "kill_worker":
+            return f"{entry['replayed_packets']} packets replayed"
+        return "channels degraded"
+
+    timeline_rows = [
+        {"tick": entry["tick"], "event": entry["event"],
+         "target": target(entry), "effect": effect(entry)}
+        for entry in payload["timeline"]
+    ]
+    compare_rows = []
+    for label, run in (("fault-free baseline", payload["baseline"]),
+                       ("under chaos", payload["chaos"])):
+        latency = run["latency"]
+        compare_rows.append({
+            "run": label,
+            "served": run["served"],
+            "makespan (ticks)": run["ticks"],
+            "p50 (ticks)": latency["p50_ticks"],
+            "p99 (ticks)": latency["p99_ticks"],
+            "entries delivered": run["delivered"],
+            "all identical": run["all_equivalent"],
+        })
+    mix = ", ".join(payload["scenario_mix"])
+    return (
+        "## Chaos — fault injection and query migration "
+        "(`repro bench chaos`)\n\n"
+        f"{payload['tenants']} tenants (scenario mix: {mix}; "
+        f"{payload['rows']} rows each) served across "
+        f"{payload['shards']} switch shards under a seeded failure "
+        f"schedule ({payload['kills']} kills, seed {payload['seed']}): "
+        "shard kills checkpoint the dead pipeline's installed queries "
+        "and park them on survivors, restarts re-install them with "
+        "pruner state intact, and worker kills replay the unacked "
+        "§7.2 window ([CHAOS.md](CHAOS.md)).  The injected timeline:\n\n"
+        + _table(["tick", "event", "target", "effect"], timeline_rows)
+        + "\n\nThe same tenant set with and without the faults:\n\n"
+        + _table(["run", "served", "makespan (ticks)", "p50 (ticks)",
+                  "p99 (ticks)", "entries delivered", "all identical"],
+                 compare_rows)
+        + "\n\nMakespan inflation from the faults: "
+        f"**{_fmt(payload['makespan_inflation'], 2)}x** "
+        f"({payload['migrations']} migrations, "
+        f"{payload['restored']} restores, "
+        f"{payload['replayed_packets']} replayed packets); every "
+        "survivor identical to its solo `QueryPlan.run`: "
+        f"`{payload['all_equivalent']}`."
+    )
+
+
 #: Approximate paper values for Figure 9 (master blocking seconds vs
 #: unpruned %), digitized from the curves at 10 Gbps; the tracked
 #: claims are the *shape* (zero-blocking region, then super-linear
@@ -443,6 +506,92 @@ def _fig9_section() -> str:
     )
 
 
+def _fig6_section() -> str:
+    path = RESULTS_DIR / "fig6.txt"
+    if not path.exists():
+        return None
+    rows = _parse_results_table(path.read_text(encoding="utf-8"))
+    table_rows = [
+        {
+            "sweep": row["sweep"],
+            "x": row["x"],
+            "Cheetah (s)": _fmt(row["cheetah_s"], 2),
+            "Spark (s)": _fmt(row["spark_s"], 2),
+            "speedup": _fmt(row["spark_s"] / row["cheetah_s"], 2) + "x",
+        }
+        for row in rows
+    ]
+    return (
+        "## Figure 6 — DISTINCT vs workers and data scale "
+        "(`repro run fig6`)\n\n"
+        "DISTINCT completion time sweeping worker count (a) and data "
+        "scale in millions of entries (b), from the checked-in "
+        "[`results/fig6.txt`](../results/fig6.txt).  The paper's "
+        "claims — Cheetah wins at every setting, and the gap *widens* "
+        "with data scale because Spark's compute grows while Cheetah "
+        "stays network-bound — both hold in the reproduction.\n\n"
+        + _table(["sweep", "x", "Cheetah (s)", "Spark (s)", "speedup"],
+                 table_rows)
+    )
+
+
+def _fig7_section() -> str:
+    path = RESULTS_DIR / "fig7.txt"
+    if not path.exists():
+        return None
+    rows = _parse_results_table(path.read_text(encoding="utf-8"))
+    table_rows = [
+        {
+            "result size (%)": row["result_pct"],
+            "NetAccel drain (s)": _fmt(row["netaccel_drain_s"]),
+            "Cheetah overhead (s)": _fmt(row["cheetah_overhead_s"]),
+            "ratio": _fmt(row["netaccel_drain_s"]
+                          / row["cheetah_overhead_s"], 1) + "x",
+        }
+        for row in rows
+    ]
+    return (
+        "## Figure 7 — NetAccel result drain vs Cheetah streaming "
+        "(`repro run fig7`)\n\n"
+        "NetAccel materializes results in the switch and must *drain* "
+        "them afterwards — a lower-bound overhead that grows linearly "
+        "with result size — while Cheetah streams pruned entries and "
+        "stays near-flat (from the checked-in "
+        "[`results/fig7.txt`](../results/fig7.txt)).\n\n"
+        + _table(["result size (%)", "NetAccel drain (s)",
+                  "Cheetah overhead (s)", "ratio"], table_rows)
+    )
+
+
+def _fig8_section() -> str:
+    path = RESULTS_DIR / "fig8.txt"
+    if not path.exists():
+        return None
+    rows = _parse_results_table(path.read_text(encoding="utf-8"))
+    table_rows = [
+        {
+            "query": row["query"],
+            "system": row["system"],
+            "computation (s)": _fmt(row["computation_s"], 2),
+            "network (s)": _fmt(row["network_s"], 2),
+            "other (s)": _fmt(row["other_s"], 2),
+            "total (s)": _fmt(row["total_s"], 2),
+        }
+        for row in rows
+    ]
+    return (
+        "## Figure 8 — delay breakdown: Spark vs Cheetah at 10G/20G "
+        "(`repro run fig8`)\n\n"
+        "Where the time goes (from the checked-in "
+        "[`results/fig8.txt`](../results/fig8.txt)): Spark is "
+        "compute-bound — doubling the link to 20G buys it nothing — "
+        "while Cheetah is network-bound, so 20G roughly halves its "
+        "network share, exactly the paper's Figure 8 shape.\n\n"
+        + _table(["query", "system", "computation (s)", "network (s)",
+                  "other (s)", "total (s)"], table_rows)
+    )
+
+
 _SECTIONS = (
     ("fig5", _fig5_section),
     ("fig11", _fig11_section),
@@ -451,6 +600,7 @@ _SECTIONS = (
     ("replay", _replay_section),
     ("qos", _qos_section),
     ("load", _load_section),
+    ("chaos", _chaos_section),
 )
 
 
@@ -463,9 +613,11 @@ def render_report() -> str:
     renderers = dict(_SECTIONS)
     for name, payload in available:
         parts.append(renderers[name](payload))
-    fig9 = _fig9_section()
-    if fig9 is not None:
-        parts.append(fig9)
+    for section in (_fig6_section, _fig7_section, _fig8_section,
+                    _fig9_section):
+        rendered = section()
+        if rendered is not None:
+            parts.append(rendered)
     return "\n\n".join(parts) + "\n"
 
 

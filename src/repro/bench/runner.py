@@ -29,6 +29,14 @@ trajectory can be tracked across PRs and asserted in CI:
   ``tiers`` policy's slot preemption enabled vs. disabled, with every
   tenant (including the preempted ones) still identical to its solo
   ``QueryPlan.run``.  Deterministic for the same seed.
+* :func:`run_chaos_bench` — the fault-injection benchmark: the same
+  tenant set served with and without a seeded
+  :class:`~repro.cluster.chaos.FailureSchedule` (shard kills with
+  checkpointed query migration, a restart, worker window replays),
+  reporting migrated-query counts, recovery ticks, and p99 inflation
+  over the no-fault baseline — with every surviving tenant still
+  byte-identical to its solo ``QueryPlan.run``.  Deterministic for the
+  same seed.
 * :func:`run_load_bench` — the socket serving benchmark: a concurrent
   client swarm over real TCP connections against a live
   ``ReproServer`` (open-loop arrivals from the trace generators plus
@@ -721,6 +729,99 @@ def run_qos_bench(batch_tenants: int = 3, interactive_tenants: int = 4,
                                         if p99_on else None),
         "all_equivalent": all(run["all_equivalent"] is True
                               for run in runs),
+    }
+
+
+#: Scenario rotation for the chaos bench's tenants: long-running
+#: sketchy state (group-by), two-pass (join), and register-file state
+#: (distinct, having) so migrated checkpoints carry every pruner shape.
+CHAOS_MIX = ("groupby_sum", "join", "distinct", "having_sum")
+
+
+def run_chaos_bench(tenants: int = 4, rows: int = 260, slots: int = 4,
+                    loss_rate: float = 0.02, reorder_window: int = 1,
+                    shards: int = 3, seed: int = 0,
+                    kills: int = 2) -> Dict:
+    """Chaos benchmark: serving under seeded fault injection.
+
+    The same ``tenants``-tenant set (rotating through
+    :data:`CHAOS_MIX`) is served twice through the
+    :class:`QueryScheduler`: once fault-free (the baseline), then with
+    a :func:`~repro.cluster.chaos.generate_schedule` failure schedule
+    sized to land inside the baseline's makespan — shard kills (whose
+    installed queries are suspended via checkpoints and parked with
+    survivors), restarts (which move the state home again), and worker
+    kills (whose unacked §7.2 windows a survivor replays).  The
+    headline claims: ``migrations`` queries were actually migrated
+    mid-run, ``recovery_ticks`` measures outage length, and
+    ``all_equivalent`` certifies that *every* tenant of *both* runs
+    still produced a result identical to its solo ``QueryPlan.run`` —
+    survivor equivalence under fire.  ``p99_inflation`` and
+    ``makespan_inflation`` price the faults against the baseline.
+
+    The payload (``BENCH_chaos.json``) is fully deterministic for the
+    same seed (tick-based metrics only, schedule generation is pure);
+    CI double-runs it, asserts byte identity, at least one migration,
+    and the equivalence bit.
+    """
+    from repro.cluster.chaos import ChaosController, generate_schedule
+    from repro.cluster.scheduler import (
+        QueryScheduler,
+        SchedulerConfig,
+        tenant_specs,
+    )
+
+    if tenants < 1:
+        raise ValueError(f"tenants must be >= 1, got {tenants}")
+    if shards < 2:
+        raise ValueError("the chaos bench kills switch pipelines: "
+                         f"shards must be >= 2, got {shards}")
+    if kills < 1:
+        raise ValueError(f"kills must be >= 1, got {kills}")
+    config = SchedulerConfig(slots=slots, loss_rate=loss_rate,
+                             reorder_window=reorder_window,
+                             shards=shards, seed=seed)
+    specs = tenant_specs(tenants, rows=rows, seed=seed, mix=CHAOS_MIX)
+    baseline = QueryScheduler(config).serve(specs)
+    # Size the schedule inside the fault-free makespan so every kill
+    # lands while queries are actually in flight.
+    horizon = max(6, baseline.ticks * 2 // 3)
+    schedule = generate_schedule(seed=seed, kills=kills, shards=shards,
+                                 workers=config.workers,
+                                 horizon=horizon)
+    controller = ChaosController(schedule)
+    chaos = QueryScheduler(config).serve(specs, chaos=controller)
+    summary = controller.summary()
+    baseline_payload = baseline.to_payload()
+    chaos_payload = chaos.to_payload()
+    base_p99 = baseline_payload["latency"]["p99_ticks"]
+    chaos_p99 = chaos_payload["latency"]["p99_ticks"]
+    return {
+        "benchmark": "chaos",
+        "tenants": tenants,
+        "rows": rows,
+        "slots": slots,
+        "loss_rate": loss_rate,
+        "reorder_window": reorder_window,
+        "shards": shards,
+        "seed": seed,
+        "kills": kills,
+        "scenario_mix": list(CHAOS_MIX),
+        "schedule": [event.to_record() for event in schedule.events],
+        "baseline": baseline_payload,
+        "chaos": chaos_payload,
+        "timeline": summary["timeline"],
+        "events_applied": summary["applied"],
+        "events_pending": summary["pending"],
+        "migrations": summary["migrations"],
+        "restored": summary["restored"],
+        "replayed_packets": summary["replayed_packets"],
+        "recovery_ticks": summary["recovery_ticks"],
+        "p99_inflation": (chaos_p99 / base_p99 if base_p99 else None),
+        "makespan_inflation": (chaos.ticks / baseline.ticks
+                               if baseline.ticks else None),
+        "all_equivalent": (baseline.all_equivalent is True
+                           and chaos.all_equivalent is True),
     }
 
 

@@ -266,7 +266,7 @@ def _announce_trace(args, config, path: str, version: int) -> None:
           f"(version {version}; replay with: {replay_cmd})")
 
 
-def _serve_socket(args, config, policy) -> int:
+def _serve_socket(args, config, policy, chaos=None) -> int:
     """``repro serve --listen``: the asyncio socket frontend."""
     import asyncio
 
@@ -292,7 +292,8 @@ def _serve_socket(args, config, policy) -> int:
     async def session() -> ReproServer:
         server = ReproServer(config, host=host, port=port,
                              hold=args.hold,
-                             max_queries=args.max_queries)
+                             max_queries=args.max_queries,
+                             chaos=chaos)
         await server.start()
         bound_host, bound_port = server.address
         print(f"== serve: listening on {bound_host}:{bound_port} "
@@ -323,6 +324,7 @@ def _serve_socket(args, config, policy) -> int:
         report, lambda t: f"wait={t.wait_ticks:<5d} "
                           f"service={t.service_ticks:<6d}")
     _print_qos_outcomes(report)
+    _print_chaos_outcomes(chaos)
     print(f"  makespan    : {report.ticks} ticks, "
           f"{report.wall_seconds:.3f}s wall")
     print(f"  aggregate   : {report.entries} entries offered, "
@@ -369,14 +371,17 @@ def _serve(args) -> int:
     except ValueError as error:
         print(f"repro serve: {error}", file=sys.stderr)
         return 2
+    chaos, code = _chaos_controller(args, "serve")
+    if code is not None:
+        return code
     if args.listen is not None:
-        return _serve_socket(args, config, policy)
+        return _serve_socket(args, config, policy, chaos)
     try:
         specs = tenant_specs(args.tenants, rows=args.rows,
                              seed=args.seed, mix=mix,
                              arrival_stride=args.arrival_stride,
                              priorities=priorities)
-        report = QueryScheduler(config).serve(specs)
+        report = QueryScheduler(config).serve(specs, chaos=chaos)
     except (ValueError, SimulationError) as error:
         print(f"repro serve: {error}", file=sys.stderr)
         return 2
@@ -395,6 +400,7 @@ def _serve(args) -> int:
         report, lambda t: f"wait={t.wait_ticks:<5d} "
                           f"service={t.service_ticks:<6d}")
     _print_qos_outcomes(report)
+    _print_chaos_outcomes(chaos)
     throughput = report.throughput_entries_per_second
     print(f"  makespan    : {report.ticks} ticks, "
           f"{report.wall_seconds:.3f}s wall")
@@ -432,6 +438,9 @@ def _replay(args) -> int:
             print(f"available: {', '.join(sorted(SCENARIOS))}",
                   file=sys.stderr)
             return 2
+    chaos, code = _chaos_controller(args, "replay")
+    if code is not None:
+        return code
     priorities = (tuple(args.priorities.split(","))
                   if args.priorities else None)
     if trace_file and priorities:
@@ -474,7 +483,8 @@ def _replay(args) -> int:
             slots=args.slots, queue_when_full=not args.reject_when_full,
             policy=policy, workers=args.workers, loss_rate=loss,
             reorder_window=args.reorder, shards=shards, seed=args.seed)
-        report = replay_trace(trace, config, apply_overrides=False)
+        report = replay_trace(trace, config, apply_overrides=False,
+                              chaos=chaos)
     except (OSError, ValueError, SimulationError) as error:
         print(f"repro replay: {error}", file=sys.stderr)
         return 2
@@ -490,6 +500,7 @@ def _replay(args) -> int:
                           f"wait={t.wait_ticks:<5d} "
                           f"latency={t.latency_ticks:<6d}")
     _print_qos_outcomes(report)
+    _print_chaos_outcomes(chaos)
     mean_occ = report.mean_occupancy
     latencies = report.latencies
     print(f"  makespan   : {report.ticks} ticks, "
@@ -517,9 +528,149 @@ def _replay(args) -> int:
     return 0 if ok else 1
 
 
+def _chaos_controller(args, command: str):
+    """Build the ``--schedule`` ChaosController for serve/replay/chaos.
+
+    Returns ``(controller, None)`` or ``(None, exit_code)`` — the
+    controller is ``None`` (no fault injection) when no schedule was
+    requested.
+    """
+    if getattr(args, "schedule", None) is None:
+        return None, None
+    from repro.cluster.chaos import ChaosController, load_schedule
+
+    try:
+        schedule = load_schedule(args.schedule)
+    except (OSError, ValueError) as error:
+        print(f"repro {command}: {error}", file=sys.stderr)
+        return None, 2
+    return ChaosController(schedule), None
+
+
+def _print_chaos_outcomes(controller) -> None:
+    """One summary line per chaos run (serve/replay ``--schedule``)."""
+    if controller is None:
+        return
+    summary = controller.summary()
+    print(f"  chaos       : {summary['applied']}/{summary['events']} "
+          f"events applied, {summary['migrations']} queries migrated, "
+          f"{summary['restored']} restored, "
+          f"{summary['replayed_packets']} packets replayed"
+          + (f", recovery {summary['recovery_ticks']} ticks"
+             if summary["restored"] else ""))
+
+
+def _chaos(args) -> int:
+    """Serve a scenario fleet under fault injection; verify survivors."""
+    from repro.cluster.chaos import ChaosController, generate_schedule
+    from repro.cluster.qos import parse_policy
+    from repro.cluster.scheduler import (
+        QueryScheduler,
+        SchedulerConfig,
+        tenant_specs,
+    )
+    from repro.cluster.simulation import SCENARIOS, SimulationError
+
+    if args.scenario not in SCENARIOS:
+        print(f"repro chaos: unknown scenario {args.scenario!r}",
+              file=sys.stderr)
+        print(f"available: {', '.join(sorted(SCENARIOS))}",
+              file=sys.stderr)
+        return 2
+    if args.schedule and args.gen:
+        print("repro chaos: give --schedule or --gen, not both",
+              file=sys.stderr)
+        return 2
+    try:
+        policy = parse_policy(args.policy)
+        config = SchedulerConfig(
+            slots=(args.slots if args.slots is not None
+                   else args.tenants),
+            policy=policy, workers=args.workers, loss_rate=args.loss,
+            reorder_window=args.reorder, shards=args.shards,
+            seed=args.seed)
+    except ValueError as error:
+        print(f"repro chaos: {error}", file=sys.stderr)
+        return 2
+    try:
+        specs = tenant_specs(args.tenants, rows=args.rows,
+                             seed=args.seed, mix=(args.scenario,))
+        # The fault-free baseline: the equivalence reference and the
+        # makespan that sizes a generated schedule.
+        baseline = QueryScheduler(config).serve(specs)
+    except (ValueError, SimulationError) as error:
+        print(f"repro chaos: {error}", file=sys.stderr)
+        return 2
+    if args.schedule:
+        controller, code = _chaos_controller(args, "chaos")
+        if code is not None:
+            return code
+        schedule = controller.schedule
+    else:
+        try:
+            schedule = generate_schedule(
+                seed=args.seed, kills=args.kills, shards=config.shards,
+                workers=config.workers,
+                horizon=max(6, baseline.ticks * 2 // 3))
+        except ValueError as error:
+            print(f"repro chaos: {error}", file=sys.stderr)
+            return 2
+        controller = ChaosController(schedule)
+    if args.out:
+        schedule.save(args.out)
+        print(f"  -> saved schedule {args.out}")
+    try:
+        report = QueryScheduler(config).serve(specs, chaos=controller)
+    except (ValueError, SimulationError) as error:
+        print(f"repro chaos: {error}", file=sys.stderr)
+        return 2
+    print(f"== chaos: {args.tenants}x {args.scenario}, "
+          f"{config.slots} slots, shards={config.shards}, "
+          f"loss={args.loss}, {len(schedule.events)} scheduled "
+          f"events ==")
+    for record in controller.applied:
+        effect = {
+            "kill_shard": lambda r: f"{r['migrated_queries']} queries "
+                                    "migrated to survivors",
+            "restart": lambda r: f"{r['restored_queries']} queries "
+                                 "restored"
+                                 + (f" after {r['recovery_ticks']} "
+                                    "ticks down"
+                                    if "recovery_ticks" in r else ""),
+            "kill_worker": lambda r: f"{r['replayed_packets']} unacked "
+                                     "packets replayed by survivors",
+            "degrade_channel": lambda r: f"loss={r['loss_rate']} on "
+                                         f"{r['tenants_degraded']} "
+                                         "tenants",
+        }[record["event"]](record)
+        target = record.get("shard", record.get("worker", ""))
+        print(f"  tick {record['applied_tick']:<4d} "
+              f"{record['event']} {target}: {effect}")
+    if controller.pending:
+        print(f"  ({controller.pending} scheduled events never came "
+              "due: run finished first)")
+    ok = _print_tenant_outcomes(
+        report, lambda t: f"wait={t.wait_ticks:<5d} "
+                          f"service={t.service_ticks:<6d}")
+    print(f"  baseline    : {baseline.ticks} ticks, "
+          f"p99={baseline.latency_p99_ticks}")
+    print(f"  under chaos : {report.ticks} ticks, "
+          f"p99={report.latency_p99_ticks}")
+    equivalent = (ok and baseline.all_equivalent is True
+                  and report.all_equivalent is True)
+    if equivalent:
+        print("  survivor equivalence: OK (every tenant identical to "
+              "its solo run)")
+        return 0
+    print("chaos: a surviving tenant diverged from its solo "
+          "QueryPlan.run", file=sys.stderr)
+    return 1
+
+
 def _bench(args) -> int:
     from repro.bench.runner import (
         emit_bench_json,
+        run_chaos_bench,
         run_concurrency_bench,
         run_e2e_bench,
         run_fig5_bench,
@@ -539,13 +690,14 @@ def _bench(args) -> int:
         return 2
     if args.rows is None:
         args.rows = {"e2e": 1200, "concurrency": 240,
-                     "replay": 100, "qos": 260,
+                     "replay": 100, "qos": 260, "chaos": 260,
                      "load": 24}.get(args.name, 60_000)
     if args.slots is None:
         # The QoS bench needs slack above the tiers policy's two
         # reserved slots; the replay bench wants a tight budget; the
-        # load bench wants enough parallelism for a client swarm.
-        args.slots = {"qos": 3, "load": 8}.get(args.name, 2)
+        # load bench wants enough parallelism for a client swarm; the
+        # chaos bench wants every tenant in flight when a kill lands.
+        args.slots = {"qos": 3, "load": 8, "chaos": 4}.get(args.name, 2)
     if args.name == "fig11" and args.rows < 40:
         print(f"repro bench: --rows must be >= 40 for the fig11 streams, "
               f"got {args.rows}", file=sys.stderr)
@@ -694,6 +846,66 @@ def _bench(args) -> int:
                   "(preemption broke result identity?)",
                   file=sys.stderr)
             return 1
+    elif args.name == "chaos":
+        if args.rows < 20:
+            print(f"repro bench: --rows must be >= 20 for chaos, got "
+                  f"{args.rows}", file=sys.stderr)
+            return 2
+        if not 0.0 <= args.loss < 1.0:
+            print(f"repro bench: --loss must be in [0, 1), got "
+                  f"{args.loss}", file=sys.stderr)
+            return 2
+        shards = args.shards if args.shards > 1 else 3
+        try:
+            payload = run_chaos_bench(rows=args.rows, slots=args.slots,
+                                      loss_rate=args.loss,
+                                      reorder_window=args.reorder,
+                                      shards=shards, seed=args.seed,
+                                      kills=args.kills)
+        except ValueError as error:
+            print(f"repro bench: {error}", file=sys.stderr)
+            return 2
+        path = emit_bench_json("chaos", payload, args.results_dir)
+        print(f"chaos bench: {payload['tenants']} tenants, "
+              f"{args.slots} slots, shards={shards}, "
+              f"loss={args.loss}, {args.kills} kills")
+        for record in payload["timeline"]:
+            effect = {
+                "kill_shard": lambda r: f"{r['migrated_queries']} "
+                                        "queries migrated",
+                "restart": lambda r: f"{r['restored_queries']} restored"
+                                     + (f" after {r['recovery_ticks']} "
+                                        "ticks" if "recovery_ticks" in r
+                                        else ""),
+                "kill_worker": lambda r: f"{r['replayed_packets']} "
+                                         "packets replayed",
+                "degrade_channel": lambda r: f"loss={r['loss_rate']} on "
+                                             f"{r['tenants_degraded']} "
+                                             "tenants",
+            }[record["event"]](record)
+            target = record.get("shard", record.get("worker", ""))
+            print(f"  tick {record['applied_tick']:<4d} "
+                  f"{record['event']} {target}: {effect}")
+        if payload["events_pending"]:
+            print(f"  ({payload['events_pending']} scheduled events "
+                  "never came due: run finished first)")
+        print(f"  baseline: {payload['baseline']['ticks']} ticks "
+              f"p99={payload['baseline']['latency']['p99_ticks']} | "
+              f"chaos: {payload['chaos']['ticks']} ticks "
+              f"p99={payload['chaos']['latency']['p99_ticks']}"
+              + (f" (p99 inflation {payload['p99_inflation']:.2f}x)"
+                 if payload["p99_inflation"] is not None else ""))
+        print(f"  migrations={payload['migrations']} "
+              f"restored={payload['restored']} "
+              f"replayed_packets={payload['replayed_packets']} "
+              f"recovery_ticks={payload['recovery_ticks']}")
+        if payload["all_equivalent"] is not True:
+            print("  ERROR: a surviving tenant diverged from "
+                  "QueryPlan.run (migration broke result identity?)",
+                  file=sys.stderr)
+            return 1
+        print("  survivor equivalence: OK (every tenant identical to "
+              "its solo run)")
     elif args.name == "load":
         if args.clients < 1:
             print(f"repro bench: --clients must be >= 1, got "
@@ -925,6 +1137,42 @@ def main(argv: List[str] = None) -> int:
                               metavar="PATH",
                               help="record the session's admissions as "
                               "a replayable v2 arrival trace")
+    serve_parser.add_argument("--schedule", default=None, metavar="PATH",
+                              help="inject faults from this JSON-lines "
+                              "failure schedule (docs/CHAOS.md); works "
+                              "in socket mode too")
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        parents=[_serving_flags(
+            loss=0.02, shards=3, policy="fifo",
+            slots_help="serving slots (default: one per tenant)")],
+        help="serve a tenant fleet under a seeded failure schedule "
+        "(shard kills with checkpointed query migration, worker kills "
+        "with window replay, channel degradation) and verify every "
+        "survivor's result against its solo run (docs/CHAOS.md)")
+    chaos_parser.add_argument("scenario",
+                              help="scenario every tenant runs "
+                              "(e.g. distinct, join, groupby_sum)")
+    chaos_parser.add_argument("--tenants", type=int, default=4,
+                              help="number of concurrent tenants")
+    chaos_parser.add_argument("--rows", type=int, default=200,
+                              help="rows per tenant scenario")
+    chaos_parser.add_argument("--schedule", default=None, metavar="PATH",
+                              help="JSON-lines failure schedule to "
+                              "apply (alternative to generating one)")
+    chaos_parser.add_argument("--gen", action="store_true",
+                              help="synthesize a seeded schedule (the "
+                              "default when no --schedule is given)")
+    chaos_parser.add_argument("--kills", type=int, default=2,
+                              help="generated schedule: kill events "
+                              "(even kills hit shards, odd hit workers)")
+    chaos_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="also save the applied schedule")
+    chaos_parser.add_argument("--reorder", type=int, default=0,
+                              help="channel reorder window")
+    chaos_parser.add_argument("--workers", type=int, default=4,
+                              help="CWorker partitions per tenant table")
 
     replay_parser = sub.add_parser(
         "replay",
@@ -980,6 +1228,10 @@ def main(argv: List[str] = None) -> int:
     replay_parser.add_argument("--reject-when-full", action="store_true",
                                help="reject arrivals with no free slot "
                                "instead of queueing them")
+    replay_parser.add_argument("--schedule", default=None,
+                               metavar="PATH",
+                               help="inject faults from this JSON-lines "
+                               "failure schedule (docs/CHAOS.md)")
 
     bench_parser = sub.add_parser(
         "bench",
@@ -991,12 +1243,13 @@ def main(argv: List[str] = None) -> int:
         "dataplane; 'e2e' times the full simulated cluster; "
         "'concurrency' measures multi-tenant serving; 'replay' measures "
         "tail latency under trace-replay arrivals; 'qos' measures "
-        "interactive p99 with vs without slot preemption; 'load' "
+        "interactive p99 with vs without slot preemption; 'chaos' "
+        "measures serving under seeded fault injection; 'load' "
         "drives a concurrent client swarm against a live socket "
         "server) and emit BENCH_<name>.json")
     bench_parser.add_argument("name", choices=["fig5", "fig11", "e2e",
                                                "concurrency", "replay",
-                                               "qos", "load"])
+                                               "qos", "chaos", "load"])
     bench_parser.add_argument("--rows", type=int, default=None,
                               help="largest stream length (fig11: "
                               "default 60000) or scenario size (e2e: "
@@ -1019,6 +1272,9 @@ def main(argv: List[str] = None) -> int:
     bench_parser.add_argument("--closed-queries", type=int, default=2,
                               help="load: back-to-back queries per "
                               "closed-loop connection")
+    bench_parser.add_argument("--kills", type=int, default=2,
+                              help="chaos: kill events in the "
+                              "generated failure schedule")
     bench_parser.add_argument("--reorder", type=int, default=2,
                               help="e2e/load: channel reorder window")
     bench_parser.add_argument("--batch-size", type=int, default=8192,
@@ -1047,6 +1303,8 @@ def main(argv: List[str] = None) -> int:
         return _serve(args)
     if args.command == "replay":
         return _replay(args)
+    if args.command == "chaos":
+        return _chaos(args)
     if args.command == "bench":
         return _bench(args)
     if args.command == "sql":

@@ -18,7 +18,7 @@ DISTINCT/TOP-N/GROUP BY, whose pruning *improves* with scale (Fig. 11).
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Mapping, Optional, Sequence, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.cluster.costmodel import CostModel, TimingBreakdown
 from repro.cluster.spark import result_cardinality, total_input_entries
@@ -241,6 +241,19 @@ class ShardedSwitchFrontend:
     query occupies one slot on *each* pipeline (it must be installed
     everywhere its entries may hash), so the concurrent-tenant budget of
     the sharded frontend equals that of a single switch.
+
+    **Fault injection** (``docs/CHAOS.md``): :meth:`kill_shard` crashes
+    one physical pipeline.  The K *logical* shards stay fixed — routing
+    (:func:`shard_of`) and the merged :class:`ShardedPruner` view are
+    untouched, which is what keeps every prune decision (and therefore
+    every tenant result) byte-identical to a no-fault run — while the
+    dead pipeline's per-query state is suspended via the PR 5
+    checkpoints and re-homed to a surviving plane (K logical shards on
+    K−1 physical pipelines, consistent-hashing style).
+    :meth:`restart_shard` moves the migrated state back (K−1→K live).
+    Naively re-routing keys K→K−1 would be *unsound* for stateful
+    pruners: a JOIN pass-2 entry re-routed to a shard whose pass-1
+    Bloom filters never saw its key would be over-pruned.
     """
 
     def __init__(self, switch: SwitchModel = TOFINO_MODEL, shards: int = 2,
@@ -252,6 +265,13 @@ class ShardedSwitchFrontend:
         self.planes = [ControlPlane(switch, seed=seed, max_slots=max_slots)
                        for _ in range(shards)]
         self._installed: dict = {}
+        #: Physical pipelines currently crashed (see :meth:`kill_shard`).
+        self._dead: set = set()
+        #: dead plane -> {fid: (host plane, per-shard checkpoint)} —
+        #: the dead pipeline's suspended state, in a survivor's custody.
+        self._refugees: Dict[int, Dict[int, tuple]] = {}
+        #: Queries migrated off dead pipelines (cumulative, telemetry).
+        self.migrations = 0
 
     def install_query(self, spec: QuerySpec,
                       fid: Optional[int] = None) -> RuleInstallation:
@@ -274,41 +294,153 @@ class ShardedSwitchFrontend:
             install_seconds=max(i.install_seconds for i in installs),
         )
         self._installed[first.fid] = installation
+        # A pipeline that is currently dead cannot accept the push: the
+        # controller compiles its copy (so the logical shard's pruner
+        # exists behind the merged view) and parks it with a survivor
+        # until the plane restarts.
+        for dead in sorted(self._dead):
+            parked = self.planes[dead].suspend_query(first.fid)
+            if parked is not None:
+                self._refugees[dead][first.fid] = (
+                    self._host_for(first.fid), parked)
         return installation
 
     def uninstall_query(self, fid: int) -> None:
-        """Remove a query's rules from every switch."""
-        for plane in self.planes:
-            plane.uninstall_query(fid)
+        """Remove a query's rules from every switch (a dead pipeline's
+        parked copy is simply dropped — the query is finished)."""
+        for index, plane in enumerate(self.planes):
+            if index in self._dead:
+                self._refugees[index].pop(fid, None)
+            else:
+                plane.uninstall_query(fid)
         self._installed.pop(fid, None)
 
-    def suspend_query(self, fid: int) -> "ShardedQueryCheckpoint":
+    def suspend_query(self, fid: int) -> Optional["ShardedQueryCheckpoint"]:
         """Checkpoint a live query on every shard (QoS preemption).
 
         Each pipeline's rules are removed while its pruner state is
         retained in a per-shard :class:`QueryCheckpoint`; the merged
         sharded view is kept alongside, so :meth:`resume_query`
-        restores the exact pre-suspension state everywhere.
+        restores the exact pre-suspension state everywhere.  A dead
+        pipeline contributes its parked refugee checkpoint.  Like
+        :meth:`ControlPlane.suspend_query`, a fid that already
+        FIN-drained and uninstalled returns ``None``.
         """
-        shards = tuple(plane.suspend_query(fid) for plane in self.planes)
-        merged = self._installed.pop(fid)
+        merged = self._installed.pop(fid, None)
+        if merged is None:
+            return None
+        shards = []
+        for index, plane in enumerate(self.planes):
+            if index in self._dead:
+                parked = self._refugees[index].pop(fid, None)
+                shards.append(None if parked is None else parked[1])
+            else:
+                shards.append(plane.suspend_query(fid))
         return ShardedQueryCheckpoint(fid=fid, installation=merged,
-                                      shards=shards)
+                                      shards=tuple(shards))
 
     def resume_query(self,
                      checkpoint: "ShardedQueryCheckpoint",
                      ) -> RuleInstallation:
         """Re-install a suspended query on every shard.
 
-        Every pipeline holds the same packed composition, so if the
-        first shard's pack re-admits the checkpoint the rest do too
-        (``ResourceExhausted`` therefore surfaces before any shard is
-        mutated).
+        Every live pipeline holds the same packed composition, so if
+        the first live shard's pack re-admits the checkpoint the rest
+        do too (``ResourceExhausted`` therefore surfaces before any
+        live shard is mutated).  A dead pipeline's sub-checkpoint is
+        parked back with a survivor instead of re-installed.
         """
-        for plane, shard_checkpoint in zip(self.planes, checkpoint.shards):
-            plane.resume_query(shard_checkpoint)
+        for index, (plane, shard_checkpoint) in enumerate(
+                zip(self.planes, checkpoint.shards)):
+            if shard_checkpoint is None:
+                continue
+            if index in self._dead:
+                self._refugees[index][checkpoint.fid] = (
+                    self._host_for(checkpoint.fid), shard_checkpoint)
+            else:
+                plane.resume_query(shard_checkpoint)
         self._installed[checkpoint.fid] = checkpoint.installation
         return checkpoint.installation
+
+    # -- fault injection (docs/CHAOS.md) --------------------------------------
+    @property
+    def live_shards(self) -> List[int]:
+        """Physical pipelines currently serving (not crashed)."""
+        return [i for i in range(self.shards) if i not in self._dead]
+
+    @property
+    def dead_shards(self) -> List[int]:
+        """Physical pipelines currently crashed."""
+        return sorted(self._dead)
+
+    def _host_for(self, fid: int) -> int:
+        """The surviving plane that takes custody of a migrated query
+        (deterministic spread: fid modulo the live-plane count)."""
+        survivors = self.live_shards
+        return survivors[fid % len(survivors)]
+
+    def kill_shard(self, shard: int) -> int:
+        """Crash physical pipeline ``shard``, migrating its queries.
+
+        Every installed query's per-shard state is suspended off the
+        dead plane (:meth:`ControlPlane.suspend_query` — the same PR 5
+        checkpoint preemption uses) and re-homed to a surviving plane.
+        Logical routing and the merged pruner view are untouched, so
+        the data plane's decisions — and every tenant's result — stay
+        byte-identical to a no-fault run.  Returns the number of
+        queries migrated.  Killing a dead shard, an out-of-range
+        shard, or the last live pipeline raises ``ValueError``.
+        """
+        if not 0 <= shard < self.shards:
+            raise ValueError(
+                f"shard must be in [0, {self.shards}), got {shard}")
+        if shard in self._dead:
+            raise ValueError(f"shard {shard} is already dead")
+        if len(self._dead) + 1 >= self.shards:
+            raise ValueError(
+                f"cannot kill shard {shard}: it is the last live "
+                f"pipeline of {self.shards}")
+        self._dead.add(shard)
+        refugees: Dict[int, tuple] = {}
+        for fid in sorted(self._installed):
+            parked = self.planes[shard].suspend_query(fid)
+            if parked is None:
+                continue
+            refugees[fid] = (self._host_for(fid), parked)
+        self._refugees[shard] = refugees
+        self.migrations += len(refugees)
+        return len(refugees)
+
+    def restart_shard(self, shard: int) -> int:
+        """Bring a crashed pipeline back (K−1→K), restoring its state.
+
+        Every refugee checkpoint parked at :meth:`kill_shard` time (or
+        installed/preempted during the outage) is resumed back onto the
+        restarted plane — the pack slot and footprint accounting move
+        home, and the pruner objects never changed hands.  Returns the
+        number of queries restored; restarting a live shard raises
+        ``ValueError``.
+        """
+        if shard not in self._dead:
+            raise ValueError(f"shard {shard} is not dead")
+        refugees = self._refugees.pop(shard, {})
+        self._dead.discard(shard)
+        for fid in sorted(refugees):
+            _host, parked = refugees[fid]
+            self.planes[shard].resume_query(parked)
+        return len(refugees)
+
+    def parked_checkpoint(self, shard: int, fid: int):
+        """The refugee :class:`QueryCheckpoint` of ``fid`` parked off
+        dead plane ``shard`` (``None`` when not parked) — test hook."""
+        entry = self._refugees.get(shard, {}).get(fid)
+        return None if entry is None else entry[1]
+
+    def refugee_hosts(self) -> Dict[int, Dict[int, int]]:
+        """dead plane -> {fid: surviving host plane} (telemetry)."""
+        return {shard: {fid: host for fid, (host, _parked)
+                        in sorted(entries.items())}
+                for shard, entries in sorted(self._refugees.items())}
 
     def offer(self, fid: int, entry) -> bool:
         """Data-plane prune decision on the entry's shard."""

@@ -668,9 +668,12 @@ class _TenantFrontend:
         return self._shared.pruner_for(fid)
 
     def suspend(self) -> List[Any]:
-        """Checkpoint every installed query (state-preserving)."""
-        return [self._shared.suspend_query(fid)
-                for fid in sorted(self.fids)]
+        """Checkpoint every installed query (state-preserving).  A fid
+        whose transfer already FIN-drained suspends to ``None`` (there
+        is nothing left to checkpoint) and is filtered out."""
+        checkpoints = [self._shared.suspend_query(fid)
+                       for fid in sorted(self.fids)]
+        return [ckpt for ckpt in checkpoints if ckpt is not None]
 
     def resume(self, checkpoints: List[Any]) -> None:
         """Re-install the suspended queries under their original fids.
@@ -851,9 +854,14 @@ class ServingLoop:
     breaking tick-domain determinism; :meth:`submit` enforces this.
     """
 
-    def __init__(self, config: Optional[SchedulerConfig] = None):
+    def __init__(self, config: Optional[SchedulerConfig] = None,
+                 chaos: Optional[Any] = None):
         self.config = config or SchedulerConfig()
         self.frontend = _build_frontend(self.config)
+        #: Optional :class:`~repro.cluster.chaos.ChaosController`: its
+        #: due failure events are injected at the top of every
+        #: :meth:`run_tick` (see ``docs/CHAOS.md``).
+        self.chaos = chaos
         self.tick = 0
         self.pending: List[_TenantRun] = []
         self.waiting: List[_TenantRun] = []
@@ -960,6 +968,12 @@ class ServingLoop:
         active, finished = self.active, self.finished
         done_before = len(finished)
         tick = self.tick
+        if self.chaos is not None:
+            # Inject due failure events before this iteration's
+            # admission phase and service step, in schedule order —
+            # deterministic: the same schedule and specs reproduce the
+            # same kill/migrate/restart sequence tick for tick.
+            self.chaos.apply_due(tick, self)
         while self.pending and self.pending[0].spec.arrival_tick <= tick:
             waiting.append(self.pending.pop(0))
         # Admission & resume, highest class priority first (FIFO
@@ -1168,19 +1182,23 @@ class QueryScheduler:
         return _build_frontend(self.config)
 
     def serve(self, tenants: Sequence[TenantSpec],
-              check: bool = True) -> ScheduleReport:
+              check: bool = True,
+              chaos: Optional[Any] = None) -> ScheduleReport:
         """Admit, arbitrate, and interleave ``tenants`` to completion.
 
         With ``check=True`` (default) each tenant's scenario is also
         executed functionally via ``QueryPlan.run`` and compared;
-        ``TenantReport.equivalent`` records the verdict.
+        ``TenantReport.equivalent`` records the verdict.  ``chaos`` is
+        an optional :class:`~repro.cluster.chaos.ChaosController` whose
+        seeded failure schedule is injected into the serving loop
+        (``docs/CHAOS.md``) — result identity must hold regardless.
         """
         if not tenants:
             raise ValueError("serve needs at least one tenant")
         names = [spec.tenant for spec in tenants]
         if len(set(names)) != len(names):
             raise ValueError(f"tenant names must be unique, got {names}")
-        loop = ServingLoop(self.config)
+        loop = ServingLoop(self.config, chaos=chaos)
         # Submitting (and thus resolving every tenant's class) up front
         # surfaces unknown priority hints as a serve-time ValueError,
         # not a mid-run one; dataset construction also lands here,
@@ -1222,7 +1240,8 @@ def tenant_specs(count: int, rows: int = 240, seed: int = 0,
 
 def replay_trace(trace, config: Optional[SchedulerConfig] = None,
                  check: bool = True,
-                 apply_overrides: bool = True) -> ScheduleReport:
+                 apply_overrides: bool = True,
+                 chaos: Optional[Any] = None) -> ScheduleReport:
     """Replay a recorded arrival trace through the scheduler.
 
     ``trace`` is a :class:`repro.workloads.traces.Trace` (from
@@ -1256,4 +1275,4 @@ def replay_trace(trace, config: Optional[SchedulerConfig] = None,
             telemetry=SchedulerTelemetry(slots=config.slots),
             policy=config.policy.name,
         )
-    return QueryScheduler(config).serve(specs, check=check)
+    return QueryScheduler(config).serve(specs, check=check, chaos=chaos)

@@ -309,6 +309,17 @@ class ActiveTransfer:
             if worker is not None:
                 worker.on_ack(ack)
 
+    def degrade(self, loss_rate: float) -> None:
+        """Chaos hook (``docs/CHAOS.md``): change the live channels'
+        loss rate mid-pass.  The §7.2 protocol guarantees delivery for
+        any loss < 1, so results are unchanged — only retransmissions
+        and completion ticks move."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(
+                f"loss_rate must be in [0, 1), got {loss_rate}")
+        for channel in (self.up, self.down, self.acks):
+            channel.loss_rate = loss_rate
+
     def delivered(self) -> Dict[int, List[Tuple[int, ...]]]:
         """Entries that reached the master, per flow, in sequence order."""
         return {fid: self.master.received(fid)

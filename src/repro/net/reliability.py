@@ -101,6 +101,23 @@ class ReliableWorker:
         self._acked.add(ack.seq)
         self._unacked.pop(ack.seq, None)
 
+    def replay_window(self) -> int:
+        """Survivor takeover after a worker crash (``docs/CHAOS.md``).
+
+        Models a worker dying mid-pass: a survivor picks up the dead
+        worker's serialized packet buffer (``_wire``) and §7.2 window
+        bookkeeping, and — not knowing which in-flight packets made it
+        — immediately re-sends every unACKed packet by zeroing their
+        last-send ticks (the next :meth:`tick` retransmits them all,
+        lowest seq first).  Correctness is the protocol's: the switch
+        forwards already-processed sequences without reprocessing and
+        the master deduplicates, so results are unchanged; the cost
+        shows up as retransmissions.  Returns the replayed window size.
+        """
+        for seq in self._unacked:
+            self._unacked[seq] = -(1 << 30)
+        return len(self._unacked)
+
     def tick(self, now: int, channel: LossyChannel) -> None:
         """Retransmit timed-out packets; send new ones up to the window.
 

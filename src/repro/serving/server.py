@@ -87,7 +87,7 @@ class ReproServer:
     def __init__(self, config: Optional[SchedulerConfig] = None, *,
                  host: str = "127.0.0.1", port: int = 0,
                  check: bool = True, hold: int = 0,
-                 max_queries: Optional[int] = None):
+                 max_queries: Optional[int] = None, chaos=None):
         if hold < 0:
             raise ValueError(f"hold must be >= 0, got {hold}")
         if max_queries is not None and max_queries < 1:
@@ -109,7 +109,11 @@ class ReproServer:
         #: order — exactly what ``trace_from_specs`` needs to write a
         #: replayable capture of this session.
         self.admitted_specs: List[TenantSpec] = []
-        self._core = ServingLoop(self.config)
+        #: Optional fault injector (``repro serve --schedule``): due
+        #: failure events fire inside the reactor's ticks, so socket
+        #: sessions survive shard kills exactly like in-process runs.
+        self.chaos = chaos
+        self._core = ServingLoop(self.config, chaos=chaos)
         self._inbox: List[Tuple[Dict, _Connection]] = []
         self._held: List[Tuple[TenantSpec, _Connection]] = []
         self._owners: Dict[str, _Connection] = {}

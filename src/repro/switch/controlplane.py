@@ -126,16 +126,21 @@ class ControlPlane:
         if installation is not None:
             self.total_rules_installed -= installation.compiled.control_rules
 
-    def suspend_query(self, fid: int) -> QueryCheckpoint:
+    def suspend_query(self, fid: int) -> Optional[QueryCheckpoint]:
         """Checkpoint a live query for preemption (§6 churn, QoS).
 
         Removes the query's rules from the data plane — freeing its
         pack slot and resource footprint — while keeping the pruner's
         state inside the returned :class:`QueryCheckpoint`, so a later
-        :meth:`resume_query` continues byte-identically.  Unknown fids
-        raise ``KeyError``.
+        :meth:`resume_query` continues byte-identically.  A fid that is
+        no longer installed (its transfer already FIN-drained and the
+        driver uninstalled it) returns ``None``: there is no live state
+        left to checkpoint, and re-checkpointing a stale pruner would
+        resurrect a finished query on resume.
         """
-        installation = self._installed.pop(fid)
+        installation = self._installed.pop(fid, None)
+        if installation is None:
+            return None
         self.pack.remove(fid)
         self.total_rules_installed -= installation.compiled.control_rules
         return QueryCheckpoint(fid=fid, installation=installation)

@@ -41,7 +41,9 @@ from repro.cluster.scheduler import (
     replay_trace,
     tenant_specs,
 )
+from repro.cluster.runtime import ShardedSwitchFrontend
 from repro.cluster.simulation import ClusterSimulation, build_scenario
+from repro.switch.controlplane import ControlPlane, QuerySpec
 from repro.workloads.traces import (
     Trace,
     TraceQuery,
@@ -435,6 +437,53 @@ class TestStarvationFreedom:
         assert 50 < batch.completed_tick < last_arrival
 
 
+class TestSuspendAfterFinDrain:
+    """Regression: suspending a query whose transfer already
+    FIN-drained (and whose fid the driver uninstalled) must be a no-op
+    — re-checkpointing stale pruner state would resurrect a dead
+    query's slot occupancy and corrupt the next resume."""
+
+    SPEC = QuerySpec("distinct", params=(("rows", 32), ("width", 2)))
+
+    def test_controlplane_suspend_of_drained_query_returns_none(self):
+        plane = ControlPlane()
+        install = plane.install_query(self.SPEC)
+        plane.uninstall_query(install.fid)
+        assert plane.suspend_query(install.fid) is None
+        # The slot is genuinely free, not held by a stale checkpoint.
+        again = plane.install_query(self.SPEC)
+        assert again.fid != install.fid
+        assert len(plane.installed_queries()) == 1
+
+    def test_sharded_frontend_suspend_of_drained_query_returns_none(self):
+        frontend = ShardedSwitchFrontend(shards=2)
+        install = frontend.install_query(self.SPEC)
+        frontend.uninstall_query(install.fid)
+        assert frontend.suspend_query(install.fid) is None
+
+    def test_preempting_tenant_with_drained_fid_keeps_serving(self):
+        """End to end: a batch tenant whose early pass FIN-drained and
+        uninstalled its fid gets preempted later — the suspend must
+        skip the dead fid and the tenant must still finish correct.
+        ``join`` uninstalls its Bloom-filter fid after pass 2, so a
+        preemption landing later hits the drained-fid suspend path."""
+        specs = [
+            TenantSpec("b0", "join", rows=260, seed=1,
+                       priority="batch"),
+            TenantSpec("b1", "groupby_max", rows=260, seed=2,
+                       priority="batch"),
+            TenantSpec("i0", "distinct", rows=60, seed=3,
+                       arrival_tick=8, priority="interactive"),
+            TenantSpec("i1", "topn", rows=60, seed=4,
+                       arrival_tick=12, priority="interactive"),
+        ]
+        report = serve(specs, slots=3, policy=tiers_policy(),
+                       loss_rate=0.02, seed=5)
+        assert report.all_equivalent is True
+        assert all(t.status == "served" for t in report.tenants)
+
+
+@pytest.mark.slow
 @settings(max_examples=6, deadline=None)
 @given(
     loss=st.sampled_from([0.0, 0.02, 0.05]),

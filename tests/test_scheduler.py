@@ -262,6 +262,7 @@ class TestTelemetryAndEdgeCases:
         assert report.throughput_entries_per_tick is None
 
 
+@pytest.mark.slow
 @settings(max_examples=8, deadline=None)
 @given(
     loss=st.sampled_from([0.0, 0.02, 0.05]),
