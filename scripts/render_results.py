@@ -427,6 +427,86 @@ def _chaos_section(payload) -> str:
     )
 
 
+def _congestion_section(payload) -> str:
+    def cap(value):
+        return "∞" if value is None else value
+
+    sweep_rows = [
+        {
+            "loss": _fmt(cell["loss_rate"], 2),
+            "tenants": cell["tenants"],
+            "queue cap": cap(cell["queue_capacity"]),
+            "fixed goodput": _fmt(cell["fixed"]["goodput_entries_per_tick"], 4),
+            "aimd goodput": _fmt(cell["aimd"]["goodput_entries_per_tick"], 4),
+            "goodput ratio": _fmt(cell["goodput_ratio"], 2),
+            "retx ratio": _fmt(cell["retransmission_ratio"], 2),
+            "congested": cell["congested"],
+        }
+        for cell in payload["sweep"]
+    ]
+    fairness = payload["fairness"]
+    fairness_rows = [
+        {
+            "class": name,
+            "weight": _fmt(fairness["weights"][name], 1),
+            "mean rate (pkts/tick)": _fmt(fairness["mean_rates"][name], 2),
+            "rate / weight": _fmt(fairness["normalized_rates"][name], 2),
+        }
+        for name in sorted(fairness["weights"],
+                           key=fairness["weights"].get, reverse=True)
+    ]
+    serving_rows = []
+    for mode in ("fixed", "aimd"):
+        classes = payload["serving"][mode]["classes"]
+        for name in sorted(classes):
+            summary = classes[name]
+            serving_rows.append({
+                "mode": mode,
+                "class": name,
+                "p99 latency (ticks)": summary["latency"]["p99_ticks"],
+                "goodput (entries/tick)": _fmt(
+                    summary["goodput_entries_per_tick"], 4),
+            })
+    ratio = payload["interactive_batch_goodput_ratio"]
+    return (
+        "## Congestion — AIMD rate control vs the fixed schedule "
+        "(`repro bench congestion`)\n\n"
+        "Every (loss × tenant-count × queue-capacity) cell serves the "
+        "same tenant set under both transport modes "
+        "([CONGESTION.md](CONGESTION.md)); *congested* cells have a "
+        "finite switch ingress queue **and** loss ≥ 0.02 — the regime "
+        "where the fixed schedule's retransmission storms keep the "
+        "queue overflowing.  Results are identical in every cell "
+        f"(`all_equivalent = {payload['all_equivalent']}`): congestion "
+        "control moves protocol accounting, never answers.\n\n"
+        + _table(["loss", "tenants", "queue cap", "fixed goodput",
+                  "aimd goodput", "goodput ratio", "retx ratio",
+                  "congested"], sweep_rows)
+        + "\n\nOver the congested cells AIMD's goodput advantage is "
+        f"**≥ {_fmt(payload['congested_goodput_ratio_min'], 2)}x** "
+        f"(mean {_fmt(payload['congested_goodput_ratio_mean'], 2)}x) "
+        "with retransmission overhead at most "
+        f"**{_fmt(payload['congested_retransmission_ratio_max'], 2)}x** "
+        "of the fixed schedule's.  With unbounded queues the fixed "
+        "schedule is already near-optimal and pacing only adds "
+        "latency — documented above, not hidden.\n\n"
+        "QoS-class weights map onto the controllers' additive "
+        "increments; sharing one bottleneck "
+        f"(capacity {fairness['capacity']}, {fairness['ticks']} "
+        "ticks), steady-state rates converge proportional to weight "
+        "(normalized spread "
+        f"**{_fmt(fairness['normalized_spread'], 2)}**, ideal 1.0):\n\n"
+        + _table(["class", "weight", "mean rate (pkts/tick)",
+                  "rate / weight"], fairness_rows)
+        + "\n\nEnd-to-end mixed-class serving (tiers policy, finite "
+        "queues, loss 0.02) keeps the interactive/batch goodput "
+        f"separation under AIMD ({_fmt(ratio['aimd'], 2)}x vs "
+        f"{_fmt(ratio['fixed'], 2)}x fixed):\n\n"
+        + _table(["mode", "class", "p99 latency (ticks)",
+                  "goodput (entries/tick)"], serving_rows)
+    )
+
+
 #: Approximate paper values for Figure 9 (master blocking seconds vs
 #: unpruned %), digitized from the curves at 10 Gbps; the tracked
 #: claims are the *shape* (zero-blocking region, then super-linear
@@ -503,6 +583,40 @@ def _fig9_section() -> str:
         "TOP-N < DISTINCT < max-GROUP-BY at 50% unpruned, both of "
         "which the reproduction preserves.\n\n"
         + _table(columns, table_rows)
+    )
+
+
+def _fig10_section() -> str:
+    """All six Figure 10 panels (per-operator pruning-rate sweeps)."""
+    panels = []
+    for letter in "abcdef":
+        path = RESULTS_DIR / f"fig10{letter}.txt"
+        if not path.exists():
+            continue
+        text = path.read_text(encoding="utf-8")
+        title = text.splitlines()[0].strip("= ").split(":", 1)[1].strip()
+        rows = _parse_results_table(text)
+        columns = list(rows[0]) if rows else []
+        note = next((line.split(":", 1)[1].strip()
+                     for line in text.splitlines()
+                     if line.startswith("note:")), None)
+        part = (f"### Figure 10{letter} — {title} "
+                f"([`results/fig10{letter}.txt`]"
+                f"(../results/fig10{letter}.txt))\n\n"
+                + _table(columns, rows))
+        if note:
+            part += f"\n\nPaper reference: {note}."
+        panels.append(part)
+    if not panels:
+        return None
+    return (
+        "## Figure 10 — per-operator pruning rates vs sketch size "
+        "(`repro run fig10a` … `fig10f`)\n\n"
+        "Fraction of entries surviving the switch (lower is better; "
+        "`opt` is the omniscient lower bound) as each operator's "
+        "in-switch memory budget grows, from the checked-in "
+        "`results/fig10*.txt` tables.\n\n"
+        + "\n\n".join(panels)
     )
 
 
@@ -601,6 +715,7 @@ _SECTIONS = (
     ("qos", _qos_section),
     ("load", _load_section),
     ("chaos", _chaos_section),
+    ("congestion", _congestion_section),
 )
 
 
@@ -614,7 +729,7 @@ def render_report() -> str:
     for name, payload in available:
         parts.append(renderers[name](payload))
     for section in (_fig6_section, _fig7_section, _fig8_section,
-                    _fig9_section):
+                    _fig9_section, _fig10_section):
         rendered = section()
         if rendered is not None:
             parts.append(rendered)

@@ -60,7 +60,10 @@ class ServeConfig:
     in README.md), and ``policy`` is a string spec accepted by
     :func:`~repro.cluster.qos.parse_policy` (``fifo``, ``tiers``,
     ``tiers-no-preempt``, or a custom class spec) — the facade never
-    asks callers to build internal policy objects.
+    asks callers to build internal policy objects.  ``congestion``
+    (``"fixed"`` or ``"aimd"``) and ``queue_capacity`` select the
+    transport mode, mirroring ``--congestion``/``--queue-capacity``
+    (``docs/CONGESTION.md``).
     """
 
     slots: int = 4
@@ -71,6 +74,8 @@ class ServeConfig:
     workers: int = 4
     reorder: int = 0
     queue_when_full: bool = True
+    congestion: str = "fixed"
+    queue_capacity: Optional[int] = None
 
     def scheduler_config(self) -> SchedulerConfig:
         """The internal :class:`SchedulerConfig` this resolves to."""
@@ -83,6 +88,8 @@ class ServeConfig:
             reorder_window=self.reorder,
             shards=self.shards,
             seed=self.seed,
+            congestion=self.congestion,
+            queue_capacity=self.queue_capacity,
         )
 
 
@@ -280,13 +287,18 @@ def submit(scenario: str, *, config: Optional[ServeConfig] = None,
 def run_scenario(name: str, *, rows: int = 1200, seed: int = 0,
                  workers: int = 4, loss: float = 0.05,
                  reorder: int = 0, shards: int = 1,
-                 pipelined: bool = True, check: bool = True):
+                 pipelined: bool = True, check: bool = True,
+                 congestion: str = "fixed",
+                 queue_capacity: Optional[int] = None):
     """One scenario end-to-end through the simulated cluster.
 
     This is the facade over single-tenant
     :class:`~repro.cluster.simulation.ClusterSimulation` runs (the
     ``repro run <scenario> --loss`` path); returns its
     :class:`~repro.cluster.simulation.SimulationReport`.
+    ``congestion``/``queue_capacity`` select the transport mode
+    (``docs/CONGESTION.md``); results are byte-identical either way,
+    only the protocol accounting moves.
     """
     from repro.cluster.simulation import (
         ClusterSimulation,
@@ -297,7 +309,9 @@ def run_scenario(name: str, *, rows: int = 1200, seed: int = 0,
     query, tables = build_scenario(name, rows=rows, seed=seed)
     config = SimulationConfig(workers=workers, loss_rate=loss,
                               reorder_window=reorder, shards=shards,
-                              seed=seed, pipelined=pipelined)
+                              seed=seed, pipelined=pipelined,
+                              congestion=congestion,
+                              queue_capacity=queue_capacity)
     return ClusterSimulation(config).run(query, tables, check=check)
 
 

@@ -37,6 +37,13 @@ trajectory can be tracked across PRs and asserted in CI:
   over the no-fault baseline — with every surviving tenant still
   byte-identical to its solo ``QueryPlan.run``.  Deterministic for the
   same seed.
+* :func:`run_congestion_bench` — the transport benchmark: AIMD rate
+  control (``docs/CONGESTION.md``) vs the fixed retransmission
+  schedule across a loss × tenant-count × queue-capacity sweep, plus
+  a deterministic weighted-fairness trial and a mixed-class serving
+  run.  The headline: under finite switch ingress queues and loss,
+  AIMD sustains at least the fixed schedule's goodput with a fraction
+  of its retransmissions.  Deterministic for the same seed.
 * :func:`run_load_bench` — the socket serving benchmark: a concurrent
   client swarm over real TCP connections against a live
   ``ReproServer`` (open-loop arrivals from the trace generators plus
@@ -822,6 +829,278 @@ def run_chaos_bench(tenants: int = 4, rows: int = 260, slots: int = 4,
                                if baseline.ticks else None),
         "all_equivalent": (baseline.all_equivalent is True
                            and chaos.all_equivalent is True),
+    }
+
+
+#: Weights of the synthetic shared-bottleneck fairness trial: the
+#: ``tiers`` policy's class weights (interactive/standard/batch).
+FAIRNESS_WEIGHTS = {"interactive": 4.0, "standard": 2.0, "batch": 1.0}
+
+
+def _fairness_trial(weights: Dict[str, float], capacity: int = 8,
+                    ticks: int = 400, cooldown: int = 8) -> Dict:
+    """Weighted AIMD controllers sharing one deterministic bottleneck.
+
+    Every tick each controller drains its token bucket into a shared
+    queue of ``capacity`` slots; overflow is assigned back to senders
+    proportionally (largest-remainder, name-ordered — deterministic),
+    surviving packets are ACKed, and every controller sees the same
+    queue signal.  This isolates the weighted-fairness claim of
+    ``docs/CONGESTION.md`` from protocol noise: synchronized decreases
+    scale every rate by ``beta`` while additive recovery runs at
+    ``additive * weight``, so steady-state mean rates settle
+    proportional to weight.  Returns per-name mean rates over the
+    second half of the trial plus the normalized spread.
+    """
+    from repro.net.congestion import RateController
+
+    controllers = {
+        name: RateController(weight=weight, initial=2.0,
+                             cooldown=cooldown)
+        for name, weight in weights.items()
+    }
+    names = sorted(controllers)
+    rate_sums = {name: 0.0 for name in names}
+    delivered = {name: 0 for name in names}
+    measured_from = ticks // 2
+    for tick in range(ticks):
+        sends = {}
+        for name in names:
+            ctrl = controllers[name]
+            ctrl.advance()
+            count = 0
+            while ctrl.try_send():
+                count += 1
+            sends[name] = count
+        total = sum(sends.values())
+        overflow = max(0, total - capacity)
+        drops = {name: 0 for name in names}
+        if overflow and total:
+            shares = {name: overflow * sends[name] / total
+                      for name in names}
+            drops = {name: int(shares[name]) for name in names}
+            remainder = overflow - sum(drops.values())
+            for name in sorted(names, key=lambda n: (-(shares[n]
+                                                       - drops[n]), n)):
+                if remainder <= 0:
+                    break
+                if drops[name] < sends[name]:
+                    drops[name] += 1
+                    remainder -= 1
+        depth = min(total, capacity)
+        for name in names:
+            ctrl = controllers[name]
+            acked = sends[name] - drops[name]
+            delivered[name] += acked
+            for _ in range(acked):
+                ctrl.on_ack()
+            ctrl.on_queue_signal(depth, capacity, drops[name])
+        if tick >= measured_from:
+            for name in names:
+                rate_sums[name] += controllers[name].rate
+    span = ticks - measured_from
+    mean_rates = {name: rate_sums[name] / span for name in names}
+    normalized = {name: mean_rates[name] / weights[name]
+                  for name in names}
+    spread = (max(normalized.values()) / min(normalized.values())
+              if min(normalized.values()) > 0 else None)
+    return {
+        "capacity": capacity,
+        "ticks": ticks,
+        "weights": dict(weights),
+        "mean_rates": {name: round(mean_rates[name], 4)
+                       for name in names},
+        "delivered": delivered,
+        "normalized_rates": {name: round(normalized[name], 4)
+                             for name in names},
+        "normalized_spread": (round(spread, 4)
+                              if spread is not None else None),
+    }
+
+
+def run_congestion_bench(rows: int = 200, workers: int = 4,
+                         shards: int = 1, seed: int = 0,
+                         slots: int = 4,
+                         losses: Sequence[float] = (0.0, 0.02, 0.05),
+                         tenant_counts: Sequence[int] = (1, 4),
+                         capacities: Sequence[Optional[int]] = (4, None),
+                         fairness_ticks: int = 400) -> Dict:
+    """Congestion benchmark: AIMD rate control vs the fixed schedule.
+
+    Three sections (``docs/CONGESTION.md``):
+
+    * ``sweep`` — loss × tenant-count × queue-capacity cells, each
+      served twice through the :class:`QueryScheduler` (``fixed`` then
+      ``aimd``), recording makespan, goodput (delivered entries per
+      tick), retransmission overhead (retransmissions per entry), and
+      channel drops.  The headline ``congested_goodput_ratio_min`` is
+      the worst aimd/fixed goodput ratio over the *congested* cells
+      (finite capacity, loss >= 0.02) — the cells where the fixed
+      schedule's retransmission storms sustain queue overflow; CI
+      asserts it stays >= 1.  With unbounded queues the fixed schedule
+      is already near-optimal and pacing can only add latency, which
+      the uncongested cells document rather than hide.
+    * ``fairness`` — the synthetic shared-bottleneck trial
+      (:func:`_fairness_trial`): tiers-policy class weights mapped to
+      controllers, steady-state mean rates proportional to weight.
+    * ``serving`` — an end-to-end mixed-class run (tiers policy,
+      interactive + batch tenants, finite queues) under both modes,
+      recording per-class latency and transport goodput.
+
+    Every tenant of every cell is checked against its solo
+    ``QueryPlan.run`` (``all_equivalent``) — congestion control moves
+    protocol accounting, never results.  The payload
+    (``BENCH_congestion.json``) is fully deterministic for the same
+    seed (tick-based metrics only); CI double-runs it and asserts byte
+    identity.
+    """
+    from repro.cluster.scheduler import (
+        QueryScheduler,
+        SchedulerConfig,
+        tenant_specs,
+    )
+
+    if rows < 20:
+        raise ValueError(f"rows must be >= 20, got {rows}")
+    if slots < 2:
+        raise ValueError(f"slots must be >= 2, got {slots}")
+
+    def _serve(mode: str, loss: float, tenants: int,
+               capacity: Optional[int], policy: Optional[str] = None,
+               priorities: Optional[Sequence[str]] = None) -> Dict:
+        from repro.cluster.qos import parse_policy
+
+        config = SchedulerConfig(
+            slots=slots,
+            policy=(parse_policy(policy) if policy
+                    else SchedulerConfig().policy),
+            workers=workers, loss_rate=loss, shards=shards, seed=seed,
+            congestion=mode, queue_capacity=capacity)
+        specs = tenant_specs(tenants, rows=rows, seed=seed,
+                             mix=("distinct",), priorities=priorities)
+        report = QueryScheduler(config).serve(specs)
+        retransmissions = sum(p.retransmissions
+                              for t in report.tenants
+                              for p in t.passes)
+        dropped = sum(p.packets_dropped
+                      for t in report.tenants for p in t.passes)
+        entries = report.entries
+        return {
+            "report": report,
+            "ticks": report.ticks,
+            "entries": entries,
+            "delivered": report.delivered,
+            "goodput_entries_per_tick": (
+                round(report.delivered / report.ticks, 4)
+                if report.ticks else None),
+            "retransmissions": retransmissions,
+            "retransmission_overhead": (
+                round(retransmissions / entries, 4) if entries
+                else None),
+            "packets_dropped": dropped,
+            "all_equivalent": report.all_equivalent,
+        }
+
+    def _strip(cell: Dict) -> Dict:
+        return {key: value for key, value in cell.items()
+                if key != "report"}
+
+    sweep: List[Dict] = []
+    all_equivalent = True
+    for loss in losses:
+        for tenants in tenant_counts:
+            for capacity in capacities:
+                fixed = _serve("fixed", loss, tenants, capacity)
+                aimd = _serve("aimd", loss, tenants, capacity)
+                all_equivalent = (all_equivalent
+                                  and fixed["all_equivalent"] is True
+                                  and aimd["all_equivalent"] is True)
+                goodput_ratio = (
+                    round(aimd["goodput_entries_per_tick"]
+                          / fixed["goodput_entries_per_tick"], 4)
+                    if fixed["goodput_entries_per_tick"] else None)
+                retx_ratio = (
+                    round(aimd["retransmission_overhead"]
+                          / fixed["retransmission_overhead"], 4)
+                    if fixed["retransmission_overhead"] else None)
+                sweep.append({
+                    "loss_rate": loss,
+                    "tenants": tenants,
+                    "queue_capacity": capacity,
+                    "congested": capacity is not None and loss >= 0.02,
+                    "fixed": _strip(fixed),
+                    "aimd": _strip(aimd),
+                    "goodput_ratio": goodput_ratio,
+                    "retransmission_ratio": retx_ratio,
+                })
+
+    congested = [cell for cell in sweep
+                 if cell["queue_capacity"] is not None
+                 and cell["loss_rate"] >= 0.02]
+    goodput_ratios = [cell["goodput_ratio"] for cell in congested
+                      if cell["goodput_ratio"] is not None]
+    retx_ratios = [cell["retransmission_ratio"] for cell in congested
+                   if cell["retransmission_ratio"] is not None]
+
+    fairness = _fairness_trial(FAIRNESS_WEIGHTS, ticks=fairness_ticks)
+
+    serving: Dict[str, Dict] = {}
+    for mode in ("fixed", "aimd"):
+        cell = _serve(mode, 0.02, 4, 4, policy="tiers",
+                      priorities=("interactive", "batch"))
+        report = cell.pop("report")
+        classes = {}
+        for name, summary in report.class_summary().items():
+            class_entries = sum(t.entries for t in report.tenants
+                                if t.qos_class == name)
+            class_service = sum(t.service_ticks or 0
+                                for t in report.tenants
+                                if t.qos_class == name)
+            classes[name] = {
+                "tenants": summary["tenants"],
+                "latency": summary["latency"],
+                "entries": class_entries,
+                "service_ticks": class_service,
+                "goodput_entries_per_tick": (
+                    round(class_entries / class_service, 4)
+                    if class_service else None),
+            }
+        all_equivalent = (all_equivalent
+                          and cell["all_equivalent"] is True)
+        serving[mode] = {**cell, "classes": classes}
+
+    def _class_ratio(mode: str) -> Optional[float]:
+        classes = serving[mode]["classes"]
+        interactive = classes.get("interactive", {}).get(
+            "goodput_entries_per_tick")
+        batch = classes.get("batch", {}).get("goodput_entries_per_tick")
+        if not interactive or not batch:
+            return None
+        return round(interactive / batch, 4)
+
+    return {
+        "benchmark": "congestion",
+        "rows": rows,
+        "workers": workers,
+        "shards": shards,
+        "seed": seed,
+        "slots": slots,
+        "losses": list(losses),
+        "tenant_counts": list(tenant_counts),
+        "capacities": list(capacities),
+        "sweep": sweep,
+        "fairness": fairness,
+        "serving": serving,
+        "interactive_batch_goodput_ratio": {
+            mode: _class_ratio(mode) for mode in serving},
+        "congested_goodput_ratio_min": (min(goodput_ratios)
+                                        if goodput_ratios else None),
+        "congested_goodput_ratio_mean": (
+            round(sum(goodput_ratios) / len(goodput_ratios), 4)
+            if goodput_ratios else None),
+        "congested_retransmission_ratio_max": (max(retx_ratios)
+                                               if retx_ratios else None),
+        "all_equivalent": all_equivalent,
     }
 
 

@@ -163,7 +163,9 @@ def _run_e2e(names: List[str], args) -> int:
                     name, rows=args.rows, seed=args.seed,
                     workers=args.workers, loss=loss, reorder=reorder,
                     shards=args.shards,
-                    pipelined=(mode == "pipelined"))
+                    pipelined=(mode == "pipelined"),
+                    congestion=args.congestion,
+                    queue_capacity=args.queue_capacity)
             except ValueError as error:
                 # SimulationConfig bounds, SimulationError (bad rows,
                 # unsupported wire shapes, livelock): one-line
@@ -173,10 +175,15 @@ def _run_e2e(names: List[str], args) -> int:
             ok = ok and bool(report.equivalent)
             verdict = ("IDENTICAL to QueryPlan.run" if report.equivalent
                        else "MISMATCH vs QueryPlan.run")
+            transport = (f" congestion={args.congestion} "
+                         f"queue_capacity={args.queue_capacity}"
+                         if args.congestion != "fixed"
+                         or args.queue_capacity is not None else "")
             lines = [
                 f"== e2e {name} [{mode}] ==",
                 f"  loss={loss} reorder={reorder} "
-                f"shards={args.shards} workers={args.workers}",
+                f"shards={args.shards} workers={args.workers}"
+                f"{transport}",
                 f"  result      : {verdict}",
                 f"  wire        : {report.entries} entries offered, "
                 f"{report.delivered} delivered to master, "
@@ -367,6 +374,8 @@ def _serve(args) -> int:
             workers=args.workers, loss_rate=args.loss,
             reorder_window=args.reorder, shards=args.shards,
             seed=args.seed,
+            congestion=args.congestion,
+            queue_capacity=args.queue_capacity,
         )
     except ValueError as error:
         print(f"repro serve: {error}", file=sys.stderr)
@@ -482,7 +491,9 @@ def _replay(args) -> int:
         config = SchedulerConfig(
             slots=args.slots, queue_when_full=not args.reject_when_full,
             policy=policy, workers=args.workers, loss_rate=loss,
-            reorder_window=args.reorder, shards=shards, seed=args.seed)
+            reorder_window=args.reorder, shards=shards, seed=args.seed,
+            congestion=args.congestion,
+            queue_capacity=args.queue_capacity)
         report = replay_trace(trace, config, apply_overrides=False,
                               chaos=chaos)
     except (OSError, ValueError, SimulationError) as error:
@@ -588,7 +599,9 @@ def _chaos(args) -> int:
                    else args.tenants),
             policy=policy, workers=args.workers, loss_rate=args.loss,
             reorder_window=args.reorder, shards=args.shards,
-            seed=args.seed)
+            seed=args.seed,
+            congestion=args.congestion,
+            queue_capacity=args.queue_capacity)
     except ValueError as error:
         print(f"repro chaos: {error}", file=sys.stderr)
         return 2
@@ -672,6 +685,7 @@ def _bench(args) -> int:
         emit_bench_json,
         run_chaos_bench,
         run_concurrency_bench,
+        run_congestion_bench,
         run_e2e_bench,
         run_fig5_bench,
         run_fig11_scale_bench,
@@ -691,13 +705,16 @@ def _bench(args) -> int:
     if args.rows is None:
         args.rows = {"e2e": 1200, "concurrency": 240,
                      "replay": 100, "qos": 260, "chaos": 260,
-                     "load": 24}.get(args.name, 60_000)
+                     "load": 24, "congestion": 200}.get(args.name, 60_000)
     if args.slots is None:
         # The QoS bench needs slack above the tiers policy's two
         # reserved slots; the replay bench wants a tight budget; the
         # load bench wants enough parallelism for a client swarm; the
-        # chaos bench wants every tenant in flight when a kill lands.
-        args.slots = {"qos": 3, "load": 8, "chaos": 4}.get(args.name, 2)
+        # chaos bench wants every tenant in flight when a kill lands;
+        # the congestion bench wants its sweep tenants all concurrent
+        # so they contend for the finite ingress queues.
+        args.slots = {"qos": 3, "load": 8, "chaos": 4,
+                      "congestion": 4}.get(args.name, 2)
     if args.name == "fig11" and args.rows < 40:
         print(f"repro bench: --rows must be >= 40 for the fig11 streams, "
               f"got {args.rows}", file=sys.stderr)
@@ -906,6 +923,50 @@ def _bench(args) -> int:
             return 1
         print("  survivor equivalence: OK (every tenant identical to "
               "its solo run)")
+    elif args.name == "congestion":
+        if args.rows < 20:
+            print(f"repro bench: --rows must be >= 20 for congestion, "
+                  f"got {args.rows}", file=sys.stderr)
+            return 2
+        try:
+            payload = run_congestion_bench(rows=args.rows,
+                                           shards=args.shards,
+                                           seed=args.seed,
+                                           slots=args.slots)
+        except ValueError as error:
+            print(f"repro bench: {error}", file=sys.stderr)
+            return 2
+        path = emit_bench_json("congestion", payload, args.results_dir)
+        print(f"congestion bench: rows={args.rows} slots={args.slots} "
+              f"losses={payload['losses']} "
+              f"tenants={payload['tenant_counts']} "
+              f"capacities={payload['capacities']}")
+        for cell in payload["sweep"]:
+            cap = cell["queue_capacity"]
+            print(f"  loss={cell['loss_rate']:<5} "
+                  f"tenants={cell['tenants']} "
+                  f"cap={'inf' if cap is None else cap:>3}: "
+                  f"goodput fixed="
+                  f"{cell['fixed']['goodput_entries_per_tick']} "
+                  f"aimd={cell['aimd']['goodput_entries_per_tick']} "
+                  f"(ratio {cell['goodput_ratio']}) "
+                  f"retx fixed={cell['fixed']['retransmissions']} "
+                  f"aimd={cell['aimd']['retransmissions']}")
+        fairness = payload["fairness"]
+        print(f"  fairness: mean rates {fairness['mean_rates']} "
+              f"(normalized spread {fairness['normalized_spread']})")
+        print(f"  serving interactive/batch goodput ratio: "
+              f"{payload['interactive_batch_goodput_ratio']}")
+        print(f"  congested cells (finite queue, loss >= 0.02): "
+              f"aimd/fixed goodput >= "
+              f"{payload['congested_goodput_ratio_min']}, "
+              f"retransmission overhead <= "
+              f"{payload['congested_retransmission_ratio_max']}x")
+        if payload["all_equivalent"] is not True:
+            print("  ERROR: a tenant diverged from QueryPlan.run "
+                  "(congestion control broke result identity?)",
+                  file=sys.stderr)
+            return 1
     elif args.name == "load":
         if args.clients < 1:
             print(f"repro bench: --clients must be >= 1, got "
@@ -1042,6 +1103,16 @@ def _serving_flags(loss=None, shards=None, slots=None, policy=None,
                         "(see docs/QOS.md)")
     parent.add_argument("--seed", type=int, default=seed,
                         help="deterministic master seed")
+    parent.add_argument("--congestion", choices=["fixed", "aimd"],
+                        default="fixed",
+                        help="transport mode: fixed retransmission "
+                        "schedule (default) or AIMD rate control "
+                        "(docs/CONGESTION.md)")
+    parent.add_argument("--queue-capacity", type=int, default=None,
+                        metavar="N",
+                        help="switch ingress-queue slots per pipeline "
+                        "(default: unbounded); finite queues tail-drop "
+                        "and emit the AIMD congestion signal")
     return parent
 
 
@@ -1080,6 +1151,14 @@ def main(argv: List[str] = None) -> int:
                             default="pipelined",
                             help="e2e: switch dispatch mode")
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--congestion",
+                            choices=["fixed", "aimd"], default="fixed",
+                            help="e2e: transport mode "
+                            "(docs/CONGESTION.md)")
+    run_parser.add_argument("--queue-capacity", type=int, default=None,
+                            metavar="N",
+                            help="e2e: switch ingress-queue slots per "
+                            "pipeline (default: unbounded)")
 
     sql_parser = sub.add_parser("sql", help="run a demo SQL query "
                                 "through the Cheetah flow")
@@ -1249,7 +1328,8 @@ def main(argv: List[str] = None) -> int:
         "server) and emit BENCH_<name>.json")
     bench_parser.add_argument("name", choices=["fig5", "fig11", "e2e",
                                                "concurrency", "replay",
-                                               "qos", "chaos", "load"])
+                                               "qos", "chaos", "load",
+                                               "congestion"])
     bench_parser.add_argument("--rows", type=int, default=None,
                               help="largest stream length (fig11: "
                               "default 60000) or scenario size (e2e: "

@@ -75,6 +75,30 @@ def shard_of(key, shards: int, seed: int = 0) -> int:
     return row_of(key, shards, seed ^ _SHARD_ROUTE_SALT)
 
 
+def ingress_capacity(per_pipeline: Optional[int],
+                     shards: int) -> Optional[int]:
+    """Aggregate ingress-queue budget of ``shards`` switch pipelines.
+
+    Each simulated pipeline owns a finite ingress queue of
+    ``per_pipeline`` packets (``None`` = unbounded, the historical
+    behaviour).  The event-loop simulation models the union of the K
+    per-pipeline queues as one worker→switch channel bound — entries
+    hash across the pipelines, so the aggregate budget scales with the
+    pipeline count, exactly like adding a switch adds its own SRAM
+    ingress buffer.  See ``docs/CONGESTION.md`` for how tail drops at
+    this bound feed AIMD rate controllers.
+    """
+    if per_pipeline is None:
+        return None
+    if per_pipeline < 1:
+        raise ValueError(
+            f"per-pipeline ingress capacity must be >= 1 (or None for "
+            f"unbounded), got {per_pipeline}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return per_pipeline * shards
+
+
 class ShardedPruner:
     """K per-shard pruner instances behind one pruner-shaped facade.
 

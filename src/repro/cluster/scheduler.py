@@ -147,7 +147,13 @@ class SchedulerConfig:
     QoS policy the scheduler consults at every admission and service
     decision (default :func:`~repro.cluster.qos.fifo_policy`, which is
     byte-identical to the pre-QoS scheduler); its slot reservations
-    must fit within ``slots``.  The remaining knobs mirror
+    must fit within ``slots``.  ``congestion``/``queue_capacity``
+    select the transport mode (``docs/CONGESTION.md``): under
+    ``"aimd"`` each tenant's streams are paced by
+    :class:`~repro.net.congestion.RateController` instances weighted
+    by the tenant's resolved QoS class, so interactive tenants
+    converge to proportionally higher goodput under contention.  The
+    remaining knobs mirror
     :class:`~repro.cluster.simulation.SimulationConfig` and are applied
     to every tenant.
     """
@@ -165,6 +171,8 @@ class SchedulerConfig:
     pipelined: bool = True
     max_ticks: int = 2_000_000
     switch: SwitchModel = TOFINO_MODEL
+    congestion: str = "fixed"
+    queue_capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.slots < 1:
@@ -174,13 +182,18 @@ class SchedulerConfig:
         # config validates workers/loss/reorder/shards/window.
         self.tenant_simulation_config(0)
 
-    def tenant_simulation_config(self, index: int) -> SimulationConfig:
+    def tenant_simulation_config(self, index: int,
+                                 rate_weight: float = 1.0
+                                 ) -> SimulationConfig:
         """The :class:`SimulationConfig` tenant ``index`` runs under.
 
         Each tenant gets a decorrelated channel seed and a disjoint
         flow-id range (``fid_base``), so concurrent flows are globally
-        distinguishable on the wire.  ``repro bench concurrency`` uses
-        the same configs for its solo baselines, making solo-vs-shared
+        distinguishable on the wire.  ``rate_weight`` is the tenant's
+        resolved QoS-class weight, mapped onto its streams' AIMD
+        controllers when ``congestion == "aimd"`` (ignored under the
+        fixed schedule).  ``repro bench concurrency`` uses the same
+        configs for its solo baselines, making solo-vs-shared
         latencies directly comparable.
         """
         return SimulationConfig(
@@ -194,6 +207,9 @@ class SchedulerConfig:
             pipelined=self.pipelined,
             max_ticks=self.max_ticks,
             fid_base=index * (self.workers + self.shards),
+            congestion=self.congestion,
+            queue_capacity=self.queue_capacity,
+            rate_weight=rate_weight,
         )
 
 
@@ -713,7 +729,8 @@ class _TenantRun:
         self._checkpoints: Optional[List[Any]] = None
         self.frontend = _TenantFrontend(frontend)
         self.sim = ClusterSimulation(
-            config.tenant_simulation_config(index),
+            config.tenant_simulation_config(
+                index, rate_weight=self.qos_class.weight),
             frontend_factory=lambda: self.frontend,
         )
         self.gen = None

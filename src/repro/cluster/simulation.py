@@ -73,7 +73,11 @@ from typing import (
     Union,
 )
 
-from repro.cluster.runtime import ShardedSwitchFrontend, shard_of
+from repro.cluster.runtime import (
+    ShardedSwitchFrontend,
+    ingress_capacity,
+    shard_of,
+)
 from repro.cluster.worker import CWorker, decode_numeric, encode_value
 from repro.core.expr import Col
 from repro.core.groupby import GroupBySumAggregator
@@ -94,6 +98,7 @@ from repro.db.queries import (
 )
 from repro.db.table import Table
 from repro.net.channel import LossyChannel
+from repro.net.congestion import RateController
 from repro.net.reliability import (
     BatchedSwitchForwarder,
     MasterEndpoint,
@@ -121,6 +126,21 @@ class SimulationConfig:
     id this simulation stamps on the wire — the multi-tenant scheduler
     gives each tenant a disjoint fid range so concurrent tenants' flows
     are globally distinguishable.
+
+    **Transport knobs** (``docs/CONGESTION.md``): ``congestion``
+    selects the send schedule — ``"fixed"`` (the historical
+    fill-the-window-every-tick behaviour, bit-identical to before the
+    knob existed) or ``"aimd"`` (per-stream
+    :class:`~repro.net.congestion.RateController` pacing).
+    ``queue_capacity`` bounds each switch pipeline's ingress queue
+    (``None`` = unbounded); the worker→switch channel tail-drops past
+    the aggregate bound and feeds queue-depth signals back to AIMD
+    senders.  ``rate_weight`` scales the AIMD additive increment —
+    the scheduler maps each tenant's QoS-class weight here, so
+    "interactive beats batch" holds at the transport layer too.
+    Results are unchanged by all three knobs: the §7.2 protocol
+    delivers every entry for any loss < 1, so only ticks and
+    retransmission counts move.
     """
 
     workers: int = 4
@@ -133,6 +153,9 @@ class SimulationConfig:
     pipelined: bool = True
     max_ticks: int = 2_000_000
     fid_base: int = 0
+    congestion: str = "fixed"
+    queue_capacity: Optional[int] = None
+    rate_weight: float = 1.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -153,6 +176,17 @@ class SimulationConfig:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.window < 1:
             raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.congestion not in ("fixed", "aimd"):
+            raise ValueError(
+                f"congestion must be 'fixed' or 'aimd', "
+                f"got {self.congestion!r}")
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1 (or None for unbounded), "
+                f"got {self.queue_capacity}")
+        if self.rate_weight <= 0:
+            raise ValueError(
+                f"rate_weight must be > 0, got {self.rate_weight}")
 
 
 @dataclasses.dataclass
@@ -254,20 +288,41 @@ class ActiveTransfer:
         self.request = request
         self.config = config
         cfg = config
+        # The worker->switch channel doubles as the (aggregate) switch
+        # ingress queue: finite capacity tail-drops, and its depth is
+        # the ECN-style signal fed back to AIMD senders each tick.
+        self._ingress_bound = ingress_capacity(cfg.queue_capacity,
+                                               cfg.shards)
         self.up = LossyChannel(cfg.loss_rate, cfg.reorder_window,
                                seed=salt + 1,
-                               name=f"{request.name}:worker->switch")
+                               name=f"{request.name}:worker->switch",
+                               capacity=self._ingress_bound)
         self.down = LossyChannel(cfg.loss_rate, cfg.reorder_window,
                                  seed=salt + 2,
                                  name=f"{request.name}:switch->master")
         self.acks = LossyChannel(cfg.loss_rate, cfg.reorder_window,
                                  seed=salt + 3, name=f"{request.name}:acks")
+        self.controllers: Dict[int, RateController] = {}
+        if cfg.congestion == "aimd":
+            # Start at a quarter window per tick (the multiplicative
+            # decreases find the queue's drain rate from above, like
+            # slow-start overshoot) and recover one packet/tick per
+            # acked window.
+            self.controllers = {
+                fid: RateController(weight=cfg.rate_weight,
+                                    initial=max(1.0, cfg.window / 4),
+                                    additive=1.0,
+                                    cooldown=cfg.timeout_ticks)
+                for fid in request.streams
+            }
         self.workers = {
             fid: ReliableWorker(fid, entries,
                                 timeout_ticks=cfg.timeout_ticks,
-                                window=cfg.window)
+                                window=cfg.window,
+                                controller=self.controllers.get(fid))
             for fid, entries in request.streams.items()
         }
+        self._tail_drop_mark = 0
         if cfg.pipelined:
             self.switch = BatchedSwitchForwarder(
                 request.scalar_fn, request.batch_fn,
@@ -294,6 +349,15 @@ class ActiveTransfer:
         tick = self.ticks
         for worker in self.workers.values():
             worker.tick(tick, self.up)
+        if self.controllers:
+            # ECN-style feedback: observe the ingress queue after this
+            # tick's sends, before the switch drains it.
+            depth = self.up.pending()
+            drops = self.up.tail_dropped - self._tail_drop_mark
+            self._tail_drop_mark = self.up.tail_dropped
+            for controller in self.controllers.values():
+                controller.on_queue_signal(depth, self._ingress_bound,
+                                           drops)
         arrivals = self.up.drain()
         if self.config.pipelined:
             self.switch.process_batch(arrivals, self.down, self.acks)

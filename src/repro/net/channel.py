@@ -35,6 +35,16 @@ class LossyChannel:
         channels with equal seeds and equal send sequences make
         identical loss/reorder draws (the driver relies on this to
         compare pipelined vs. per-packet switches).
+    capacity:
+        Finite queue bound (``None`` = unbounded, the default).  A
+        ``send`` that finds the queue full is **tail-dropped** before
+        any RNG draw — so a bounded channel and an unbounded one make
+        identical loss/reorder draws for the messages that do enter
+        the queue, and ``capacity=None`` leaves the historical byte
+        streams untouched.  This models a switch ingress queue
+        (``docs/CONGESTION.md``): congestion becomes real drops, and
+        :meth:`pending`/:attr:`tail_dropped` are the queue-depth
+        signals fed back to AIMD senders.
     name:
         Purely cosmetic label used in ``repr`` and debug output.
 
@@ -52,29 +62,46 @@ class LossyChannel:
     """
 
     def __init__(self, loss_rate: float = 0.0, reorder_window: int = 0,
-                 seed: int = 0, name: str = "channel"):
+                 seed: int = 0, name: str = "channel",
+                 capacity: Optional[int] = None):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
         if reorder_window < 0:
             raise ValueError(
                 f"reorder_window must be >= 0, got {reorder_window}"
             )
+        if capacity is not None and capacity < 1:
+            raise ValueError(
+                f"capacity must be >= 1 (or None for unbounded), "
+                f"got {capacity}"
+            )
         self.loss_rate = loss_rate
         self.reorder_window = reorder_window
+        self.capacity = capacity
         self.name = name
         self._rng = random.Random(seed)
         self._queue: Deque = collections.deque()
         self.sent = 0
         self.dropped = 0
+        self.tail_dropped = 0
 
     def send(self, message) -> None:
         """Offer ``message`` to the channel.
 
-        The message may be silently dropped (with ``loss_rate``
-        probability) or, when ``reorder_window > 0``, enqueued before
-        up to ``reorder_window`` already-queued messages.
+        A finite-``capacity`` queue that is already full tail-drops
+        the message (no RNG draw, so the surviving messages see the
+        same loss/reorder draws as on an unbounded channel).
+        Otherwise the message may be silently dropped (with
+        ``loss_rate`` probability) or, when ``reorder_window > 0``,
+        enqueued before up to ``reorder_window`` already-queued
+        messages.
         """
         self.sent += 1
+        if (self.capacity is not None
+                and len(self._queue) >= self.capacity):
+            self.tail_dropped += 1
+            self.dropped += 1
+            return
         if self._rng.random() < self.loss_rate:
             self.dropped += 1
             return

@@ -1,0 +1,218 @@
+"""AIMD rate control for the §7.2 worker→switch streams.
+
+The reliability layer retransmits on a fixed schedule regardless of
+load: every :class:`~repro.net.reliability.ReliableWorker` fills its
+window each tick, so under finite switch ingress queues (the
+``capacity`` knob of :class:`~repro.net.channel.LossyChannel`) all
+streams hammer the queue at once, tail drops trigger timeout
+retransmission storms, and the storms keep the queue full — classic
+congestion collapse, simulated.
+
+:class:`RateController` gives each stream an online send rate in the
+AIMD family (Garg & Young, "On-Line End-to-End Congestion Control"):
+
+* **token-bucket pacing** — the controller holds ``rate`` tokens/tick
+  of sending credit (capped at a small burst); every packet the worker
+  emits (new *or* retransmitted) consumes one token;
+* **additive increase** — each fully acked window raises the rate by
+  ``additive * weight``, implemented Reno-style as
+  ``additive * weight / rate`` per ACK (TCP's ``cwnd += 1/cwnd``): a
+  stream that keeps the pipe busy without losses probes for more
+  bandwidth at a *constant* speed per unit time, independent of its
+  current rate — the property the weighted-fairness argument below
+  needs;
+* **multiplicative decrease** — :meth:`on_loss` cuts the rate to
+  ``max(floor, rate * beta)`` on *every* call (the raw signal API —
+  the invariant the property suite checks), while the gated entry
+  point :meth:`on_queue_signal` applies at most one decrease per
+  ``cooldown`` ticks, the tick-domain analogue of TCP's once-per-RTT
+  halving.
+
+Decreases are driven *only* by the explicit queue feedback, never by
+retransmission timeouts: the simulated fabric reports its ingress
+queue's tail drops to every sender each tick, so loss-inferred
+congestion — which cannot distinguish random wire loss from queue
+overflow — would only misfire (the same reasoning that leads ECN
+deployments to decouple loss *recovery* from congestion *response*).
+Timeout retransmissions still happen; they are simply paced through
+the same token bucket instead of doubling as a congestion signal.
+
+Everything is deterministic and seedless: state advances only through
+:meth:`advance` (one call per event-loop tick) and the explicit
+signal methods, so a run's rate trajectory is a pure function of the
+protocol events — which keeps the serving benches byte-identical
+across runs.
+
+**Weighted fairness.**  Streams sharing a congestion signal and a
+``beta`` converge to average rates proportional to their additive
+increments, i.e. to ``weight`` (the Chiu–Jain argument, weighted:
+each synchronized decrease scales every rate by ``beta`` — which
+preserves rate *ratios* — while between decreases each rate grows
+linearly at a speed proportional to ``additive * weight``, which
+pulls the ratios toward ``weight_i / weight_j``; the steady-state
+sawtooth midpoints settle proportional to ``weight``).  This is why
+the per-ACK increase must be normalized by the current rate: a
+fixed-size acked window would make growth proportional to the rate
+itself — exponential, compounding any head start until the heaviest
+stream starves the rest.  The scheduler maps each tenant's QoS class
+weight (:class:`~repro.cluster.qos.PriorityClass`) onto its streams'
+controllers, which is how "interactive beats batch" holds at the
+transport layer — see ``docs/CONGESTION.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Default multiplicative decrease factor (TCP-Reno-style halving).
+DEFAULT_BETA = 0.5
+
+#: Default additive increment per acked window, scaled by ``weight``.
+DEFAULT_ADDITIVE = 0.5
+
+#: Default rate floor in packets/tick.  Strictly positive so a stream
+#: at the floor still drains ~1 packet every 4 ticks — the §7.2
+#: protocol therefore keeps its termination guarantee under AIMD.
+DEFAULT_FLOOR = 0.25
+
+#: Default burst allowance (token-bucket depth) in packets.
+DEFAULT_BURST = 4.0
+
+
+class RateController:
+    """Per-stream AIMD rate controller (deterministic, tick-driven).
+
+    Parameters
+    ----------
+    weight:
+        QoS weight; scales the additive increment (and the initial
+        rate), so heavier classes probe for bandwidth proportionally
+        faster and converge to proportionally higher goodput.
+    initial:
+        Initial rate in packets/tick before the ``weight`` scaling.
+    additive:
+        Rate increment per fully acked window (before ``weight``):
+        each ACK contributes ``additive * weight / max(rate, 1)``, so
+        one current-rate's worth of ACKs raises the rate by about
+        ``additive * weight``.
+    beta:
+        Multiplicative decrease factor in ``(0, 1)``.
+    floor:
+        Minimum rate in packets/tick (must be ``> 0`` — the §7.2
+        termination guarantee needs every stream to keep draining).
+    burst:
+        Token-bucket depth: unused credit accumulates up to
+        ``max(rate, burst)`` tokens, bounding how bursty a paced
+        stream can be after an idle stretch.
+    cooldown:
+        Minimum ticks between *gated* decreases
+        (:meth:`on_queue_signal`); the transfer passes the worker's
+        retransmit timeout, so one overflow episode is charged once,
+        not once per tick while the backlog clears.
+    """
+
+    def __init__(self, weight: float = 1.0, initial: float = 1.0,
+                 additive: float = DEFAULT_ADDITIVE,
+                 beta: float = DEFAULT_BETA,
+                 floor: float = DEFAULT_FLOOR,
+                 burst: float = DEFAULT_BURST,
+                 cooldown: int = 8):
+        if weight <= 0:
+            raise ValueError(f"weight must be > 0, got {weight}")
+        if not 0.0 < beta < 1.0:
+            raise ValueError(f"beta must be in (0, 1), got {beta}")
+        if floor <= 0:
+            raise ValueError(
+                f"floor must be > 0 (the protocol's termination "
+                f"guarantee needs a draining stream), got {floor}")
+        if additive <= 0:
+            raise ValueError(f"additive must be > 0, got {additive}")
+        if cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {cooldown}")
+        self.weight = weight
+        self.additive = additive
+        self.beta = beta
+        self.floor = floor
+        self.burst = burst
+        self.cooldown = cooldown
+        self.rate = max(floor, initial * weight)
+        # Empty bucket: the first advance() (tick 1) deposits the
+        # first ``rate`` tokens, so pacing applies from the first send.
+        self._tokens = 0.0
+        self._ticks = 0
+        self._last_decrease = -cooldown
+        # Telemetry (all deterministic).
+        self.sends = 0
+        self.loss_events = 0
+        self.queue_signals = 0
+        self.peak_rate = self.rate
+        self.peak_depth = 0
+
+    # -- pacing ---------------------------------------------------------------
+    def advance(self) -> None:
+        """One event-loop tick: refill the token bucket at ``rate``."""
+        self._ticks += 1
+        self._tokens = min(self._tokens + self.rate,
+                           max(self.rate, self.burst))
+
+    def try_send(self) -> bool:
+        """Consume one packet of sending credit if available."""
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.sends += 1
+            return True
+        return False
+
+    # -- AIMD updates ---------------------------------------------------------
+    def on_ack(self) -> None:
+        """One new packet acknowledged; Reno-style additive increase.
+
+        ``rate += additive * weight / max(rate, 1)`` per ACK — one
+        current-rate's worth of ACKs adds ``additive * weight``, so
+        probing speed is constant per unit time regardless of the
+        rate (TCP's ``cwnd += 1/cwnd``).  Monotone: an ACK never
+        lowers the rate.
+        """
+        self.rate += (self.additive * self.weight) / max(self.rate, 1.0)
+        if self.rate > self.peak_rate:
+            self.peak_rate = self.rate
+
+    def on_loss(self) -> None:
+        """Raw loss signal: multiplicative decrease, every call."""
+        self.rate = max(self.floor, self.rate * self.beta)
+        self.loss_events += 1
+        self._last_decrease = self._ticks
+
+    # -- gated signal entry point ---------------------------------------------
+    def _decrease_due(self) -> bool:
+        return self._ticks - self._last_decrease >= self.cooldown
+
+    def on_queue_signal(self, depth: int, capacity: Optional[int],
+                        drops: int = 0) -> bool:
+        """ECN-style feedback from the switch ingress queue.
+
+        ``depth`` is the queue's occupancy after this tick's sends
+        (recorded in :attr:`peak_depth`), ``capacity`` its bound
+        (``None`` = unbounded: never congested), ``drops`` the tail
+        drops observed since the last signal.  Tail drops *are* the
+        congestion mark: the switch drains its ingress queue every
+        tick, so any occupancy short of overflow is healthy
+        pipelining, not standing backlog.  A decrease is applied at
+        most once per ``cooldown`` ticks — one overflow episode is
+        one congestion event, however many ticks its backlog takes to
+        clear.  Returns whether a decrease was applied.
+        """
+        if capacity is None:
+            return False
+        self.queue_signals += 1
+        if depth > self.peak_depth:
+            self.peak_depth = depth
+        congested = drops > 0
+        if congested and self._decrease_due():
+            self.on_loss()
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"RateController(rate={self.rate:.2f}, "
+                f"weight={self.weight}, losses={self.loss_events})")

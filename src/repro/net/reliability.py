@@ -57,11 +57,21 @@ class ReliableWorker:
         batch the switch can drain per tick in the pipelined driver.
     per_packet:
         Entries packed per packet (the §9 multi-entry extension).
+    controller:
+        Optional :class:`~repro.net.congestion.RateController`.  When
+        present, every send (new or retransmitted) must first obtain a
+        pacing token and a fully acked window triggers additive
+        increase — the AIMD transport mode (``docs/CONGESTION.md``).
+        The worker never reports decreases itself: congestion signals
+        come exclusively from the switch ingress queue via
+        :meth:`~repro.net.congestion.RateController.on_queue_signal`
+        (random wire loss is not congestion).  ``None`` (the default)
+        keeps the historical fixed schedule bit-identical.
     """
 
     def __init__(self, fid: int, entries: Sequence[Tuple[int, ...]],
                  timeout_ticks: int = 8, window: int = 32,
-                 per_packet: int = 1):
+                 per_packet: int = 1, controller=None):
         if timeout_ticks < 1:
             raise ValueError(f"timeout must be >= 1 tick, got {timeout_ticks}")
         if window < 1:
@@ -88,6 +98,11 @@ class ReliableWorker:
         self._unacked: Dict[int, int] = {}   # seq -> last send tick
         self._acked: set = set()
         self.retransmissions = 0
+        self.controller = controller
+        #: Ticks on which the retransmit-timer scan actually ran; the
+        #: scan is skipped entirely while no packets are in flight
+        #: (idle or fully acked streams cost O(1) per tick).
+        self.timer_scans = 0
 
     @property
     def done(self) -> bool:
@@ -95,9 +110,16 @@ class ReliableWorker:
         return len(self._acked) == len(self._packets)
 
     def on_ack(self, ack: Ack) -> None:
-        """Process an ACK from master or switch."""
+        """Process an ACK from master or switch.
+
+        Only the *first* ACK of a sequence credits the rate
+        controller's acked window — duplicate ACKs (retransmission
+        echoes) must not inflate the additive-increase clock.
+        """
         if ack.fid != self.fid:
             return
+        if ack.seq not in self._acked and self.controller is not None:
+            self.controller.on_ack()
         self._acked.add(ack.seq)
         self._unacked.pop(ack.seq, None)
 
@@ -127,15 +149,35 @@ class ReliableWorker:
         sort is needed, and a timeout round resends the missing head
         *before* the packets queued behind it (which the switch would
         gap-drop until the head arrives).
+
+        The retransmit-timer scan only runs while packets are actually
+        in flight: an idle stream (window empty — fully acked, or
+        stalled waiting for pacing tokens with nothing outstanding)
+        costs O(1) per tick instead of rebuilding the pending set.
+
+        With a :attr:`controller` attached, every send is gated on a
+        pacing token; a packet denied a token simply stays timed out
+        and is retried next tick (head-first order preserved — the
+        loop stops rather than skipping ahead, so a later sequence
+        never jumps the still-missing head).
         """
-        timeout = self.timeout_ticks
-        for seq, sent_at in list(self._unacked.items()):
-            if now - sent_at >= timeout:
-                channel.send(self._wire[seq])
-                self._unacked[seq] = now
-                self.retransmissions += 1
+        ctrl = self.controller
+        if ctrl is not None:
+            ctrl.advance()
+        if self._unacked:
+            self.timer_scans += 1
+            timeout = self.timeout_ticks
+            for seq, sent_at in list(self._unacked.items()):
+                if now - sent_at >= timeout:
+                    if ctrl is not None and not ctrl.try_send():
+                        break
+                    channel.send(self._wire[seq])
+                    self._unacked[seq] = now
+                    self.retransmissions += 1
         while (self._next_new < len(self._packets)
                and len(self._unacked) < self.window):
+            if ctrl is not None and not ctrl.try_send():
+                break
             packet = self._packets[self._next_new]
             channel.send(self._wire[packet.seq])
             self._unacked[packet.seq] = now

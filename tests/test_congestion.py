@@ -1,0 +1,369 @@
+"""Congestion-control transport tests (``docs/CONGESTION.md``).
+
+Three layers:
+
+* unit tests for the :class:`RateController` AIMD mechanics, the
+  finite-capacity tail-drop path of :class:`LossyChannel`, and the
+  ingress-queue sizing helper;
+* fast result-equivalence cases: ``aimd`` vs ``fixed`` vs the solo
+  ``QueryPlan.run`` reference, single-tenant and scheduled;
+* ``slow``-marked hypothesis properties: the equivalence grid
+  (loss 0–0.1 × tenants 1–8 × queue capacity {4, 16, unbounded}),
+  the AIMD invariants (rate floor, multiplicative decrease on every
+  loss signal), and the weighted-fairness ratio tolerance.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import run_scenario
+from repro.bench.runner import FAIRNESS_WEIGHTS, _fairness_trial
+from repro.cluster.runtime import ingress_capacity
+from repro.cluster.scheduler import (
+    QueryScheduler,
+    SchedulerConfig,
+    tenant_specs,
+)
+from repro.net.channel import LossyChannel
+from repro.net.congestion import RateController
+
+
+class TestRateControllerValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"weight": 0.0},
+        {"weight": -1.0},
+        {"beta": 0.0},
+        {"beta": 1.0},
+        {"beta": 1.5},
+        {"floor": 0.0},
+        {"floor": -0.25},
+        {"additive": 0.0},
+        {"cooldown": 0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RateController(**kwargs)
+
+    def test_initial_rate_scales_with_weight(self):
+        assert RateController(initial=2.0).rate == 2.0
+        assert RateController(initial=2.0, weight=3.0).rate == 6.0
+
+    def test_initial_rate_respects_floor(self):
+        ctrl = RateController(initial=0.01, floor=0.5)
+        assert ctrl.rate == 0.5
+
+
+class TestRateControllerPacing:
+    def test_no_credit_before_first_tick(self):
+        ctrl = RateController(initial=4.0)
+        assert not ctrl.try_send()
+
+    def test_rate_tokens_per_tick(self):
+        ctrl = RateController(initial=3.0)
+        ctrl.advance()
+        sends = 0
+        while ctrl.try_send():
+            sends += 1
+        assert sends == 3
+        assert ctrl.sends == 3
+
+    def test_burst_caps_idle_accumulation(self):
+        ctrl = RateController(initial=2.0, burst=4.0)
+        for _ in range(10):                       # idle: no sends
+            ctrl.advance()
+        sends = 0
+        while ctrl.try_send():
+            sends += 1
+        assert sends == 4                         # burst, not 20
+
+    def test_bucket_never_caps_below_rate(self):
+        # A rate above the burst must still be sendable each tick.
+        ctrl = RateController(initial=8.0, burst=4.0)
+        ctrl.advance()
+        sends = 0
+        while ctrl.try_send():
+            sends += 1
+        assert sends == 8
+
+
+class TestRateControllerAimd:
+    def test_ack_is_monotone_increase(self):
+        ctrl = RateController(initial=2.0)
+        before = ctrl.rate
+        ctrl.on_ack()
+        assert ctrl.rate > before
+        assert ctrl.peak_rate == ctrl.rate
+
+    def test_ack_increase_is_reno_normalized(self):
+        # One rate's worth of ACKs raises the rate by ~additive*weight,
+        # independent of the starting rate.
+        for start in (2.0, 16.0):
+            ctrl = RateController(initial=start, additive=1.0)
+            for _ in range(int(start)):
+                ctrl.on_ack()
+            assert ctrl.rate == pytest.approx(start + 1.0, rel=0.05)
+
+    def test_loss_decreases_multiplicatively(self):
+        ctrl = RateController(initial=8.0, beta=0.5)
+        ctrl.on_loss()
+        assert ctrl.rate == 4.0
+        assert ctrl.loss_events == 1
+
+    def test_loss_respects_floor(self):
+        ctrl = RateController(initial=1.0, floor=0.75, beta=0.5)
+        for _ in range(5):
+            ctrl.on_loss()
+        assert ctrl.rate == 0.75
+
+    def test_queue_signal_unbounded_never_congested(self):
+        ctrl = RateController(initial=4.0)
+        assert ctrl.on_queue_signal(100, None, drops=50) is False
+        assert ctrl.rate == 4.0
+        assert ctrl.queue_signals == 0
+
+    def test_queue_signal_needs_drops(self):
+        # Occupancy alone is healthy pipelining, not congestion.
+        ctrl = RateController(initial=4.0)
+        ctrl.advance()
+        assert ctrl.on_queue_signal(7, 8, drops=0) is False
+        assert ctrl.rate == 4.0
+        assert ctrl.peak_depth == 7
+
+    def test_queue_signal_drops_trigger_decrease(self):
+        ctrl = RateController(initial=4.0, cooldown=4)
+        for _ in range(4):
+            ctrl.advance()
+        assert ctrl.on_queue_signal(8, 8, drops=2) is True
+        assert ctrl.rate == 2.0
+
+    def test_cooldown_gates_repeat_decreases(self):
+        ctrl = RateController(initial=8.0, cooldown=4)
+        for _ in range(4):
+            ctrl.advance()
+        assert ctrl.on_queue_signal(8, 8, drops=1) is True
+        # Backlog still clearing: more drops within the cooldown are
+        # the same congestion episode.
+        ctrl.advance()
+        assert ctrl.on_queue_signal(8, 8, drops=1) is False
+        assert ctrl.rate == 4.0
+        for _ in range(4):
+            ctrl.advance()
+        assert ctrl.on_queue_signal(8, 8, drops=1) is True
+        assert ctrl.rate == 2.0
+
+
+class TestChannelCapacity:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LossyChannel(capacity=0)
+
+    def test_unbounded_by_default(self):
+        channel = LossyChannel()
+        for i in range(100):
+            channel.send(bytes([i % 256]))
+        assert channel.pending() == 100
+        assert channel.tail_dropped == 0
+
+    def test_tail_drop_over_capacity(self):
+        channel = LossyChannel(capacity=2)
+        for i in range(5):
+            channel.send(bytes([i]))
+        assert channel.pending() == 2
+        assert channel.tail_dropped == 3
+        assert channel.dropped == 3               # tail drops count as drops
+        assert channel.sent == 5
+        assert [d[0] for d in channel.drain()] == [0, 1]
+
+    def test_drain_frees_capacity(self):
+        channel = LossyChannel(capacity=1)
+        channel.send(b"a")
+        channel.send(b"b")
+        assert channel.drain() == [b"a"]
+        channel.send(b"c")
+        assert channel.drain() == [b"c"]
+        assert channel.tail_dropped == 1
+
+    def test_tail_drop_precedes_loss_rng(self):
+        # A dropped-at-the-tail packet must not consume a random draw:
+        # a capacity the queue never reaches leaves the loss sequence
+        # byte-identical to the unbounded channel (this is what keeps
+        # ``--congestion fixed`` runs bit-identical to the seed).
+        def deliveries(capacity):
+            channel = LossyChannel(loss_rate=0.5, seed=11,
+                                   capacity=capacity)
+            out = []
+            for i in range(64):
+                channel.send(bytes([i]))
+                out.extend(channel.drain())
+            return out
+
+        assert deliveries(None) == deliveries(1)
+
+
+class TestIngressCapacity:
+    def test_none_passthrough(self):
+        assert ingress_capacity(None, 4) is None
+
+    def test_scales_with_shards(self):
+        assert ingress_capacity(4, 1) == 4
+        assert ingress_capacity(4, 3) == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ingress_capacity(0, 2)
+
+
+def _scheduler_report(mode, loss, tenants, capacity, rows=60, seed=0):
+    config = SchedulerConfig(slots=max(2, tenants), loss_rate=loss,
+                             seed=seed, congestion=mode,
+                             queue_capacity=capacity)
+    specs = tenant_specs(tenants, rows=rows, seed=seed,
+                         mix=("distinct",))
+    return QueryScheduler(config).serve(specs)
+
+
+class TestEquivalenceFast:
+    """Fast-lane spot checks of the grid the slow properties sweep."""
+
+    @pytest.mark.parametrize("capacity", [4, None])
+    def test_single_tenant_aimd_matches_solo_reference(self, capacity):
+        report = run_scenario("distinct", rows=80, loss=0.05,
+                              congestion="aimd",
+                              queue_capacity=capacity)
+        assert report.equivalent is True
+
+    def test_modes_agree_on_results(self):
+        fixed = run_scenario("distinct", rows=80, loss=0.05,
+                             congestion="fixed", queue_capacity=4)
+        aimd = run_scenario("distinct", rows=80, loss=0.05,
+                            congestion="aimd", queue_capacity=4)
+        assert fixed.result == aimd.result
+        assert fixed.equivalent is True and aimd.equivalent is True
+
+    def test_scheduled_tenants_all_equivalent(self):
+        report = _scheduler_report("aimd", 0.05, 3, 4)
+        assert report.all_equivalent is True
+
+    def test_aimd_beats_fixed_when_congested(self):
+        # The headline bench claim, at test scale: finite queues plus
+        # loss -> the paced schedule finishes no later than the fixed
+        # one flooding its own ingress queue.
+        fixed = _scheduler_report("fixed", 0.05, 4, 4, rows=100)
+        aimd = _scheduler_report("aimd", 0.05, 4, 4, rows=100)
+        assert aimd.ticks <= fixed.ticks
+
+
+@pytest.mark.slow
+class TestEquivalenceProperties:
+    @given(loss=st.floats(min_value=0.0, max_value=0.1),
+           tenants=st.integers(min_value=1, max_value=8),
+           capacity=st.sampled_from([4, 16, None]),
+           seed=st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_results_invariant_under_transport(self, loss, tenants,
+                                               capacity, seed):
+        """aimd == fixed == solo ``QueryPlan.run`` across the grid."""
+        fixed = _scheduler_report("fixed", loss, tenants, capacity,
+                                  rows=40, seed=seed)
+        aimd = _scheduler_report("aimd", loss, tenants, capacity,
+                                 rows=40, seed=seed)
+        assert fixed.all_equivalent is True       # fixed == solo
+        assert aimd.all_equivalent is True        # aimd == solo
+        fixed_results = [t.result for t in fixed.served]
+        aimd_results = [t.result for t in aimd.served]
+        assert fixed_results == aimd_results
+
+
+@pytest.mark.slow
+class TestAimdInvariantProperties:
+    signals = st.lists(
+        st.one_of(
+            st.just(("tick",)),
+            st.just(("ack",)),
+            st.just(("loss",)),
+            st.tuples(st.just("queue"), st.integers(0, 32),
+                      st.integers(0, 4)),
+        ),
+        max_size=300,
+    )
+
+    @given(events=signals,
+           floor=st.floats(min_value=0.05, max_value=1.0),
+           beta=st.floats(min_value=0.1, max_value=0.9),
+           weight=st.floats(min_value=0.25, max_value=8.0))
+    @settings(max_examples=100)
+    def test_rate_never_below_floor(self, events, floor, beta, weight):
+        ctrl = RateController(weight=weight, floor=floor, beta=beta)
+        for event in events:
+            if event[0] == "tick":
+                ctrl.advance()
+                ctrl.try_send()
+            elif event[0] == "ack":
+                ctrl.on_ack()
+            elif event[0] == "loss":
+                ctrl.on_loss()
+            else:
+                ctrl.on_queue_signal(event[1], 32, drops=event[2])
+            assert ctrl.rate >= floor
+            assert ctrl.rate <= ctrl.peak_rate
+
+    @given(events=signals, beta=st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=100)
+    def test_every_loss_signal_decreases(self, events, beta):
+        """``on_loss`` is the raw AIMD edge: every call applies the
+        multiplicative decrease (down to the floor), no gating."""
+        ctrl = RateController(initial=16.0, beta=beta)
+        for event in events:
+            if event[0] == "tick":
+                ctrl.advance()
+            elif event[0] == "ack":
+                ctrl.on_ack()
+            elif event[0] == "loss":
+                before = ctrl.rate
+                ctrl.on_loss()
+                assert ctrl.rate == max(ctrl.floor, before * beta)
+                assert ctrl.rate <= before
+            else:
+                ctrl.on_queue_signal(event[1], 32, drops=event[2])
+
+    @given(drops=st.lists(st.integers(0, 3), min_size=1, max_size=200),
+           cooldown=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=100)
+    def test_gated_decreases_respect_cooldown(self, drops, cooldown):
+        ctrl = RateController(initial=64.0, cooldown=cooldown)
+        last_decrease = None
+        for tick, drop in enumerate(drops, start=1):
+            ctrl.advance()
+            if ctrl.on_queue_signal(min(drop, 8), 8, drops=drop):
+                assert drop > 0
+                if last_decrease is not None:
+                    assert tick - last_decrease >= cooldown
+                last_decrease = tick
+
+
+@pytest.mark.slow
+class TestWeightedFairnessProperties:
+    def test_bench_weights_converge_near_proportional(self):
+        trial = _fairness_trial(FAIRNESS_WEIGHTS)
+        rates = trial["mean_rates"]
+        assert (rates["interactive"] > rates["standard"]
+                > rates["batch"])
+        # normalized_rates divide by weight; spread is max/min of that.
+        assert trial["normalized_spread"] < 2.0
+
+    @given(heavy=st.sampled_from([2.0, 4.0, 8.0]),
+           capacity=st.sampled_from([8, 16]))
+    @settings(max_examples=15, deadline=None)
+    def test_pairwise_ratio_within_tolerance(self, heavy, capacity):
+        """Two controllers sharing a bottleneck converge to mean rates
+        proportional to their weights, within a 2x tolerance band.
+
+        Scoped to the moderately congested regime the Chiu–Jain
+        argument covers: each flow's proportional share of the
+        bottleneck is at least a packet per tick (capacity >= 8) and
+        the queue actually overflows within the trial (capacity <= 16)
+        so both flows keep seeing synchronized decreases."""
+        trial = _fairness_trial({"heavy": heavy, "light": 1.0},
+                                capacity=capacity, ticks=600)
+        ratio = trial["mean_rates"]["heavy"] / trial["mean_rates"]["light"]
+        assert heavy / 2.0 <= ratio <= heavy * 2.0

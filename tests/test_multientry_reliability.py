@@ -1,5 +1,7 @@
 """Tests for §9 multi-entry packets in the reliability protocol:
-the switch pops pruned entries rather than dropping whole packets."""
+the switch pops pruned entries rather than dropping whole packets —
+plus protocol-level retransmit-timer edge paths (window-full stalls,
+duplicate ACKs, crash replay under AIMD pacing, idle-stream scans)."""
 
 import random
 
@@ -7,9 +9,15 @@ import pytest
 
 from repro.core.distinct import DistinctPruner
 from repro.net.channel import LossyChannel
-from repro.net.packet import CheetahPacket
-from repro.net.reliability import SwitchForwarder, run_transfer
-from repro.net.wire import decode_packet, encode_packet
+from repro.net.congestion import RateController
+from repro.net.packet import Ack, CheetahPacket
+from repro.net.reliability import (
+    MasterEndpoint,
+    ReliableWorker,
+    SwitchForwarder,
+    run_transfer,
+)
+from repro.net.wire import decode_ack, decode_packet, encode_packet
 
 
 class TestEntryPopping:
@@ -104,3 +112,135 @@ class TestMultiEntryTransfer:
         # 39 duplicates popped or pruned across packets.
         total_delivered = sum(len(v) for v in report.delivered[1])
         assert total_delivered < 5
+
+
+class TestRetransmitTimerEdges:
+    """Direct protocol-level coverage for the §7.2 worker's timer and
+    window paths — the edges the end-to-end transfers exercise only
+    incidentally."""
+
+    def _worker(self, n=8, **kwargs):
+        return ReliableWorker(1, [(i,) for i in range(n)], **kwargs)
+
+    def test_window_full_stalls_new_sends(self):
+        worker = self._worker(n=8, window=2, timeout_ticks=100)
+        channel = LossyChannel()
+        worker.tick(1, channel)
+        assert channel.sent == 2                  # window bound
+        worker.tick(2, channel)
+        assert channel.sent == 2                  # stalled: no ACKs yet
+        worker.on_ack(Ack(fid=1, seq=0))
+        worker.tick(3, channel)
+        assert channel.sent == 3                  # one slot freed
+
+    def test_window_stall_releases_in_seq_order(self):
+        worker = self._worker(n=4, window=1, timeout_ticks=100)
+        channel = LossyChannel()
+        for now in range(1, 7):
+            worker.tick(now, channel)
+            for data in channel.drain():
+                worker.on_ack(Ack(fid=1, seq=decode_packet(data).seq))
+        # 4 entries + FIN, released one per tick, ascending.
+        assert worker.done
+        assert channel.sent == 5
+
+    def test_timeout_retransmits_head_first_under_pacing(self):
+        # One token per tick: a timeout round must spend it on the
+        # lowest outstanding seq (the head the switch is gap-waiting
+        # on), never on a later packet.
+        ctrl = RateController(initial=1.0, burst=1.0)
+        worker = self._worker(n=4, timeout_ticks=1, controller=ctrl)
+        channel = LossyChannel()
+        worker.tick(1, channel)                   # seq 0 (sole token)
+        worker.tick(2, channel)                   # timer: seq 0 again
+        seqs = [decode_packet(d).seq for d in channel.drain()]
+        assert seqs == [0, 0]
+        assert worker.retransmissions == 1
+
+    def test_pacing_denial_stalls_new_packets(self):
+        ctrl = RateController(initial=2.0, burst=2.0)
+        worker = self._worker(n=8, window=32, timeout_ticks=100,
+                              controller=ctrl)
+        channel = LossyChannel()
+        worker.tick(1, channel)
+        assert channel.sent == 2                  # rate-limited, not window
+        worker.tick(2, channel)
+        assert channel.sent == 4                  # resumes where it stopped
+
+    def test_duplicate_ack_does_not_credit_controller(self):
+        ctrl = RateController(initial=4.0)
+        worker = self._worker(controller=ctrl)
+        channel = LossyChannel()
+        worker.tick(1, channel)
+        base = ctrl.rate
+        worker.on_ack(Ack(fid=1, seq=0))
+        credited = ctrl.rate
+        assert credited > base                    # first ACK raises rate
+        worker.on_ack(Ack(fid=1, seq=0))          # retransmission echo
+        assert ctrl.rate == credited
+
+    def test_foreign_flow_ack_ignored(self):
+        ctrl = RateController(initial=4.0)
+        worker = self._worker(n=1, controller=ctrl)
+        channel = LossyChannel()
+        worker.tick(1, channel)
+        base = ctrl.rate
+        worker.on_ack(Ack(fid=2, seq=0))
+        assert ctrl.rate == base
+        assert not worker.done
+
+    def test_replay_after_kill_completes_under_pacing(self):
+        # A survivor replays the dead worker's window (kill_worker /
+        # docs/CHAOS.md) while an AIMD controller paces every resend;
+        # the transfer must still complete and deliver exactly once.
+        ctrl = RateController(initial=2.0)
+        worker = ReliableWorker(1, [(i,) for i in range(20)],
+                                timeout_ticks=4, window=8,
+                                controller=ctrl)
+        forwarder = SwitchForwarder(lambda v: False)
+        master = MasterEndpoint()
+        up, down, acks = LossyChannel(), LossyChannel(), LossyChannel()
+        replayed = 0
+        now = 0
+        while not worker.done and now < 500:
+            now += 1
+            worker.tick(now, up)
+            for data in up.drain():
+                forwarder.process(data, down, acks)
+            for data in down.drain():
+                master.process(data, acks)
+            ack_wire = acks.drain()
+            if now == 3:
+                # Crash here: the window is replayed (the survivor
+                # cannot know the in-flight packets reached the wire)
+                # and this tick's ACKs — addressed to the dead worker —
+                # are lost with it.
+                replayed = worker.replay_window()
+                ack_wire = []
+            for data in ack_wire:
+                worker.on_ack(decode_ack(data))
+        assert worker.done
+        assert replayed > 0
+        assert worker.retransmissions >= replayed
+        assert master.duplicates >= replayed      # dedup absorbed the replay
+        assert master.fin_received(1)
+        assert master.received(1) == [(i,) for i in range(20)]
+
+    def test_idle_stream_skips_timer_scan(self):
+        # Regression for the idle-tick guard: once a stream is fully
+        # acked (or before it has sent), ticking it must not rescan
+        # the retransmit timers or emit anything.
+        worker = self._worker(n=2, window=8, timeout_ticks=2)
+        channel = LossyChannel()
+        worker.tick(1, channel)                   # 2 entries + FIN
+        assert worker.timer_scans == 0            # nothing in flight at scan
+        worker.tick(2, channel)
+        assert worker.timer_scans == 1            # in-flight -> scan runs
+        for seq in range(3):
+            worker.on_ack(Ack(fid=1, seq=seq))
+        assert worker.done
+        for now in range(3, 60):
+            worker.tick(now, channel)
+        assert worker.timer_scans == 1            # no churn while idle
+        assert channel.sent == 3                  # and no resends
+        assert worker.retransmissions == 0
