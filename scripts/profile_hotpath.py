@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Profile the serving hot loops and emit ``results/PROFILE_hotpath.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_hotpath.py [repro profile flags]
+
+A thin wrapper over ``repro profile`` (``repro.cli``): it profiles the
+codec + ``offer_batch`` pipeline and the scheduler tick loop under
+``cProfile`` with fixed seeds, prints the hotspot summary, and writes
+the machine-readable payload under the results directory (honouring
+``REPRO_RESULTS_DIR``).  All ``repro profile`` flags pass through, e.g.::
+
+    PYTHONPATH=src python scripts/profile_hotpath.py --rows 500000 --shards 8
+
+The profiling workflow — what the counters mean, which fields are
+deterministic, and how to read the kernel inventory — is documented in
+``docs/PERFORMANCE.md``.
+"""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import main  # noqa: E402  (path bootstrap first)
+
+if __name__ == "__main__":
+    sys.exit(main(["profile"] + sys.argv[1:]))

@@ -64,8 +64,8 @@ def _table(columns, rows) -> str:
     return "\n".join(lines)
 
 
-def _load(name: str):
-    path = RESULTS_DIR / f"BENCH_{name}.json"
+def _load(name: str, prefix: str = "BENCH"):
+    path = RESULTS_DIR / f"{prefix}_{name}.json"
     if not path.exists():
         return None
     with open(path, encoding="utf-8") as f:
@@ -142,7 +142,13 @@ def _fig11_section(payload) -> str:
                   "pruned frac", "decisions equivalent"], rows)
         + "\n\nOverall speedup at the largest row count: "
         f"**{_fmt(payload['overall_speedup_at_largest'], 1)}x** "
-        f"(all decisions equivalent: `{payload['all_equivalent']}`)."
+        f"(all decisions equivalent: `{payload['all_equivalent']}`; "
+        "batched shards on a process pool: "
+        f"`{payload.get('parallel_shards', False)}`).  The "
+        "`decision_domain` block of the JSON carries only "
+        "deterministic fields — per-prefix prune counts and SHA-256 "
+        "decision digests — which CI asserts byte-identical across "
+        "repeat runs ([PERFORMANCE.md](PERFORMANCE.md))."
     )
 
 
@@ -620,6 +626,141 @@ def _fig10_section() -> str:
     )
 
 
+def _profile_section() -> str:
+    payload = _load("hotpath", prefix="PROFILE")
+    if payload is None:
+        return None
+    codec = payload["codec_pipeline"]
+    kernel_rows = []
+    for key, label in (("encode", "encode_packet"),
+                       ("decode_header", "decode_header"),
+                       ("decode_values", "decode_values"),
+                       ("offer", "offer / offer_batch")):
+        entry = codec[key]
+        per_packet = entry["per_packet_seconds"]
+        bulk = entry.get("bulk_seconds", entry.get("batched_seconds"))
+        speedup = entry.get("bulk_speedup", entry.get("batched_speedup"))
+        kernel_rows.append({
+            "kernel": f"`{label}`",
+            "per-packet (s)": _fmt(per_packet),
+            "bulk/batched (s)": _fmt(bulk),
+            "speedup": _fmt(speedup, 2) + "x",
+        })
+    fields = codec["decode_header"]
+    kernel_rows.insert(2, {
+        "kernel": "`decode_header_fields` (column-oriented)",
+        "per-packet (s)": _fmt(fields["per_packet_seconds"]),
+        "bulk/batched (s)": _fmt(fields["fields_seconds"]),
+        "speedup": _fmt(fields["fields_speedup"], 2) + "x",
+    })
+
+    def hotspot_rows(loop):
+        return [
+            {
+                "function": f"`{row['function']}`",
+                "calls": row["calls"],
+                "cumulative (s)": _fmt(row["cumtime_seconds"]),
+            }
+            for row in loop["hotspots"][:6]
+        ]
+
+    sched = payload["scheduler_loop"]
+    return (
+        "## Hot-path profile (`repro profile`)\n\n"
+        f"Deterministic profile of the two serving hot loops "
+        f"({payload['rows']} packets through the codec + `offer_batch` "
+        f"pipeline, {payload['shards']} shard(s); a "
+        f"{sched['tenants']}-tenant serve of {sched['ticks']} scheduler "
+        "ticks), from the checked-in "
+        "[`results/PROFILE_hotpath.json`](../results/PROFILE_hotpath"
+        ".json).  Workload counters are seed-fixed; seconds are host "
+        "measurements.  The workflow and the kernel inventory are "
+        "documented in [PERFORMANCE.md](PERFORMANCE.md).\n\n"
+        "Codec kernel tiers over the identical packet vector "
+        "(bit-identical outputs asserted in-run):\n\n"
+        + _table(["kernel", "per-packet (s)", "bulk/batched (s)",
+                  "speedup"], kernel_rows)
+        + "\n\nTop codec-pipeline functions by cumulative time:\n\n"
+        + _table(["function", "calls", "cumulative (s)"],
+                 hotspot_rows(codec))
+        + "\n\nTop scheduler-loop functions "
+        f"({sched['entries']} entries served across {sched['served']} "
+        f"tenants, all equivalent: `{sched['all_equivalent']}`):\n\n"
+        + _table(["function", "calls", "cumulative (s)"],
+                 hotspot_rows(sched))
+    )
+
+
+def _fig11_panels_section() -> str:
+    """The six Figure 11 panels (per-operator pruning vs data scale)."""
+    panels = []
+    for letter in "abcdef":
+        path = RESULTS_DIR / f"fig11{letter}.txt"
+        if not path.exists():
+            continue
+        text = path.read_text(encoding="utf-8")
+        title = text.splitlines()[0].strip("= ").split(":", 1)[1].strip()
+        rows = _parse_results_table(text)
+        columns = list(rows[0]) if rows else []
+        note = next((line.split(":", 1)[1].strip()
+                     for line in text.splitlines()
+                     if line.startswith("note:")), None)
+        part = (f"### Figure 11{letter} — {title} "
+                f"([`results/fig11{letter}.txt`]"
+                f"(../results/fig11{letter}.txt))\n\n"
+                + _table(columns, rows))
+        if note:
+            part += f"\n\nPaper reference: {note}."
+        panels.append(part)
+    if not panels:
+        return None
+    return (
+        "## Figure 11 — per-operator pruning vs data scale "
+        "(`repro run fig11a` … `fig11f`)\n\n"
+        "Fraction of entries surviving the switch as the stream grows "
+        "(lower is better; `opt` is the omniscient lower bound), per "
+        "operator, from the checked-in `results/fig11*.txt` tables.  "
+        "These are the paper's Figure 11 *pruning-rate* panels; the "
+        "batched-dataplane *throughput* benchmark of the same name is "
+        "reported above.\n\n"
+        + "\n\n".join(panels)
+    )
+
+
+def _fig12_13_section() -> str:
+    path = RESULTS_DIR / "fig12_13.txt"
+    if not path.exists():
+        return None
+    text = path.read_text(encoding="utf-8")
+    rows = _parse_results_table(text)
+    note = next((line.split(":", 1)[1].strip()
+                 for line in text.splitlines()
+                 if line.startswith("note:")), None)
+    table_rows = [
+        {
+            "operator": row["op"],
+            "entries": row["entries"],
+            "server (s)": _fmt(row["server_s"], 2),
+            "switch CPU (s)": _fmt(row["switch_cpu_s"], 2),
+            "slowdown": _fmt(row["slowdown"], 1) + "x",
+        }
+        for row in rows
+    ]
+    section = (
+        "## Figures 12–13 — server vs switch-CPU processing "
+        "(`repro run fig12_13`)\n\n"
+        "Processing time for the same operator stream on the server "
+        "CPU vs offloaded to the switch's management CPU, from the "
+        "checked-in [`results/fig12_13.txt`](../results/fig12_13.txt)."
+        "\n\n"
+        + _table(["operator", "entries", "server (s)", "switch CPU (s)",
+                  "slowdown"], table_rows)
+    )
+    if note:
+        section += f"\n\nPaper reference: {note}."
+    return section
+
+
 def _fig6_section() -> str:
     path = RESULTS_DIR / "fig6.txt"
     if not path.exists():
@@ -728,8 +869,9 @@ def render_report() -> str:
     renderers = dict(_SECTIONS)
     for name, payload in available:
         parts.append(renderers[name](payload))
-    for section in (_fig6_section, _fig7_section, _fig8_section,
-                    _fig9_section, _fig10_section):
+    for section in (_profile_section, _fig6_section, _fig7_section,
+                    _fig8_section, _fig9_section, _fig10_section,
+                    _fig11_panels_section, _fig12_13_section):
         rendered = section()
         if rendered is not None:
             parts.append(rendered)

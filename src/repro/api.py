@@ -289,7 +289,8 @@ def run_scenario(name: str, *, rows: int = 1200, seed: int = 0,
                  reorder: int = 0, shards: int = 1,
                  pipelined: bool = True, check: bool = True,
                  congestion: str = "fixed",
-                 queue_capacity: Optional[int] = None):
+                 queue_capacity: Optional[int] = None,
+                 parallel_shards: bool = False):
     """One scenario end-to-end through the simulated cluster.
 
     This is the facade over single-tenant
@@ -298,7 +299,9 @@ def run_scenario(name: str, *, rows: int = 1200, seed: int = 0,
     :class:`~repro.cluster.simulation.SimulationReport`.
     ``congestion``/``queue_capacity`` select the transport mode
     (``docs/CONGESTION.md``); results are byte-identical either way,
-    only the protocol accounting moves.
+    only the protocol accounting moves.  ``parallel_shards`` executes
+    the K shard pruners on a process pool
+    (``docs/PERFORMANCE.md``) — again bit-identical results.
     """
     from repro.cluster.simulation import (
         ClusterSimulation,
@@ -311,7 +314,8 @@ def run_scenario(name: str, *, rows: int = 1200, seed: int = 0,
                               reorder_window=reorder, shards=shards,
                               seed=seed, pipelined=pipelined,
                               congestion=congestion,
-                              queue_capacity=queue_capacity)
+                              queue_capacity=queue_capacity,
+                              parallel_shards=parallel_shards)
     return ClusterSimulation(config).run(query, tables, check=check)
 
 

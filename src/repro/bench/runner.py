@@ -168,15 +168,18 @@ def save_result(result: ExperimentResult,
 # ---------------------------------------------------------------------------
 
 def emit_bench_json(name: str, payload: Dict,
-                    directory: Optional[str] = None) -> str:
-    """Write ``payload`` as ``BENCH_<name>.json`` under the results dir.
+                    directory: Optional[str] = None,
+                    prefix: str = "BENCH") -> str:
+    """Write ``payload`` as ``<prefix>_<name>.json`` under the results
+    dir (``BENCH_<name>.json`` by default; ``repro profile`` passes
+    ``prefix="PROFILE"``).
 
     The JSON is the cross-PR perf record: CI runs the benches on tiny
     inputs, uploads these files as artifacts, and asserts their shape.
     """
     directory = directory or os.environ.get("REPRO_RESULTS_DIR", "results")
     os.makedirs(directory, exist_ok=True)
-    path = os.path.join(directory, f"BENCH_{name}.json")
+    path = os.path.join(directory, f"{prefix}_{name}.json")
     with open(path, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")
@@ -269,9 +272,18 @@ def _run_case_batched(pruner, stream, two_pass: bool, batch_size: int):
     return decisions
 
 
+def _decision_fingerprint(decisions: Sequence[bool]) -> str:
+    """A stable digest of a prune-decision vector (one byte per
+    decision) — the deterministic projection CI compares run-to-run."""
+    import hashlib
+
+    return hashlib.sha256(bytes(bytearray(decisions))).hexdigest()
+
+
 def run_fig11_scale_bench(rows: int = 60_000, shards: int = 1,
                           batch_size: int = 8192, seed: int = 0,
-                          verify: bool = True) -> Dict:
+                          verify: bool = True,
+                          parallel: bool = False) -> Dict:
     """The Figure 11 scale benchmark: per-packet vs batched dataplane.
 
     Runs every fig11 pruner over growing prefixes of its stream (three
@@ -281,20 +293,33 @@ def run_fig11_scale_bench(rows: int = 60_000, shards: int = 1,
     ``shards > 1`` — and records wall-clock timings, pruning fractions,
     speedups, and (with ``verify``) decision equivalence.
 
+    ``parallel=True`` runs the batched path's shards on a process pool
+    (:class:`~repro.cluster.runtime.ProcessPoolShardExecutor`) — the
+    per-packet reference stays serial, and decisions must still match
+    bit-for-bit.
+
     Returns the payload for ``BENCH_fig11.json``; the headline
     ``overall_speedup_at_largest`` is total per-packet time over total
-    batched time at the largest row count.
+    batched time at the largest row count.  The ``decision_domain``
+    sub-object holds only deterministic fields (per-prefix prune
+    counts and decision digests) — wall clocks live outside it, so CI
+    can assert byte-identical decisions across repeat runs.
     """
-    from repro.cluster.runtime import make_sharded
+    from repro.cluster.runtime import (
+        ProcessPoolShardExecutor,
+        make_sharded,
+    )
 
     if rows < 40:
         raise ValueError(f"rows too small for the fig11 streams: {rows}")
     row_counts = sorted({max(10, rows // 4), max(10, rows // 2), rows})
     cases = _fig11_cases(rows, seed)
     algorithms: Dict[str, List[Dict]] = {}
+    decision_domain: Dict[str, List[Dict]] = {}
     totals = {count: {"packet": 0.0, "batch": 0.0} for count in row_counts}
     for case in cases:
         series = []
+        fingerprints = []
         for count in row_counts:
             prefix = case.stream[:max(1, round(len(case.stream)
                                                * count / rows))]
@@ -305,7 +330,8 @@ def run_fig11_scale_bench(rows: int = 60_000, shards: int = 1,
                                                 case.two_pass)
             packet_seconds = time.perf_counter() - start
             batch_pruner = make_sharded(case.factory, shards,
-                                        case.query_type, seed=seed)
+                                        case.query_type, seed=seed,
+                                        parallel=parallel)
             start = time.perf_counter()
             batch_decisions = _run_case_batched(batch_pruner, prefix,
                                                 case.two_pass, batch_size)
@@ -314,6 +340,8 @@ def run_fig11_scale_bench(rows: int = 60_000, shards: int = 1,
                           and packet_pruner.stats == batch_pruner.stats
                           ) if verify else None
             stats = batch_pruner.stats
+            if isinstance(batch_pruner, ProcessPoolShardExecutor):
+                batch_pruner.close()
             series.append({
                 "rows": len(prefix),
                 "packet_seconds": packet_seconds,
@@ -324,9 +352,17 @@ def run_fig11_scale_bench(rows: int = 60_000, shards: int = 1,
                 "pruned_fraction": stats.pruned_fraction,
                 "equivalent": equivalent,
             })
+            fingerprints.append({
+                "rows": len(prefix),
+                "offered": stats.offered,
+                "pruned": stats.pruned,
+                "decisions_sha256": _decision_fingerprint(batch_decisions),
+                "equivalent": equivalent,
+            })
             totals[count]["packet"] += packet_seconds
             totals[count]["batch"] += batch_seconds
         algorithms[case.name] = series
+        decision_domain[case.name] = fingerprints
     largest = totals[row_counts[-1]]
     return {
         "benchmark": "fig11_scale",
@@ -335,7 +371,9 @@ def run_fig11_scale_bench(rows: int = 60_000, shards: int = 1,
         "shards": shards,
         "batch_size": batch_size,
         "seed": seed,
+        "parallel_shards": parallel,
         "algorithms": algorithms,
+        "decision_domain": decision_domain,
         "totals": {
             str(count): {
                 "packet_seconds": value["packet"],

@@ -165,7 +165,8 @@ def _run_e2e(names: List[str], args) -> int:
                     shards=args.shards,
                     pipelined=(mode == "pipelined"),
                     congestion=args.congestion,
-                    queue_capacity=args.queue_capacity)
+                    queue_capacity=args.queue_capacity,
+                    parallel_shards=args.parallel_shards)
             except ValueError as error:
                 # SimulationConfig bounds, SimulationError (bad rows,
                 # unsupported wire shapes, livelock): one-line
@@ -376,6 +377,7 @@ def _serve(args) -> int:
             seed=args.seed,
             congestion=args.congestion,
             queue_capacity=args.queue_capacity,
+            parallel_shards=args.parallel_shards,
         )
     except ValueError as error:
         print(f"repro serve: {error}", file=sys.stderr)
@@ -493,7 +495,8 @@ def _replay(args) -> int:
             policy=policy, workers=args.workers, loss_rate=loss,
             reorder_window=args.reorder, shards=shards, seed=args.seed,
             congestion=args.congestion,
-            queue_capacity=args.queue_capacity)
+            queue_capacity=args.queue_capacity,
+            parallel_shards=args.parallel_shards)
         report = replay_trace(trace, config, apply_overrides=False,
                               chaos=chaos)
     except (OSError, ValueError, SimulationError) as error:
@@ -601,7 +604,8 @@ def _chaos(args) -> int:
             reorder_window=args.reorder, shards=args.shards,
             seed=args.seed,
             congestion=args.congestion,
-            queue_capacity=args.queue_capacity)
+            queue_capacity=args.queue_capacity,
+            parallel_shards=args.parallel_shards)
     except ValueError as error:
         print(f"repro chaos: {error}", file=sys.stderr)
         return 2
@@ -1018,10 +1022,12 @@ def _bench(args) -> int:
     elif args.name == "fig11":
         payload = run_fig11_scale_bench(rows=args.rows, shards=args.shards,
                                         batch_size=args.batch_size,
-                                        seed=args.seed)
+                                        seed=args.seed,
+                                        parallel=args.parallel_shards)
         path = emit_bench_json("fig11", payload, args.results_dir)
         largest = payload["row_counts"][-1]
-        print(f"fig11 scale bench: rows={largest} shards={args.shards}")
+        print(f"fig11 scale bench: rows={largest} shards={args.shards}"
+              f"{' parallel' if args.parallel_shards else ''}")
         for name, series in sorted(payload["algorithms"].items()):
             point = series[-1]
             print(f"  {name:10s} packet={point['packet_seconds']:.3f}s "
@@ -1041,6 +1047,45 @@ def _bench(args) -> int:
         print(f"fig5 bench: scale={args.scale} shards={args.shards} "
               f"wall={payload['wall_seconds']:.2f}s "
               f"({len(payload['rows'])} query rows)")
+    print(f"  -> saved {path}")
+    return 0
+
+
+def _profile(args) -> int:
+    """``repro profile``: deterministic hot-path profile -> JSON."""
+    from repro.bench.profile import run_hotpath_profile
+    from repro.bench.runner import emit_bench_json
+
+    try:
+        payload = run_hotpath_profile(
+            rows=args.rows, shards=args.shards,
+            batch_size=args.batch_size, seed=args.seed,
+            tenants=args.tenants, serve_rows=args.serve_rows)
+    except ValueError as error:
+        print(f"repro profile: {error}", file=sys.stderr)
+        return 2
+    path = emit_bench_json("hotpath", payload, args.results_dir,
+                           prefix="PROFILE")
+    codec = payload["codec_pipeline"]
+    sched = payload["scheduler_loop"]
+    print(f"hotpath profile: rows={payload['rows']} "
+          f"shards={payload['shards']} "
+          f"batch_size={payload['batch_size']}")
+    print(f"  codec: {codec['packets']} packets, "
+          f"{codec['bytes_on_wire']} wire bytes")
+    print(f"    header decode  fields speedup="
+          f"{codec['decode_header']['fields_speedup']:.2f}x "
+          f"bulk={codec['decode_header']['bulk_speedup']:.2f}x")
+    print(f"    offer          batched speedup="
+          f"{codec['offer']['batched_speedup']:.2f}x")
+    print(f"  scheduler: {sched['ticks']} ticks, {sched['entries']} "
+          f"entries, {sched['served']} tenants served "
+          f"(equivalent={sched['all_equivalent']})")
+    for label, loop in (("codec", codec), ("scheduler", sched)):
+        print(f"  top {label} hotspots (cumulative):")
+        for row in loop["hotspots"][:4]:
+            print(f"    {row['cumtime_seconds']:8.3f}s "
+                  f"{row['calls']:>9} calls  {row['function']}")
     print(f"  -> saved {path}")
     return 0
 
@@ -1113,6 +1158,10 @@ def _serving_flags(loss=None, shards=None, slots=None, policy=None,
                         help="switch ingress-queue slots per pipeline "
                         "(default: unbounded); finite queues tail-drop "
                         "and emit the AIMD congestion signal")
+    parent.add_argument("--parallel-shards", action="store_true",
+                        help="execute the K shard pruners on a process "
+                        "pool (one worker per shard); bit-identical "
+                        "decisions, K cores (docs/PERFORMANCE.md)")
     return parent
 
 
@@ -1159,6 +1208,9 @@ def main(argv: List[str] = None) -> int:
                             metavar="N",
                             help="e2e: switch ingress-queue slots per "
                             "pipeline (default: unbounded)")
+    run_parser.add_argument("--parallel-shards", action="store_true",
+                            help="e2e: execute the K shard pruners on "
+                            "a process pool (docs/PERFORMANCE.md)")
 
     sql_parser = sub.add_parser("sql", help="run a demo SQL query "
                                 "through the Cheetah flow")
@@ -1364,6 +1416,29 @@ def main(argv: List[str] = None) -> int:
     bench_parser.add_argument("--results-dir", default=None,
                               help="output dir (default: results/)")
 
+    profile_parser = sub.add_parser(
+        "profile",
+        help="profile the two serving hot loops (codec+offer_batch "
+        "pipeline, scheduler tick loop) under cProfile with fixed "
+        "seeds and emit PROFILE_hotpath.json "
+        "(docs/PERFORMANCE.md)")
+    profile_parser.add_argument("--rows", type=int, default=200_000,
+                                help="packets through the codec+offer "
+                                "pipeline")
+    profile_parser.add_argument("--shards", type=int, default=4,
+                                help="simulated switch pipelines")
+    profile_parser.add_argument("--batch-size", type=int, default=8192,
+                                help="entries per offer_batch call")
+    profile_parser.add_argument("--seed", type=int, default=0,
+                                help="deterministic master seed")
+    profile_parser.add_argument("--tenants", type=int, default=4,
+                                help="scheduler loop: concurrent "
+                                "tenants")
+    profile_parser.add_argument("--serve-rows", type=int, default=240,
+                                help="scheduler loop: rows per tenant")
+    profile_parser.add_argument("--results-dir", default=None,
+                                help="output dir (default: results/)")
+
     p4_parser = sub.add_parser("p4", help="emit P4-style source for a "
                                "query type at its Table 2 defaults")
     p4_parser.add_argument("query_type",
@@ -1387,6 +1462,8 @@ def main(argv: List[str] = None) -> int:
         return _chaos(args)
     if args.command == "bench":
         return _bench(args)
+    if args.command == "profile":
+        return _profile(args)
     if args.command == "sql":
         return _sql_demo(args.statement)
     if args.command == "p4":

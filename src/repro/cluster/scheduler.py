@@ -173,6 +173,11 @@ class SchedulerConfig:
     switch: SwitchModel = TOFINO_MODEL
     congestion: str = "fixed"
     queue_capacity: Optional[int] = None
+    #: Execute the shared frontend's shard pruners on a process pool
+    #: (:class:`~repro.cluster.runtime.ProcessPoolShardExecutor`);
+    #: bit-identical serving decisions, K cores instead of one.  No
+    #: effect with ``shards=1``.
+    parallel_shards: bool = False
 
     def __post_init__(self) -> None:
         if self.slots < 1:
@@ -844,7 +849,8 @@ def _build_frontend(cfg: SchedulerConfig):
     if cfg.shards > 1:
         return ShardedSwitchFrontend(cfg.switch, cfg.shards,
                                      seed=cfg.seed,
-                                     max_slots=cfg.slots)
+                                     max_slots=cfg.slots,
+                                     parallel=cfg.parallel_shards)
     return ControlPlane(cfg.switch, seed=cfg.seed,
                         max_slots=cfg.slots)
 

@@ -30,7 +30,7 @@ from repro.net.channel import LossyChannel
 from repro.net.packet import Ack, AckKind, CheetahPacket, FIN_FLAG
 from repro.net.wire import (
     decode_ack,
-    decode_header,
+    decode_header_fields,
     decode_packet,
     decode_values,
     encode_ack,
@@ -303,24 +303,26 @@ class BatchedSwitchForwarder(SwitchForwarder):
                       to_worker: LossyChannel) -> None:
         """Handle one tick's wire packets from the workers.
 
-        Only the headers of the arrival batch are parsed up front (like
-        a PISA parser, the payload stays opaque for forwarding
-        decisions); the values of the in-order *fresh* packets — the
-        only ones that reach the prune logic — are decoded lazily.
-        Under loss, retransmissions dominate arrivals, so this skips
-        the bulk of the payload parsing the per-packet path performs.
+        Only the headers of the arrival batch are parsed up front — one
+        vectorized :func:`decode_header_fields` call over the whole
+        batch (like a PISA parser, the payload stays opaque for
+        forwarding decisions); the values of the in-order *fresh*
+        packets — the only ones that reach the prune logic — are
+        decoded lazily.  Under loss, retransmissions dominate arrivals,
+        so this skips the bulk of the payload parsing the per-packet
+        path performs.
         """
         if not datas:
             return
-        headers = [decode_header(data) for data in datas]
+        fids, seqs, ns, flag_col = decode_header_fields(datas)
         outcomes: List[int] = []
         fresh: List[int] = []
         last_seq = self._last_seq
-        for i, (fid, seq, _, flags) in enumerate(headers):
+        for i, (fid, seq) in enumerate(zip(fids, seqs)):
             last = last_seq.get(fid, -1)
             if seq == last + 1:
                 last_seq[fid] = seq
-                if flags & FIN_FLAG:
+                if flag_col[i] & FIN_FLAG:
                     outcomes.append(_FORWARD)
                 else:
                     outcomes.append(_PENDING)
@@ -331,7 +333,7 @@ class BatchedSwitchForwarder(SwitchForwarder):
                 outcomes.append(_GAP)
         if fresh:
             decisions = self.prune_batch_fn([
-                decode_values(datas[i], headers[i][2]) for i in fresh
+                decode_values(datas[i], ns[i]) for i in fresh
             ])
             if len(decisions) != len(fresh):
                 raise ValueError(
@@ -342,8 +344,7 @@ class BatchedSwitchForwarder(SwitchForwarder):
             self.largest_batch = max(self.largest_batch, len(fresh))
             for i, pruned in zip(fresh, decisions):
                 outcomes[i] = _PRUNED if pruned else _FORWARD
-        for data, (fid, seq, _, _), outcome in zip(datas, headers,
-                                                   outcomes):
+        for data, fid, seq, outcome in zip(datas, fids, seqs, outcomes):
             if outcome == _FORWARD:
                 self.forwarded += 1
                 to_master.send(data)
@@ -389,13 +390,15 @@ class MasterEndpoint:
         """Handle one tick's wire packets from the switch.
 
         Observationally identical to :meth:`process` per packet in
-        order (same ACK send sequence, same stored entries), but parses
-        only headers for the duplicate majority — a forwarded
-        retransmission's values are only decoded the first time its
-        sequence number is seen.
+        order (same ACK send sequence, same stored entries), but the
+        batch's headers are parsed with one vectorized
+        :func:`decode_header_fields` call and only headers are parsed
+        for the duplicate majority — a forwarded retransmission's
+        values are only decoded the first time its sequence number is
+        seen.
         """
-        for data in datas:
-            fid, seq, n, flags = decode_header(data)
+        columns = decode_header_fields(datas)
+        for data, fid, seq, n, flags in zip(datas, *columns):
             to_worker.send(encode_ack(
                 Ack(fid=fid, seq=seq, kind=AckKind.MASTER)
             ))

@@ -98,6 +98,25 @@ class PacketBatch:
         return f"PacketBatch({len(self.packets)} packets)"
 
 
+def _check_phv_limit(packets, metadata_limit_bits: int,
+                     limit_description: Optional[str] = None) -> None:
+    """Enforce the PHV metadata limit over a batch (one tight loop).
+
+    ``len(metadata) * 64`` inlines :meth:`PacketContext.metadata_bits`
+    — on the batched hot path this check runs per packet per programmed
+    stage, so the method call is worth eliding.
+    """
+    limit_slots = metadata_limit_bits // 64
+    for packet in packets:
+        if len(packet.metadata) > limit_slots:
+            suffix = (limit_description if limit_description is not None
+                      else f"({metadata_limit_bits})")
+            raise UnsupportedOperation(
+                f"packet metadata ({packet.metadata_bits()} bits) "
+                f"exceeds the PHV limit {suffix}"
+            )
+
+
 class Stage:
     """One pipeline stage: register arrays, tables, and an ALU budget."""
 
@@ -220,21 +239,14 @@ class Stage:
             program = self._program
             if program is None and metadata_limit_bits is None:
                 return
-            for packet in packets:
-                self._current_epoch = packet.epoch
-                self._next_alu = 0
-                if program is not None:
+            if program is not None:
+                for packet in packets:
+                    self._current_epoch = packet.epoch
+                    self._next_alu = 0
                     program(self, packet)
         if metadata_limit_bits is None:
             return
-        for packet in packets:
-            if packet.metadata_bits() > metadata_limit_bits:
-                suffix = (limit_description if limit_description is not None
-                          else f"({metadata_limit_bits})")
-                raise UnsupportedOperation(
-                    f"packet metadata ({packet.metadata_bits()} bits) "
-                    f"exceeds the PHV limit {suffix}"
-                )
+        _check_phv_limit(packets, metadata_limit_bits, limit_description)
 
     @property
     def sram_bits(self) -> int:
@@ -306,23 +318,27 @@ class Pipeline:
         """
         packets = (batch.packets if isinstance(batch, PacketBatch)
                    else list(batch))
-        for packet in packets:
-            self._epoch += 1
-            packet.epoch = self._epoch
+        base = self._epoch
+        for offset, packet in enumerate(packets, 1):
+            packet.epoch = base + offset
+        self._epoch = base + len(packets)
         self.packets_seen += len(packets)
         limit = self.metadata_limit_bits
+        # Precomputed dispatch: stages with no program leave the PHV
+        # untouched, so their per-packet limit re-check is deferred
+        # (metadata only grows — a violation still surfaces, attributed
+        # to the next programmed stage or the end-of-pipeline check).
+        deferred = False
         for stage in self.stages:
+            if stage._batch_program is None and stage._program is None:
+                deferred = True
+                continue
             stage.process_batch(packets, metadata_limit_bits=limit)
-        survived = []
-        append = survived.append
-        pruned = 0
-        for packet in packets:
-            if packet.prune:
-                pruned += 1
-                append(False)
-            else:
-                append(True)
-        self.packets_pruned += pruned
+            deferred = False
+        if deferred:
+            _check_phv_limit(packets, limit)
+        survived = [not packet.prune for packet in packets]
+        self.packets_pruned += len(survived) - sum(survived)
         return survived
 
     @property
@@ -413,24 +429,28 @@ class RecirculatingPipeline:
                    else list(batch))
         self.packets_seen += len(packets)
         logical = self.logical
-        for packet in packets:
-            logical._epoch += 1
-            packet.epoch = logical._epoch
+        base = logical._epoch
+        for offset, packet in enumerate(packets, 1):
+            packet.epoch = base + offset
+        logical._epoch = base + len(packets)
         limit = logical.metadata_limit_bits
+        # Same deferred-check dispatch as Pipeline.process_batch; the
+        # reported pass number follows the stage whose check fires.
+        deferred = False
+        last_pass = self.passes
         for index, stage in enumerate(logical.stages):
+            if stage._batch_program is None and stage._program is None:
+                deferred = True
+                continue
             stage.process_batch(
                 packets, metadata_limit_bits=limit,
                 limit_description=(
                     f"during pass {index // self.physical_stages + 1}"),
             )
-        survived = []
-        append = survived.append
-        pruned = 0
-        for packet in packets:
-            if packet.prune:
-                pruned += 1
-                append(False)
-            else:
-                append(True)
-        self.packets_pruned += pruned
+            deferred = False
+        if deferred:
+            _check_phv_limit(packets, limit,
+                             limit_description=f"during pass {last_pass}")
+        survived = [not packet.prune for packet in packets]
+        self.packets_pruned += len(survived) - sum(survived)
         return survived
