@@ -55,6 +55,15 @@ Quick start
 True
 """
 
+import logging as _logging
+
 __version__ = "1.0.0"
+
+# Library convention (docs/OBSERVABILITY.md): every module logs to the
+# ``repro.*`` hierarchy, and the package root gets a NullHandler so an
+# embedding application that never configures logging sees *nothing*
+# on stderr — not even ``lastResort`` output.  ``repro --log-level``
+# attaches a real handler for CLI runs.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __all__ = ["__version__"]

@@ -26,6 +26,8 @@ import pstats
 import time
 from typing import Dict, List, Optional
 
+from repro.obs import names
+
 #: Top-N in-repo functions recorded per profiled loop.
 _HOTSPOT_LIMIT = 12
 
@@ -141,16 +143,19 @@ def _profile_codec_pipeline(rows: int, shards: int, batch_size: int,
     def ratio(slow: float, fast: float) -> Optional[float]:
         return slow / fast if fast > 0 else None
 
+    # Kernel entries are keyed by the profiled function's real name
+    # (repro.obs.names.PROFILE_KERNEL_KEYS); pre-PR-10 payloads used
+    # abbreviations — renderers map those via LEGACY_KERNEL_KEYS.
     return {
         "packets": len(packets),
         "bytes_on_wire": sum(len(frame) for frame in frames),
-        "encode": {
+        names.KERNEL_ENCODE: {
             "per_packet_seconds": encode_packet_seconds,
             "bulk_seconds": encode_bulk_seconds,
             "bulk_speedup": ratio(encode_packet_seconds,
                                   encode_bulk_seconds),
         },
-        "decode_header": {
+        names.KERNEL_DECODE_HEADER: {
             "per_packet_seconds": header_packet_seconds,
             "bulk_seconds": header_bulk_seconds,
             "bulk_speedup": ratio(header_packet_seconds,
@@ -159,13 +164,13 @@ def _profile_codec_pipeline(rows: int, shards: int, batch_size: int,
             "fields_speedup": ratio(header_packet_seconds,
                                     header_fields_seconds),
         },
-        "decode_values": {
+        names.KERNEL_DECODE_VALUES: {
             "per_packet_seconds": values_packet_seconds,
             "bulk_seconds": values_bulk_seconds,
             "bulk_speedup": ratio(values_packet_seconds,
                                   values_bulk_seconds),
         },
-        "offer": {
+        names.KERNEL_OFFER: {
             "per_packet_seconds": offer_packet_seconds,
             "batched_seconds": offer_batch_seconds,
             "batched_speedup": ratio(offer_packet_seconds,

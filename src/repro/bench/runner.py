@@ -1142,6 +1142,184 @@ def run_congestion_bench(rows: int = 200, workers: int = 4,
     }
 
 
+def _schedule_fingerprint(report) -> str:
+    """A stable digest of a ScheduleReport's decision domain: one row
+    per tenant, tick-domain fields only (no wall clocks) — the sha256
+    CI compares between an obs-off and an obs-on run."""
+    import hashlib
+
+    rows = [{
+        "tenant": t.spec.tenant,
+        "scenario": t.spec.scenario,
+        "status": t.status,
+        "admitted_tick": t.admitted_tick,
+        "completed_tick": t.completed_tick,
+        "entries": t.entries,
+        "delivered": t.delivered,
+        "preemptions": t.preemptions,
+        "equivalent": t.equivalent,
+    } for t in report.tenants]
+    payload = json.dumps({"ticks": report.ticks, "tenants": rows},
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def run_obs_bench(tenants: int = 4, rows: int = 240, slots: int = 4,
+                  loss_rate: float = 0.05, reorder_window: int = 0,
+                  shards: int = 2, seed: int = 0,
+                  fig11_rows: int = 40_000, repeats: int = 3) -> Dict:
+    """Observability overhead + invariants benchmark.
+
+    Three claims of docs/OBSERVABILITY.md, measured so CI can gate
+    them (the ``decision_domain`` sub-object is deterministic; wall
+    clocks live outside it):
+
+    * **Decisions are obs-invariant.**  The same seeded fleet is
+      served with ``obs=None`` and with a full
+      :class:`~repro.obs.Observability` (spans on); the tick-domain
+      schedule fingerprints must be sha256-identical
+      (``decisions_identical``).
+    * **Exports are deterministic.**  Every obs-on repeat renders its
+      OpenMetrics text and Chrome trace; all repeats must hash
+      identically (``exports_identical``).
+    * **Overhead is bounded.**  Interleaved obs-off/obs-on serving
+      walls (median of ``repeats``) give ``serving.overhead_ratio``
+      (recorded, not gated: on CI-sized serves the ~20ms baseline
+      makes the ratio mostly polling constant-cost); a fig11-style
+      batched kernel run bare vs. with per-batch counter publication
+      gives ``fig11.overhead_ratio`` — the budget that the hot
+      dataplane loop stays at uninstrumented cost.  CI asserts
+      ``fig11.overhead_ratio <= 1.10``; ``overhead_ratio_max`` is
+      the informational max of both measured ratios.
+    """
+    from repro.cluster.scheduler import (
+        QueryScheduler,
+        SchedulerConfig,
+        tenant_specs,
+    )
+    from repro.obs import Observability
+    import hashlib
+
+    def config_for(obs) -> SchedulerConfig:
+        return SchedulerConfig(slots=slots, loss_rate=loss_rate,
+                               reorder_window=reorder_window,
+                               shards=shards, seed=seed, obs=obs)
+
+    def serve_once(obs):
+        specs = tenant_specs(tenants, rows=rows, seed=seed)
+        start = time.perf_counter()
+        report = QueryScheduler(config_for(obs)).serve(specs)
+        return report, time.perf_counter() - start
+
+    off_walls: List[float] = []
+    on_walls: List[float] = []
+    off_prints: List[str] = []
+    on_prints: List[str] = []
+    metric_hashes: List[str] = []
+    span_hashes: List[str] = []
+    last_on = None
+    for _ in range(repeats):
+        report, wall = serve_once(None)
+        off_walls.append(wall)
+        off_prints.append(_schedule_fingerprint(report))
+        obs = Observability(spans=True)
+        report, wall = serve_once(obs)
+        on_walls.append(wall)
+        on_prints.append(_schedule_fingerprint(report))
+        text = obs.registry.render_openmetrics(tick=report.ticks)
+        metric_hashes.append(
+            hashlib.sha256(text.encode("utf-8")).hexdigest())
+        trace = json.dumps(obs.tracer.to_chrome_trace(),
+                           sort_keys=True, separators=(",", ":"))
+        span_hashes.append(
+            hashlib.sha256(trace.encode("utf-8")).hexdigest())
+        last_on = (report, obs)
+    report, obs = last_on
+    serving_off = sorted(off_walls)[len(off_walls) // 2]
+    serving_on = sorted(on_walls)[len(on_walls) // 2]
+    serving_ratio = serving_on / serving_off if serving_off > 0 else None
+
+    # The fig11 kernel leg: the batched dataplane loop bare, then with
+    # the per-batch counter publication instrumentation of that path
+    # would cost.  offer_batch itself carries no hooks — this measures
+    # (and pins) the price of keeping it that way.
+    from repro.core.distinct import DistinctPruner
+    from repro.workloads.streams import random_order_stream
+
+    stream = random_order_stream(fig11_rows,
+                                 max(1, fig11_rows // 10), seed)
+    fig11_off: List[float] = []
+    fig11_on: List[float] = []
+    fig11_prints: List[str] = []
+    for _ in range(repeats):
+        pruner = DistinctPruner(rows=4096, width=2, seed=seed)
+        start = time.perf_counter()
+        decisions = _run_case_batched(pruner, stream, False, 8192)
+        fig11_off.append(time.perf_counter() - start)
+        fig11_prints.append(_decision_fingerprint(decisions))
+        kernel_obs = Observability(spans=False)
+        pruner = DistinctPruner(rows=4096, width=2, seed=seed)
+        start = time.perf_counter()
+        decisions = []
+        for chunk in _chunks(stream, 8192):
+            decisions += pruner.offer_batch(chunk)
+            kernel_obs.switch_offers.set_total(pruner.stats.offered,
+                                               tenant="fig11")
+            kernel_obs.switch_prunes.set_total(pruner.stats.pruned,
+                                               tenant="fig11")
+        fig11_on.append(time.perf_counter() - start)
+        fig11_prints.append(_decision_fingerprint(decisions))
+    kernel_off = sorted(fig11_off)[len(fig11_off) // 2]
+    kernel_on = sorted(fig11_on)[len(fig11_on) // 2]
+    kernel_ratio = kernel_on / kernel_off if kernel_off > 0 else None
+
+    decisions_identical = (len(set(off_prints + on_prints)) == 1
+                           and len(set(fig11_prints)) == 1)
+    exports_identical = (len(set(metric_hashes)) == 1
+                         and len(set(span_hashes)) == 1)
+    ratios = [r for r in (serving_ratio, kernel_ratio) if r is not None]
+    return {
+        "benchmark": "obs",
+        "tenants": tenants,
+        "rows": rows,
+        "slots": slots,
+        "loss_rate": loss_rate,
+        "reorder_window": reorder_window,
+        "shards": shards,
+        "seed": seed,
+        "repeats": repeats,
+        "serving": {
+            "obs_off_seconds": serving_off,
+            "obs_on_seconds": serving_on,
+            "overhead_ratio": serving_ratio,
+            "walls": {"off": off_walls, "on": on_walls},
+            "ticks": report.ticks,
+            "served": len(report.served),
+            "span_events": len(obs.tracer),
+            "metric_names": len(obs.registry.snapshot()),
+        },
+        "fig11": {
+            "rows": fig11_rows,
+            "batch_size": 8192,
+            "off_seconds": kernel_off,
+            "on_seconds": kernel_on,
+            "overhead_ratio": kernel_ratio,
+            "walls": {"off": fig11_off, "on": fig11_on},
+        },
+        "decision_domain": {
+            "schedule_sha256_off": off_prints,
+            "schedule_sha256_on": on_prints,
+            "fig11_decisions_sha256": fig11_prints,
+            "metrics_export_sha256": metric_hashes,
+            "spans_export_sha256": span_hashes,
+        },
+        "decisions_identical": decisions_identical,
+        "exports_identical": exports_identical,
+        "overhead_ratio_max": max(ratios) if ratios else None,
+        "all_equivalent": report.all_equivalent,
+    }
+
+
 def run_fig5_bench(scale: float = 5e-4, seed: int = 1,
                    shards: int = 1) -> Dict:
     """One timed fig5 completion-time regeneration (smoke-sized in CI).

@@ -51,6 +51,7 @@ specified in ``docs/TRACES.md``.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Callable, Dict, List
 
@@ -95,6 +96,10 @@ def _run(names: List[str], results_dir: str, args=None) -> int:
         print(f"e2e scenarios (with --loss/--reorder): "
               f"{', '.join(sorted(SCENARIOS))}", file=sys.stderr)
         return 2
+    if args is not None and (args.metrics_out or args.span_out):
+        print("note: --metrics-out/--span-out instrument e2e scenario "
+              "runs (add --loss/--reorder); paper experiments are "
+              "closed-form and export nothing", file=sys.stderr)
     for name in names:
         outcome = EXPERIMENTS[name]()
         results = outcome if isinstance(outcome, list) else [outcome]
@@ -155,6 +160,8 @@ def _run_e2e(names: List[str], args) -> int:
     reorder = args.reorder or 0
     modes = (["pipelined", "sequential"] if args.mode == "both"
              else [args.mode])
+    obs = _make_obs(args)
+    last_tick = 0
     ok = True
     for name in names:
         for mode in modes:
@@ -173,6 +180,13 @@ def _run_e2e(names: List[str], args) -> int:
                 # diagnostics, not a traceback.
                 print(f"repro run: {error}", file=sys.stderr)
                 return 2
+            if obs is not None:
+                # Solo runs drive their passes internally; metrics and
+                # pass spans are reconstructed from the report, one
+                # track per name/mode.
+                obs.ingest_simulation_report(
+                    report, track=f"{name}:{mode}")
+                last_tick = max(last_tick, report.ticks)
             ok = ok and bool(report.equivalent)
             verdict = ("IDENTICAL to QueryPlan.run" if report.equivalent
                        else "MISMATCH vs QueryPlan.run")
@@ -203,6 +217,7 @@ def _run_e2e(names: List[str], args) -> int:
             with open(path, "w") as f:
                 f.write("\n".join(lines) + "\n")
             print(f"  -> saved {path}\n")
+    _write_obs(obs, args, tick=last_tick)
     if not ok:
         print("e2e: at least one scenario diverged from QueryPlan.run",
               file=sys.stderr)
@@ -337,6 +352,9 @@ def _serve_socket(args, config, policy, chaos=None) -> int:
           f"{report.wall_seconds:.3f}s wall")
     print(f"  aggregate   : {report.entries} entries offered, "
           f"{report.delivered} delivered")
+    # server.obs is config.obs when the CLI attached one, or the
+    # server's own default (metrics-only, backing the `stats` frame).
+    _write_obs(config.obs, args, tick=report.ticks)
     if not ok:
         print("serve: at least one tenant diverged or failed",
               file=sys.stderr)
@@ -378,6 +396,7 @@ def _serve(args) -> int:
             congestion=args.congestion,
             queue_capacity=args.queue_capacity,
             parallel_shards=args.parallel_shards,
+            obs=_make_obs(args),
         )
     except ValueError as error:
         print(f"repro serve: {error}", file=sys.stderr)
@@ -418,6 +437,7 @@ def _serve(args) -> int:
     print(f"  aggregate   : {report.entries} entries offered, "
           f"{report.delivered} delivered"
           + (f", {throughput:.0f} entries/s" if throughput else ""))
+    _write_obs(config.obs, args, tick=report.ticks)
     if not ok:
         print("serve: at least one tenant diverged or failed",
               file=sys.stderr)
@@ -496,7 +516,8 @@ def _replay(args) -> int:
             reorder_window=args.reorder, shards=shards, seed=args.seed,
             congestion=args.congestion,
             queue_capacity=args.queue_capacity,
-            parallel_shards=args.parallel_shards)
+            parallel_shards=args.parallel_shards,
+            obs=_make_obs(args))
         report = replay_trace(trace, config, apply_overrides=False,
                               chaos=chaos)
     except (OSError, ValueError, SimulationError) as error:
@@ -536,6 +557,7 @@ def _replay(args) -> int:
     print(f"  aggregate  : {report.entries} entries offered, "
           f"{report.delivered} delivered"
           + (f", {throughput:.2f} entries/tick" if throughput else ""))
+    _write_obs(config.obs, args, tick=report.ticks)
     if not ok:
         print("replay: at least one tenant diverged or failed",
               file=sys.stderr)
@@ -636,6 +658,13 @@ def _chaos(args) -> int:
     if args.out:
         schedule.save(args.out)
         print(f"  -> saved schedule {args.out}")
+    # Instrument only the run under fault injection — the baseline is
+    # the equivalence reference, not the run being observed.
+    obs = _make_obs(args)
+    if obs is not None:
+        import dataclasses
+
+        config = dataclasses.replace(config, obs=obs)
     try:
         report = QueryScheduler(config).serve(specs, chaos=controller)
     except (ValueError, SimulationError) as error:
@@ -673,6 +702,7 @@ def _chaos(args) -> int:
           f"p99={baseline.latency_p99_ticks}")
     print(f"  under chaos : {report.ticks} ticks, "
           f"p99={report.latency_p99_ticks}")
+    _write_obs(obs, args, tick=report.ticks)
     equivalent = (ok and baseline.all_equivalent is True
                   and report.all_equivalent is True)
     if equivalent:
@@ -694,6 +724,7 @@ def _bench(args) -> int:
         run_fig5_bench,
         run_fig11_scale_bench,
         run_load_bench,
+        run_obs_bench,
         run_qos_bench,
         run_replay_bench,
     )
@@ -709,7 +740,8 @@ def _bench(args) -> int:
     if args.rows is None:
         args.rows = {"e2e": 1200, "concurrency": 240,
                      "replay": 100, "qos": 260, "chaos": 260,
-                     "load": 24, "congestion": 200}.get(args.name, 60_000)
+                     "load": 24, "congestion": 200,
+                     "obs": 240}.get(args.name, 60_000)
     if args.slots is None:
         # The QoS bench needs slack above the tiers policy's two
         # reserved slots; the replay bench wants a tight budget; the
@@ -718,7 +750,7 @@ def _bench(args) -> int:
         # the congestion bench wants its sweep tenants all concurrent
         # so they contend for the finite ingress queues.
         args.slots = {"qos": 3, "load": 8, "chaos": 4,
-                      "congestion": 4}.get(args.name, 2)
+                      "congestion": 4, "obs": 4}.get(args.name, 2)
     if args.name == "fig11" and args.rows < 40:
         print(f"repro bench: --rows must be >= 40 for the fig11 streams, "
               f"got {args.rows}", file=sys.stderr)
@@ -1019,6 +1051,52 @@ def _bench(args) -> int:
             print("  ERROR: a socket-served tenant diverged from "
                   "QueryPlan.run", file=sys.stderr)
             return 1
+    elif args.name == "obs":
+        if args.tenants < 1:
+            print(f"repro bench: --tenants must be >= 1, got "
+                  f"{args.tenants}", file=sys.stderr)
+            return 2
+        if args.rows < 20:
+            print(f"repro bench: --rows must be >= 20 for obs, got "
+                  f"{args.rows}", file=sys.stderr)
+            return 2
+        if not 0.0 <= args.loss < 1.0:
+            print(f"repro bench: --loss must be in [0, 1), got "
+                  f"{args.loss}", file=sys.stderr)
+            return 2
+        shards = args.shards if args.shards > 1 else 2
+        payload = run_obs_bench(tenants=args.tenants, rows=args.rows,
+                                slots=args.slots, loss_rate=args.loss,
+                                reorder_window=args.reorder,
+                                shards=shards, seed=args.seed)
+        path = emit_bench_json("obs", payload, args.results_dir)
+        serving = payload["serving"]
+        fig11 = payload["fig11"]
+        print(f"obs bench: {args.tenants} tenants rows={args.rows} "
+              f"slots={args.slots} shards={shards} loss={args.loss}")
+        print(f"  serving: off={serving['obs_off_seconds']:.3f}s "
+              f"on={serving['obs_on_seconds']:.3f}s "
+              f"overhead={serving['overhead_ratio']:.3f}x "
+              f"({serving['span_events']} span events, "
+              f"{serving['metric_names']} metrics)")
+        print(f"  fig11 kernel: off={fig11['off_seconds']:.3f}s "
+              f"on={fig11['on_seconds']:.3f}s "
+              f"overhead={fig11['overhead_ratio']:.3f}x "
+              f"({fig11['rows']} rows)")
+        print(f"  decisions identical : {payload['decisions_identical']}")
+        print(f"  exports identical   : {payload['exports_identical']}")
+        if payload["decisions_identical"] is not True:
+            print("  ERROR: obs-on decisions diverged from obs-off",
+                  file=sys.stderr)
+            return 1
+        if payload["exports_identical"] is not True:
+            print("  ERROR: repeated runs exported different bytes",
+                  file=sys.stderr)
+            return 1
+        if payload["all_equivalent"] is not True:
+            print("  ERROR: a tenant diverged from QueryPlan.run",
+                  file=sys.stderr)
+            return 1
     elif args.name == "fig11":
         payload = run_fig11_scale_bench(rows=args.rows, shards=args.shards,
                                         batch_size=args.batch_size,
@@ -1055,6 +1133,7 @@ def _profile(args) -> int:
     """``repro profile``: deterministic hot-path profile -> JSON."""
     from repro.bench.profile import run_hotpath_profile
     from repro.bench.runner import emit_bench_json
+    from repro.obs import names
 
     try:
         payload = run_hotpath_profile(
@@ -1073,11 +1152,13 @@ def _profile(args) -> int:
           f"batch_size={payload['batch_size']}")
     print(f"  codec: {codec['packets']} packets, "
           f"{codec['bytes_on_wire']} wire bytes")
-    print(f"    header decode  fields speedup="
-          f"{codec['decode_header']['fields_speedup']:.2f}x "
-          f"bulk={codec['decode_header']['bulk_speedup']:.2f}x")
-    print(f"    offer          batched speedup="
-          f"{codec['offer']['batched_speedup']:.2f}x")
+    header = codec[names.KERNEL_DECODE_HEADER]
+    offer = codec[names.KERNEL_OFFER]
+    print(f"    {names.KERNEL_DECODE_HEADER:14s} fields speedup="
+          f"{header['fields_speedup']:.2f}x "
+          f"bulk={header['bulk_speedup']:.2f}x")
+    print(f"    {names.KERNEL_OFFER:14s} batched speedup="
+          f"{offer['batched_speedup']:.2f}x")
     print(f"  scheduler: {sched['ticks']} ticks, {sched['entries']} "
           f"entries, {sched['served']} tenants served "
           f"(equivalent={sched['all_equivalent']})")
@@ -1165,6 +1246,66 @@ def _serving_flags(loss=None, shards=None, slots=None, policy=None,
     return parent
 
 
+def _obs_flags() -> argparse.ArgumentParser:
+    """The shared observability parent: ``--metrics-out``,
+    ``--span-out``, ``--log-level`` on run/serve/replay/chaos
+    (docs/OBSERVABILITY.md).  Fresh parser per subcommand, same
+    rationale as :func:`_serving_flags`."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="export the run's metrics as OpenMetrics "
+                        "text (tick-domain timestamps; byte-identical "
+                        "across identical seeded runs)")
+    parent.add_argument("--span-out", default=None, metavar="PATH",
+                        help="export per-query spans as Chrome "
+                        "trace-event JSON (load in Perfetto / "
+                        "chrome://tracing)")
+    parent.add_argument("--log-level", default=None,
+                        choices=["debug", "info", "warning", "error"],
+                        help="attach a stderr handler to the repro.* "
+                        "loggers at this level (default: silent)")
+    return parent
+
+
+def _configure_logging(args) -> None:
+    """``--log-level``: one stderr handler on the package root.
+
+    Without the flag the library's NullHandler keeps stderr clean
+    (tests assert a default run emits nothing)."""
+    level = getattr(args, "log_level", None)
+    if level is None:
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(
+        "%(levelname)s %(name)s: %(message)s"))
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper()))
+
+
+def _make_obs(args):
+    """Build the :class:`~repro.obs.Observability` a command should
+    attach, or ``None`` when no export was requested (hooks then cost
+    one ``is not None`` test per site)."""
+    if args.metrics_out is None and args.span_out is None:
+        return None
+    from repro.obs import Observability
+
+    return Observability(spans=args.span_out is not None)
+
+
+def _write_obs(obs, args, tick=None) -> None:
+    """Write the requested ``--metrics-out``/``--span-out`` files."""
+    if obs is None:
+        return
+    if args.metrics_out:
+        obs.write_metrics(args.metrics_out, tick=tick)
+        print(f"  -> wrote metrics {args.metrics_out}")
+    if args.span_out:
+        obs.write_spans(args.span_out)
+        print(f"  -> wrote spans {args.span_out}")
+
+
 def main(argv: List[str] = None) -> int:
     """CLI dispatch."""
     parser = argparse.ArgumentParser(
@@ -1177,7 +1318,8 @@ def main(argv: List[str] = None) -> int:
     sub.add_parser("list", help="list available experiments")
 
     run_parser = sub.add_parser(
-        "run", help="run experiments, or drive an end-to-end scenario "
+        "run", parents=[_obs_flags()],
+        help="run experiments, or drive an end-to-end scenario "
         "through the simulated cluster (with --loss/--reorder)")
     run_parser.add_argument("names", nargs="+",
                             help="experiment ids, 'all', or e2e scenario "
@@ -1223,7 +1365,7 @@ def main(argv: List[str] = None) -> int:
         parents=[_serving_flags(
             loss=0.05, shards=1, policy="fifo",
             slots_help="serving slots / QueryPack budget "
-                       "(default: one per tenant)")],
+                       "(default: one per tenant)"), _obs_flags()],
         help="serve N concurrent tenants through the multi-tenant "
         "QueryScheduler over shared simulated switches, or (with "
         "--listen) over a real asyncio TCP frontend speaking proto/v1")
@@ -1277,7 +1419,8 @@ def main(argv: List[str] = None) -> int:
         "chaos",
         parents=[_serving_flags(
             loss=0.02, shards=3, policy="fifo",
-            slots_help="serving slots (default: one per tenant)")],
+            slots_help="serving slots (default: one per tenant)"),
+            _obs_flags()],
         help="serve a tenant fleet under a seeded failure schedule "
         "(shard kills with checkpointed query migration, worker kills "
         "with window replay, channel degradation) and verify every "
@@ -1307,7 +1450,7 @@ def main(argv: List[str] = None) -> int:
 
     replay_parser = sub.add_parser(
         "replay",
-        parents=[_serving_flags(slots=4)],
+        parents=[_serving_flags(slots=4), _obs_flags()],
         help="replay a recorded (or generated) JSON-lines "
         "query-arrival trace through the multi-tenant scheduler and "
         "report tail latency + slot occupancy (format: docs/TRACES.md; "
@@ -1377,11 +1520,13 @@ def main(argv: List[str] = None) -> int:
         "interactive p99 with vs without slot preemption; 'chaos' "
         "measures serving under seeded fault injection; 'load' "
         "drives a concurrent client swarm against a live socket "
-        "server) and emit BENCH_<name>.json")
+        "server; 'obs' measures observability overhead and asserts "
+        "obs-on decisions are bit-identical to obs-off) and emit "
+        "BENCH_<name>.json")
     bench_parser.add_argument("name", choices=["fig5", "fig11", "e2e",
                                                "concurrency", "replay",
                                                "qos", "chaos", "load",
-                                               "congestion"])
+                                               "congestion", "obs"])
     bench_parser.add_argument("--rows", type=int, default=None,
                               help="largest stream length (fig11: "
                               "default 60000) or scenario size (e2e: "
@@ -1446,7 +1591,18 @@ def main(argv: List[str] = None) -> int:
                                     "groupby", "join", "having",
                                     "skyline", "filter"])
 
+    obs_parser = sub.add_parser(
+        "obs", help="inspect observability exports "
+        "(docs/OBSERVABILITY.md)")
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    dump_parser = obs_sub.add_parser(
+        "dump", help="summarize a --metrics-out OpenMetrics file or a "
+        "--span-out Chrome trace on stdout")
+    dump_parser.add_argument("file", help="path to a .prom exposition "
+                             "or a trace-event JSON")
+
     args = parser.parse_args(argv)
+    _configure_logging(args)
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
             doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
@@ -1468,7 +1624,97 @@ def main(argv: List[str] = None) -> int:
         return _sql_demo(args.statement)
     if args.command == "p4":
         return _p4_demo(args.query_type)
+    if args.command == "obs":
+        return _obs_dump(args.file)
     return 2  # pragma: no cover
+
+
+def _obs_dump(path: str) -> int:
+    """``repro obs dump``: human summary of an observability export.
+
+    Recognizes both file kinds by content, not extension: a Chrome
+    trace (JSON object with ``traceEvents``) gets a per-track span
+    summary, an OpenMetrics exposition gets its non-zero samples
+    grouped by metric family.
+    """
+    import json
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as error:
+        print(f"repro obs: {error}", file=sys.stderr)
+        return 2
+    try:
+        trace = json.loads(text)
+    except ValueError:
+        trace = None
+    if isinstance(trace, dict) and "traceEvents" in trace:
+        return _dump_trace(path, trace)
+    if "# EOF" not in text:
+        print(f"repro obs: {path} is neither a Chrome trace nor an "
+              "OpenMetrics exposition", file=sys.stderr)
+        return 2
+    return _dump_openmetrics(path, text)
+
+
+def _dump_trace(path: str, trace: Dict) -> int:
+    events = trace["traceEvents"]
+    spans = [e for e in events if e.get("ph") == "X"]
+    counters = [e for e in events if e.get("ph") == "C"]
+    tracks = {e["tid"]: e["args"]["name"] for e in events
+              if e.get("ph") == "M" and e.get("name") == "thread_name"}
+    print(f"== trace {path}: {len(events)} events "
+          f"({len(spans)} spans, {len(counters)} counter samples, "
+          f"{len(tracks)} tracks) ==")
+    by_track: Dict[str, List[Dict]] = {}
+    for span in spans:
+        by_track.setdefault(tracks.get(span["tid"], "?"),
+                            []).append(span)
+    for track in sorted(by_track):
+        rows = by_track[track]
+        last = max(e["ts"] + e["dur"] for e in rows)
+        kinds: Dict[str, int] = {}
+        for span in rows:
+            kinds[span["name"]] = kinds.get(span["name"], 0) + 1
+        detail = ", ".join(f"{name} x{count}" for name, count
+                           in sorted(kinds.items()))
+        print(f"  {track:12s} {len(rows):3d} spans through tick "
+              f"{last}: {detail}")
+    return 0
+
+
+def _dump_openmetrics(path: str, text: str) -> int:
+    families: Dict[str, List[str]] = {}
+    types: Dict[str, str] = {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            types[name] = kind
+        elif line and not line.startswith("#"):
+            name = line.split("{", 1)[0].split(" ", 1)[0]
+            family = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                base = name[:-len(suffix)] if name.endswith(suffix) else None
+                if base and base in types:
+                    family = base
+                    break
+            value = line.split(" ")[1]
+            if value == "+Inf" or float(value) != 0.0:
+                families.setdefault(family, []).append(line)
+            else:
+                families.setdefault(family, [])
+    print(f"== metrics {path}: {len(types)} metrics, "
+          f"{sum(len(v) for v in families.values())} non-zero "
+          "samples ==")
+    for family in sorted(types):
+        samples = families.get(family, [])
+        if not samples:
+            continue
+        print(f"  {family} ({types[family]})")
+        for sample in samples:
+            print(f"    {sample}")
+    return 0
 
 
 def _p4_demo(query_type: str) -> int:

@@ -54,8 +54,11 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import random
 from typing import Dict, List, Optional
+
+logger = logging.getLogger(__name__)
 
 #: Newest format version this module writes and reads.
 CHAOS_VERSION = 1
@@ -493,6 +496,7 @@ class ChaosController:
                     transfer.degrade(event.loss_rate)
             record["tenants_degraded"] = touched
         self.applied.append(record)
+        logger.info("applied %s at tick %d", event.event, tick)
         return record
 
     def summary(self) -> Dict:

@@ -65,6 +65,7 @@ from __future__ import annotations
 
 import bisect
 import dataclasses
+import logging
 import math
 import time
 from typing import Any, Dict, List, Optional, Sequence
@@ -93,6 +94,8 @@ from repro.switch.resources import (
     SwitchModel,
     TOFINO_MODEL,
 )
+
+logger = logging.getLogger(__name__)
 
 #: Seed stride between tenants, decorrelating their channel RNG draws.
 _TENANT_SEED_STRIDE = 1009
@@ -178,6 +181,13 @@ class SchedulerConfig:
     #: bit-identical serving decisions, K cores instead of one.  No
     #: effect with ``shards=1``.
     parallel_shards: bool = False
+    #: Optional :class:`~repro.obs.Observability` sink.  When set, the
+    #: serving loop reports lifecycle events and polls transport /
+    #: data-plane counters into it each tick (docs/OBSERVABILITY.md).
+    #: Strictly read-only with respect to scheduling state: obs-on
+    #: decisions are bit-identical to the default ``None`` (no-op).
+    obs: Optional[Any] = dataclasses.field(default=None, repr=False,
+                                           compare=False)
 
     def __post_init__(self) -> None:
         if self.slots < 1:
@@ -885,6 +895,9 @@ class ServingLoop:
         #: due failure events are injected at the top of every
         #: :meth:`run_tick` (see ``docs/CHAOS.md``).
         self.chaos = chaos
+        #: Optional :class:`~repro.obs.Observability` sink (from the
+        #: config); ``None`` keeps every hook site a no-op.
+        self.obs = self.config.obs
         self.tick = 0
         self.pending: List[_TenantRun] = []
         self.waiting: List[_TenantRun] = []
@@ -975,6 +988,10 @@ class ServingLoop:
         self.telemetry.rejections.append(RejectionEvent(
             at, run.spec.tenant, run.reason))
         self._bump(at, 2)
+        logger.info("rejected tenant %s at tick %d: %s",
+                    run.spec.tenant, at, reason)
+        if self.obs is not None:
+            self.obs.on_reject(run, at)
         self.finished.append(run)
 
     def run_tick(self) -> List[_TenantRun]:
@@ -996,7 +1013,9 @@ class ServingLoop:
             # admission phase and service step, in schedule order —
             # deterministic: the same schedule and specs reproduce the
             # same kill/migrate/restart sequence tick for tick.
-            self.chaos.apply_due(tick, self)
+            applied = self.chaos.apply_due(tick, self)
+            if self.obs is not None and applied:
+                self.obs.on_chaos(applied, tick, self.chaos)
         while self.pending and self.pending[0].spec.arrival_tick <= tick:
             waiting.append(self.pending.pop(0))
         # Admission & resume, highest class priority first (FIFO
@@ -1044,6 +1063,11 @@ class ServingLoop:
                             tick, victim.spec.tenant,
                             run.spec.tenant, "preempt"))
                         self._bump(tick, 3)
+                        logger.info(
+                            "preempted tenant %s for %s at tick %d",
+                            victim.spec.tenant, run.spec.tenant, tick)
+                        if self.obs is not None:
+                            self.obs.on_preempt(victim, tick, by=run)
                     held = self._in_service()
                     free = cfg.slots - sum(held.values())
                     available = policy.available_to(cls, free, held)
@@ -1073,6 +1097,10 @@ class ServingLoop:
                 self.telemetry.preemptions.append(PreemptionEvent(
                     tick, run.spec.tenant, "", "resume"))
                 self._bump(tick, 4)
+                logger.info("resumed tenant %s at tick %d",
+                            run.spec.tenant, tick)
+                if self.obs is not None:
+                    self.obs.on_resume(run, tick)
                 continue
             waiting.remove(run)
             try:
@@ -1081,9 +1109,15 @@ class ServingLoop:
                 self._reject(run, str(error), tick)
                 continue
             self._bump(tick, 0)
+            logger.debug("admitted tenant %s at tick %d",
+                         run.spec.tenant, tick)
+            if self.obs is not None:
+                self.obs.on_admit(run, tick)
             if run.current is None:
                 run.complete(tick)
                 self._bump(tick, 1)
+                if self.obs is not None:
+                    self.obs.on_complete(run, tick)
                 finished.append(run)
             else:
                 active.append(run)
@@ -1131,12 +1165,18 @@ class ServingLoop:
             if not more:
                 run.complete(tick)
                 self._bump(tick, 1)
+                logger.debug("completed tenant %s at tick %d",
+                             run.spec.tenant, tick)
+                if self.obs is not None:
+                    self.obs.on_complete(run, tick)
                 done_runs.append(run)
         # Occupancy = slots held this tick (slot-weighted), which
         # equals the serviced count under uniform DRR weights.
         self._service[tick] = (sum(run.spec.slots for run in active),
                                len(stepped), len(waiting),
                                len(suspended))
+        if self.obs is not None:
+            self.obs.on_service_tick(self, tick, stepped)
         for run in done_runs:
             active.remove(run)
             self.drr.forget(run.index)
@@ -1228,10 +1268,15 @@ class QueryScheduler:
         # before the serving clock starts.
         for spec in tenants:
             loop.submit(spec)
+        logger.info("serving %d tenant(s) on %d slot(s), policy %s",
+                    len(tenants), self.config.slots,
+                    self.config.policy.name)
         start = time.perf_counter()
         while loop.has_work:
             loop.run_tick()
         wall = time.perf_counter() - start
+        if loop.obs is not None:
+            loop.obs.finalize(loop)
         return loop.report(check=check, wall_seconds=wall)
 
 

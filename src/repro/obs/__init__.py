@@ -1,0 +1,22 @@
+"""Unified observability: tick-domain metrics, spans, and naming.
+
+See docs/OBSERVABILITY.md for the metric/label catalog, the span
+taxonomy, and the tick-domain timestamp rationale.  Attach an
+:class:`Observability` instance via ``SchedulerConfig(obs=...)``; with
+the default ``obs=None`` every hook site is a no-op.
+"""
+
+from . import names
+from .hooks import Observability
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "SpanTracer",
+    "names",
+]

@@ -102,7 +102,13 @@ class AsyncReproClient:
         return self._results.pop(tenant)
 
     async def stats(self) -> Dict:
-        """One ``telemetry`` snapshot of the serving loop."""
+        """One ``telemetry`` snapshot of the serving loop.
+
+        The reply carries the quick loop summary (``tick``, ``active``,
+        ``waiting``, ``occupancy``, ...) plus ``metrics`` — the
+        server's full observability snapshot, metric name -> samples,
+        in the schema documented in docs/PROTOCOL.md §4 (the same
+        catalog ``--metrics-out`` exports as OpenMetrics text)."""
         await self.send({"type": "stats"})
         while True:
             frame = await self._next_frame()
@@ -188,6 +194,8 @@ class ReproClient:
         return self._drive(self._inner.result(tenant))
 
     def stats(self) -> Dict:
+        """One ``telemetry`` snapshot, including the ``metrics`` field
+        (see :meth:`AsyncReproClient.stats`)."""
         return self._drive(self._inner.stats())
 
     def run(self, scenario: str, **kwargs) -> Dict:

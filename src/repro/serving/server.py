@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import logging
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -42,7 +43,10 @@ from repro.cluster.scheduler import (
     TenantSpec,
 )
 from repro.cluster.simulation import SCENARIOS, SimulationError
+from repro.obs import Observability
 from repro.serving import protocol
+
+logger = logging.getLogger(__name__)
 
 
 class _Connection:
@@ -113,6 +117,15 @@ class ReproServer:
         #: failure events fire inside the reactor's ticks, so socket
         #: sessions survive shard kills exactly like in-process runs.
         self.chaos = chaos
+        #: The live metrics sink behind the proto/v1 ``stats`` reply.
+        #: Callers may pass their own via ``config.obs`` (e.g. with
+        #: span tracing on); otherwise the server runs a metrics-only
+        #: instance, so ``stats`` always answers with real counters.
+        if self.config.obs is None:
+            self.obs = Observability(spans=False)
+            self.config = dataclasses.replace(self.config, obs=self.obs)
+        else:
+            self.obs = self.config.obs
         self._core = ServingLoop(self.config, chaos=chaos)
         self._inbox: List[Tuple[Dict, _Connection]] = []
         self._held: List[Tuple[TenantSpec, _Connection]] = []
@@ -146,6 +159,7 @@ class ReproServer:
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port)
         self._reactor_task = asyncio.ensure_future(self._reactor())
+        logger.info("listening on %s:%d", *self.address)
         return self
 
     async def stop(self) -> None:
@@ -170,6 +184,9 @@ class ReproServer:
         if self._handlers:
             await asyncio.gather(*self._handlers,
                                  return_exceptions=True)
+        self.obs.finalize(self._core)
+        logger.info("stopped after %d result(s), tick %d",
+                    self._results_sent, self._core.tick)
 
     async def wait_finished(self) -> None:
         """Resolve once ``max_queries`` results have been dispatched
@@ -294,6 +311,10 @@ class ReproServer:
         self._wake.set()
 
     def _telemetry_frame(self) -> Dict:
+        """The ``stats`` reply: the quick loop summary plus the full
+        metrics snapshot (docs/PROTOCOL.md §4).  The ``metrics`` field
+        rides on proto/v1's must-ignore-unknown-fields rule, so v1
+        clients that predate it keep working unchanged."""
         core = self._core
         return {
             "type": "telemetry",
@@ -306,6 +327,7 @@ class ReproServer:
             "occupancy": sum(run.spec.slots for run in core.active),
             "slots": self.config.slots,
             "policy": self.config.policy.name,
+            "metrics": self.obs.registry.snapshot(),
         }
 
     # -- reactor ---------------------------------------------------------------

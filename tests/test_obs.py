@@ -1,0 +1,315 @@
+"""The unified observability layer (PR 10): metrics, spans, surfaces.
+
+The acceptance properties of ``repro.obs``:
+
+* **Determinism** — two identical seeded runs export byte-identical
+  OpenMetrics text and byte-identical Chrome trace JSON (the same
+  contract every ``BENCH_*.json`` decision domain carries).
+* **Non-interference** — serving with a full ``Observability``
+  attached produces a schedule whose tick-domain fingerprint is
+  sha256-identical to the uninstrumented run (hooks are read-only).
+* **Schema** — the span export is valid Chrome trace-event JSON
+  (Perfetto-loadable) and the metrics export is valid OpenMetrics
+  (HELP/TYPE headers, histogram ``_bucket``/``_sum``/``_count``,
+  terminal ``# EOF``).
+* **Surfaces** — the proto/v1 ``stats`` frame carries the registry
+  snapshot; ``repro obs dump`` summarizes both export kinds; a
+  default run logs nothing to stderr (NullHandler contract).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.bench.runner import _schedule_fingerprint
+from repro.cluster.scheduler import (
+    QueryScheduler,
+    SchedulerConfig,
+    tenant_specs,
+)
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    SpanTracer,
+    names,
+)
+
+SERVE = dict(slots=2, loss_rate=0.05, reorder_window=1, shards=2,
+             seed=3)
+
+
+def serve_fleet(obs=None, tenants=3, rows=60):
+    config = SchedulerConfig(obs=obs, **SERVE)
+    specs = tenant_specs(tenants, rows=rows, seed=SERVE["seed"])
+    return QueryScheduler(config).serve(specs)
+
+
+class TestRegistry:
+    def test_counter_is_monotone(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("cheetah_test_total", "t", ("a",))
+        counter.inc(2, a="x")
+        counter.set_total(5, a="x")
+        counter.set_total(3, a="x")  # monotone: max() wins
+        assert counter.value(a="x") == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1, a="x")
+
+    def test_label_set_is_exact(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("cheetah_test_gauge", "t", ("a",))
+        with pytest.raises(ValueError):
+            gauge.set(1)  # missing label
+        with pytest.raises(ValueError):
+            gauge.set(1, a="x", b="y")  # extra label
+        gauge.set(1.5, a="x")
+        assert gauge.value(a="x") == 1.5
+
+    def test_type_collisions_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("cheetah_test_total", "t")
+        with pytest.raises(ValueError):
+            registry.gauge("cheetah_test_total", "t")
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("cheetah_test_ticks", "t",
+                                       buckets=(1.0, 10.0, 100.0))
+        for value in (0, 5, 50, 500):
+            histogram.observe(value)
+        text = registry.render_openmetrics()
+        assert 'le="1"} 1' in text
+        assert 'le="10"} 2' in text
+        assert 'le="100"} 3' in text
+        assert 'le="+Inf"} 4' in text
+        assert "cheetah_test_ticks_sum 555" in text
+        assert "cheetah_test_ticks_count 4" in text
+
+    def test_exposition_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("cheetah_test_total", "Things.", ("a",)).inc(
+            a='we"ird\nlabel\\')
+        text = registry.render_openmetrics(tick=7)
+        assert text.startswith("# HELP cheetah_test_total Things.\n"
+                               "# TYPE cheetah_test_total counter\n")
+        assert text.endswith("# EOF\n")
+        # Label escaping per the OpenMetrics ABNF.
+        assert r'a="we\"ird\nlabel\\"' in text
+        assert text.splitlines()[2].endswith(" 1 7")  # tick timestamp
+
+
+class TestDeterminism:
+    def test_openmetrics_double_run_byte_identical(self):
+        exports = []
+        for _ in range(2):
+            obs = Observability(spans=True)
+            report = serve_fleet(obs)
+            exports.append(
+                obs.registry.render_openmetrics(tick=report.ticks))
+        assert exports[0] == exports[1]
+
+    def test_span_export_double_run_byte_identical(self):
+        exports = []
+        for _ in range(2):
+            obs = Observability(spans=True)
+            serve_fleet(obs)
+            exports.append(json.dumps(obs.tracer.to_chrome_trace(),
+                                      sort_keys=True))
+        assert exports[0] == exports[1]
+
+    def test_obs_on_decisions_identical_to_obs_off(self):
+        """The PR 9 decision-domain pattern: sha256 of the tick-domain
+        schedule, obs-off vs obs-on, must match exactly."""
+        bare = _schedule_fingerprint(serve_fleet(None))
+        instrumented = _schedule_fingerprint(
+            serve_fleet(Observability(spans=True)))
+        assert bare == instrumented
+
+    def test_metric_catalog_is_run_independent(self):
+        """Every catalog name renders HELP/TYPE even in a run that
+        never exercises its subsystem (CI greps for names)."""
+        obs = Observability()
+        serve_fleet(obs, tenants=1, rows=40)
+        text = obs.registry.render_openmetrics()
+        for name in (names.SCHED_ADMISSIONS, names.SCHED_PREEMPTIONS,
+                     names.QUERY_LATENCY, names.CHANNEL_TAIL_DROPS,
+                     names.TRANSPORT_RETRANSMISSIONS,
+                     names.SWITCH_PRUNES, names.CHAOS_MIGRATIONS):
+            assert f"# TYPE {name} " in text
+
+
+class TestSpanSchema:
+    def test_chrome_trace_event_format(self, tmp_path):
+        obs = Observability(spans=True)
+        report = serve_fleet(obs)
+        path = tmp_path / "spans.json"
+        obs.write_spans(str(path))
+        trace = json.loads(path.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert events, "an instrumented serve must emit spans"
+        phases = {event["ph"] for event in events}
+        assert phases <= {"X", "M", "C"}
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in metadata} >= {"thread_name",
+                                                "process_name"}
+        # Metadata precedes payload events (Perfetto names tracks on
+        # first sight).
+        assert events[:len(metadata)] == metadata
+        for event in events:
+            assert event["pid"] == 1
+            if event["ph"] == "X":
+                assert isinstance(event["ts"], int)
+                assert isinstance(event["dur"], int)
+                assert event["dur"] >= 0
+                assert event["ts"] + event["dur"] <= report.ticks
+                assert isinstance(event["args"], dict)
+                assert list(event["args"]) == sorted(event["args"])
+
+    def test_span_taxonomy_covers_lifecycle(self):
+        """A contended fleet produces queue, service, and pass spans
+        carrying tenant and QoS attribution."""
+        obs = Observability(spans=True)
+        serve_fleet(obs)
+        spans = [e for e in obs.tracer.to_chrome_trace()["traceEvents"]
+                 if e["ph"] == "X"]
+        kinds = {span["name"].split(":")[0] for span in spans}
+        assert names.SPAN_SERVICE in kinds
+        assert names.SPAN_QUEUE in kinds  # 3 tenants on 2 slots
+        assert "pass" in kinds
+        service = next(s for s in spans
+                       if s["name"] == names.SPAN_SERVICE)
+        assert service["args"]["tenant"].startswith("tenant-")
+        assert service["args"]["qos_class"]
+
+    def test_open_spans_truncated_at_finalize(self):
+        tracer = SpanTracer()
+        tracer.begin(("k", 1), "service", 5, track="t0",
+                     cat="scheduler")
+        tracer.finalize(9)
+        span = tracer.to_chrome_trace()["traceEvents"][-1]
+        assert span["ts"] == 5 and span["dur"] == 4
+        assert span["args"]["truncated"] is True
+
+
+class TestSurfaces:
+    def test_stats_frame_carries_metrics_snapshot(self):
+        """proto/v1 `stats`: the telemetry reply embeds the server's
+        registry snapshot (docs/PROTOCOL.md §4)."""
+        from repro.serving import AsyncReproClient, ReproServer
+
+        async def session():
+            config = SchedulerConfig(**SERVE)
+            server = ReproServer(config)
+            await server.start()
+            host, port = server.address
+            client = await AsyncReproClient.connect(host, port)
+            await client.run("distinct", tenant="t0", rows=40, seed=1)
+            frame = await client.stats()
+            await client.close()
+            await server.stop()
+            return frame
+
+        frame = asyncio.run(session())
+        assert frame["type"] == "telemetry"
+        metrics = frame["metrics"]
+        assert names.SCHED_ADMISSIONS in metrics
+        admissions = metrics[names.SCHED_ADMISSIONS]
+        assert admissions["type"] == "counter"
+        assert sum(s["value"] for s in admissions["samples"]) == 1
+        # The snapshot must survive the JSON wire protocol.
+        json.dumps(metrics)
+
+    def test_default_run_emits_nothing_to_stderr(self, capfd):
+        """NullHandler contract: an unconfigured embedding sees no
+        logging output, not even lastResort."""
+        serve_fleet(None, tenants=2, rows=40)
+        serve_fleet(Observability(spans=True), tenants=2, rows=40)
+        assert capfd.readouterr().err == ""
+
+    def test_log_level_flag_attaches_handler(self, capfd, tmp_path):
+        import logging
+
+        from repro.cli import main
+
+        root = logging.getLogger("repro")
+        before = list(root.handlers)
+        try:
+            code = main(["serve", "--tenants", "2", "--rows", "40",
+                         "--log-level", "info"])
+        finally:
+            for handler in root.handlers[len(before):]:
+                root.removeHandler(handler)
+            root.setLevel(logging.NOTSET)
+        assert code == 0
+        err = capfd.readouterr().err
+        assert "INFO repro.cluster.scheduler" in err
+
+    def test_cli_exports_and_dump(self, capsys, tmp_path):
+        from repro.cli import main
+
+        metrics_path = tmp_path / "metrics.prom"
+        span_path = tmp_path / "spans.json"
+        code = main(["serve", "--tenants", "2", "--rows", "40",
+                     "--metrics-out", str(metrics_path),
+                     "--span-out", str(span_path)])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["obs", "dump", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "34 metrics" in out
+        assert names.SCHED_COMPLETIONS in out
+        assert main(["obs", "dump", str(span_path)]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out and "tenant-0" in out
+
+    def test_replay_metrics_export(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "replay.prom"
+        code = main(["replay", "--gen", "poisson", "--queries", "3",
+                     "--rows", "40", "--metrics-out", str(path)])
+        assert code == 0
+        assert "# EOF" in path.read_text()
+
+    def test_run_e2e_ingests_simulation_report(self, tmp_path):
+        from repro.api import run_scenario
+
+        obs = Observability(spans=True)
+        report = run_scenario("distinct", rows=200, seed=0, loss=0.05)
+        obs.ingest_simulation_report(report, track="distinct")
+        text = obs.registry.render_openmetrics()
+        offered = sum(stats.switch_pruned + stats.switch_forwarded
+                      for stats in report.passes)
+        assert offered > 0
+        assert f'{names.SWITCH_OFFERS}{{tenant="distinct"}} '\
+            f'{offered}' in text
+        spans = [e for e in obs.tracer.to_chrome_trace()["traceEvents"]
+                 if e["ph"] == "X"]
+        assert len(spans) == len(report.passes)
+        assert sum(s["dur"] for s in spans) == report.ticks
+
+
+class TestChaosInstrumentation:
+    def test_chaos_events_counted(self):
+        from repro.cluster.chaos import ChaosController, generate_schedule
+
+        schedule = generate_schedule(seed=1, kills=2, shards=3,
+                                     workers=4, horizon=20)
+        obs = Observability(spans=True)
+        config = SchedulerConfig(slots=3, loss_rate=0.02, shards=3,
+                                 seed=1, obs=obs)
+        specs = tenant_specs(3, rows=60, seed=1, mix=("distinct",))
+        controller = ChaosController(schedule)
+        QueryScheduler(config).serve(specs, chaos=controller)
+        counted = obs.chaos_events
+        applied = sum(
+            counted.value(event=record["event"])
+            for record in controller.applied) if controller.applied \
+            else 0
+        assert applied >= len(controller.applied)
+        assert obs.chaos_migrations.value() == controller.migrations
